@@ -1,0 +1,325 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper's evaluation
+   (section 6) from the bundled IRDL corpus — the same output as
+   `irdl-stats`, kept here so `dune exec bench/main.exe` reproduces the
+   paper end to end.
+
+   Part 2 runs bechamel micro-benchmarks: one workload per experiment
+   (the computation that regenerates each table/figure) plus the
+   performance characteristics of the implementation itself (parse,
+   resolve, registration, verification, printing, parsing, rewriting) —
+   including the ablations called out in DESIGN.md (custom formats vs
+   generic syntax). The paper reports no absolute performance numbers;
+   these benches back the "runtime registration without recompilation"
+   claim with measured costs. *)
+
+open Bechamel
+open Toolkit
+
+let corpus =
+  lazy
+    (match Irdl_dialects.Corpus.analyze () with
+    | Ok dls -> dls
+    | Error d -> failwith (Irdl_support.Diag.to_string d))
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: tables and figures                                          *)
+(* ------------------------------------------------------------------ *)
+
+let print_report () =
+  Fmt.pr "############ Reproduction of the paper's evaluation ############@.";
+  Irdl_analysis.Report.full Fmt.stdout (Lazy.force corpus);
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: benchmarks                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let spv_source =
+  lazy
+    (let e =
+       List.find (fun (e : Irdl_dialects.Corpus.entry) -> e.name = "spv")
+         Irdl_dialects.Corpus.all
+     in
+     e.source)
+
+(* Pre-built state for the steady-state benches. *)
+let cmath_ctx =
+  lazy
+    (let ctx = Irdl_ir.Context.create () in
+     match Irdl_dialects.Cmath.load ctx with
+     | Ok _ -> ctx
+     | Error d -> failwith (Irdl_support.Diag.to_string d))
+
+let conorm_text =
+  {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %m = "arith.mulf"(%np, %nq) : (f32, f32) -> f32
+  "func.return"(%m) : (f32) -> ()
+}) {sym_name = "conorm"} : () -> ()
+|}
+
+let conorm_op =
+  lazy
+    (let ctx = Lazy.force cmath_ctx in
+     match Irdl_ir.Parser.parse_op_string ctx conorm_text with
+     | Ok op -> op
+     | Error d -> failwith (Irdl_support.Diag.to_string d))
+
+let mul_op =
+  lazy
+    (let complex =
+       Irdl_ir.Attr.dynamic ~dialect:"cmath" ~name:"complex"
+         [ Irdl_ir.Attr.typ Irdl_ir.Attr.f32 ]
+     in
+     let v =
+       Irdl_ir.Graph.Op.result
+         (Irdl_ir.Graph.Op.create ~result_tys:[ complex ] "t.v")
+         0
+     in
+     Irdl_ir.Graph.Op.create ~operands:[ v; v ] ~result_tys:[ complex ]
+       "cmath.mul")
+
+let norm_of_mul_pattern =
+  Irdl_rewrite.Pattern.dag ~name:"norm-mul"
+    ~root:
+      (Irdl_rewrite.Pattern.m_op "arith.mulf"
+         [
+           Irdl_rewrite.Pattern.m_op "cmath.norm"
+             [ Irdl_rewrite.Pattern.m_val "p" ];
+           Irdl_rewrite.Pattern.m_op "cmath.norm"
+             [ Irdl_rewrite.Pattern.m_val "q" ];
+         ])
+    ~replacement:
+      (Irdl_rewrite.Pattern.b_op "cmath.norm"
+         [
+           Irdl_rewrite.Pattern.b_op "cmath.mul"
+             [ Irdl_rewrite.Pattern.b_cap "p"; Irdl_rewrite.Pattern.b_cap "q" ]
+             (Irdl_rewrite.Pattern.Ty_of_capture "p");
+         ]
+         (Irdl_rewrite.Pattern.Ty_const Irdl_ir.Attr.f32))
+    ()
+
+let profiles =
+  lazy (Irdl_analysis.Op_stats.profiles_of_corpus (Lazy.force corpus))
+
+let finals =
+  lazy
+    (List.map
+       (fun (dl : Irdl_core.Resolve.dialect) ->
+         (dl.dl_name, List.length dl.dl_ops))
+       (Lazy.force corpus))
+
+let stage = Staged.stage
+
+(* One Test.make per table/figure: the computation that regenerates it. *)
+let figure_tests =
+  [
+    Test.make ~name:"table1:corpus-parse-resolve"
+      (stage (fun () ->
+           match Irdl_dialects.Corpus.analyze () with
+           | Ok dls -> List.length dls
+           | Error _ -> assert false));
+    Test.make ~name:"fig3:evolution-series"
+      (stage (fun () ->
+           Irdl_analysis.Evolution.series ~finals:(Lazy.force finals)));
+    Test.make ~name:"fig4:ops-per-dialect"
+      (stage (fun () ->
+           List.map
+             (fun (dl : Irdl_core.Resolve.dialect) -> List.length dl.dl_ops)
+             (Lazy.force corpus)));
+    Test.make ~name:"fig5:operand-histograms"
+      (stage (fun () ->
+           let ps = Lazy.force profiles in
+           ( Irdl_analysis.Op_stats.operand_buckets ps,
+             Irdl_analysis.Op_stats.variadic_operand_buckets ps )));
+    Test.make ~name:"fig6:result-histograms"
+      (stage (fun () ->
+           let ps = Lazy.force profiles in
+           ( Irdl_analysis.Op_stats.result_buckets ps,
+             Irdl_analysis.Op_stats.variadic_result_buckets ps )));
+    Test.make ~name:"fig7:attr-region-histograms"
+      (stage (fun () ->
+           let ps = Lazy.force profiles in
+           ( Irdl_analysis.Op_stats.attribute_buckets ps,
+             Irdl_analysis.Op_stats.region_buckets ps )));
+    Test.make ~name:"fig8:param-kinds"
+      (stage (fun () ->
+           let dls = Lazy.force corpus in
+           ( Irdl_analysis.Param_stats.histogram
+               (List.concat_map
+                  (fun (dl : Irdl_core.Resolve.dialect) -> dl.dl_types)
+                  dls),
+             Irdl_analysis.Param_stats.histogram
+               (List.concat_map
+                  (fun (dl : Irdl_core.Resolve.dialect) -> dl.dl_attrs)
+                  dls) )));
+    Test.make ~name:"fig9-10:def-verifier-splits"
+      (stage (fun () ->
+           List.map
+             (fun (dl : Irdl_core.Resolve.dialect) ->
+               ( Irdl_analysis.Expressiveness.def_split dl.dl_types,
+                 Irdl_analysis.Expressiveness.verifier_split dl.dl_attrs ))
+             (Lazy.force corpus)));
+    Test.make ~name:"fig11:op-expressiveness"
+      (stage (fun () ->
+           let ops =
+             List.concat_map
+               (fun (dl : Irdl_core.Resolve.dialect) -> dl.dl_ops)
+               (Lazy.force corpus)
+           in
+           ( Irdl_analysis.Expressiveness.op_local_split ops,
+             Irdl_analysis.Expressiveness.op_verifier_split ops )));
+    Test.make ~name:"fig12:native-categories"
+      (stage (fun () ->
+           Irdl_analysis.Expressiveness.category_histogram
+             (Lazy.force corpus)));
+  ]
+
+(* Ablation: constraint-variable environment threading vs fixed types. *)
+let vars_ablation_ctx =
+  lazy
+    (let ctx = Irdl_ir.Context.create () in
+     match
+       Irdl_core.Irdl.load ctx
+         {|Dialect ab {
+             Operation mul_vars {
+               ConstraintVars (T: !AnyOf<!f32, !f64>)
+               Operands (a: !T, b: !T)
+               Results (r: !T)
+             }
+             Operation mul_fixed {
+               Operands (a: !f32, b: !f32)
+               Results (r: !f32)
+             }
+           }|}
+     with
+     | Ok _ -> ctx
+     | Error d -> failwith (Irdl_support.Diag.to_string d))
+
+let ablation_op name =
+  lazy
+    (let v =
+       Irdl_ir.Graph.Op.result
+         (Irdl_ir.Graph.Op.create ~result_tys:[ Irdl_ir.Attr.f32 ] "t.v")
+         0
+     in
+     Irdl_ir.Graph.Op.create ~operands:[ v; v ]
+       ~result_tys:[ Irdl_ir.Attr.f32 ] name)
+
+let mul_vars_op = ablation_op "ab.mul_vars"
+let mul_fixed_op = ablation_op "ab.mul_fixed"
+
+let pattern_src =
+  {|Pattern p {
+      Match (arith.mulf (cmath.norm $p) (cmath.norm $q))
+      Rewrite (cmath.norm (cmath.mul $p $q : $p) : f32)
+    }|}
+
+(* Implementation performance and DESIGN.md ablations. *)
+let perf_tests =
+  [
+    Test.make ~name:"perf:register-full-corpus-28-dialects"
+      (stage (fun () ->
+           let ctx = Irdl_ir.Context.create () in
+           Irdl_dialects.Corpus.load_all ctx));
+    Test.make ~name:"perf:verify-constraint-vars(ablation)"
+      (stage (fun () ->
+           Irdl_ir.Verifier.verify_op (Lazy.force vars_ablation_ctx)
+             (Lazy.force mul_vars_op)));
+    Test.make ~name:"perf:verify-fixed-types(ablation)"
+      (stage (fun () ->
+           Irdl_ir.Verifier.verify_op (Lazy.force vars_ablation_ctx)
+             (Lazy.force mul_fixed_op)));
+    Test.make ~name:"perf:parse-textual-pattern"
+      (stage (fun () ->
+           Irdl_rewrite.Textual.parse_patterns (Lazy.force cmath_ctx)
+             pattern_src));
+    Test.make ~name:"perf:irdl-parse-cmath"
+      (stage (fun () -> Irdl_core.Parser.parse_file Irdl_dialects.Cmath.source));
+    Test.make ~name:"perf:irdl-parse-spv-187ops"
+      (stage (fun () -> Irdl_core.Parser.parse_file (Lazy.force spv_source)));
+    Test.make ~name:"perf:resolve-cmath"
+      (stage (fun () ->
+           match Irdl_core.Parser.parse_one Irdl_dialects.Cmath.source with
+           | Ok ast -> Irdl_core.Resolve.resolve_dialect ast
+           | Error _ -> assert false));
+    Test.make ~name:"perf:register-cmath-dialect"
+      (stage (fun () ->
+           let ctx = Irdl_ir.Context.create () in
+           Irdl_core.Irdl.load ctx Irdl_dialects.Cmath.source));
+    Test.make ~name:"perf:verify-cmath-mul"
+      (stage (fun () ->
+           Irdl_ir.Verifier.verify_op (Lazy.force cmath_ctx)
+             (Lazy.force mul_op)));
+    Test.make ~name:"perf:verify-conorm-function"
+      (stage (fun () ->
+           Irdl_ir.Verifier.verify (Lazy.force cmath_ctx)
+             (Lazy.force conorm_op)));
+    Test.make ~name:"perf:ir-parse-conorm"
+      (stage (fun () ->
+           Irdl_ir.Parser.parse_op_string (Lazy.force cmath_ctx) conorm_text));
+    Test.make ~name:"perf:ir-print-custom-formats"
+      (stage (fun () ->
+           Irdl_ir.Printer.op_to_string (Lazy.force cmath_ctx)
+             (Lazy.force conorm_op)));
+    Test.make ~name:"perf:ir-print-generic(ablation)"
+      (stage (fun () ->
+           Irdl_ir.Printer.op_to_string ~generic:true (Lazy.force cmath_ctx)
+             (Lazy.force conorm_op)));
+    Test.make ~name:"perf:dominance-verify-conorm"
+      (stage (fun () -> Irdl_ir.Dominance.verify (Lazy.force conorm_op)));
+    Test.make ~name:"perf:greedy-rewrite-conorm"
+      (stage (fun () ->
+           let ctx = Lazy.force cmath_ctx in
+           match Irdl_ir.Parser.parse_op_string ctx conorm_text with
+           | Ok op -> Irdl_rewrite.Driver.apply ctx [ norm_of_mul_pattern ] op
+           | Error _ -> assert false));
+  ]
+
+let benchmark tests =
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let test = Test.make_grouped ~name:"irdl" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> est
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Fmt.pr "%-45s %15s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e6 then Fmt.str "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.0f ns" ns
+      in
+      Fmt.pr "%-45s %15s@." name pretty)
+    rows
+
+let () =
+  print_report ();
+  Fmt.pr "############ Benchmarks: experiment regeneration ############@.";
+  benchmark figure_tests;
+  Fmt.pr "@.############ Benchmarks: implementation performance ############@.";
+  benchmark perf_tests;
+  Fmt.pr "@.done.@."

@@ -1,0 +1,199 @@
+(* irdl-opt: the mlir-opt analog of this project.
+
+   Loads IRDL dialect definitions (from files and/or the bundled corpus),
+   then parses, verifies, optionally canonicalizes (DCE), and re-prints an
+   IR file — the full dynamic-registration flow of paper §3: no code is
+   generated or compiled at any point. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let fail_diag d =
+  Fmt.epr "%a@." Irdl_support.Diag.pp d;
+  exit 1
+
+let run dialect_files pattern_files with_corpus with_cmath input generic
+    verify_only dce cse dominance strict verbose =
+  setup_logs verbose;
+  let ctx = Irdl_ir.Context.create () in
+  let native = Irdl_core.Native.create ~strict () in
+  if with_cmath then
+    Irdl_dialects.Cmath.register_hooks native;
+  (* Dialect definitions: bundled corpus, cmath, then user files. *)
+  if with_corpus then (
+    match Irdl_dialects.Corpus.load_all ~native ctx with
+    | Ok _ -> ()
+    | Error d -> fail_diag d);
+  if with_cmath then (
+    match Irdl_core.Irdl.load_one ~native ctx Irdl_dialects.Cmath.source with
+    | Ok _ -> ()
+    | Error d -> fail_diag d);
+  List.iter
+    (fun path ->
+      match Irdl_core.Irdl.load ~native ~file:path ctx (read_file path) with
+      | Ok dls ->
+          Logs.info (fun m ->
+              m "loaded %d dialect(s) from %s" (List.length dls) path)
+      | Error d -> fail_diag d)
+    dialect_files;
+  (* The IR itself. *)
+  (* Textual rewrite patterns (fully dynamic pattern-based flow, paper §3). *)
+  let patterns =
+    List.concat_map
+      (fun path ->
+        match
+          Irdl_rewrite.Textual.parse_patterns ctx ~file:path (read_file path)
+        with
+        | Ok ps ->
+            Logs.info (fun m ->
+                m "loaded %d pattern(s) from %s" (List.length ps) path);
+            ps
+        | Error d -> fail_diag d)
+      pattern_files
+  in
+  match input with
+  | None ->
+      Fmt.pr "registered dialects: %s@."
+        (String.concat ", "
+           (List.map
+              (fun (d : Irdl_ir.Context.dialect) -> d.d_name)
+              (Irdl_ir.Context.dialects ctx)))
+  | Some path -> (
+      let src = if path = "-" then In_channel.input_all stdin else read_file path in
+      match Irdl_ir.Parser.parse_ops ~file:path ctx src with
+      | Error d -> fail_diag d
+      | Ok ops ->
+          List.iter
+            (fun op ->
+              match Irdl_ir.Verifier.verify ctx op with
+              | Ok () -> ()
+              | Error d -> fail_diag d)
+            ops;
+          if dominance then
+            List.iter
+              (fun op ->
+                match Irdl_ir.Dominance.verify op with
+                | Ok () -> ()
+                | Error d -> fail_diag d)
+              ops;
+          if patterns <> [] then
+            List.iter
+              (fun op ->
+                let stats = Irdl_rewrite.Driver.apply ctx patterns op in
+                Logs.info (fun m ->
+                    m "rewrite: %a" Irdl_rewrite.Driver.pp_stats stats);
+                (* the rewritten IR must still verify *)
+                match Irdl_ir.Verifier.verify ctx op with
+                | Ok () -> ()
+                | Error d -> fail_diag d)
+              ops;
+          if cse then
+            List.iter
+              (fun op ->
+                let stats = Irdl_rewrite.Cse.run ctx op in
+                Logs.info (fun m ->
+                    m "cse: eliminated %d of %d examined"
+                      stats.Irdl_rewrite.Cse.eliminated
+                      stats.Irdl_rewrite.Cse.examined))
+              ops;
+          if dce then
+            List.iter
+              (fun op ->
+                let rw = Irdl_rewrite.Rewriter.create ctx op in
+                ignore (Irdl_rewrite.Rewriter.dce rw))
+              ops;
+          if not verify_only then
+            Fmt.pr "%s@." (Irdl_ir.Printer.ops_to_string ~generic ctx ops))
+
+let dialect_files =
+  Arg.(
+    value & opt_all file []
+    & info [ "d"; "dialect" ] ~docv:"FILE"
+        ~doc:"Load IRDL dialect definitions from $(docv). Repeatable.")
+
+let pattern_files =
+  Arg.(
+    value & opt_all file []
+    & info [ "p"; "patterns" ] ~docv:"FILE"
+        ~doc:
+          "Load textual rewrite patterns from $(docv) and apply them \
+           greedily. Repeatable.")
+
+let with_corpus =
+  Arg.(
+    value & flag
+    & info [ "corpus" ]
+        ~doc:"Register the bundled 28-dialect MLIR corpus (Table 1).")
+
+let with_cmath =
+  Arg.(
+    value & flag
+    & info [ "cmath" ]
+        ~doc:
+          "Register the paper's cmath dialect with its native (IRDL-C++) \
+           hooks.")
+
+let input =
+  Arg.(
+    value & pos 0 (some string) None
+    & info [] ~docv:"INPUT"
+        ~doc:"IR file to parse and verify ('-' for stdin).")
+
+let generic =
+  Arg.(
+    value & flag
+    & info [ "generic" ]
+        ~doc:"Print operations in generic form, ignoring custom formats.")
+
+let verify_only =
+  Arg.(
+    value & flag
+    & info [ "verify-only" ] ~doc:"Verify without re-printing the IR.")
+
+let dce =
+  Arg.(
+    value & flag
+    & info [ "dce" ] ~doc:"Run dead-code elimination before printing.")
+
+let cse =
+  Arg.(
+    value & flag
+    & info [ "cse" ]
+        ~doc:"Run dominance-aware common-subexpression elimination.")
+
+let dominance =
+  Arg.(
+    value & flag
+    & info [ "dominance" ]
+        ~doc:"Also check SSA dominance (defs dominate uses).")
+
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict-native" ]
+        ~doc:
+          "Fail on IRDL-C++ snippets with no registered native hook instead \
+           of accepting them.")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let cmd =
+  let doc = "parse, verify and transform IR against IRDL-defined dialects" in
+  Cmd.v
+    (Cmd.info "irdl-opt" ~doc)
+    Term.(
+      const run $ dialect_files $ pattern_files $ with_corpus $ with_cmath
+      $ input $ generic $ verify_only $ dce $ cse $ dominance $ strict
+      $ verbose)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,171 @@
+(* irdl-stats: regenerate the paper's evaluation (Table 1, Figures 3-12)
+   from the bundled IRDL corpus, or analyze user-provided IRDL files. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail_diag d =
+  Fmt.epr "%a@." Irdl_support.Diag.pp d;
+  exit 1
+
+let figures =
+  [
+    ("table1", `Table1); ("fig3", `Fig3); ("fig4", `Fig4); ("fig5", `Fig5);
+    ("fig6", `Fig6); ("fig7", `Fig7); ("fig8", `Fig8); ("fig9", `Fig9);
+    ("fig10", `Fig10); ("fig11", `Fig11); ("fig12", `Fig12);
+  ]
+
+let run_fmt files =
+  (* Normalizing IRDL formatter: parse and pretty-print each file. *)
+  List.iter
+    (fun path ->
+      match Irdl_core.Parser.parse_file ~file:path (read_file path) with
+      | Error d -> fail_diag d
+      | Ok ds ->
+          List.iter
+            (fun d -> print_string (Irdl_core.Pp.dialect_to_string d))
+            ds)
+    files
+
+let run_doc name files =
+  let dls =
+    if files = [] then
+      match Irdl_dialects.Corpus.analyze () with
+      | Ok dls -> dls
+      | Error d -> fail_diag d
+    else
+      List.concat_map
+        (fun path ->
+          match Irdl_core.Irdl.analyze ~file:path (read_file path) with
+          | Ok dls -> dls
+          | Error d -> fail_diag d)
+        files
+  in
+  match
+    List.find_opt (fun (dl : Irdl_core.Resolve.dialect) -> dl.dl_name = name) dls
+  with
+  | Some dl -> print_string (Irdl_analysis.Docgen.dialect_to_string dl)
+  | None ->
+      Fmt.epr "no dialect named %S; available: %s@." name
+        (String.concat ", "
+           (List.map (fun (dl : Irdl_core.Resolve.dialect) -> dl.dl_name) dls));
+      exit 2
+
+let run_xref name files =
+  let asts =
+    if files = [] then
+      List.concat_map
+        (fun (e : Irdl_dialects.Corpus.entry) ->
+          match Irdl_core.Parser.parse_file ~file:e.name e.source with
+          | Ok ds -> ds
+          | Error d -> fail_diag d)
+        Irdl_dialects.Corpus.all
+    else
+      List.concat_map
+        (fun path ->
+          match Irdl_core.Parser.parse_file ~file:path (read_file path) with
+          | Ok ds -> ds
+          | Error d -> fail_diag d)
+        files
+  in
+  let entries = List.concat_map Irdl_analysis.Xref.index asts in
+  match
+    List.filter (fun (e : Irdl_analysis.Xref.entry) -> e.e_name = name) entries
+  with
+  | [] ->
+      Fmt.epr "no definition named %S@." name;
+      exit 2
+  | hits -> List.iter (Fmt.pr "%a@." Irdl_analysis.Xref.pp_entry) hits
+
+let run only fmt doc xref files =
+  if fmt then (run_fmt files; exit 0);
+  (match doc with
+  | Some name -> (run_doc name files; exit 0)
+  | None -> ());
+  (match xref with
+  | Some name -> (run_xref name files; exit 0)
+  | None -> ());
+  let dls =
+    if files = [] then
+      match Irdl_dialects.Corpus.analyze () with
+      | Ok dls -> dls
+      | Error d -> fail_diag d
+    else
+      List.concat_map
+        (fun path ->
+          match Irdl_core.Irdl.analyze ~file:path (read_file path) with
+          | Ok dls -> dls
+          | Error d -> fail_diag d)
+        files
+  in
+  let ppf = Fmt.stdout in
+  let profiles = Irdl_analysis.Op_stats.profiles_of_corpus dls in
+  (match only with
+  | None -> Irdl_analysis.Report.full ppf dls
+  | Some which -> (
+      match List.assoc_opt which figures with
+      | None ->
+          Fmt.epr "unknown figure %S; available: %s@." which
+            (String.concat ", " (List.map fst figures));
+          exit 2
+      | Some `Table1 -> Irdl_analysis.Report.table1 ppf dls
+      | Some `Fig3 -> Irdl_analysis.Report.fig3 ppf dls
+      | Some `Fig4 -> Irdl_analysis.Report.fig4 ppf dls
+      | Some `Fig5 -> Irdl_analysis.Report.fig5 ppf profiles
+      | Some `Fig6 -> Irdl_analysis.Report.fig6 ppf profiles
+      | Some `Fig7 -> Irdl_analysis.Report.fig7 ppf profiles
+      | Some `Fig8 -> Irdl_analysis.Report.fig8 ppf dls
+      | Some `Fig9 -> Irdl_analysis.Report.fig9 ppf dls
+      | Some `Fig10 -> Irdl_analysis.Report.fig10 ppf dls
+      | Some `Fig11 -> Irdl_analysis.Report.fig11 ppf dls
+      | Some `Fig12 -> Irdl_analysis.Report.fig12 ppf dls));
+  Fmt.flush ppf ()
+
+let only =
+  Arg.(
+    value & opt (some string) None
+    & info [ "only" ] ~docv:"FIG"
+        ~doc:
+          "Print a single experiment: table1 or fig3..fig12 (default: all).")
+
+let fmt_flag =
+  Arg.(
+    value & flag
+    & info [ "fmt" ]
+        ~doc:"Act as an IRDL formatter: parse the files and re-print them \
+              in normalized form instead of analyzing.")
+
+let xref_flag =
+  Arg.(
+    value & opt (some string) None
+    & info [ "xref" ] ~docv:"NAME"
+        ~doc:
+          "Show the definition site and every reference of the named \
+           definition (types, aliases, enums, constraints, operations).")
+
+let doc_flag =
+  Arg.(
+    value & opt (some string) None
+    & info [ "doc" ] ~docv:"DIALECT"
+        ~doc:
+          "Generate markdown documentation for the named dialect (from the \
+           bundled corpus, or from the given IRDL files).")
+
+let files =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"FILE"
+        ~doc:
+          "IRDL files to analyze instead of the bundled 28-dialect corpus.")
+
+let cmd =
+  let doc = "reproduce the paper's IR-design analysis (PLDI'22, section 6)" in
+  Cmd.v (Cmd.info "irdl-stats" ~doc)
+    Term.(const run $ only $ fmt_flag $ doc_flag $ xref_flag $ files)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/conorm_opt.ml: Attr Context Driver Fmt Graph Hashtbl Irdl_dialects Irdl_ir Irdl_rewrite Irdl_support Parser Pattern Printer Verifier

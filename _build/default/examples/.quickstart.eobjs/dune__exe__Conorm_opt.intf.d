@@ -1,0 +1,1 @@
+examples/conorm_opt.mli:

@@ -1,0 +1,1 @@
+examples/dialect_tooling.ml: Fmt Irdl_analysis Irdl_core Irdl_dialects Irdl_ir Irdl_support List Option Printf String

@@ -1,0 +1,1 @@
+examples/dynamic_pipeline.ml: Context Fmt Graph Irdl_core Irdl_ir Irdl_rewrite Irdl_support List Parser Printer Verifier

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attr Builder Context Fmt Graph Irdl_core Irdl_dialects Irdl_ir Irdl_support List Parser Printer Verifier

@@ -1,0 +1,1 @@
+examples/range_loop.ml: Context Fmt Irdl_dialects Irdl_ir Irdl_support Parser Printer Verifier

@@ -1,0 +1,118 @@
+(* Regions, terminators and successors (paper sections 4.6, Listings 7-8).
+
+   Builds the cmath.range_loop operation — a loop whose body region takes
+   the induction variable as a block argument and must end in the dedicated
+   range_loop_terminator — plus a small CFG using conditional_branch, and
+   shows the region/terminator/successor checks the generated verifier
+   performs.
+
+   Run with: dune exec examples/range_loop.exe *)
+
+open Irdl_ir
+
+let loop_ir =
+  {|
+"test.wrapper"() ({
+^bb0(%lb: i32, %ub: i32, %step: i32):
+  "cmath.range_loop"(%lb, %ub, %step) ({
+  ^body(%iv: i32):
+    "cmath.range_loop_terminator"() : () -> ()
+  }) : (i32, i32, i32) -> ()
+}) : () -> ()
+|}
+
+let cfg_ir =
+  {|
+"test.wrapper"() ({
+^entry(%cond: i1, %x: i32):
+  "cmath.conditional_branch"(%cond)[^then, ^else] : (i1) -> ()
+^then:
+  "test.use"(%x) : (i32) -> ()
+^else:
+  "test.sink"() : () -> ()
+}) : () -> ()
+|}
+
+let () =
+  let ctx = Context.create () in
+  (match Irdl_dialects.Cmath.load ctx with
+  | Ok _ -> ()
+  | Error d -> failwith (Irdl_support.Diag.to_string d));
+
+  (* A well-formed loop parses and verifies. *)
+  let loop =
+    match Parser.parse_op_string ~file:"loop.mlir" ctx loop_ir with
+    | Ok op -> op
+    | Error d -> failwith (Irdl_support.Diag.to_string d)
+  in
+  (match Verifier.verify ctx loop with
+  | Ok () -> Fmt.pr "range_loop verifies: OK@."
+  | Error d -> Fmt.pr "unexpected failure: %a@." Irdl_support.Diag.pp d);
+  Fmt.pr "@.%s@.@." (Printer.op_to_string ctx loop);
+
+  (* A CFG with successors: conditional_branch is a terminator with two
+     successor blocks (Listing 8). *)
+  let cfg =
+    match Parser.parse_op_string ~file:"cfg.mlir" ctx cfg_ir with
+    | Ok op -> op
+    | Error d -> failwith (Irdl_support.Diag.to_string d)
+  in
+  (match Verifier.verify ctx cfg with
+  | Ok () -> Fmt.pr "conditional_branch CFG verifies: OK@."
+  | Error d -> Fmt.pr "unexpected failure: %a@." Irdl_support.Diag.pp d);
+  Fmt.pr "@.%s@.@." (Printer.op_to_string ctx cfg);
+
+  (* Now the rejections the paper's region constraints imply. *)
+  let expect_failure what src =
+    match Parser.parse_op_string ctx src with
+    | Error d -> Fmt.pr "%s rejected at parse time:@.  %a@." what Irdl_support.Diag.pp d
+    | Ok op -> (
+        match Verifier.verify ctx op with
+        | Ok () -> Fmt.pr "BUG: %s was accepted@." what
+        | Error d -> Fmt.pr "%s correctly rejected:@.  %a@." what Irdl_support.Diag.pp d)
+  in
+
+  (* Wrong terminator: the body must end in range_loop_terminator. *)
+  expect_failure "loop body with wrong terminator"
+    {|
+"test.wrapper"() ({
+^bb0(%lb: i32, %ub: i32, %step: i32):
+  "cmath.range_loop"(%lb, %ub, %step) ({
+  ^body(%iv: i32):
+    "test.done"() : () -> ()
+  }) : (i32, i32, i32) -> ()
+}) : () -> ()
+|};
+
+  (* Wrong region argument type: the induction variable must be i32. *)
+  expect_failure "loop body with f32 induction variable"
+    {|
+"test.wrapper"() ({
+^bb0(%lb: i32, %ub: i32, %step: i32):
+  "cmath.range_loop"(%lb, %ub, %step) ({
+  ^body(%iv: f32):
+    "cmath.range_loop_terminator"() : () -> ()
+  }) : (i32, i32, i32) -> ()
+}) : () -> ()
+|};
+
+  (* Terminator misplacement: a terminator op must be last in its block. *)
+  expect_failure "terminator in the middle of a block"
+    {|
+"test.wrapper"() ({
+^bb0(%c: i1):
+  "cmath.range_loop_terminator"() : () -> ()
+  "test.use"(%c) : (i1) -> ()
+}) : () -> ()
+|};
+
+  (* Wrong successor count for conditional_branch. *)
+  expect_failure "conditional_branch with one successor"
+    {|
+"test.wrapper"() ({
+^entry(%cond: i1):
+  "cmath.conditional_branch"(%cond)[^only] : (i1) -> ()
+^only:
+  "test.sink"() : () -> ()
+}) : () -> ()
+|}

@@ -1,0 +1,1 @@
+lib/analysis/docgen.ml: Fmt Irdl_core List Printf String

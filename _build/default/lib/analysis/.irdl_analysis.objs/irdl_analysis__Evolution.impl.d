@@ -1,0 +1,1 @@
+lib/analysis/evolution.ml: Irdl_dialects List Option Printf String

@@ -1,0 +1,1 @@
+lib/analysis/expressiveness.ml: Hashtbl Irdl_core List Option Param_stats

@@ -1,0 +1,1 @@
+lib/analysis/op_stats.ml: Array Hashtbl Irdl_core List Option

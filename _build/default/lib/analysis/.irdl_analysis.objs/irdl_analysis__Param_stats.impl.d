@@ -1,0 +1,1 @@
+lib/analysis/param_stats.ml: Hashtbl Irdl_core Irdl_ir List Option String

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Array Evolution Expressiveness Fmt Irdl_core Irdl_dialects List Op_stats Param_stats Printf String

@@ -1,0 +1,1 @@
+lib/analysis/xref.ml: Fmt Irdl_core Irdl_support List Loc Option String

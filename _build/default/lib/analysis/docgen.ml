@@ -1,0 +1,82 @@
+(** Markdown documentation generation from IRDL definitions — one of the
+    tooling directions the paper's §3 motivates ("well-defined and
+    well-documented interface"). Everything is derived from the resolved
+    dialect; no dialect-specific code. *)
+
+module R = Irdl_core.Resolve
+module C = Irdl_core.Constraint_expr
+
+let pp_slot ppf (s : R.slot) =
+  Fmt.pf ppf "`%s`: `%a`" s.s_name C.pp s.s_constraint
+
+let pp_slots ppf = function
+  | [] -> Fmt.string ppf "none"
+  | slots -> Fmt.(list ~sep:(any ", ") pp_slot) ppf slots
+
+let summary_line = function
+  | Some s -> s
+  | None -> "*(undocumented)*"
+
+let pp_typedef ~what ppf (td : R.typedef) =
+  Fmt.pf ppf "### %s `%s`@.@.%s@.@." what td.td_name
+    (summary_line td.td_summary);
+  Fmt.pf ppf "- parameters: %a@." pp_slots td.td_params;
+  if td.td_cpp <> [] then
+    Fmt.pf ppf "- native verifier: %s@."
+      (String.concat "; " (List.map (Printf.sprintf "`%s`") td.td_cpp));
+  Fmt.pf ppf "@."
+
+let pp_op ppf (op : R.op) =
+  Fmt.pf ppf "### operation `%s`@.@.%s@.@." op.op_name
+    (summary_line op.op_summary);
+  if op.op_vars <> [] then
+    Fmt.pf ppf "- constraint variables: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (v : C.var) ->
+              Fmt.str "`%s`: `%a`" v.C.v_name C.pp v.C.v_constraint)
+            op.op_vars));
+  Fmt.pf ppf "- operands: %a@." pp_slots op.op_operands;
+  Fmt.pf ppf "- results: %a@." pp_slots op.op_results;
+  if op.op_attributes <> [] then
+    Fmt.pf ppf "- attributes: %a@." pp_slots op.op_attributes;
+  List.iter
+    (fun (r : R.region) ->
+      Fmt.pf ppf "- region `%s`: arguments %a%s@." r.reg_name pp_slots
+        r.reg_args
+        (match r.reg_terminator with
+        | Some t -> Printf.sprintf ", terminated by `%s`" t
+        | None -> ""))
+    op.op_regions;
+  (match op.op_successors with
+  | None -> ()
+  | Some [] -> Fmt.pf ppf "- terminator (no successors)@."
+  | Some succs ->
+      Fmt.pf ppf "- terminator with successors: %s@."
+        (String.concat ", " succs));
+  (match op.op_format with
+  | Some f -> Fmt.pf ppf "- custom syntax: `%s`@." f
+  | None -> ());
+  if op.op_cpp <> [] then
+    Fmt.pf ppf "- native verifier: %s@."
+      (String.concat "; " (List.map (Printf.sprintf "`%s`") op.op_cpp));
+  Fmt.pf ppf "@."
+
+(** Render a whole dialect as a markdown document. *)
+let pp_dialect ppf (dl : R.dialect) =
+  Fmt.pf ppf "# Dialect `%s`@.@." dl.dl_name;
+  Fmt.pf ppf
+    "%d operations, %d types, %d attributes, %d enums.@.@."
+    (List.length dl.dl_ops) (List.length dl.dl_types)
+    (List.length dl.dl_attrs)
+    (List.length dl.dl_enums);
+  List.iter
+    (fun (e : Irdl_core.Ast.enum_def) ->
+      Fmt.pf ppf "### enum `%s`@.@.Constructors: %s@.@." e.e_name
+        (String.concat ", " e.e_cases))
+    dl.dl_enums;
+  List.iter (pp_typedef ~what:"type" ppf) dl.dl_types;
+  List.iter (pp_typedef ~what:"attribute" ppf) dl.dl_attrs;
+  List.iter (pp_op ppf) dl.dl_ops
+
+let dialect_to_string dl = Fmt.str "%a" pp_dialect dl

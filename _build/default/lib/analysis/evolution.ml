@@ -1,0 +1,77 @@
+(** Operation-count evolution (paper §6.1, Figure 3).
+
+    Reconstructs the monthly total operation count from the per-dialect
+    checkpoints recorded in {!Irdl_dialects.Corpus} (the stand-in for the
+    MLIR git history — see DESIGN.md) with linear interpolation between
+    checkpoints, anchored at the measured final corpus size. *)
+
+(** Months as indices: "2020-04" = 0 ... "2022-01" = 21. *)
+let month_index s =
+  match String.split_on_char '-' s with
+  | [ y; m ] -> ((int_of_string y - 2020) * 12) + int_of_string m - 4
+  | _ -> invalid_arg ("Evolution.month_index: " ^ s)
+
+let index_month i =
+  let y = 2020 + ((i + 3) / 12) in
+  let m = ((i + 3) mod 12) + 1 in
+  Printf.sprintf "%04d-%02d" y m
+
+let first_month = month_index "2020-04"
+let last_month = month_index "2022-01"
+
+(** Value of one dialect's op count at month [m], given its checkpoints and
+    its measured final count (anchored at [last_month]). *)
+let dialect_count_at ~(checkpoints : (string * int) list) ~(final : int) m =
+  let points =
+    List.map (fun (mo, v) -> (month_index mo, v)) checkpoints
+    @ [ (last_month, final) ]
+  in
+  let points = List.sort compare points in
+  match points with
+  | [] -> 0
+  | (first, _) :: _ ->
+      if m < first then 0
+      else
+        let rec interp = function
+          | [ (_, v) ] -> v
+          | (m0, v0) :: ((m1, v1) :: _ as rest) ->
+              if m < m0 then v0
+              else if m <= m1 then
+                if m1 = m0 then v1
+                else
+                  v0
+                  + (v1 - v0) * (m - m0) / (m1 - m0)
+              else interp rest
+          | [] -> 0
+        in
+        interp points
+
+type point = { month : string; total_ops : int; num_dialects : int }
+
+(** The full Figure-3 series: total ops per month, plus how many dialects
+    exist in that month. [finals] maps dialect name to its measured op
+    count. *)
+let series ~(finals : (string * int) list) : point list =
+  List.init
+    (last_month - first_month + 1)
+    (fun i ->
+      let m = first_month + i in
+      let total_ops, num_dialects =
+        List.fold_left
+          (fun (tot, nd) (e : Irdl_dialects.Corpus.entry) ->
+            let final =
+              Option.value ~default:0 (List.assoc_opt e.name finals)
+            in
+            let v =
+              dialect_count_at ~checkpoints:e.history ~final m
+            in
+            (tot + v, if v > 0 then nd + 1 else nd))
+          (0, 0) Irdl_dialects.Corpus.all
+      in
+      { month = index_month m; total_ops; num_dialects })
+
+let growth_factor (points : point list) =
+  match (points, List.rev points) with
+  | first :: _, last :: _ when first.total_ops > 0 ->
+      float_of_int last.total_ops /. float_of_int first.total_ops
+  | _ -> nan

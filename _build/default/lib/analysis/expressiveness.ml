@@ -1,0 +1,150 @@
+(** Expressiveness analysis: which definitions are pure IRDL and which need
+    the IRDL-C++ escape hatch (paper §6.3/§6.4, Figures 9–12). *)
+
+module C = Irdl_core.Constraint_expr
+module R = Irdl_core.Resolve
+
+(** Does a constraint (transitively) rely on native code — a [Constraint]
+    with [CppConstraint] snippets or a native [TypeOrAttrParam]? *)
+let rec needs_native (c : C.t) : bool =
+  match c with
+  | C.Native _ | C.Native_param _ -> true
+  | C.Any_of cs | C.And cs | C.Array_exact cs -> List.exists needs_native cs
+  | C.Not c | C.Array_of c | C.Variadic c | C.Optional c -> needs_native c
+  | C.Base_type { params = Some ps; _ } | C.Base_attr { params = Some ps; _ }
+    ->
+      List.exists needs_native ps
+  | C.Var v -> needs_native v.C.v_constraint
+  | _ -> false
+
+(** The native snippets referenced by a constraint, with their defining
+    [Constraint] names. *)
+let rec native_snippets (c : C.t) : (string * string) list =
+  match c with
+  | C.Native { name; base; snippets } ->
+      List.map (fun s -> (name, s)) snippets @ native_snippets base
+  | C.Native_param _ -> []
+  | C.Any_of cs | C.And cs | C.Array_exact cs ->
+      List.concat_map native_snippets cs
+  | C.Not c | C.Array_of c | C.Variadic c | C.Optional c -> native_snippets c
+  | C.Base_type { params = Some ps; _ } | C.Base_attr { params = Some ps; _ }
+    ->
+      List.concat_map native_snippets ps
+  | C.Var v -> native_snippets v.C.v_constraint
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12: the categories of native local constraints               *)
+(* ------------------------------------------------------------------ *)
+
+type native_category =
+  | Struct_opacity
+  | Stride_check
+  | Integer_inequality
+  | Other_native
+
+let category_to_string = function
+  | Struct_opacity -> "struct opacity"
+  | Stride_check -> "stride check"
+  | Integer_inequality -> "integer inequality"
+  | Other_native -> "other"
+
+(** Classify a native snippet the way the paper's authors classified the
+    residual C++ constraints manually (Figure 12): opacity tests, stride
+    checks, and integer range comparisons. *)
+let classify_snippet (snippet : string) : native_category =
+  let has needle = Param_stats.contains_ci snippet needle in
+  if has "opaque" then Struct_opacity
+  else if has "strided" || has "stride" then Stride_check
+  else if
+    has "<=" || has ">=" || has "< " || has "> " || has "$_self <"
+    || has "$_self >" || has "ispowerof2"
+  then Integer_inequality
+  else Other_native
+
+(* ------------------------------------------------------------------ *)
+(* Per-dialect splits (Figures 9–11)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type split = { irdl : int; native : int }
+
+let split_total s = s.irdl + s.native
+
+let add_to split native = if native then { split with native = split.native + 1 }
+  else { split with irdl = split.irdl + 1 }
+
+let empty = { irdl = 0; native = 0 }
+
+(* A definition counts as needing IRDL-C++ only when it uses a native
+   [TypeOrAttrParam] (paper: "exclusively use parameters defined in IRDL");
+   a [Constraint] refined with [CppConstraint] is a verifier concern. *)
+let typedef_def_needs_native (td : R.typedef) =
+  List.exists
+    (fun (s : R.slot) -> Param_stats.needs_native_param s.s_constraint)
+    td.td_params
+
+(** Figure 9a/10a: type (or attribute) definitions whose parameters are
+    expressible in IRDL vs needing IRDL-C++. *)
+let def_split (defs : R.typedef list) : split =
+  List.fold_left (fun acc td -> add_to acc (typedef_def_needs_native td)) empty
+    defs
+
+(** Figure 9b/10b: type (or attribute) verifiers in IRDL vs with an
+    additional C++ verifier. *)
+let verifier_split (defs : R.typedef list) : split =
+  List.fold_left (fun acc (td : R.typedef) -> add_to acc (td.td_cpp <> []))
+    empty defs
+
+let op_slots (op : R.op) : R.slot list =
+  op.op_operands @ op.op_results @ op.op_attributes
+  @ List.concat_map (fun (r : R.region) -> r.reg_args) op.op_regions
+
+(** Figure 11a: can the op define all of its local (per-operand/result/attr)
+    constraints in IRDL? *)
+let op_local_needs_native (op : R.op) =
+  List.exists (fun (s : R.slot) -> needs_native s.s_constraint) (op_slots op)
+  || List.exists (fun (v : C.var) -> needs_native v.C.v_constraint) op.op_vars
+
+(** Figure 11b: does the op need a C++ verifier for non-local constraints? *)
+let op_verifier_needs_native (op : R.op) = op.op_cpp <> []
+
+let op_local_split (ops : R.op list) : split =
+  List.fold_left (fun acc op -> add_to acc (op_local_needs_native op)) empty
+    ops
+
+let op_verifier_split (ops : R.op list) : split =
+  List.fold_left (fun acc op -> add_to acc (op_verifier_needs_native op))
+    empty ops
+
+(** Figure 12: operations per native-constraint category. An op counts once
+    per category it uses. *)
+let native_categories_of_op (op : R.op) : native_category list =
+  let snippets =
+    List.concat_map
+      (fun (s : R.slot) -> native_snippets s.s_constraint)
+      (op_slots op)
+    @ List.concat_map
+        (fun (v : C.var) -> native_snippets v.C.v_constraint)
+        op.op_vars
+  in
+  List.sort_uniq compare (List.map (fun (_, s) -> classify_snippet s) snippets)
+
+let category_histogram (dls : R.dialect list) : (native_category * int) list =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (dl : R.dialect) ->
+      List.iter
+        (fun op ->
+          List.iter
+            (fun cat ->
+              Hashtbl.replace tbl cat
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl cat)))
+            (native_categories_of_op op))
+        dl.dl_ops)
+    dls;
+  List.filter_map
+    (fun cat ->
+      match Hashtbl.find_opt tbl cat with
+      | Some n when n > 0 -> Some (cat, n)
+      | _ -> None)
+    [ Struct_opacity; Stride_check; Integer_inequality; Other_native ]

@@ -1,0 +1,142 @@
+(** Per-operation structural statistics (paper §6.2, Figures 5–7). *)
+
+module C = Irdl_core.Constraint_expr
+module R = Irdl_core.Resolve
+
+type profile = {
+  p_dialect : string;
+  p_name : string;
+  p_operands : int;  (** operand definitions (slots, not runtime arity) *)
+  p_variadic_operands : int;  (** variadic or optional operand slots *)
+  p_results : int;
+  p_variadic_results : int;
+  p_attributes : int;
+  p_regions : int;
+  p_successors : int;
+  p_is_terminator : bool;
+  p_has_format : bool;
+  p_has_constraint_vars : bool;
+}
+
+let count_variadic slots =
+  List.length
+    (List.filter (fun (s : R.slot) -> C.is_variadic s.s_constraint) slots)
+
+let profile ~dialect (op : R.op) : profile =
+  {
+    p_dialect = dialect;
+    p_name = op.op_name;
+    p_operands = List.length op.op_operands;
+    p_variadic_operands = count_variadic op.op_operands;
+    p_results = List.length op.op_results;
+    p_variadic_results = count_variadic op.op_results;
+    p_attributes = List.length op.op_attributes;
+    p_regions = List.length op.op_regions;
+    p_successors =
+      (match op.op_successors with None -> 0 | Some l -> List.length l);
+    p_is_terminator = op.op_successors <> None;
+    p_has_format = op.op_format <> None;
+    p_has_constraint_vars = op.op_vars <> [];
+  }
+
+let profiles_of_dialect (dl : R.dialect) =
+  List.map (profile ~dialect:dl.dl_name) dl.dl_ops
+
+let profiles_of_corpus (dls : R.dialect list) =
+  List.concat_map profiles_of_dialect dls
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Bucketed counts: [buckets] maps a raw count to a bucket label index via
+    [bucket_of]; e.g. Figure 5a buckets operand counts as 0/1/2/3+. *)
+type buckets = { labels : string list; counts : int array }
+
+let bucketize ~labels ~bucket_of values =
+  let counts = Array.make (List.length labels) 0 in
+  List.iter
+    (fun v ->
+      let b = bucket_of v in
+      counts.(b) <- counts.(b) + 1)
+    values;
+  { labels; counts }
+
+let total (b : buckets) = Array.fold_left ( + ) 0 b.counts
+
+let fraction (b : buckets) i =
+  let t = total b in
+  if t = 0 then 0.0 else float_of_int b.counts.(i) /. float_of_int t
+
+(** Figure 5a: operand definitions per op, bucketed 0 / 1 / 2 / 3+. *)
+let operand_buckets profiles =
+  bucketize
+    ~labels:[ "0"; "1"; "2"; "3+" ]
+    ~bucket_of:(fun p -> min p.p_operands 3)
+    profiles
+
+(** Figure 5b: variadic operand definitions per op, bucketed 0 / 1 / 2+. *)
+let variadic_operand_buckets profiles =
+  bucketize
+    ~labels:[ "0"; "1"; "2+" ]
+    ~bucket_of:(fun p -> min p.p_variadic_operands 2)
+    profiles
+
+(** Figure 6a: result definitions per op, bucketed 0 / 1 / 2. *)
+let result_buckets profiles =
+  bucketize
+    ~labels:[ "0"; "1"; "2" ]
+    ~bucket_of:(fun p -> min p.p_results 2)
+    profiles
+
+(** Figure 6b: variadic result definitions per op, bucketed 0 / 1. *)
+let variadic_result_buckets profiles =
+  bucketize
+    ~labels:[ "0"; "1" ]
+    ~bucket_of:(fun p -> min p.p_variadic_results 1)
+    profiles
+
+(** Figure 7a: attribute definitions per op, bucketed 0 / 1 / 2+. *)
+let attribute_buckets profiles =
+  bucketize
+    ~labels:[ "0"; "1"; "2+" ]
+    ~bucket_of:(fun p -> min p.p_attributes 2)
+    profiles
+
+(** Figure 7b: region definitions per op, bucketed 0 / 1 / 2. *)
+let region_buckets profiles =
+  bucketize
+    ~labels:[ "0"; "1"; "2" ]
+    ~bucket_of:(fun p -> min p.p_regions 2)
+    profiles
+
+(* ------------------------------------------------------------------ *)
+(* Per-dialect aggregates (the y-axes of Figures 5–7)                  *)
+(* ------------------------------------------------------------------ *)
+
+let group_by_dialect profiles =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun p ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl p.p_dialect) in
+      Hashtbl.replace tbl p.p_dialect (p :: cur))
+    profiles;
+  Hashtbl.fold (fun d ps acc -> (d, List.rev ps) :: acc) tbl []
+  |> List.sort compare
+
+(** Fraction of a dialect's ops satisfying [pred]. *)
+let dialect_fraction ~pred profiles =
+  List.map
+    (fun (d, ps) ->
+      let n = List.length ps in
+      let k = List.length (List.filter pred ps) in
+      (d, float_of_int k /. float_of_int (max 1 n)))
+    (group_by_dialect profiles)
+
+(** Count of dialects with at least one op satisfying [pred]. *)
+let dialects_with ~pred profiles =
+  List.length
+    (List.filter (fun (_, ps) -> List.exists pred ps)
+       (group_by_dialect profiles))
+
+let num_dialects profiles = List.length (group_by_dialect profiles)

@@ -1,0 +1,129 @@
+(** Classification of type and attribute parameters (paper §6.3, Figure 8). *)
+
+module C = Irdl_core.Constraint_expr
+module R = Irdl_core.Resolve
+
+type kind =
+  | K_attr_type  (** types or attributes as parameters *)
+  | K_integer
+  | K_enum
+  | K_float
+  | K_string
+  | K_location
+  | K_type_id
+  | K_affine  (** domain-specific: affine maps / integer sets *)
+  | K_llvm  (** domain-specific: LLVM-specific native classes *)
+  | K_other
+
+let kind_to_string = function
+  | K_attr_type -> "attr/type"
+  | K_integer -> "integer"
+  | K_enum -> "enum"
+  | K_float -> "float"
+  | K_string -> "string"
+  | K_location -> "location"
+  | K_type_id -> "type id"
+  | K_affine -> "affine"
+  | K_llvm -> "llvm"
+  | K_other -> "other"
+
+let all_kinds =
+  [ K_attr_type; K_integer; K_enum; K_float; K_string; K_location; K_type_id;
+    K_affine; K_llvm; K_other ]
+
+let contains_ci haystack needle =
+  let h = String.lowercase_ascii haystack
+  and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+  nl = 0 || go 0
+
+(** Classify a native parameter by its wrapped C++ class (the paper's
+    "domain-specific parameters" of Figure 8, found only in affine-map-like
+    and LLVM-specific classes). *)
+let kind_of_native_class class_name =
+  if contains_ci class_name "affine" || contains_ci class_name "integerset"
+  then K_affine
+  else if contains_ci class_name "llvm" || contains_ci class_name "struct"
+          || contains_ci class_name "di" then K_llvm
+  else K_other
+
+let rec kind_of (c : C.t) : kind =
+  match c with
+  | C.Any_type | C.Any_attr | C.Any | C.Eq (Irdl_ir.Attr.Type _)
+  | C.Base_type _ | C.Base_attr _ ->
+      K_attr_type
+  | C.Int_param _ | C.Eq (Irdl_ir.Attr.Int _) | C.Bool_param
+  | C.Eq (Irdl_ir.Attr.Bool _) ->
+      K_integer
+  | C.Enum_param _ | C.Eq (Irdl_ir.Attr.Enum _) -> K_enum
+  | C.Float_param _ | C.Eq (Irdl_ir.Attr.Float_attr _) -> K_float
+  | C.String_param | C.Symbol_param | C.Eq (Irdl_ir.Attr.String _) -> K_string
+  | C.Location_param -> K_location
+  | C.Type_id_param -> K_type_id
+  | C.Native_param { class_name; _ } -> kind_of_native_class class_name
+  | C.Native { base; _ } -> kind_of base
+  | C.Array_of c -> kind_of c
+  | C.Array_exact (c :: _) -> kind_of c
+  | C.Array_exact [] | C.Array_any -> K_attr_type
+  | C.Any_of (c :: _) | C.And (c :: _) -> kind_of c
+  | C.Any_of [] | C.And [] -> K_other
+  | C.Not c | C.Variadic c | C.Optional c -> kind_of c
+  | C.Var v -> kind_of v.C.v_constraint
+  | C.Eq _ -> K_other
+
+let is_domain_specific = function K_affine | K_llvm -> true | _ -> false
+
+type count = { kind : kind; total : int; domain_specific : bool }
+
+(** Kind histogram over the parameters of the given type/attr definitions. *)
+let histogram (defs : R.typedef list) : count list =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (td : R.typedef) ->
+      List.iter
+        (fun (s : R.slot) ->
+          let k = kind_of s.s_constraint in
+          Hashtbl.replace tbl k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+        td.td_params)
+    defs;
+  List.filter_map
+    (fun k ->
+      match Hashtbl.find_opt tbl k with
+      | Some n when n > 0 ->
+          Some { kind = k; total = n; domain_specific = is_domain_specific k }
+      | _ -> None)
+    all_kinds
+
+(** Does a parameter constraint (transitively) involve a native
+    [TypeOrAttrParam]? Unlike {!Expressiveness.needs_native} this ignores
+    [Constraint]-with-[CppConstraint] refinements: those are verifier
+    concerns, not parameter-definition concerns (paper §6.3). *)
+let rec needs_native_param (c : C.t) : bool =
+  match c with
+  | C.Native_param _ -> true
+  | C.Native { base; _ } -> needs_native_param base
+  | C.Any_of cs | C.And cs | C.Array_exact cs ->
+      List.exists needs_native_param cs
+  | C.Not c | C.Array_of c | C.Variadic c | C.Optional c ->
+      needs_native_param c
+  | C.Base_type { params = Some ps; _ } | C.Base_attr { params = Some ps; _ }
+    ->
+      List.exists needs_native_param ps
+  | C.Var v -> needs_native_param v.C.v_constraint
+  | _ -> false
+
+(** Fraction of parameters expressible in plain IRDL (everything that is not
+    a native [TypeOrAttrParam]). *)
+let irdl_param_fraction (defs : R.typedef list) =
+  let params =
+    List.concat_map
+      (fun (td : R.typedef) ->
+        List.map (fun (s : R.slot) -> s.s_constraint) td.td_params)
+      defs
+  in
+  let total = List.length params in
+  let native = List.length (List.filter needs_native_param params) in
+  if total = 0 then 1.0
+  else float_of_int (total - native) /. float_of_int total

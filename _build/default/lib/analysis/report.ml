@@ -1,0 +1,297 @@
+(** Textual reproduction of every table and figure in the paper's
+    evaluation (§6). Each [figN] function prints the measured statistic
+    next to the value the paper reports, so the harness output doubles as
+    the paper-vs-measured record summarized in EXPERIMENTS.md. *)
+
+module R = Irdl_core.Resolve
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+
+let bar ?(width = 30) frac =
+  let n = int_of_float (frac *. float_of_int width) in
+  String.make (min width (max 0 n)) '#'
+
+let section ppf title = Fmt.pf ppf "@.=== %s ===@." title
+
+(* ------------------------------------------------------------------ *)
+
+let table1 ppf (dls : R.dialect list) =
+  section ppf "Table 1: the 28 MLIR dialects";
+  List.iter
+    (fun (e : Irdl_dialects.Corpus.entry) ->
+      Fmt.pf ppf "  %-14s %s@." e.name e.description)
+    Irdl_dialects.Corpus.all;
+  let ops = List.fold_left (fun a dl -> a + List.length dl.R.dl_ops) 0 dls in
+  let tys = List.fold_left (fun a dl -> a + List.length dl.R.dl_types) 0 dls in
+  let ats = List.fold_left (fun a dl -> a + List.length dl.R.dl_attrs) 0 dls in
+  Fmt.pf ppf
+    "  total: %d dialects, %d operations, %d types, %d attributes  (paper: \
+     28 / 942 / 62 / 30)@."
+    (List.length dls) ops tys ats
+
+let fig3 ppf (dls : R.dialect list) =
+  section ppf "Figure 3: operations defined in MLIR over time";
+  let finals =
+    List.map (fun dl -> (dl.R.dl_name, List.length dl.R.dl_ops)) dls
+  in
+  let points = Evolution.series ~finals in
+  List.iter
+    (fun (p : Evolution.point) ->
+      Fmt.pf ppf "  %s  %4d ops  %2d dialects  |%s@." p.month p.total_ops
+        p.num_dialects
+        (bar ~width:40 (float_of_int p.total_ops /. 1000.0)))
+    points;
+  Fmt.pf ppf "  growth over 20 months: %.1fx  (paper: 2.1x, 444 -> 942)@."
+    (Evolution.growth_factor points)
+
+let fig4 ppf (dls : R.dialect list) =
+  section ppf "Figure 4: operations per dialect (log-scale in the paper)";
+  let sorted =
+    List.sort
+      (fun a b -> compare (List.length a.R.dl_ops) (List.length b.R.dl_ops))
+      dls
+  in
+  List.iter
+    (fun dl ->
+      let n = List.length dl.R.dl_ops in
+      Fmt.pf ppf "  %-14s %3d |%s@." dl.R.dl_name n
+        (bar ~width:40 (log (float_of_int (max n 1)) /. log 200.0)))
+    sorted;
+  Fmt.pf ppf "  (paper: 3 ops for arm_neon/builtin up to >100 for llvm/spv)@."
+
+let pp_buckets ppf ~paper (b : Op_stats.buckets) =
+  List.iteri
+    (fun i label ->
+      Fmt.pf ppf "    %-3s %4d ops  %4s |%s@." label b.Op_stats.counts.(i)
+        (pct (Op_stats.fraction b i))
+        (bar (Op_stats.fraction b i)))
+    b.Op_stats.labels;
+  Fmt.pf ppf "    (paper: %s)@." paper
+
+let fig5 ppf profiles =
+  section ppf "Figure 5: operand definitions";
+  Fmt.pf ppf "  (a) operands per operation@.";
+  pp_buckets ppf ~paper:"0: 12%, 1: 41%, 2: 32%, 3+: 16%"
+    (Op_stats.operand_buckets profiles);
+  Fmt.pf ppf "  (b) variadic operand definitions per operation@.";
+  pp_buckets ppf ~paper:"83% non-variadic, 17% variadic"
+    (Op_stats.variadic_operand_buckets profiles);
+  let with_variadic =
+    Op_stats.dialects_with
+      ~pred:(fun p -> p.Op_stats.p_variadic_operands > 0)
+      profiles
+  in
+  let nd = Op_stats.num_dialects profiles in
+  Fmt.pf ppf
+    "  dialects with at least one variadic-operand op: %d/%d = %s  (paper: \
+     79%%)@."
+    with_variadic nd
+    (pct (float_of_int with_variadic /. float_of_int nd));
+  let quarter =
+    List.length
+      (List.filter
+         (fun (_, f) -> f > 0.25)
+         (Op_stats.dialect_fraction
+            ~pred:(fun p -> p.Op_stats.p_variadic_operands > 0)
+            profiles))
+  in
+  Fmt.pf ppf
+    "  dialects with >25%% variadic-operand ops: %d/%d = %s  (paper: 46%%)@."
+    quarter nd
+    (pct (float_of_int quarter /. float_of_int nd))
+
+let fig6 ppf profiles =
+  section ppf "Figure 6: result definitions";
+  Fmt.pf ppf "  (a) results per operation@.";
+  pp_buckets ppf ~paper:"0: 16%, 1: 84%, 2: 1%"
+    (Op_stats.result_buckets profiles);
+  let multi =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun p ->
+           if p.Op_stats.p_results >= 2 then Some p.Op_stats.p_dialect
+           else None)
+         profiles)
+  in
+  Fmt.pf ppf "  dialects with multi-result ops: %s  (paper: gpu, x86vector, \
+              async, shape)@."
+    (String.concat ", " multi);
+  Fmt.pf ppf "  (b) variadic result definitions per operation@.";
+  pp_buckets ppf ~paper:"97% non-variadic, 3% variadic; no op has 2 variadic \
+                         results"
+    (Op_stats.variadic_result_buckets profiles);
+  let with_v =
+    Op_stats.dialects_with
+      ~pred:(fun p -> p.Op_stats.p_variadic_results > 0)
+      profiles
+  in
+  let nd = Op_stats.num_dialects profiles in
+  Fmt.pf ppf
+    "  dialects with at least one variadic-result op: %d/%d = %s  (paper: \
+     50%%)@."
+    with_v nd
+    (pct (float_of_int with_v /. float_of_int nd))
+
+let fig7 ppf profiles =
+  section ppf "Figure 7: attribute and region definitions";
+  Fmt.pf ppf "  (a) attributes per operation@.";
+  pp_buckets ppf ~paper:"0: 73%, 1: 16%, 2+: 11%"
+    (Op_stats.attribute_buckets profiles);
+  let nd = Op_stats.num_dialects profiles in
+  let with_attr =
+    Op_stats.dialects_with ~pred:(fun p -> p.Op_stats.p_attributes > 0)
+      profiles
+  in
+  Fmt.pf ppf
+    "  dialects with at least one attributed op: %d/%d = %s  (paper: 76%%)@."
+    with_attr nd
+    (pct (float_of_int with_attr /. float_of_int nd));
+  Fmt.pf ppf "  (b) regions per operation@.";
+  pp_buckets ppf ~paper:"0: 96%, 1: 4%, 2: 1%"
+    (Op_stats.region_buckets profiles);
+  let with_region =
+    Op_stats.dialects_with ~pred:(fun p -> p.Op_stats.p_regions > 0) profiles
+  in
+  Fmt.pf ppf
+    "  dialects with at least one region op: %d/%d = %s  (paper: 54%%)@."
+    with_region nd
+    (pct (float_of_int with_region /. float_of_int nd))
+
+let pp_param_hist ppf (counts : Param_stats.count list) =
+  List.iter
+    (fun (c : Param_stats.count) ->
+      Fmt.pf ppf "    %-10s %3d%s@."
+        (Param_stats.kind_to_string c.kind)
+        c.total
+        (if c.domain_specific then "  (domain-specific, IRDL-C++)" else ""))
+    (List.sort (fun a b -> compare b.Param_stats.total a.Param_stats.total)
+       counts)
+
+let fig8 ppf (dls : R.dialect list) =
+  section ppf "Figure 8: type and attribute parameter kinds";
+  let tys = List.concat_map (fun dl -> dl.R.dl_types) dls in
+  let ats = List.concat_map (fun dl -> dl.R.dl_attrs) dls in
+  Fmt.pf ppf "  (a) type parameters@.";
+  pp_param_hist ppf (Param_stats.histogram tys);
+  Fmt.pf ppf "    IRDL-expressible: %s  (paper: 97%%)@."
+    (pct (Param_stats.irdl_param_fraction tys));
+  Fmt.pf ppf "  (b) attribute parameters@.";
+  pp_param_hist ppf (Param_stats.histogram ats);
+  Fmt.pf ppf "    IRDL-expressible: %s  (paper: 77%%)@."
+    (pct (Param_stats.irdl_param_fraction ats))
+
+let pp_split_line ppf name (s : Expressiveness.split) =
+  if Expressiveness.split_total s > 0 then
+    Fmt.pf ppf "    %-14s IRDL %3d  IRDL-C++ %2d@." name s.Expressiveness.irdl
+      s.Expressiveness.native
+
+let fig9_10 ppf ~what ~defs_of ~paper_def ~paper_ver (dls : R.dialect list) =
+  Fmt.pf ppf "  (a) %s definitions (parameters)@." what;
+  let total_split = ref Expressiveness.empty in
+  List.iter
+    (fun (dl : R.dialect) ->
+      let s = Expressiveness.def_split (defs_of dl) in
+      (total_split :=
+         Expressiveness.
+           {
+             irdl = !total_split.irdl + s.irdl;
+             native = !total_split.native + s.native;
+           });
+      pp_split_line ppf dl.dl_name s)
+    dls;
+  let t = !total_split in
+  let tot = Expressiveness.split_total t in
+  Fmt.pf ppf "    overall: %d/%d = %s in IRDL  (paper: %s)@."
+    t.Expressiveness.irdl tot
+    (pct (float_of_int t.Expressiveness.irdl /. float_of_int (max 1 tot)))
+    paper_def;
+  Fmt.pf ppf "  (b) %s verifiers@." what;
+  let total_split = ref Expressiveness.empty in
+  List.iter
+    (fun (dl : R.dialect) ->
+      let s = Expressiveness.verifier_split (defs_of dl) in
+      (total_split :=
+         Expressiveness.
+           {
+             irdl = !total_split.irdl + s.irdl;
+             native = !total_split.native + s.native;
+           });
+      pp_split_line ppf dl.dl_name s)
+    dls;
+  let t = !total_split in
+  let tot = Expressiveness.split_total t in
+  Fmt.pf ppf "    overall: %d/%d = %s need a C++ verifier  (paper: %s)@."
+    t.Expressiveness.native tot
+    (pct (float_of_int t.Expressiveness.native /. float_of_int (max 1 tot)))
+    paper_ver
+
+let fig9 ppf dls =
+  section ppf "Figure 9: expressiveness of type definitions";
+  fig9_10 ppf ~what:"type"
+    ~defs_of:(fun dl -> dl.R.dl_types)
+    ~paper_def:"97% of parameters in IRDL" ~paper_ver:"16% need C++" dls
+
+let fig10 ppf dls =
+  section ppf "Figure 10: expressiveness of attribute definitions";
+  fig9_10 ppf ~what:"attribute"
+    ~defs_of:(fun dl -> dl.R.dl_attrs)
+    ~paper_def:"77% of parameters in IRDL" ~paper_ver:"20% need C++" dls
+
+let fig11 ppf (dls : R.dialect list) =
+  section ppf "Figure 11: expressiveness of operations";
+  Fmt.pf ppf "  (a) local constraints@.";
+  let all_ops = List.concat_map (fun dl -> dl.R.dl_ops) dls in
+  List.iter
+    (fun (dl : R.dialect) ->
+      pp_split_line ppf dl.dl_name (Expressiveness.op_local_split dl.dl_ops))
+    dls;
+  let s = Expressiveness.op_local_split all_ops in
+  Fmt.pf ppf "    overall: %d/%d = %s in IRDL  (paper: 97%%)@."
+    s.Expressiveness.irdl
+    (Expressiveness.split_total s)
+    (pct
+       (float_of_int s.Expressiveness.irdl
+       /. float_of_int (max 1 (Expressiveness.split_total s))));
+  Fmt.pf ppf "  (b) verifiers (non-local constraints)@.";
+  List.iter
+    (fun (dl : R.dialect) ->
+      pp_split_line ppf dl.dl_name
+        (Expressiveness.op_verifier_split dl.dl_ops))
+    dls;
+  let s = Expressiveness.op_verifier_split all_ops in
+  Fmt.pf ppf "    overall: %d/%d = %s need IRDL-C++  (paper: 30%%)@."
+    s.Expressiveness.native
+    (Expressiveness.split_total s)
+    (pct
+       (float_of_int s.Expressiveness.native
+       /. float_of_int (max 1 (Expressiveness.split_total s))))
+
+let fig12 ppf (dls : R.dialect list) =
+  section ppf "Figure 12: native local-constraint categories";
+  List.iter
+    (fun (cat, n) ->
+      Fmt.pf ppf "  %-20s %3d ops |%s@."
+        (Expressiveness.category_to_string cat)
+        n
+        (bar ~width:30 (float_of_int n /. 25.0)))
+    (Expressiveness.category_histogram dls);
+  Fmt.pf ppf
+    "  (paper: three categories — struct opacity, stride check, integer \
+     inequality; struct opacity largest at ~20)@."
+
+(** The whole evaluation, in paper order. *)
+let full ppf (dls : R.dialect list) =
+  let profiles = Op_stats.profiles_of_corpus dls in
+  table1 ppf dls;
+  fig3 ppf dls;
+  fig4 ppf dls;
+  fig5 ppf profiles;
+  fig6 ppf profiles;
+  fig7 ppf profiles;
+  fig8 ppf dls;
+  fig9 ppf dls;
+  fig10 ppf dls;
+  fig11 ppf dls;
+  fig12 ppf dls
+
+let full_string dls = Fmt.str "%a" full dls

@@ -1,0 +1,168 @@
+(** Cross-reference index over IRDL sources: definitions and references of
+    types, attributes, aliases, enums, constraints and native parameters,
+    with source locations.
+
+    This is the data an IRDL language server needs for go-to-definition,
+    find-references and rename — the "LSP support" direction of paper §3.
+    It works on the AST (not the resolved form) so that every occurrence
+    keeps its own source location. *)
+
+open Irdl_support
+module Ast = Irdl_core.Ast
+
+type def_kind =
+  | D_dialect
+  | D_type
+  | D_attr
+  | D_op
+  | D_alias
+  | D_enum
+  | D_constraint
+  | D_param  (** TypeOrAttrParam *)
+
+let def_kind_to_string = function
+  | D_dialect -> "dialect"
+  | D_type -> "type"
+  | D_attr -> "attribute"
+  | D_op -> "operation"
+  | D_alias -> "alias"
+  | D_enum -> "enum"
+  | D_constraint -> "constraint"
+  | D_param -> "native parameter"
+
+type entry = {
+  e_kind : def_kind;
+  e_name : string;  (** unqualified *)
+  e_dialect : string;
+  e_loc : Loc.t;  (** the definition site *)
+  e_refs : Loc.t list;  (** every reference, in source order *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Collecting references                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Strip a same-dialect qualification: inside dialect d, [d.x] refers to
+   local [x]. *)
+let local_name ~dialect name =
+  let prefix = dialect ^ "." in
+  let pl = String.length prefix in
+  if String.length name > pl && String.sub name 0 pl = prefix then
+    String.sub name pl (String.length name - pl)
+  else name
+
+let rec cexpr_refs ~dialect acc (e : Ast.cexpr) =
+  match e with
+  | Ast.C_ref { name; args; loc; _ } ->
+      let acc = (local_name ~dialect name, loc) :: acc in
+      let acc =
+        (* enum constructors also reference the enum: [sign.Pos] -> [sign] *)
+        match String.index_opt name '.' with
+        | Some i -> (String.sub name 0 i, loc) :: acc
+        | None -> acc
+      in
+      List.fold_left (cexpr_refs ~dialect) acc
+        (Option.value ~default:[] args)
+  | Ast.C_list { elems; _ } -> List.fold_left (cexpr_refs ~dialect) acc elems
+  | Ast.C_int _ | Ast.C_string _ -> acc
+
+let param_refs ~dialect acc (p : Ast.param) =
+  cexpr_refs ~dialect acc p.p_constraint
+
+let op_refs ~dialect (o : Ast.op_def) =
+  let acc =
+    List.fold_left (param_refs ~dialect) []
+      (o.o_constraint_vars @ o.o_operands @ o.o_results @ o.o_attributes)
+  in
+  let acc =
+    List.fold_left
+      (fun acc (r : Ast.region_def) ->
+        let acc = List.fold_left (param_refs ~dialect) acc r.r_args in
+        match r.r_terminator with
+        | Some t -> (local_name ~dialect t, r.r_loc) :: acc
+        | None -> acc)
+      acc o.o_regions
+  in
+  acc
+
+(** Build the index of one dialect. *)
+let index (d : Ast.dialect) : entry list =
+  let dialect = d.d_name in
+  (* 1. definition sites *)
+  let defs =
+    List.filter_map
+      (fun (item : Ast.item) ->
+        match item with
+        | Ast.I_type t -> Some (D_type, t.t_name, t.t_loc)
+        | Ast.I_attr a -> Some (D_attr, a.a_name, a.a_loc)
+        | Ast.I_op o -> Some (D_op, o.o_name, o.o_loc)
+        | Ast.I_alias a -> Some (D_alias, a.al_name, a.al_loc)
+        | Ast.I_enum e -> Some (D_enum, e.e_name, e.e_loc)
+        | Ast.I_constraint c -> Some (D_constraint, c.c_name, c.c_loc)
+        | Ast.I_param p -> Some (D_param, p.tp_name, p.tp_loc))
+      d.d_items
+  in
+  (* 2. every reference in the dialect, as (name, loc) *)
+  let refs =
+    List.concat_map
+      (fun (item : Ast.item) ->
+        match item with
+        | Ast.I_type t -> List.fold_left (param_refs ~dialect) [] t.t_params
+        | Ast.I_attr a -> List.fold_left (param_refs ~dialect) [] a.a_params
+        | Ast.I_op o -> op_refs ~dialect o
+        | Ast.I_alias a -> cexpr_refs ~dialect [] a.al_body
+        | Ast.I_constraint c -> cexpr_refs ~dialect [] c.c_base
+        | Ast.I_enum _ | Ast.I_param _ -> [])
+      d.d_items
+  in
+  let entry_of (kind, name, loc) =
+    let e_refs =
+      List.filter_map
+        (fun (n, l) -> if n = name then Some l else None)
+        refs
+      |> List.sort (fun (a : Loc.t) (b : Loc.t) ->
+             compare a.start_pos.offset b.start_pos.offset)
+    in
+    { e_kind = kind; e_name = name; e_dialect = dialect; e_loc = loc; e_refs }
+  in
+  { e_kind = D_dialect; e_name = d.d_name; e_dialect = dialect;
+    e_loc = d.d_loc; e_refs = [] }
+  :: List.map entry_of defs
+
+let find (entries : entry list) name =
+  List.find_opt (fun e -> e.e_name = name) entries
+
+(** The definition whose source span contains [pos] most tightly — the
+    "go to definition" base query. *)
+let definition_at (entries : entry list) (pos : Loc.pos) : entry option =
+  let contains (l : Loc.t) =
+    (not (Loc.is_unknown l))
+    && l.start_pos.offset <= pos.offset
+    && pos.offset <= l.end_pos.offset
+  in
+  List.filter (fun e -> contains e.e_loc) entries
+  |> List.sort (fun a b ->
+         compare
+           (a.e_loc.end_pos.offset - a.e_loc.start_pos.offset)
+           (b.e_loc.end_pos.offset - b.e_loc.start_pos.offset))
+  |> function
+  | [] -> None
+  | e :: _ -> Some e
+
+(** Definitions that are never referenced inside their dialect — dead
+    aliases/constraints a refactoring tool would flag. Operations and the
+    dialect itself are exempt (they are the external interface). *)
+let unreferenced (entries : entry list) : entry list =
+  List.filter
+    (fun e ->
+      e.e_refs = []
+      && match e.e_kind with
+         | D_alias | D_constraint | D_param | D_enum -> true
+         | _ -> false)
+    entries
+
+let pp_entry ppf (e : entry) =
+  Fmt.pf ppf "%s %s.%s  defined at %a, %d reference(s)"
+    (def_kind_to_string e.e_kind)
+    e.e_dialect e.e_name Loc.pp e.e_loc (List.length e.e_refs);
+  List.iter (fun l -> Fmt.pf ppf "@.  ref at %a" Loc.pp l) e.e_refs

@@ -1,0 +1,1 @@
+lib/core/constraint_expr.ml: Attr Fmt Int64 Irdl_ir List Map Native String

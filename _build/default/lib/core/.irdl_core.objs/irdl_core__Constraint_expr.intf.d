@@ -1,0 +1,1 @@
+lib/core/constraint_expr.mli: Attr Format Irdl_ir Map Native

@@ -1,0 +1,1 @@
+lib/core/irdl.ml: Diag Irdl_ir Irdl_support List Parser Registration Resolve Result

@@ -1,0 +1,1 @@
+lib/core/irdl.mli: Ast Diag Irdl_ir Irdl_support Native Resolve

@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Buffer Diag Fmt Int64 Irdl_support List Loc Sbuf String

@@ -1,0 +1,1 @@
+lib/core/lexer.mli: Format Irdl_support Loc Sbuf

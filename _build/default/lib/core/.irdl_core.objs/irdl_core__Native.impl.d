@@ -1,0 +1,1 @@
+lib/core/native.ml: Attr Graph Hashtbl Irdl_ir List Logs

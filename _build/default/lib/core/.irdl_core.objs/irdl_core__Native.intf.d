@@ -1,0 +1,1 @@
+lib/core/native.mli: Attr Graph Hashtbl Irdl_ir

@@ -1,0 +1,1 @@
+lib/core/opformat.ml: Attr Constraint_expr Diag Hashtbl Irdl_ir Irdl_support List Opfmt Option Resolve Sbuf String

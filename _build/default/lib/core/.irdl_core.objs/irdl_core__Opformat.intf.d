@@ -1,0 +1,1 @@
+lib/core/opformat.mli: Diag Irdl_ir Irdl_support Resolve

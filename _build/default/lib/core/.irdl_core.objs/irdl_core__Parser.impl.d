@@ -1,0 +1,1 @@
+lib/core/parser.ml: Ast Diag Irdl_support Lexer List Loc Sbuf

@@ -1,0 +1,1 @@
+lib/core/pp.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/core/registration.ml: Attr Constraint_expr Context Diag Graph Int64 Irdl_ir Irdl_support List Native Opformat Option Resolve Result

@@ -1,0 +1,1 @@
+lib/core/registration.mli: Context Diag Graph Irdl_ir Irdl_support Native Resolve

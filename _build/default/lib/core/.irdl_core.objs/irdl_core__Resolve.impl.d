@@ -1,0 +1,1 @@
+lib/core/resolve.ml: Ast Constraint_expr Diag Hashtbl Irdl_ir Irdl_support List Loc Map Option Sbuf String

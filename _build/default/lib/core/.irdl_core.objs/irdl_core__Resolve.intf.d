@@ -1,0 +1,1 @@
+lib/core/resolve.mli: Ast Constraint_expr Diag Irdl_support Loc

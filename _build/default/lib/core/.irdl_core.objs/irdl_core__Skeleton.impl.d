@@ -1,0 +1,1 @@
+lib/core/skeleton.ml: Attr Constraint_expr Fun Graph Hashtbl Irdl_ir List Option Resolve Result String

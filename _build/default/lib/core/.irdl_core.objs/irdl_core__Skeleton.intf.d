@@ -1,0 +1,1 @@
+lib/core/skeleton.mli: Attr Constraint_expr Graph Irdl_ir Resolve

@@ -1,0 +1,138 @@
+(** Abstract syntax of IRDL specifications (paper §4 and §5).
+
+    The surface constraint grammar is uniform: references that may carry
+    angle-bracket arguments, literals, and bracketed lists. Classification of
+    a reference — builtin constructor ([AnyOf], [Variadic], [uint32_t], ...),
+    builtin type ([!f32]), dialect type/attribute, alias, enum, constraint
+    variable, or named [Constraint] definition — happens during {!Resolve}. *)
+
+open Irdl_support
+
+type prefix = P_type  (** [!name] *) | P_attr  (** [#name] *) | P_bare
+
+type cexpr =
+  | C_ref of {
+      prefix : prefix;
+      name : string;  (** possibly dotted: [cmath.complex], [signedness.Signed] *)
+      args : cexpr list option;  (** [Some] iff [<...>] was written *)
+      loc : Loc.t;
+    }
+  | C_int of { value : int64; kind : string option; loc : Loc.t }
+      (** [3] or [3 : int32_t] *)
+  | C_string of { value : string; loc : Loc.t }  (** ["foo"] *)
+  | C_list of { elems : cexpr list; loc : Loc.t }  (** [[pc1, ..., pcN]] *)
+
+let cexpr_loc = function
+  | C_ref { loc; _ } | C_int { loc; _ } | C_string { loc; _ }
+  | C_list { loc; _ } ->
+      loc
+
+(** A named, constrained binder: type/attr parameter, operand, result,
+    attribute, region argument or constraint variable. *)
+type param = { p_name : string; p_constraint : cexpr; p_loc : Loc.t }
+
+type type_def = {
+  t_name : string;
+  t_params : param list;
+  t_summary : string option;
+  t_cpp_constraints : string list;  (** IRDL-C++ verifier snippets *)
+  t_loc : Loc.t;
+}
+
+(** Attribute definitions are structurally identical to type definitions
+    (paper §4.4); we keep a distinct record for clarity of the API. *)
+type attr_def = {
+  a_name : string;
+  a_params : param list;
+  a_summary : string option;
+  a_cpp_constraints : string list;
+  a_loc : Loc.t;
+}
+
+type region_def = {
+  r_name : string;
+  r_args : param list;
+  r_terminator : string option;
+      (** Requiring single-block regions ending in this operation (§4.6). *)
+  r_loc : Loc.t;
+}
+
+type op_def = {
+  o_name : string;
+  o_summary : string option;
+  o_constraint_vars : param list;
+  o_operands : param list;
+  o_results : param list;
+  o_attributes : param list;
+  o_regions : region_def list;
+  o_successors : string list option;
+      (** [Some names]: the op is a terminator with these successors; even
+          [Some []] marks a terminator (§4.6). *)
+  o_format : string option;
+  o_cpp_constraints : string list;
+  o_loc : Loc.t;
+}
+
+type alias_def = {
+  al_prefix : prefix;
+  al_name : string;
+  al_params : string list;  (** parametric aliases: [Alias !ComplexOr<T> = ...] *)
+  al_body : cexpr;
+  al_loc : Loc.t;
+}
+
+type enum_def = { e_name : string; e_cases : string list; e_loc : Loc.t }
+
+(** IRDL-C++ [Constraint] definition (§5.1): a base constraint refined by
+    native-code predicates. *)
+type constraint_def = {
+  c_name : string;
+  c_base : cexpr;
+  c_summary : string option;
+  c_cpp_constraints : string list;
+  c_loc : Loc.t;
+}
+
+(** IRDL-C++ [TypeOrAttrParam] definition (§5.2): a parameter kind wrapping a
+    native class with native parser/printer. *)
+type param_def = {
+  tp_name : string;
+  tp_summary : string option;
+  tp_class_name : string;
+  tp_parser : string option;
+  tp_printer : string option;
+  tp_loc : Loc.t;
+}
+
+type item =
+  | I_type of type_def
+  | I_attr of attr_def
+  | I_op of op_def
+  | I_alias of alias_def
+  | I_enum of enum_def
+  | I_constraint of constraint_def
+  | I_param of param_def
+
+type dialect = { d_name : string; d_items : item list; d_loc : Loc.t }
+
+(* Accessors used by the analysis pipeline. *)
+
+let types d =
+  List.filter_map (function I_type t -> Some t | _ -> None) d.d_items
+
+let attrs d =
+  List.filter_map (function I_attr a -> Some a | _ -> None) d.d_items
+
+let ops d = List.filter_map (function I_op o -> Some o | _ -> None) d.d_items
+
+let aliases d =
+  List.filter_map (function I_alias a -> Some a | _ -> None) d.d_items
+
+let enums d =
+  List.filter_map (function I_enum e -> Some e | _ -> None) d.d_items
+
+let constraint_defs d =
+  List.filter_map (function I_constraint c -> Some c | _ -> None) d.d_items
+
+let param_defs d =
+  List.filter_map (function I_param p -> Some p | _ -> None) d.d_items

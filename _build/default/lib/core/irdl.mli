@@ -1,0 +1,28 @@
+(** The public facade of the IRDL implementation.
+
+    {[
+      let ctx = Irdl_ir.Context.create () in
+      match Irdl_core.Irdl.load ctx source with
+      | Ok dialects -> (* registered; parse & verify IR against them *)
+      | Error diag -> prerr_endline (Irdl_support.Diag.to_string diag)
+    ]} *)
+
+open Irdl_support
+
+val parse : ?file:string -> string -> (Ast.dialect list, Diag.t) result
+(** Parse IRDL source into ASTs (no resolution or registration). *)
+
+val load :
+  ?native:Native.t -> ?file:string -> Irdl_ir.Context.t -> string ->
+  (Resolve.dialect list, Diag.t) result
+(** Parse, resolve and register every dialect in the source. Returns the
+    resolved dialects for introspection. *)
+
+val load_one :
+  ?native:Native.t -> ?file:string -> Irdl_ir.Context.t -> string ->
+  (Resolve.dialect, Diag.t) result
+(** {!load} for sources containing exactly one dialect. *)
+
+val analyze :
+  ?file:string -> string -> (Resolve.dialect list, Diag.t) result
+(** Parse and resolve without registering (used by the analysis pipeline). *)

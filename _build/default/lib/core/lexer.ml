@@ -1,0 +1,100 @@
+(** Lexer for the IRDL surface syntax (paper §4).
+
+    IRDL keywords ([Dialect], [Operation], [Operands], ...) are lexed as plain
+    identifiers and recognized by the parser, so that they remain usable as
+    definition names (MLIR dialects do define ops called e.g. [type]). *)
+
+open Irdl_support
+
+type token =
+  | Ident of string  (** bare identifier, possibly dotted: [signedness.Signed] *)
+  | Bang_ident of string  (** [!f32], [!cmath.complex] *)
+  | Hash_ident of string  (** [#f32_attr] *)
+  | Int_lit of int64
+  | Str of string
+  | Punct of string  (** one of [{ } ( ) < > , : = [ ] -] *)
+  | Eof
+
+type t = { tok : token; loc : Loc.t }
+
+let pp_token ppf = function
+  | Ident s -> Fmt.string ppf s
+  | Bang_ident s -> Fmt.pf ppf "!%s" s
+  | Hash_ident s -> Fmt.pf ppf "#%s" s
+  | Int_lit i -> Fmt.pf ppf "%Ld" i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Punct s -> Fmt.string ppf s
+  | Eof -> Fmt.string ppf "<eof>"
+
+let dotted_ident_char c = Sbuf.is_ident_char c || c = '.'
+
+let rec skip_trivia buf =
+  Sbuf.skip_while buf Sbuf.is_space;
+  match (Sbuf.peek buf, Sbuf.peek2 buf) with
+  | Some '/', Some '/' ->
+      Sbuf.skip_while buf (fun c -> c <> '\n');
+      skip_trivia buf
+  | _ -> ()
+
+let lex_string buf start =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match Sbuf.next buf with
+    | None -> Diag.raise_error ~loc:(Loc.point start) "unterminated string"
+    | Some '"' -> Buffer.contents b
+    | Some '\\' -> (
+        match Sbuf.next buf with
+        | Some 'n' -> Buffer.add_char b '\n'; go ()
+        | Some 't' -> Buffer.add_char b '\t'; go ()
+        | Some '"' -> Buffer.add_char b '"'; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; go ()
+        | Some c -> Buffer.add_char b c; go ()
+        | None ->
+            Diag.raise_error ~loc:(Loc.point start) "unterminated string")
+    | Some c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let next_token buf : t =
+  skip_trivia buf;
+  let start = Sbuf.pos buf in
+  let mk tok = { tok; loc = Sbuf.loc_from buf start } in
+  match Sbuf.peek buf with
+  | None -> mk Eof
+  | Some '"' ->
+      Sbuf.advance buf;
+      mk (Str (lex_string buf start))
+  | Some '!' ->
+      Sbuf.advance buf;
+      mk (Bang_ident (Sbuf.take_while buf dotted_ident_char))
+  | Some '#' ->
+      Sbuf.advance buf;
+      mk (Hash_ident (Sbuf.take_while buf dotted_ident_char))
+  | Some c when Sbuf.is_digit c ->
+      let text = Sbuf.take_while buf Sbuf.is_digit in
+      mk (Int_lit (Int64.of_string text))
+  | Some '-' when (match Sbuf.peek2 buf with
+                   | Some c -> Sbuf.is_digit c
+                   | None -> false) ->
+      Sbuf.advance buf;
+      let text = Sbuf.take_while buf Sbuf.is_digit in
+      mk (Int_lit (Int64.neg (Int64.of_string text)))
+  | Some c when Sbuf.is_ident_start c ->
+      mk (Ident (Sbuf.take_while buf dotted_ident_char))
+  | Some (('{' | '}' | '(' | ')' | '<' | '>' | ',' | ':' | '=' | '[' | ']' | '-') as c)
+    ->
+      Sbuf.advance buf;
+      mk (Punct (String.make 1 c))
+  | Some c ->
+      Diag.raise_error ~loc:(Loc.point start) "unexpected character %C" c
+
+(** Lex a whole buffer; used by tests and the round-trip property checks. *)
+let tokenize ?(file = "<string>") src =
+  let buf = Sbuf.of_string ~file src in
+  let rec go acc =
+    let t = next_token buf in
+    match t.tok with Eof -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,25 @@
+(** Lexer for the IRDL surface syntax (paper §4). Keywords are lexed as
+    plain identifiers and recognized by the parser, so they remain usable as
+    definition names. *)
+
+open Irdl_support
+
+type token =
+  | Ident of string  (** bare, possibly dotted: [signedness.Signed] *)
+  | Bang_ident of string  (** [!f32], [!cmath.complex] *)
+  | Hash_ident of string  (** [#f32_attr] *)
+  | Int_lit of int64
+  | Str of string
+  | Punct of string  (** one of [{ } ( ) < > , : = [ ] -] *)
+  | Eof
+
+type t = { tok : token; loc : Loc.t }
+
+val pp_token : Format.formatter -> token -> unit
+
+val next_token : Sbuf.t -> t
+(** Lex one token; skips whitespace and [//] comments.
+    @raise Irdl_support.Diag.Error_exn on invalid input. *)
+
+val tokenize : ?file:string -> string -> t list
+(** Lex a whole buffer, including the final {!Eof}. *)

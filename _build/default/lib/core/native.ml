@@ -1,0 +1,98 @@
+(** The IRDL-C++ escape hatch (paper §5), reinterpreted for OCaml.
+
+    IRDL-C++ embeds generic C++ snippets in a spec ([CppConstraint],
+    [CppParser], [CppPrinter]) and relies on the host compiler to give them
+    meaning. Here the host language is OCaml: a registry binds each snippet —
+    keyed by its verbatim text, optionally scoped to a dialect — to an OCaml
+    closure. Snippets without a registered hook are exactly the paper's
+    "requires generic C++" category: by default they verify vacuously and are
+    counted (Logs debug), while [strict] mode turns them into hard errors.
+
+    Hook kinds mirror where snippets appear:
+    - {!register_param_hook}: [Constraint ... { CppConstraint "..." }] —
+      predicate over a single parameter value ([$_self]);
+    - {!register_def_hook}: [CppConstraint] inside a [Type]/[Attribute]
+      definition — predicate over the full parameter list;
+    - {!register_op_hook}: [CppConstraint] inside an [Operation] — predicate
+      over the operation ([$_self]);
+    - {!register_codec}: [TypeOrAttrParam]'s [CppParser]/[CppPrinter] pair —
+      conversion between text and an {!Irdl_ir.Attr.Opaque} payload. *)
+
+open Irdl_ir
+
+type codec = {
+  codec_parse : string -> Attr.t option;
+  codec_print : Attr.t -> string option;
+}
+
+type t = {
+  param_hooks : (string, Attr.t -> bool) Hashtbl.t;
+  def_hooks : (string, Attr.t list -> bool) Hashtbl.t;
+  op_hooks : (string, Graph.op -> bool) Hashtbl.t;
+  codecs : (string, codec) Hashtbl.t;  (** keyed by TypeOrAttrParam name *)
+  mutable strict : bool;
+  mutable unresolved : string list;
+      (** Snippets looked up without a registered hook, most recent first;
+          introspectable for tooling and tests. *)
+}
+
+let create ?(strict = false) () =
+  {
+    param_hooks = Hashtbl.create 16;
+    def_hooks = Hashtbl.create 16;
+    op_hooks = Hashtbl.create 16;
+    codecs = Hashtbl.create 16;
+    strict;
+    unresolved = [];
+  }
+
+(** A shared default registry for convenience entry points. *)
+let default = create ()
+
+let src = Logs.Src.create "irdl.native" ~doc:"IRDL native-hook registry"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let register_param_hook t snippet f = Hashtbl.replace t.param_hooks snippet f
+let register_def_hook t snippet f = Hashtbl.replace t.def_hooks snippet f
+let register_op_hook t snippet f = Hashtbl.replace t.op_hooks snippet f
+let register_codec t name codec = Hashtbl.replace t.codecs name codec
+
+let find_codec t name = Hashtbl.find_opt t.codecs name
+
+let note_unresolved t snippet =
+  Log.debug (fun m -> m "no native hook registered for %S" snippet);
+  t.unresolved <- snippet :: t.unresolved
+
+(** Evaluate a snippet against a value. [Ok true]/[Ok false] when a hook is
+    registered, [Ok true] with a note when unresolved and non-strict,
+    [Error] when unresolved in strict mode. *)
+let check_param t snippet value =
+  match Hashtbl.find_opt t.param_hooks snippet with
+  | Some f -> Ok (f value)
+  | None ->
+      if t.strict then Error snippet
+      else (
+        note_unresolved t snippet;
+        Ok true)
+
+let check_def t snippet params =
+  match Hashtbl.find_opt t.def_hooks snippet with
+  | Some f -> Ok (f params)
+  | None ->
+      if t.strict then Error snippet
+      else (
+        note_unresolved t snippet;
+        Ok true)
+
+let check_op t snippet op =
+  match Hashtbl.find_opt t.op_hooks snippet with
+  | Some f -> Ok (f op)
+  | None ->
+      if t.strict then Error snippet
+      else (
+        note_unresolved t snippet;
+        Ok true)
+
+let unresolved t = List.rev t.unresolved
+let clear_unresolved t = t.unresolved <- []

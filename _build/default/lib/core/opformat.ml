@@ -1,0 +1,322 @@
+(** Compiler for declarative operation formats (paper §4.7).
+
+    Compiles an IRDL [Format] string such as ["$lhs, $rhs : $T.elementType"]
+    against the operation's resolved constraints into the first-order
+    {!Irdl_ir.Opfmt.t} structure interpreted by the generic printer and
+    parser.
+
+    Two well-formedness obligations are checked at compile time:
+    - every type directive must be {e printable}: the constraint variable it
+      mentions must be recoverable from an operand or result type by
+      projecting through dynamic-type parameters; and
+    - the format must be {e parseable}: every operand and result type must be
+      reconstructible from the parsed directives, inverting the constraint
+      structure (e.g. parsing [f32] for [$T.elementType] rebuilds
+      [T = !cmath.complex<f32>] when [T : !complex<!FloatType>]).
+
+    Formats on operations with regions or successors, or with more than one
+    variadic operand group, are rejected; such operations use the generic
+    syntax. *)
+
+open Irdl_support
+open Irdl_ir
+module C = Constraint_expr
+
+type token = T_lit of string | T_directive of string list  (** [$a.b] parts *)
+
+let tokenize ~loc (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' then incr i
+    else if c = '$' then begin
+      incr i;
+      let start = !i in
+      while
+        !i < n && (Sbuf.is_ident_char s.[!i] || s.[!i] = '.')
+      do
+        incr i
+      done;
+      if !i = start then
+        Diag.raise_error ~loc "format: '$' must be followed by a name";
+      let parts = String.split_on_char '.' (String.sub s start (!i - start)) in
+      toks := T_directive parts :: !toks
+    end
+    else if Sbuf.is_ident_start c then begin
+      let start = !i in
+      while !i < n && Sbuf.is_ident_char s.[!i] do
+        incr i
+      done;
+      toks := T_lit (String.sub s start (!i - start)) :: !toks
+    end
+    else begin
+      toks := T_lit (String.make 1 c) :: !toks;
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ---------------------------------------------------------------- *)
+(* Projections: where can a printed directive read its value from?   *)
+(* ---------------------------------------------------------------- *)
+
+(** Find a path to constraint variable [name] inside [c]: [Some []] if [c]
+    is the variable itself, [Some (i :: rest)] when it sits under the [i]-th
+    parameter of a base-type constraint. *)
+let rec var_path_in ~name (c : C.t) : int list option =
+  match c with
+  | C.Var v when v.v_name = name -> Some []
+  | C.Base_type { params = Some ps; _ } ->
+      let rec go i = function
+        | [] -> None
+        | p :: rest -> (
+            match var_path_in ~name p with
+            | Some path -> Some (i :: path)
+            | None -> go (i + 1) rest)
+      in
+      go 0 ps
+  | C.Variadic c | C.Optional c -> var_path_in ~name c
+  | _ -> None
+
+(** Search operand then result slots for a value of variable [name]. Only
+    fixed (non-variadic) slots can anchor a projection. *)
+let find_var_proj ~(operands : Resolve.slot list)
+    ~(results : Resolve.slot list) ~name : Opfmt.ty_proj option =
+  let search mk slots =
+    let rec go i = function
+      | [] -> None
+      | (s : Resolve.slot) :: rest ->
+          if C.is_variadic s.s_constraint then go (i + 1) rest
+          else (
+            match var_path_in ~name s.s_constraint with
+            | Some path -> Some { Opfmt.source = mk i; path }
+            | None -> go (i + 1) rest)
+    in
+    go 0 slots
+  in
+  match search (fun i -> `Operand i) operands with
+  | Some p -> Some p
+  | None -> search (fun i -> `Result i) results
+
+(* ---------------------------------------------------------------- *)
+(* Reconstruction: rebuilding types at parse time                    *)
+(* ---------------------------------------------------------------- *)
+
+(** What a parsed directive tells us about a variable: either the variable's
+    full value, or one parameter of it. *)
+type binding = Whole of int | Param of { directive : int; param : int }
+
+let rec ty_expr_of ~(var_exprs : (string * Opfmt.ty_expr) list) (c : C.t) :
+    Opfmt.ty_expr option =
+  match c with
+  | C.Eq (Attr.Type ty) -> Some (Opfmt.Known ty)
+  | C.Var v -> (
+      match List.assoc_opt v.v_name var_exprs with
+      | Some e -> Some e
+      | None -> (
+          (* A variable with an equality constraint needs no directive. *)
+          match ty_expr_of ~var_exprs v.v_constraint with
+          | Some (Opfmt.Known _ as e) -> Some e
+          | _ -> None))
+  | C.Base_type { dialect; name; params = Some ps } ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match ty_expr_of ~var_exprs p with
+            | Some e -> go (e :: acc) rest
+            | None -> None)
+      in
+      Option.map
+        (fun params -> Opfmt.Wrap { dialect; name; params })
+        (go [] ps)
+  | C.Variadic c | C.Optional c -> ty_expr_of ~var_exprs c
+  | C.And cs ->
+      (* An [And] is reconstructible if any conjunct is. *)
+      List.find_map (ty_expr_of ~var_exprs) cs
+  | C.Native { base; _ } -> ty_expr_of ~var_exprs base
+  | _ -> None
+
+(** Reconstruct a variable's value from a parameter binding: requires the
+    variable's constraint to pin every other parameter to a known type. *)
+let var_expr_of_param_binding (v : C.var) ~directive ~param :
+    Opfmt.ty_expr option =
+  match v.v_constraint with
+  | C.Base_type { dialect; name; params = Some ps } ->
+      let rec go i acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest ->
+            if i = param then
+              go (i + 1) (Opfmt.From_directive directive :: acc) rest
+            else (
+              match ty_expr_of ~var_exprs:[] p with
+              | Some e -> go (i + 1) (e :: acc) rest
+              | None -> None)
+      in
+      Option.map
+        (fun params -> Opfmt.Wrap { dialect; name; params })
+        (go 0 [] ps)
+  | _ -> None
+
+(* ---------------------------------------------------------------- *)
+(* The compiler                                                      *)
+(* ---------------------------------------------------------------- *)
+
+(** [lookup_type_params] resolves a dynamic type's parameter names (so that
+    [$T.elementType] can be turned into a parameter index); it receives the
+    type's dialect and name. *)
+let compile ~(lookup_type_params : dialect:string -> name:string -> string list option)
+    (dl_name : string) (op : Resolve.op) : (Opfmt.t, Diag.t) result =
+  Diag.protect @@ fun () ->
+  let fail fmt =
+    Diag.raise_error ~loc:op.op_loc
+      ("format of %s.%s: " ^^ fmt)
+      dl_name op.op_name
+  in
+  let format =
+    match op.op_format with None -> fail "no format string" | Some f -> f
+  in
+  if op.op_regions <> [] then fail "operations with regions cannot have a format";
+  if op.op_successors <> None then
+    fail "terminator operations cannot have a format";
+  let variadic_operands =
+    List.filter (fun (s : Resolve.slot) -> C.is_variadic s.s_constraint)
+      op.op_operands
+  in
+  if List.length variadic_operands > 1 then
+    fail "at most one variadic operand group is supported in formats";
+  (match variadic_operands with
+  | [ _ ] ->
+      let last = List.nth op.op_operands (List.length op.op_operands - 1) in
+      if not (C.is_variadic last.s_constraint) then
+        fail "the variadic operand group must be the last operand"
+  | _ -> ());
+  if List.exists (fun (s : Resolve.slot) -> C.is_variadic s.s_constraint)
+       op.op_results
+  then fail "variadic results are not supported in formats";
+  let operand_index name =
+    let rec go i = function
+      | [] -> None
+      | (s : Resolve.slot) :: _ when s.s_name = name -> Some (i, s)
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 op.op_operands
+  in
+  let attr_slot name =
+    List.exists (fun (s : Resolve.slot) -> s.s_name = name) op.op_attributes
+  in
+  let var_of name =
+    List.find_opt (fun (v : C.var) -> v.v_name = name) op.op_vars
+  in
+  let param_index_of_var (v : C.var) field =
+    match v.v_constraint with
+    | C.Base_type { dialect; name; _ } -> (
+        match lookup_type_params ~dialect ~name with
+        | None -> fail "cannot resolve parameters of the type bound by $%s" v.C.v_name
+        | Some names -> (
+            match
+              List.find_index (fun n -> n = field) names
+            with
+            | Some i -> (dialect, name, i)
+            | None ->
+                fail "type bound by $%s has no parameter '%s'" v.C.v_name field))
+    | _ -> fail "$%s.%s requires %s to be constrained to a parametric type"
+             v.C.v_name field v.C.v_name
+  in
+  let toks = tokenize ~loc:op.op_loc format in
+  let items = ref [] in
+  let bindings : (string * binding) list ref = ref [] in
+  let n_directives = ref 0 in
+  let seen_operands = Hashtbl.create 8 in
+  List.iter
+    (fun tok ->
+      match tok with
+      | T_lit s -> items := Opfmt.Lit s :: !items
+      | T_directive [ name ] -> (
+          match operand_index name with
+          | Some (i, s) ->
+              Hashtbl.replace seen_operands name ();
+              if C.is_variadic s.s_constraint then
+                items := Opfmt.Operand_group i :: !items
+              else items := Opfmt.Operand_ref i :: !items
+          | None ->
+              if attr_slot name then items := Opfmt.Attr_ref name :: !items
+              else (
+                match var_of name with
+                | Some v ->
+                    let proj =
+                      match
+                        find_var_proj ~operands:op.op_operands
+                          ~results:op.op_results ~name:v.C.v_name
+                      with
+                      | Some p -> p
+                      | None ->
+                          fail "$%s is not recoverable from any operand or \
+                                result type" name
+                    in
+                    let index = !n_directives in
+                    incr n_directives;
+                    bindings := (name, Whole index) :: !bindings;
+                    items := Opfmt.Ty_directive { index; proj } :: !items
+                | None -> fail "unknown format directive $%s" name))
+      | T_directive [ name; field ] -> (
+          match var_of name with
+          | Some v ->
+              let _dialect, _tyname, param = param_index_of_var v field in
+              let base_proj =
+                match
+                  find_var_proj ~operands:op.op_operands
+                    ~results:op.op_results ~name:v.C.v_name
+                with
+                | Some p -> p
+                | None ->
+                    fail "$%s is not recoverable from any operand or result \
+                          type" name
+              in
+              let proj =
+                { base_proj with Opfmt.path = base_proj.Opfmt.path @ [ param ] }
+              in
+              let index = !n_directives in
+              incr n_directives;
+              bindings := (name, Param { directive = index; param }) :: !bindings;
+              items := Opfmt.Ty_directive { index; proj } :: !items
+          | None -> fail "unknown constraint variable $%s" name)
+      | T_directive parts ->
+          fail "unsupported directive $%s" (String.concat "." parts))
+    toks;
+  (* The loop above built [items] in reverse; fix order. *)
+  let items = List.rev !items in
+  (* Every operand must be covered by the format. *)
+  List.iter
+    (fun (s : Resolve.slot) ->
+      if not (Hashtbl.mem seen_operands s.s_name) then
+        fail "operand '%s' does not appear in the format" s.s_name)
+    op.op_operands;
+  (* Turn directive bindings into variable reconstruction expressions. *)
+  let var_exprs =
+    List.filter_map
+      (fun (name, b) ->
+        match b with
+        | Whole i -> Some (name, Opfmt.From_directive i)
+        | Param { directive; param } -> (
+            match var_of name with
+            | Some v -> (
+                match var_expr_of_param_binding v ~directive ~param with
+                | Some e -> Some (name, e)
+                | None -> None)
+            | None -> None))
+      !bindings
+  in
+  let slot_ty_expr what (s : Resolve.slot) =
+    match ty_expr_of ~var_exprs s.s_constraint with
+    | Some e -> e
+    | None ->
+        fail "%s '%s': type is not reconstructible from the format" what
+          s.s_name
+  in
+  let operand_tys =
+    List.map (slot_ty_expr "operand") op.op_operands
+  in
+  let result_tys = List.map (slot_ty_expr "result") op.op_results in
+  { Opfmt.items; operand_tys; result_tys }

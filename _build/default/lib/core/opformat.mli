@@ -1,0 +1,19 @@
+(** Compiler for declarative operation formats (paper §4.7): IRDL [Format]
+    strings into the first-order {!Irdl_ir.Opfmt.t} interpreted by the
+    generic printer and parser.
+
+    Checked at compile time: every type directive must be {e printable}
+    (recoverable from an operand/result type by projecting through
+    dynamic-type parameters), and the format must be {e parseable} (every
+    operand and result type reconstructible from the parsed directives).
+    Formats on operations with regions, successors, or more than one
+    variadic operand group are rejected. *)
+
+open Irdl_support
+
+val compile :
+  lookup_type_params:(dialect:string -> name:string -> string list option) ->
+  string -> Resolve.op -> (Irdl_ir.Opfmt.t, Diag.t) result
+(** [compile ~lookup_type_params dialect_name op]. [lookup_type_params]
+    resolves a dynamic type's parameter names so [$T.elementType] can be
+    turned into a parameter index. *)

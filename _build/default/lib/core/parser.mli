@@ -1,0 +1,14 @@
+(** Recursive-descent parser for IRDL. The grammar is LL(1) over the token
+    stream of {!Lexer}; keywords are contextual. *)
+
+open Irdl_support
+
+val parse_file : ?file:string -> string -> (Ast.dialect list, Diag.t) result
+(** Parse a whole IRDL file: a sequence of [Dialect name { ... }]. *)
+
+val parse_one : ?file:string -> string -> (Ast.dialect, Diag.t) result
+(** Parse a source expected to contain exactly one dialect. *)
+
+val parse_constraint_string :
+  ?file:string -> string -> (Ast.cexpr, Diag.t) result
+(** Parse a standalone constraint expression (tests and tooling). *)

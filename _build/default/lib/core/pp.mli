@@ -1,0 +1,21 @@
+(** Pretty-printer for IRDL ASTs: emits the surface syntax of paper §4.
+    [dialect_to_string] followed by [Parser.parse_one] is the identity on
+    ASTs up to locations (property-tested). *)
+
+val pp_prefix : Format.formatter -> Ast.prefix -> unit
+val pp_cexpr : Format.formatter -> Ast.cexpr -> unit
+val pp_param : Format.formatter -> Ast.param -> unit
+val pp_type_def : Format.formatter -> Ast.type_def -> unit
+val pp_attr_def : Format.formatter -> Ast.attr_def -> unit
+val pp_op_def : Format.formatter -> Ast.op_def -> unit
+val pp_alias_def : Format.formatter -> Ast.alias_def -> unit
+val pp_enum_def : Format.formatter -> Ast.enum_def -> unit
+val pp_constraint_def : Format.formatter -> Ast.constraint_def -> unit
+val pp_param_def : Format.formatter -> Ast.param_def -> unit
+val pp_item : Format.formatter -> Ast.item -> unit
+val pp_dialect : Format.formatter -> Ast.dialect -> unit
+
+val dialect_to_string : Ast.dialect -> string
+(** Render a dialect, with trailing whitespace stripped from every line. *)
+
+val cexpr_to_string : Ast.cexpr -> string

@@ -1,0 +1,25 @@
+(** Dynamic dialect registration: resolved IRDL dialects into a live
+    {!Irdl_ir.Context.t}. Every registered definition is a closure over the
+    resolved constraints — the generated verifiers of the paper's Listing 2
+    — with no code generation involved (paper §3). *)
+
+open Irdl_support
+open Irdl_ir
+
+val assign_slots :
+  what:string -> seg_attr:string -> op:Graph.op -> Resolve.slot list ->
+  'a list -> ('a list list, Diag.t) result
+(** Split values across operand/result slots, honouring variadic/optional
+    slots and, with several variadic groups, the
+    [operandSegmentSizes]/[resultSegmentSizes] attribute (paper §4.6).
+    Exposed for testing and tooling. *)
+
+val make_op_verifier :
+  native:Native.t -> Resolve.op -> Graph.op -> (unit, Diag.t) result
+(** The generated operation verifier (arity, constraints with shared
+    variables, attributes, regions, successors, IRDL-C++ hooks). *)
+
+val register :
+  ?native:Native.t -> Context.t -> Resolve.dialect -> (unit, Diag.t) result
+(** Register a resolved dialect. Declarative formats are compiled eagerly so
+    malformed specs fail at registration, not first use. *)

@@ -1,0 +1,282 @@
+(** Example-instance synthesis from resolved constraints.
+
+    Given a resolved definition, synthesize attribute/type/operation
+    instances that satisfy its declarative constraints. This powers the
+    meta-tooling the paper motivates (completion in an IR language server,
+    spec-based testing of dialects) and doubles as an end-to-end exerciser
+    for the generated verifiers: every synthesized operation should verify
+    against its own definition.
+
+    Synthesis is best-effort: constraints that are only satisfiable with
+    knowledge IRDL does not carry (native predicates, [Not], exact array
+    shapes under [array<...>]) yield [None]. *)
+
+open Irdl_ir
+module C = Constraint_expr
+
+(** Resolver for the parameters of referenced type/attribute definitions:
+    needed when a constraint is [!builtin.tensor] (any parameters) but the
+    registered definition demands specific ones. *)
+type lookup =
+  kind:[ `Type | `Attr ] -> dialect:string -> name:string ->
+  Resolve.typedef option
+
+let no_lookup : lookup = fun ~kind:_ ~dialect:_ ~name:_ -> None
+
+let max_depth = 6
+
+let rec example_attr ?(lookup = no_lookup) ?(depth = 0) (c : C.t) :
+    Attr.t option =
+  if depth > max_depth then None
+  else
+    let example_attr ?(lookup = lookup) c =
+      example_attr ~lookup ~depth:(depth + 1) c
+    in
+    let synth_params ~kind ~dialect ~name params =
+      match params with
+      | Some pcs ->
+          let xs = List.map example_attr pcs in
+          if List.for_all Option.is_some xs then
+            Some (List.filter_map Fun.id xs)
+          else None
+      | None -> (
+          (* No parameter constraints given: consult the definition. *)
+          match lookup ~kind ~dialect ~name with
+          | None -> Some []
+          | Some td ->
+              let xs =
+                List.map
+                  (fun (s : Resolve.slot) -> example_attr s.s_constraint)
+                  td.td_params
+              in
+              if List.for_all Option.is_some xs then
+                Some (List.filter_map Fun.id xs)
+              else None)
+    in
+    match c with
+    | C.Any | C.Any_attr -> Some Attr.Unit
+    | C.Any_type -> Some (Attr.typ Attr.f32)
+    | C.Eq a -> Some a
+    | C.Base_type { dialect; name; params } ->
+        Option.map
+          (fun params -> Attr.typ (Attr.Dynamic { dialect; name; params }))
+          (synth_params ~kind:`Type ~dialect ~name params)
+    | C.Base_attr { dialect; name; params } ->
+        Option.map
+          (fun params -> Attr.Dyn_attr { dialect; name; params })
+          (synth_params ~kind:`Attr ~dialect ~name params)
+  | C.Int_param { ik_width; ik_signedness } ->
+      Some
+        (Attr.Int
+           { value = 1L; ty = Attr.Integer { width = ik_width; signedness = ik_signedness } })
+  | C.Float_param kind ->
+      let ty =
+        match kind with
+        | Some Attr.F16 -> Attr.f16
+        | Some Attr.F64 -> Attr.f64
+        | Some Attr.BF16 -> Attr.bf16
+        | _ -> Attr.f32
+      in
+      Some (Attr.Float_attr { value = 1.0; ty })
+  | C.String_param -> Some (Attr.string "example")
+  | C.Symbol_param -> Some (Attr.symbol "example")
+  | C.Bool_param -> Some (Attr.bool true)
+  | C.Location_param -> Some (Attr.Location { file = "ex"; line = 1; col = 1 })
+  | C.Type_id_param -> Some (Attr.Type_id "Example")
+  | C.Enum_param { dialect; enum } ->
+      (* The enum's cases are not recorded in the constraint; the context
+         would know, but any case name satisfies Enum_param. *)
+      Some (Attr.enum ~dialect ~enum "__example__")
+  | C.Array_any -> Some (Attr.array [])
+  | C.Array_of _ -> Some (Attr.array [])
+  | C.Array_exact pcs ->
+      let xs = List.map example_attr pcs in
+      if List.for_all Option.is_some xs then
+        Some (Attr.array (List.filter_map Fun.id xs))
+      else None
+  | C.Any_of cs -> List.find_map example_attr cs
+  | C.And (c :: _) -> example_attr c
+  | C.And [] -> Some Attr.Unit
+  | C.Not _ -> None
+  | C.Var v -> example_attr v.C.v_constraint
+  | C.Native { base; _ } ->
+      (* Best effort: the base's example may violate the native predicate,
+         but unregistered predicates accept (non-strict). *)
+      example_attr base
+  | C.Native_param { name; _ } -> Some (Attr.opaque ~tag:name "example")
+  | C.Variadic c | C.Optional c -> example_attr c
+
+let example_ty ?lookup (c : C.t) : Attr.ty option =
+  match example_attr ?lookup c with Some (Attr.Type ty) -> Some ty | _ -> None
+
+(** Why an operation cannot be synthesized. *)
+type skip_reason =
+  | Is_terminator  (** needs successor blocks we cannot fabricate *)
+  | Multiple_variadic_groups
+  | Unsatisfiable_slot of string
+
+let num_variadic slots =
+  List.length
+    (List.filter (fun (s : Resolve.slot) -> C.is_variadic s.s_constraint) slots)
+
+(** Resolver for terminator operations referenced by region definitions. *)
+type op_lookup = dialect:string -> name:string -> Resolve.op option
+
+let no_op_lookup : op_lookup = fun ~dialect:_ ~name:_ -> None
+
+let split_qualified qname =
+  match String.index_opt qname '.' with
+  | Some i ->
+      ( String.sub qname 0 i,
+        String.sub qname (i + 1) (String.length qname - i - 1) )
+  | None -> ("", qname)
+
+(** Synthesize an instance of [op]: a fresh operation whose operands are
+    results of placeholder ["test.source"] ops, with single-block regions
+    (including required terminators, resolved through [op_lookup]) when the
+    definition demands them. Shared constraint variables are respected:
+    a [Var] always takes its first example. Terminators with a non-empty
+    successor list are skipped — there are no blocks to branch to. *)
+let rec instantiate_op ?(lookup = no_lookup) ?(op_lookup = no_op_lookup)
+    ~(dialect : string) (op : Resolve.op) : (Graph.op, skip_reason) result =
+  (match op.op_successors with
+  | Some (_ :: _) -> Error Is_terminator
+  | Some [] | None -> Ok ())
+  |> Fun.flip Result.bind @@ fun () ->
+  if num_variadic op.op_operands > 1 || num_variadic op.op_results > 1 then
+    Error Multiple_variadic_groups
+  else
+    (* Pre-bind constraint variables to a single example each so repeated
+       uses agree. *)
+    let var_examples = Hashtbl.create 4 in
+    List.iter
+      (fun (v : C.var) ->
+        match example_attr ~lookup v.C.v_constraint with
+        | Some a -> Hashtbl.replace var_examples v.C.v_name a
+        | None -> ())
+      op.op_vars;
+    let rec resolve_slot (c : C.t) : Attr.t option =
+      match c with
+      | C.Var v -> (
+          match Hashtbl.find_opt var_examples v.C.v_name with
+          | Some a -> Some a
+          | None -> example_attr ~lookup v.C.v_constraint)
+      | C.Variadic c | C.Optional c -> resolve_slot c
+      | C.Base_type { dialect; name; params = Some pcs } ->
+          let xs = List.map resolve_slot pcs in
+          if List.for_all Option.is_some xs then
+            Some
+              (Attr.typ
+                 (Attr.Dynamic
+                    { dialect; name; params = List.filter_map Fun.id xs }))
+          else None
+      | _ -> example_attr ~lookup c
+    in
+    let slot_ty what (s : Resolve.slot) =
+      match resolve_slot s.s_constraint with
+      | Some (Attr.Type ty) -> Ok ty
+      | _ -> Error (Unsatisfiable_slot (what ^ " " ^ s.s_name))
+    in
+    let rec collect what acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest ->
+          Result.bind (slot_ty what s) (fun ty ->
+              collect what (ty :: acc) rest)
+    in
+    Result.bind (collect "operand" [] op.op_operands) @@ fun operand_tys ->
+    Result.bind (collect "result" [] op.op_results) @@ fun result_tys ->
+    let attrs =
+      List.filter_map
+        (fun (s : Resolve.slot) ->
+          if C.is_optional s.s_constraint then None
+          else
+            match resolve_slot s.s_constraint with
+            | Some a -> Some (s.s_name, a)
+            | None -> None)
+        op.op_attributes
+    in
+    (* A required attribute we could not synthesize is a failure. *)
+    let missing =
+      List.find_opt
+        (fun (s : Resolve.slot) ->
+          (not (C.is_optional s.s_constraint))
+          && not (List.mem_assoc s.s_name attrs))
+        op.op_attributes
+    in
+    (match missing with
+    | Some s -> Error (Unsatisfiable_slot ("attribute " ^ s.s_name))
+    | None -> Ok ())
+    |> Fun.flip Result.bind @@ fun () ->
+    (* Regions: a single block whose fixed arguments are synthesized
+       (variadic argument groups take zero values) and whose terminator, if
+       required, is itself synthesized recursively. *)
+    let build_region (rd : Resolve.region) :
+        (Graph.region, skip_reason) result =
+      if num_variadic rd.reg_args > 1 then Error Multiple_variadic_groups
+      else
+        let fixed_args =
+          List.filter
+            (fun (s : Resolve.slot) -> not (C.is_variadic s.s_constraint))
+            rd.reg_args
+        in
+        Result.bind (collect "region argument" [] fixed_args)
+        @@ fun arg_tys ->
+        let block = Graph.Block.create ~arg_tys () in
+        let finish () =
+          Ok (Graph.Region.create ~blocks:[ block ] ())
+        in
+        match rd.reg_terminator with
+        | None ->
+            (* Blocks are only created when needed: an empty region is
+               valid when there are no argument constraints either. *)
+            if rd.reg_args = [] then Ok (Graph.Region.create ())
+            else finish ()
+        | Some term_qname -> (
+            let tdialect, tname = split_qualified term_qname in
+            match op_lookup ~dialect:tdialect ~name:tname with
+            | None ->
+                Error
+                  (Unsatisfiable_slot ("region terminator " ^ term_qname))
+            | Some term_def -> (
+                match
+                  instantiate_op ~lookup ~op_lookup ~dialect:tdialect
+                    term_def
+                with
+                | Error _ ->
+                    Error
+                      (Unsatisfiable_slot
+                         ("region terminator " ^ term_qname))
+                | Ok term ->
+                    (* Move the terminator's placeholder operand sources
+                       into the block so the IR stays well-scoped. *)
+                    List.iter
+                      (fun (v : Graph.value) ->
+                        match Graph.Value.defining_op v with
+                        | Some src when src.Graph.op_parent = None ->
+                            Graph.Block.append block src
+                        | _ -> ())
+                      term.Graph.operands;
+                    Graph.Block.append block term;
+                    finish ()))
+    in
+    let rec build_regions acc = function
+      | [] -> Ok (List.rev acc)
+      | rd :: rest ->
+          Result.bind (build_region rd) (fun r ->
+              build_regions (r :: acc) rest)
+    in
+    Result.bind (build_regions [] op.op_regions) @@ fun regions ->
+    let operands =
+      List.map
+        (fun ty ->
+          Graph.Op.result (Graph.Op.create ~result_tys:[ ty ] "test.source") 0)
+        operand_tys
+    in
+    Ok
+      (Graph.Op.create ~operands ~result_tys ~attrs ~regions
+         (dialect ^ "." ^ op.op_name))
+
+let skip_reason_to_string = function
+  | Is_terminator -> "terminator with successors"
+  | Multiple_variadic_groups -> "multiple variadic groups"
+  | Unsatisfiable_slot s -> "unsatisfiable " ^ s

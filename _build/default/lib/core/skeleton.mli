@@ -1,0 +1,41 @@
+(** Example-instance synthesis from resolved constraints: the foundation
+    for completion tooling and spec-based testing of dialects. Synthesis is
+    best-effort; unsatisfiable constraints yield [None]/[Error]. *)
+
+open Irdl_ir
+module C = Constraint_expr
+
+type lookup =
+  kind:[ `Type | `Attr ] -> dialect:string -> name:string ->
+  Resolve.typedef option
+(** Resolver for the parameters of referenced definitions: needed when a
+    constraint is [!builtin.tensor] (any parameters) but the registered
+    definition demands specific ones. *)
+
+val no_lookup : lookup
+
+val example_attr : ?lookup:lookup -> ?depth:int -> C.t -> Attr.t option
+(** An attribute satisfying the constraint, if one is easy to exhibit. *)
+
+val example_ty : ?lookup:lookup -> C.t -> Attr.ty option
+
+type skip_reason =
+  | Is_terminator  (** needs successor blocks we cannot fabricate *)
+  | Multiple_variadic_groups
+  | Unsatisfiable_slot of string
+
+type op_lookup = dialect:string -> name:string -> Resolve.op option
+(** Resolver for terminator operations referenced by region definitions. *)
+
+val no_op_lookup : op_lookup
+
+val instantiate_op :
+  ?lookup:lookup -> ?op_lookup:op_lookup -> dialect:string -> Resolve.op ->
+  (Graph.op, skip_reason) result
+(** Synthesize an instance of the operation: operands fed by placeholder
+    ["test.source"] ops, single-block regions with synthesized arguments
+    and (via [op_lookup]) required terminators; shared constraint variables
+    take a single example each. Terminators with non-empty successor lists
+    are skipped. *)
+
+val skip_reason_to_string : skip_reason -> string

@@ -1,0 +1,1 @@
+lib/dialects/arm_neon.ml:

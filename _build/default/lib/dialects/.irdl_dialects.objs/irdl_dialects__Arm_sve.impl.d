@@ -1,0 +1,1 @@
+lib/dialects/arm_sve.ml: Buffer List Printf

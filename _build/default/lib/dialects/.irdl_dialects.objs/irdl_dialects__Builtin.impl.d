@@ -1,0 +1,1 @@
+lib/dialects/builtin.ml:

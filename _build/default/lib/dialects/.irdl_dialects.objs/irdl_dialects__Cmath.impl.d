@@ -1,0 +1,1 @@
+lib/dialects/cmath.ml: Attr Graph Int64 Irdl_core Irdl_ir

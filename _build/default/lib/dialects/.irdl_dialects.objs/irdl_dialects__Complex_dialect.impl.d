@@ -1,0 +1,1 @@
+lib/dialects/complex_dialect.ml:

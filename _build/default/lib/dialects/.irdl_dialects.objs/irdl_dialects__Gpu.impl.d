@@ -1,0 +1,1 @@
+lib/dialects/gpu.ml:

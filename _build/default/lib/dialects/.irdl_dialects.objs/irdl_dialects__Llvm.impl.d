@@ -1,0 +1,1 @@
+lib/dialects/llvm.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/dialects/pdl_interp.ml:

@@ -1,0 +1,1 @@
+lib/dialects/rocdl.ml: Buffer List Printf

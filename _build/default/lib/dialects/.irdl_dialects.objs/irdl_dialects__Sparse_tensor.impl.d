@@ -1,0 +1,1 @@
+lib/dialects/sparse_tensor.ml:

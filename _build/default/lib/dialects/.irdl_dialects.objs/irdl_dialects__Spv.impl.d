@@ -1,0 +1,1 @@
+lib/dialects/spv.ml: Buffer List Printf

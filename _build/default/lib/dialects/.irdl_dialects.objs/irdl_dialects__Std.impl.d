@@ -1,0 +1,1 @@
+lib/dialects/std.ml:

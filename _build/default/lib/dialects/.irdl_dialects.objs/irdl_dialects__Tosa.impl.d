@@ -1,0 +1,1 @@
+lib/dialects/tosa.ml: Buffer List Printf

@@ -1,0 +1,1 @@
+lib/dialects/x86vector.ml:

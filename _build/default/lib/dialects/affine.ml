@@ -1,0 +1,137 @@
+(** The [affine] dialect: affine loops and memory operations.
+
+    Its bound attributes wrap affine maps; bound validity checks are the
+    corpus's "integer inequality" IRDL-C++ constraints (Figure 12). *)
+
+let name = "affine"
+let description = "Affine loops and memory operations"
+
+let source =
+  {|
+Dialect affine {
+  Alias !AnyMemRef = !builtin.memref
+
+  Constraint LoopStep : int64_t {
+    Summary "a strictly positive loop step"
+    CppConstraint "$_self >= 1"
+  }
+
+  Operation apply {
+    Operands (mapOperands: Variadic<!index>)
+    Results (result: !index)
+    Attributes (map: #builtin.affine_map_attr)
+    Summary "Apply an affine map to SSA operands"
+    CppConstraint "$_self.map().getNumInputs() == $_self.mapOperands().size()"
+  }
+
+  Operation for {
+    Operands (operands: Variadic<!index>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (lower_bound: #builtin.affine_map_attr,
+                upper_bound: #builtin.affine_map_attr, step: LoopStep)
+    Region body {
+      Arguments (inductionVar: !index, iterArgs: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "A loop with affine bounds"
+    CppConstraint "$_self.lower_bound().getNumResults() >= 1"
+  }
+
+  Operation if {
+    Operands (operands: Variadic<!index>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (condition: #builtin.integer_set_attr)
+    Region thenRegion {
+      Arguments ()
+    }
+    Region elseRegion {
+      Arguments ()
+    }
+    Summary "A conditional guarded by an integer set"
+    CppConstraint "$_self.condition().getNumInputs() == $_self.operands().size()"
+  }
+
+  Operation parallel {
+    Operands (mapOperands: Variadic<!index>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (lowerBoundsMap: #builtin.affine_map_attr,
+                upperBoundsMap: #builtin.affine_map_attr,
+                steps: array<int64_t>, reductions: array<#AnyAttr>)
+    Region region {
+      Arguments (ivs: Variadic<!index>)
+      Terminator yield
+    }
+    Summary "A parallel affine loop band"
+  }
+
+  Operation load {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Attributes (map: Optional<#builtin.affine_map_attr>)
+    Summary "Load with an affine access map"
+    CppConstraint "$_self.result().getType() == $_self.memref().getType().getElementType()"
+  }
+
+  Operation store {
+    Operands (value: !AnyType, memref: !AnyMemRef, indices: Variadic<!index>)
+    Attributes (map: Optional<#builtin.affine_map_attr>)
+    Summary "Store with an affine access map"
+    CppConstraint "$_self.value().getType() == $_self.memref().getType().getElementType()"
+  }
+
+  Operation min {
+    Operands (operands: Variadic<!index>)
+    Results (result: !index)
+    Attributes (map: #builtin.affine_map_attr)
+    Summary "Minimum over affine map results"
+    CppConstraint "$_self.map().getNumResults() >= 1"
+  }
+
+  Operation max {
+    Operands (operands: Variadic<!index>)
+    Results (result: !index)
+    Attributes (map: #builtin.affine_map_attr)
+    Summary "Maximum over affine map results"
+    CppConstraint "$_self.map().getNumResults() >= 1"
+  }
+
+  Operation prefetch {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Attributes (isWrite: bool, localityHint: i32_attr, isDataCache: bool)
+    Summary "Prefetch hint on an affine access"
+  }
+
+  Operation vector_load {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !builtin.vector)
+    Summary "Vector load with affine indexing"
+    CppConstraint "$_self.result().getType().getElementType() == $_self.memref().getType().getElementType()"
+  }
+
+  Operation vector_store {
+    Operands (value: !builtin.vector, memref: !AnyMemRef,
+              indices: Variadic<!index>)
+    Summary "Vector store with affine indexing"
+  }
+
+  Operation dma_start {
+    Operands (srcMemRef: !AnyMemRef, srcIndices: Variadic<!index>,
+              destMemRef: !AnyMemRef, destIndices: Variadic<!index>,
+              tagMemRef: !AnyMemRef, tagIndices: Variadic<!index>,
+              numElements: !index)
+    Summary "Start a DMA transfer between affine accesses"
+  }
+
+  Operation dma_wait {
+    Operands (tagMemRef: !AnyMemRef, tagIndices: Variadic<!index>,
+              numElements: !index)
+    Summary "Wait for a DMA transfer to finish"
+  }
+
+  Operation yield {
+    Operands (results: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates affine regions"
+  }
+}
+|}

@@ -1,0 +1,100 @@
+(** The [amx] dialect: Intel's advanced matrix extensions instruction set.
+    Typical hardware dialect: most operations take three or more operands
+    (Figure 5a). *)
+
+let name = "amx"
+let description = "Intel's advanced matrix instruction set"
+
+let source =
+  {|
+Dialect amx {
+  Alias !Vec = !builtin.vector
+  Alias !MemRef = !builtin.memref
+
+  Operation tile_zero {
+    Results (res: !Vec)
+    Summary "Zero a tile"
+  }
+
+  Operation tile_load {
+    Operands (base: !MemRef, row: !index, col: !index)
+    Results (res: !Vec)
+    Summary "Load a tile from memory"
+  }
+
+  Operation tile_store {
+    Operands (base: !MemRef, row: !index, col: !index, val: !Vec)
+    Summary "Store a tile to memory"
+  }
+
+  Operation tile_mulf {
+    Operands (lhs: !Vec, rhs: !Vec, acc: !Vec)
+    Results (res: !Vec)
+    Summary "Tile multiplication (floating-point)"
+    CppConstraint "$_self.acc().getType() == $_self.res().getType()"
+  }
+
+  Operation tile_muli {
+    Operands (lhs: !Vec, rhs: !Vec, acc: !Vec)
+    Results (res: !Vec)
+    Attributes (isZextLhs: Optional<bool>, isZextRhs: Optional<bool>)
+    Summary "Tile multiplication (integer)"
+    CppConstraint "$_self.acc().getType() == $_self.res().getType()"
+  }
+
+  Operation tilezero {
+    Operands (row: !i16, col: !i16)
+    Results (res: !Vec)
+    Summary "Raw tilezero intrinsic"
+  }
+
+  Operation tileloadd64 {
+    Operands (row: !i16, col: !i16, base: !i64, stride: !i64)
+    Results (res: !Vec)
+    Summary "Raw tile load intrinsic"
+  }
+
+  Operation tilestored64 {
+    Operands (row: !i16, col: !i16, base: !i64, stride: !i64, val: !Vec)
+    Summary "Raw tile store intrinsic"
+  }
+
+  Operation tdpbf16ps {
+    Operands (row: !i16, col: !i16, k: !i16, acc: !Vec, lhs: !Vec, rhs: !Vec)
+    Results (res: !Vec)
+    Summary "Raw bf16 dot-product accumulate intrinsic"
+    CppConstraint "$_self.acc().getType() == $_self.res().getType()"
+  }
+
+  Operation tdpbssd {
+    Operands (row: !i16, col: !i16, k: !i16, acc: !Vec, lhs: !Vec, rhs: !Vec)
+    Results (res: !Vec)
+    Summary "Raw signed/signed i8 dot-product accumulate intrinsic"
+  }
+
+  Operation tdpbsud {
+    Operands (row: !i16, col: !i16, k: !i16, acc: !Vec, lhs: !Vec, rhs: !Vec)
+    Results (res: !Vec)
+    Summary "Raw signed/unsigned i8 dot-product accumulate intrinsic"
+  }
+
+  Operation tdpbusd {
+    Operands (row: !i16, col: !i16, k: !i16, acc: !Vec, lhs: !Vec, rhs: !Vec)
+    Results (res: !Vec)
+    Summary "Raw unsigned/signed i8 dot-product accumulate intrinsic"
+  }
+
+  Operation tdpbuud {
+    Operands (row: !i16, col: !i16, k: !i16, acc: !Vec, lhs: !Vec, rhs: !Vec)
+    Results (res: !Vec)
+    Summary "Raw unsigned/unsigned i8 dot-product accumulate intrinsic"
+  }
+
+  Operation tile_mulfp16 {
+    Operands (lhs: !Vec, rhs: !Vec, acc: !Vec)
+    Results (res: !Vec)
+    Summary "Tile multiplication (fp16)"
+    CppConstraint "$_self.acc().getType() == $_self.res().getType()"
+  }
+}
+|}

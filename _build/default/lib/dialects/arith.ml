@@ -1,0 +1,317 @@
+(** The [arith] dialect: standard integer and floating-point arithmetic.
+    The archetypal "classical SSA" dialect: one or two operands, one result,
+    same-type constraints via constraint variables — all in plain IRDL. *)
+
+let name = "arith"
+let description = "Arithmetic operations on integers and floats"
+
+let source =
+  {|
+Dialect arith {
+  Alias !AnyFloat = !AnyOf<!bf16, !f16, !f32, !f64>
+  Alias !AnyInt = !AnyOf<!i1, !i8, !i16, !i32, !i64, !index>
+  Alias !IntLike = AnyOf<!AnyInt, !builtin.vector, !builtin.tensor>
+  Alias !FloatLike = AnyOf<!AnyFloat, !builtin.vector, !builtin.tensor>
+
+  Enum cmpi_predicate { eq, ne, slt, sle, sgt, sge, ult, ule, ugt, uge }
+  Enum cmpf_predicate { false_, oeq, ogt, oge, olt, ole, one, ord, ueq, ugt, uge, ult, ule, une, uno, true_ }
+
+  Operation constant {
+    Results (result: !AnyType)
+    Attributes (value: #AnyAttr)
+    Summary "A typed constant"
+    CppConstraint "$_self.value().getType() == $_self.result().getType()"
+  }
+
+  Operation addi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Integer addition"
+  }
+
+  Operation subi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Integer subtraction"
+  }
+
+  Operation muli {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Integer multiplication"
+  }
+
+  Operation divsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Signed integer division"
+  }
+
+  Operation divui {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Unsigned integer division"
+  }
+
+  Operation ceildivsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Signed ceiling division"
+  }
+
+  Operation ceildivui {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Unsigned ceiling division"
+  }
+
+  Operation floordivsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Signed floor division"
+  }
+
+  Operation remsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Signed remainder"
+  }
+
+  Operation remui {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Unsigned remainder"
+  }
+
+  Operation andi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Bitwise and"
+  }
+
+  Operation ori {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Bitwise or"
+  }
+
+  Operation xori {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Bitwise xor"
+  }
+
+  Operation shli {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Shift left"
+  }
+
+  Operation shrsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Arithmetic shift right"
+  }
+
+  Operation shrui {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Logical shift right"
+  }
+
+  Operation maxsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Signed maximum"
+  }
+
+  Operation maxui {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Unsigned maximum"
+  }
+
+  Operation minsi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Signed minimum"
+  }
+
+  Operation minui {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Unsigned minimum"
+  }
+
+  Operation addf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point addition"
+  }
+
+  Operation subf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point subtraction"
+  }
+
+  Operation mulf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point multiplication"
+  }
+
+  Operation divf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point division"
+  }
+
+  Operation remf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point remainder"
+  }
+
+  Operation negf {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Floating-point negation"
+  }
+
+  Operation maxf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point maximum"
+  }
+
+  Operation minf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point minimum"
+  }
+
+  Operation cmpi {
+    ConstraintVars (T: !IntLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !i1)
+    Attributes (predicate: cmpi_predicate)
+    Summary "Integer comparison"
+  }
+
+  Operation cmpf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !i1)
+    Attributes (predicate: cmpf_predicate)
+    Summary "Floating-point comparison"
+  }
+
+  Operation select {
+    ConstraintVars (T: !AnyType)
+    Operands (condition: !i1, true_value: !T, false_value: !T)
+    Results (result: !T)
+    Summary "Value selection"
+  }
+
+  Operation extui {
+    Operands (in: !IntLike)
+    Results (out: !IntLike)
+    Summary "Zero extension"
+    CppConstraint "$_self.out().getType().getIntOrFloatBitWidth() > $_self.in().getType().getIntOrFloatBitWidth()"
+  }
+
+  Operation extsi {
+    Operands (in: !IntLike)
+    Results (out: !IntLike)
+    Summary "Sign extension"
+    CppConstraint "$_self.out().getType().getIntOrFloatBitWidth() > $_self.in().getType().getIntOrFloatBitWidth()"
+  }
+
+  Operation trunci {
+    Operands (in: !IntLike)
+    Results (out: !IntLike)
+    Summary "Integer truncation"
+    CppConstraint "$_self.out().getType().getIntOrFloatBitWidth() < $_self.in().getType().getIntOrFloatBitWidth()"
+  }
+
+  Operation extf {
+    Operands (in: !FloatLike)
+    Results (out: !FloatLike)
+    Summary "Floating-point extension"
+    CppConstraint "$_self.out().getType().getIntOrFloatBitWidth() > $_self.in().getType().getIntOrFloatBitWidth()"
+  }
+
+  Operation truncf {
+    Operands (in: !FloatLike)
+    Results (out: !FloatLike)
+    Summary "Floating-point truncation"
+    CppConstraint "$_self.out().getType().getIntOrFloatBitWidth() < $_self.in().getType().getIntOrFloatBitWidth()"
+  }
+
+  Operation fptosi {
+    Operands (in: !FloatLike)
+    Results (out: !IntLike)
+    Summary "Float to signed integer"
+  }
+
+  Operation fptoui {
+    Operands (in: !FloatLike)
+    Results (out: !IntLike)
+    Summary "Float to unsigned integer"
+  }
+
+  Operation sitofp {
+    Operands (in: !IntLike)
+    Results (out: !FloatLike)
+    Summary "Signed integer to float"
+  }
+
+  Operation uitofp {
+    Operands (in: !IntLike)
+    Results (out: !FloatLike)
+    Summary "Unsigned integer to float"
+  }
+
+  Operation index_cast {
+    Operands (in: !IntLike)
+    Results (out: !IntLike)
+    Summary "Cast between index and integer"
+  }
+
+  Operation bitcast {
+    Operands (in: !AnyType)
+    Results (out: !AnyType)
+    Summary "Bitcast between equal-width types"
+    CppConstraint "$_self.in().getType().getIntOrFloatBitWidth() == $_self.out().getType().getIntOrFloatBitWidth()"
+  }
+}
+|}

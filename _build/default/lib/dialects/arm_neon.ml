@@ -1,0 +1,34 @@
+(** The [arm_neon] dialect: ARM's SIMD architecture extension.
+
+    One of the two smallest dialects in the corpus (3 operations, Figure 4);
+    representative of the hardware dialects whose operations take three or
+    more operands (Figure 5a). *)
+
+let name = "arm_neon"
+let description = "ARM's SIMD architecture extension"
+
+let source =
+  {|
+Dialect arm_neon {
+  Alias !VectorOfInt = !builtin.vector
+
+  Operation intr_smull {
+    Operands (a: !VectorOfInt, b: !VectorOfInt)
+    Results (res: !VectorOfInt)
+    Summary "Signed multiply long (vector)"
+    CppConstraint "$_self.res().getElementTypeBitWidth() == 2 * $_self.a().getElementTypeBitWidth()"
+  }
+
+  Operation intr_sdot {
+    Operands (acc: !VectorOfInt, a: !VectorOfInt, b: !VectorOfInt)
+    Results (res: !VectorOfInt)
+    Summary "Signed integer dot product (vector)"
+  }
+
+  Operation sdot_2d {
+    Operands (acc: !VectorOfInt, a: !VectorOfInt, b: !VectorOfInt)
+    Results (res: !VectorOfInt)
+    Summary "Signed integer dot product (2-d form)"
+  }
+}
+|}

@@ -1,0 +1,118 @@
+(** The [arm_sve] dialect: ARM's scalable vector extension. Generated as
+    masked arithmetic plus raw intrinsics over a scalable-vector type —
+    uniform many-operand hardware ops (Figure 5a). *)
+
+let name = "arm_sve"
+let description = "ARM's scalable vector instruction set"
+
+(* (mnemonic, operand count beyond the mask, summary) for the masked ops;
+   each also has a raw ".intr" twin. *)
+let masked_ops =
+  [
+    ("masked_addi", "Masked integer addition");
+    ("masked_addf", "Masked floating-point addition");
+    ("masked_subi", "Masked integer subtraction");
+    ("masked_subf", "Masked floating-point subtraction");
+    ("masked_muli", "Masked integer multiplication");
+    ("masked_mulf", "Masked floating-point multiplication");
+    ("masked_sdivi", "Masked signed division");
+    ("masked_udivi", "Masked unsigned division");
+    ("masked_divf", "Masked floating-point division");
+  ]
+
+let dot_ops =
+  [
+    ("sdot", "Signed integer dot product");
+    ("smmla", "Signed integer matrix multiply-accumulate");
+    ("udot", "Unsigned integer dot product");
+    ("ummla", "Unsigned integer matrix multiply-accumulate");
+  ]
+
+let source =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    {|
+Dialect arm_sve {
+  Type svector {
+    Parameters (shape: array<int64_t>, elementType: !AnyType)
+    Summary "A scalable vector"
+  }
+
+  Alias !SVec = !svector
+|};
+  List.iter
+    (fun (op, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    ConstraintVars (T: !SVec)
+    Operands (mask: !SVec, src1: !T, src2: !T)
+    Results (res: !T)
+    Summary "%s"
+  }
+
+  Operation intr_%s {
+    Operands (mask: !SVec, src1: !SVec, src2: !SVec)
+    Results (res: !SVec)
+    Summary "%s (raw intrinsic)"
+  }
+|}
+           op summary op summary))
+    masked_ops;
+  List.iter
+    (fun (op, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    Operands (acc: !SVec, src1: !SVec, src2: !SVec)
+    Results (dst: !SVec)
+    Summary "%s"
+  }
+
+  Operation intr_%s {
+    Operands (acc: !SVec, src1: !SVec, src2: !SVec)
+    Results (dst: !SVec)
+    Summary "%s (raw intrinsic)"
+  }
+|}
+           op summary op summary))
+    dot_ops;
+  Buffer.add_string buf
+    {|
+  Operation vector_scale {
+    Results (res: !index)
+    Summary "The runtime vector-length multiple"
+  }
+
+  Operation load {
+    Operands (base: !builtin.memref, index: !index)
+    Results (result: !SVec)
+    Summary "Scalable vector load"
+  }
+
+  Operation store {
+    Operands (value: !SVec, base: !builtin.memref, index: !index)
+    Summary "Scalable vector store"
+  }
+
+  Operation intr_get_vector_length {
+    Results (res: !i64)
+    Summary "Raw vector-length intrinsic"
+  }
+
+  Operation intr_zip1 {
+    Operands (a: !SVec, b: !SVec)
+    Results (res: !SVec)
+    Summary "Interleave low halves (raw intrinsic)"
+  }
+
+  Operation intr_zip2 {
+    Operands (a: !SVec, b: !SVec)
+    Results (res: !SVec)
+    Summary "Interleave high halves (raw intrinsic)"
+  }
+}
+|};
+  Buffer.contents buf

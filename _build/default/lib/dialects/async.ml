@@ -1,0 +1,186 @@
+(** The [async] dialect: asynchronous execution. [execute] shows a
+    multi-result operation (a token plus the async values, Figure 6a) and a
+    region; [coro_suspend] is a terminator with successors. *)
+
+let name = "async"
+let description = "Asynchronous execution"
+
+let source =
+  {|
+Dialect async {
+  Type token {
+    Summary "A handle to an asynchronous task"
+  }
+
+  Type value {
+    Parameters (valueType: !AnyType)
+    Summary "A future carrying a value"
+  }
+
+  Type group {
+    Summary "A group of async tokens or values"
+  }
+
+  Type coro_handle {
+    Summary "An LLVM coroutine handle"
+  }
+
+  Type coro_id {
+    Summary "A coroutine identifier"
+  }
+
+  Type coro_state {
+    Summary "A saved coroutine state"
+  }
+
+  Constraint GroupSize : int64_t {
+    Summary "a non-negative group size"
+    CppConstraint "$_self >= 0"
+  }
+
+  Operation execute {
+    Operands (dependencies: Variadic<!token>, bodyOperands: Variadic<!AnyType>)
+    Results (token: !token, bodyResults: Variadic<!value>)
+    Region bodyRegion {
+      Arguments (args: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "Execute a region asynchronously"
+    CppConstraint "$_self.bodyOperands().size() == $_self.bodyRegion().getNumArguments()"
+  }
+
+  Operation yield {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates an async.execute body"
+  }
+
+  Operation await {
+    Operands (operand: !AnyType)
+    Results (result: Optional<!AnyType>)
+    Summary "Block until a token or value becomes available"
+    CppConstraint "isTokenOrValue($_self.operand().getType())"
+  }
+
+  Operation await_all {
+    Operands (operand: !group)
+    Summary "Block until every member of a group completes"
+  }
+
+  Operation create_group {
+    Operands (size: !index)
+    Results (result: !group)
+    Summary "Create an empty async group of the given size"
+  }
+
+  Operation add_to_group {
+    Operands (operand: !AnyType, group: !group)
+    Results (rank: !index)
+    Summary "Add a token or value to a group"
+  }
+
+  Operation runtime_create {
+    Results (result: !AnyType)
+    Summary "Create an async runtime object"
+  }
+
+  Operation runtime_create_group {
+    Operands (size: !index)
+    Results (result: !group)
+    Summary "Create a runtime group"
+  }
+
+  Operation runtime_set_available {
+    Operands (operand: !AnyType)
+    Summary "Mark a runtime object as available"
+  }
+
+  Operation runtime_set_error {
+    Operands (operand: !AnyType)
+    Summary "Mark a runtime object as failed"
+  }
+
+  Operation runtime_is_error {
+    Operands (operand: !AnyType)
+    Results (is_error: !i1)
+    Summary "Query the error flag of a runtime object"
+  }
+
+  Operation runtime_await {
+    Operands (operand: !AnyType)
+    Summary "Runtime-level blocking await"
+  }
+
+  Operation runtime_resume {
+    Operands (handle: !coro_handle)
+    Summary "Resume a suspended coroutine"
+  }
+
+  Operation runtime_store {
+    Operands (value: !AnyType, storage: !value)
+    Summary "Store into a future's storage"
+  }
+
+  Operation runtime_load {
+    Operands (storage: !value)
+    Results (result: !AnyType)
+    Summary "Load from a future's storage"
+  }
+
+  Operation runtime_add_ref {
+    Operands (operand: !AnyType)
+    Attributes (count: GroupSize)
+    Summary "Increase a runtime reference count"
+  }
+
+  Operation runtime_drop_ref {
+    Operands (operand: !AnyType)
+    Attributes (count: GroupSize)
+    Summary "Decrease a runtime reference count"
+  }
+
+  Operation runtime_add_to_group {
+    Operands (operand: !AnyType, group: !group)
+    Results (rank: !index)
+    Summary "Runtime-level group insertion"
+  }
+
+  Operation runtime_num_worker_threads {
+    Results (result: !index)
+    Summary "Number of runtime worker threads"
+  }
+
+  Operation coro_id {
+    Results (id: !coro_id)
+    Summary "Coroutine identifier"
+  }
+
+  Operation coro_begin {
+    Operands (id: !coro_id)
+    Results (handle: !coro_handle)
+    Summary "Allocate and begin a coroutine"
+  }
+
+  Operation coro_free {
+    Operands (id: !coro_id, handle: !coro_handle)
+    Summary "Free a coroutine frame"
+  }
+
+  Operation coro_end {
+    Operands (handle: !coro_handle)
+    Summary "End a coroutine"
+  }
+
+  Operation coro_save {
+    Operands (handle: !coro_handle)
+    Results (state: !coro_state)
+    Summary "Save the coroutine state before suspension"
+  }
+
+  Operation coro_suspend {
+    Operands (state: !coro_state)
+    Successors (suspendDest, resumeDest, cleanupDest)
+    Summary "Suspend a coroutine (three-way branch)"
+  }
+}
+|}

@@ -1,0 +1,228 @@
+(** The [builtin] dialect: MLIR's built-in intermediate representation.
+
+    Carries most of the corpus's type and attribute definitions (Figures
+    8–10): the parametric integer/tensor/vector/memref types and the
+    standard attribute kinds. The [memref] layout and the [affine_map] and
+    [integer_set] attributes wrap native affine-map parameters
+    (IRDL-C++ [TypeOrAttrParam]), matching the paper's finding that builtin
+    is one of the three dialects whose parameters need IRDL-C++. *)
+
+let name = "builtin"
+let description = "MLIR's builtin intermediate representation"
+
+let source =
+  {|
+Dialect builtin {
+  Enum signedness { Signless, Signed, Unsigned }
+
+  // Native parameters (IRDL-C++): affine maps are a C++ class.
+  TypeOrAttrParam AffineMapParam {
+    Summary "An affine map"
+    CppClassName "AffineMap"
+    CppParser "parseAffineMap($self)"
+    CppPrinter "printAffineMap($self)"
+  }
+
+  TypeOrAttrParam IntegerSetParam {
+    Summary "An integer set"
+    CppClassName "IntegerSet"
+    CppParser "parseIntegerSet($self)"
+    CppPrinter "printIntegerSet($self)"
+  }
+
+  TypeOrAttrParam DenseStorageParam {
+    Summary "Raw dense element storage"
+    CppClassName "DenseElementsStorage"
+    CppParser "parseDenseStorage($self)"
+    CppPrinter "printDenseStorage($self)"
+  }
+
+  // ---------------- Types ----------------
+
+  Type integer {
+    Parameters (width: uint32_t, signed: signedness)
+    Summary "Arbitrary-width integer"
+    CppConstraint "$_self.width <= (1 << 24)"
+  }
+
+  Type float {
+    Parameters (kind: float_kind)
+    Summary "A floating-point type"
+  }
+  Enum float_kind { BF16, F16, F32, F64, F80, F128 }
+
+  Type index {
+    Summary "A platform-sized index"
+  }
+
+  Type none {
+    Summary "A unit type"
+  }
+
+  Type complex {
+    Parameters (elementType: !AnyType)
+    Summary "A complex number type"
+    CppConstraint "$_self.elementType.isa<FloatType, IntegerType>()"
+  }
+
+  Type tensor {
+    Parameters (shape: array<int64_t>, elementType: !AnyType)
+    Summary "A ranked dense tensor"
+    CppConstraint "llvm::all_of($_self.shape, [](int64_t d) { return d >= -1; })"
+  }
+
+  Type unranked_tensor {
+    Parameters (elementType: !AnyType)
+    Summary "A tensor of unknown rank"
+  }
+
+  Type vector {
+    Parameters (shape: array<int64_t>, elementType: !AnyType)
+    Summary "A fixed-length multi-dimensional vector"
+    CppConstraint "$_self.shape.size() >= 1"
+  }
+
+  Type memref {
+    Parameters (shape: array<int64_t>, elementType: !AnyType,
+                layout: AffineMapParam, memorySpace: uint32_t)
+    Summary "A reference into a memory buffer"
+  }
+
+  Type unranked_memref {
+    Parameters (elementType: !AnyType, memorySpace: uint32_t)
+    Summary "A memref of unknown rank"
+  }
+
+  Type tuple {
+    Parameters (types: array<!AnyType>)
+    Summary "A fixed-size collection of other types"
+  }
+
+  Type function {
+    Parameters (inputs: array<!AnyType>, results: array<!AnyType>)
+    Summary "A function type"
+  }
+
+  Type opaque {
+    Parameters (dialectNamespace: string, typeData: string)
+    Summary "An unparsed type from an unregistered dialect"
+  }
+
+  // ---------------- Attributes ----------------
+
+  Attribute unit {
+    Summary "A unit attribute"
+  }
+
+  Attribute bool_attr {
+    Parameters (value: bool)
+    Summary "A boolean"
+  }
+
+  Attribute integer_attr {
+    Parameters (value: int64_t, type: !AnyType)
+    Summary "A typed integer constant"
+  }
+
+  Attribute float_attr_def {
+    Parameters (value: float, type: !AnyType)
+    Summary "A typed floating-point constant"
+  }
+
+  Attribute string_attr {
+    Parameters (value: string)
+    Summary "A string"
+  }
+
+  Attribute symbol_ref {
+    Parameters (rootReference: string, nestedReferences: array<string>)
+    Summary "A reference to a symbol"
+  }
+
+  Attribute type_attr {
+    Parameters (value: !AnyType)
+    Summary "A type used as an attribute"
+  }
+
+  Attribute array_attr {
+    Parameters (value: array<#AnyAttr>)
+    Summary "An array of attributes"
+  }
+
+  Attribute dictionary_attr {
+    Parameters (names: array<string>, values: array<#AnyAttr>)
+    Summary "A sorted name/attribute dictionary"
+    CppConstraint "llvm::is_sorted($_self.names)"
+  }
+
+  Attribute affine_map_attr {
+    Parameters (value: AffineMapParam)
+    Summary "An affine map"
+  }
+
+  Attribute integer_set_attr {
+    Parameters (value: IntegerSetParam)
+    Summary "An integer set"
+  }
+
+  Attribute dense_elements {
+    Parameters (type: !AnyType, storage: DenseStorageParam)
+    Summary "Densely stored constant elements"
+    CppConstraint "$_self.storage.size() == $_self.type.numElements()"
+  }
+
+  Attribute sparse_elements {
+    Parameters (type: !AnyType, indices: DenseStorageParam,
+                values: DenseStorageParam)
+    Summary "Sparsely stored constant elements"
+    CppConstraint "$_self.indices.getType().getRank() == 2"
+  }
+
+  Attribute opaque_attr {
+    Parameters (dialectNamespace: string, attrData: string)
+    Summary "An unparsed attribute from an unregistered dialect"
+  }
+
+  Attribute location_attr {
+    Parameters (value: location)
+    Summary "A source location"
+  }
+
+  Attribute type_id_attr {
+    Parameters (value: type_id)
+    Summary "A unique identifier for a native type"
+  }
+
+  // ---------------- Operations ----------------
+
+  // Integer-inequality constraint requiring IRDL-C++ (Figure 12).
+  Constraint ModuleVersion : uint32_t {
+    Summary "supported module version"
+    CppConstraint "$_self <= 5"
+  }
+
+  Operation module {
+    Attributes (sym_name: Optional<string>, version: Optional<ModuleVersion>)
+    Region body {
+      Arguments ()
+    }
+    Summary "A top-level container operation"
+    CppConstraint "$_self.body().hasOneBlock()"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType)
+    Region body {
+      Arguments ()
+    }
+    Summary "A function definition"
+    CppConstraint "$_self.body().args() == $_self.function_type().inputs()"
+  }
+
+  Operation unrealized_conversion_cast {
+    Operands (inputs: Variadic<!AnyType>)
+    Results (outputs: Variadic<!AnyType>)
+    Summary "A live cast materialized during partial conversion"
+  }
+}
+|}

@@ -1,0 +1,153 @@
+(** The [complex] dialect: arithmetic on complex numbers. A pure "classical
+    SSA" dialect: no variadics, regions, attributes or successors —
+    everything is expressible in plain IRDL (Figure 11). *)
+
+let name = "complex"
+let description = "Complex arithmetic"
+
+let source =
+  {|
+Dialect complex {
+  Alias !AnyFloat = !AnyOf<!bf16, !f16, !f32, !f64>
+  Alias !Complex = !builtin.complex
+
+  Operation abs {
+    ConstraintVars (T: !AnyFloat)
+    Operands (complex: !builtin.complex<!T>)
+    Results (result: !T)
+    Summary "Absolute value (modulus)"
+  }
+
+  Operation add {
+    ConstraintVars (T: !Complex)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Complex addition"
+  }
+
+  Operation sub {
+    ConstraintVars (T: !Complex)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Complex subtraction"
+  }
+
+  Operation mul {
+    ConstraintVars (T: !Complex)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Complex multiplication"
+  }
+
+  Operation div {
+    ConstraintVars (T: !Complex)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Complex division"
+  }
+
+  Operation neg {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex negation"
+  }
+
+  Operation create {
+    ConstraintVars (T: !AnyFloat)
+    Operands (real: !T, imaginary: !T)
+    Results (complex: !builtin.complex<!T>)
+    Summary "Build a complex number from real and imaginary parts"
+  }
+
+  Operation re {
+    ConstraintVars (T: !AnyFloat)
+    Operands (complex: !builtin.complex<!T>)
+    Results (result: !T)
+    Summary "Real part"
+  }
+
+  Operation im {
+    ConstraintVars (T: !AnyFloat)
+    Operands (complex: !builtin.complex<!T>)
+    Results (result: !T)
+    Summary "Imaginary part"
+  }
+
+  Operation exp {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex exponential"
+  }
+
+  Operation expm1 {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "exp(x) - 1"
+  }
+
+  Operation log {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex natural logarithm"
+  }
+
+  Operation log1p {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "log(1 + x)"
+  }
+
+  Operation pow {
+    ConstraintVars (T: !Complex)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Complex power"
+  }
+
+  Operation sqrt {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex square root"
+  }
+
+  Operation sign {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex sign"
+  }
+
+  Operation sin {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex sine"
+  }
+
+  Operation cos {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex cosine"
+  }
+
+  Operation tanh {
+    ConstraintVars (T: !Complex)
+    Operands (complex: !T)
+    Results (result: !T)
+    Summary "Complex hyperbolic tangent"
+  }
+
+  Operation constant {
+    Results (complex: !Complex)
+    Attributes (value: array<#AnyAttr>)
+    Summary "A complex constant"
+  }
+}
+|}

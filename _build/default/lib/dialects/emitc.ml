@@ -1,0 +1,74 @@
+(** The [emitc] dialect: printable C code. *)
+
+let name = "emitc"
+let description = "Printable C code"
+
+let source =
+  {|
+Dialect emitc {
+  Type opaque {
+    Parameters (value: string)
+    Summary "An opaque C type spelled out as a string"
+  }
+
+  Type ptr {
+    Parameters (pointee: !AnyType)
+    Summary "A C pointer"
+  }
+
+  Type array {
+    Parameters (shape: array<int64_t>, elementType: !AnyType)
+    Summary "A C array"
+  }
+
+  Attribute opaque_attr {
+    Parameters (value: string)
+    Summary "An opaque C expression"
+  }
+
+  Attribute include_attr {
+    Parameters (file: string, isStandard: bool)
+    Summary "A #include directive"
+  }
+
+  Attribute pointer_literal {
+    Parameters (value: string)
+    Summary "A pointer literal such as NULL"
+  }
+
+  Operation apply {
+    Operands (operand: !AnyType)
+    Results (result: !AnyType)
+    Attributes (applicableOperator: string)
+    Summary "Apply a C operator such as * or & to an operand"
+    CppConstraint "$_self.applicableOperator() == \"&\" || $_self.applicableOperator() == \"*\""
+  }
+
+  Operation call {
+    Operands (operands: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (callee: string, args: Optional<array<#AnyAttr>>,
+                template_args: Optional<array<#AnyAttr>>)
+    Summary "Call an opaque C function"
+    CppConstraint "$_self.args() == nullptr || argsReferenceOperands($_self)"
+  }
+
+  Operation constant {
+    Results (result: !AnyType)
+    Attributes (value: #AnyAttr)
+    Summary "A C constant"
+    CppConstraint "$_self.value().getType() == $_self.result().getType()"
+  }
+
+  Operation include {
+    Attributes (include: string, is_standard_include: Optional<bool>)
+    Summary "A standalone #include"
+  }
+
+  Operation yield {
+    Operands (result: Optional<!AnyType>)
+    Successors ()
+    Summary "Terminates an emitc region"
+  }
+}
+|}

@@ -1,0 +1,232 @@
+(** The [gpu] dialect: a retargetable GPU programming abstraction.
+    [shuffle] is one of the corpus's rare two-result ops (Figure 6a), and
+    [launch_func] needs segment sizes for its variadic groups. *)
+
+let name = "gpu"
+let description = "GPU abstraction"
+
+let source =
+  {|
+Dialect gpu {
+  Type async_token {
+    Summary "A token for asynchronous GPU execution"
+  }
+
+  Type mma_matrix {
+    Parameters (shape: array<int64_t>, elementType: !AnyType, operand: string)
+    Summary "A matrix fragment for cooperative matrix multiply"
+    CppConstraint "$_self.shape.size() == 2"
+  }
+
+  Enum dimension { x, y, z }
+  Enum all_reduce_kind { add, and, max, min, mul, or, xor }
+
+  Alias !MemRef = !builtin.memref
+
+  Operation all_reduce {
+    Operands (value: !AnyType)
+    Results (result: !AnyType)
+    Attributes (op: Optional<all_reduce_kind>)
+    Region body {
+      Arguments (lhs: !AnyType, rhs: !AnyType)
+    }
+    Summary "Reduce a value across a workgroup"
+    CppConstraint "$_self.body().empty() != ($_self.op() == nullptr)"
+  }
+
+  Operation alloc {
+    Operands (asyncDependencies: Variadic<!async_token>,
+              dynamicSizes: Variadic<!index>, symbolOperands: Variadic<!index>)
+    Results (memref: !MemRef, asyncToken: Optional<!async_token>)
+    Summary "Allocate device memory"
+    CppConstraint "$_self.dynamicSizes().size() == $_self.memref().getType().getNumDynamicDims()"
+  }
+
+  Operation barrier {
+    Summary "Synchronize all work items of a workgroup"
+  }
+
+  Operation block_dim {
+    Results (result: !index)
+    Attributes (dimension: dimension)
+    Summary "Workgroup size along a dimension"
+  }
+
+  Operation block_id {
+    Results (result: !index)
+    Attributes (dimension: dimension)
+    Summary "Workgroup id along a dimension"
+  }
+
+  Operation dealloc {
+    Operands (asyncDependencies: Variadic<!async_token>, memref: !MemRef)
+    Results (asyncToken: Optional<!async_token>)
+    Summary "Free device memory"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType,
+                workgroup_attributions: Optional<i64_attr>,
+                kernel: Optional<#AnyAttr>)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+    }
+    Summary "A function executable on a GPU"
+    CppConstraint "!$_self.body().empty()"
+  }
+
+  Operation module {
+    Attributes (sym_name: string)
+    Region bodyRegion {
+      Arguments ()
+    }
+    Summary "A module containing GPU kernels"
+  }
+
+  Operation module_end {
+    Successors ()
+    Summary "Terminates a gpu.module"
+  }
+
+  Operation grid_dim {
+    Results (result: !index)
+    Attributes (dimension: dimension)
+    Summary "Grid size along a dimension"
+  }
+
+  Operation host_register {
+    Operands (value: !builtin.unranked_memref)
+    Summary "Map host memory into the device address space"
+  }
+
+  Operation launch {
+    Operands (asyncDependencies: Variadic<!async_token>,
+              gridSizeX: !index, gridSizeY: !index, gridSizeZ: !index,
+              blockSizeX: !index, blockSizeY: !index, blockSizeZ: !index,
+              dynamicSharedMemorySize: Optional<!i32>)
+    Results (asyncToken: Optional<!async_token>)
+    Region body {
+      Arguments (ids: Variadic<!index>)
+    }
+    Summary "Launch a kernel given as a region"
+    CppConstraint "$_self.body().getNumArguments() == 12"
+  }
+
+  Operation launch_func {
+    Operands (asyncDependencies: Variadic<!async_token>,
+              gridSizeX: !index, gridSizeY: !index, gridSizeZ: !index,
+              blockSizeX: !index, blockSizeY: !index, blockSizeZ: !index,
+              dynamicSharedMemorySize: Optional<!i32>,
+              kernelOperands: Variadic<!AnyType>)
+    Results (asyncToken: Optional<!async_token>)
+    Attributes (kernel: symbol)
+    Summary "Launch a kernel by symbol"
+    CppConstraint "kernelSignatureMatches($_self)"
+  }
+
+  Operation memcpy {
+    Operands (asyncDependencies: Variadic<!async_token>, dst: !MemRef,
+              src: !MemRef)
+    Results (asyncToken: Optional<!async_token>)
+    Summary "Copy between host and device buffers"
+    CppConstraint "$_self.dst().getType().getShape() == $_self.src().getType().getShape()"
+  }
+
+  Operation memset {
+    Operands (asyncDependencies: Variadic<!async_token>, dst: !MemRef,
+              value: !AnyType)
+    Results (asyncToken: Optional<!async_token>)
+    Summary "Fill a device buffer with a value"
+  }
+
+  Operation printf {
+    Operands (args: Variadic<!AnyType>)
+    Attributes (format: string)
+    Summary "Device-side printf"
+  }
+
+  Operation return {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Return from a gpu.func"
+  }
+
+  Operation set_default_device {
+    Operands (devIndex: !i32)
+    Summary "Select the default device"
+  }
+
+  Operation shuffle {
+    Operands (value: !AnyType, offset: !i32, width: !i32)
+    Results (shuffleResult: !AnyType, valid: !i1)
+    Attributes (mode: shuffle_mode)
+    Summary "Exchange values between work items of a subgroup"
+    CppConstraint "$_self.value().getType() == $_self.shuffleResult().getType()"
+  }
+  Enum shuffle_mode { xor, down, up, idx }
+
+  Operation subgroup_id {
+    Results (result: !index)
+    Summary "The id of the current subgroup"
+  }
+
+  Operation subgroup_size {
+    Results (result: !index)
+    Summary "The number of work items in a subgroup"
+  }
+
+  Operation num_subgroups {
+    Results (result: !index)
+    Summary "The number of subgroups in a workgroup"
+  }
+
+  Operation subgroup_mma_load_matrix {
+    Operands (srcMemref: !MemRef, indices: Variadic<!index>)
+    Results (res: !mma_matrix)
+    Attributes (leadDimension: i64_attr)
+    Summary "Load a cooperative matrix fragment"
+  }
+
+  Operation subgroup_mma_store_matrix {
+    Operands (src: !mma_matrix, dstMemref: !MemRef, indices: Variadic<!index>)
+    Attributes (leadDimension: i64_attr)
+    Summary "Store a cooperative matrix fragment"
+  }
+
+  Operation subgroup_mma_compute {
+    Operands (opA: !mma_matrix, opB: !mma_matrix, opC: !mma_matrix)
+    Results (res: !mma_matrix)
+    Summary "Cooperative matrix multiply-accumulate"
+    CppConstraint "$_self.opC().getType() == $_self.res().getType()"
+  }
+
+  Operation subgroup_mma_constant_matrix {
+    Operands (value: !AnyType)
+    Results (res: !mma_matrix)
+    Summary "Broadcast a scalar into a matrix fragment"
+  }
+
+  Operation terminator {
+    Successors ()
+    Summary "Terminates a gpu.launch region"
+  }
+
+  Operation thread_id {
+    Results (result: !index)
+    Attributes (dimension: dimension)
+    Summary "Work-item id along a dimension"
+  }
+
+  Operation wait {
+    Operands (asyncDependencies: Variadic<!async_token>)
+    Results (asyncToken: Optional<!async_token>)
+    Summary "Wait for async GPU operations"
+  }
+
+  Operation yield {
+    Operands (values: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates gpu regions, forwarding values"
+  }
+}
+|}

@@ -1,0 +1,86 @@
+(** The [linalg] dialect: high-level linear algebra operations on tensor or
+    buffer operands. [generic] is the corpus's showcase of multiple variadic
+    operand groups (requiring [operandSegmentSizes], §4.6). *)
+
+let name = "linalg"
+let description = "High-level linear algebra operations"
+
+let source =
+  {|
+Dialect linalg {
+  Alias !AnyTensor = !builtin.tensor
+  Alias !AnyMemRef = !builtin.memref
+  Alias !AnyShaped = AnyOf<!AnyTensor, !AnyMemRef>
+
+  Type range {
+    Parameters ()
+    Summary "A (min, max, step) triple"
+  }
+
+  Operation generic {
+    Operands (inputs: Variadic<!AnyShaped>, outputs: Variadic<!AnyShaped>)
+    Results (result_tensors: Variadic<!AnyTensor>)
+    Attributes (indexing_maps: array<#AnyAttr>, iterator_types: array<string>)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "A generic structured linear-algebra operation"
+    CppConstraint "$_self.indexing_maps().size() == $_self.inputs().size() + $_self.outputs().size()"
+  }
+
+  Operation yield {
+    Operands (values: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates a linalg body region"
+    CppConstraint "$_self.values().getTypes() == $_self.parent().outputElementTypes()"
+  }
+
+  Operation index {
+    Results (result: !index)
+    Attributes (dim: i64_attr)
+    Summary "The index of an iteration dimension"
+    CppConstraint "$_self.dim() < $_self.parent().getNumLoops()"
+  }
+
+  Operation init_tensor {
+    Operands (sizes: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Attributes (static_sizes: array<int64_t>)
+    Summary "Materialize an undefined tensor of the given shape"
+    CppConstraint "$_self.static_sizes().size() == $_self.result().getType().getRank()"
+  }
+
+  Operation fill {
+    Operands (value: !AnyType, output: !AnyShaped)
+    Results (result: Variadic<!AnyTensor>)
+    Summary "Fill an output with a scalar"
+    CppConstraint "$_self.value().getType() == $_self.output().getType().getElementType()"
+  }
+
+  Operation copy {
+    Operands (input: !AnyShaped, output: !AnyShaped)
+    Summary "Copy between shaped values"
+    CppConstraint "$_self.input().getType().getShape() == $_self.output().getType().getShape()"
+  }
+
+  Operation dot {
+    Operands (lhs: !AnyShaped, rhs: !AnyShaped, out: !AnyShaped)
+    Results (result: Variadic<!AnyTensor>)
+    Summary "Vector-vector dot product"
+  }
+
+  Operation matvec {
+    Operands (lhs: !AnyShaped, rhs: !AnyShaped, out: !AnyShaped)
+    Results (result: Variadic<!AnyTensor>)
+    Summary "Matrix-vector product"
+  }
+
+  Operation matmul {
+    Operands (lhs: !AnyShaped, rhs: !AnyShaped, out: !AnyShaped)
+    Results (result: Variadic<!AnyTensor>)
+    Summary "Matrix-matrix product"
+    CppConstraint "$_self.lhs().getType().getDimSize(1) == $_self.rhs().getType().getDimSize(0)"
+  }
+}
+|}

@@ -1,0 +1,688 @@
+(** The [llvm] dialect: LLVM's intermediate representation embedded in MLIR.
+
+    One of the two largest dialects (Figure 4). Its [struct] type carries a
+    native body parameter and the "struct opacity" IRDL-C++ constraint —
+    the largest of the three native-constraint categories of Figure 12. *)
+
+let name = "llvm"
+let description = "LLVM's intermediate representation in MLIR"
+
+let int_binops =
+  [ "add"; "sub"; "mul"; "udiv"; "sdiv"; "urem"; "srem"; "and"; "or"; "xor";
+    "shl"; "lshr"; "ashr" ]
+
+let float_binops = [ "fadd"; "fsub"; "fmul"; "fdiv"; "frem" ]
+
+let casts =
+  [ "trunc"; "zext"; "sext"; "fptrunc"; "fpext"; "fptoui"; "fptosi";
+    "uitofp"; "sitofp"; "ptrtoint"; "inttoptr"; "bitcast"; "addrspacecast" ]
+
+let unary_float_intrinsics =
+  [ "sqrt"; "sin"; "cos"; "exp"; "exp2"; "log"; "log2"; "log10"; "fabs";
+    "floor"; "ceil"; "round"; "nearbyint"; "rint" ]
+
+let binary_float_intrinsics =
+  [ "pow"; "minnum"; "maxnum"; "minimum"; "maximum"; "copysign" ]
+
+let bit_intrinsics = [ "bswap"; "bitreverse"; "ctpop" ]
+
+let overflow_intrinsics =
+  [ "sadd_with_overflow"; "uadd_with_overflow"; "ssub_with_overflow";
+    "usub_with_overflow"; "smul_with_overflow"; "umul_with_overflow" ]
+
+let sat_intrinsics = [ "sadd_sat"; "uadd_sat"; "ssub_sat"; "usub_sat" ]
+
+let vector_reductions =
+  [ "add"; "mul"; "and"; "or"; "xor"; "smax"; "smin"; "umax"; "umin";
+    "fmax"; "fmin" ]
+
+let coro_intrinsics =
+  [ "id"; "begin"; "size"; "save"; "suspend"; "end"; "free"; "resume" ]
+
+let source =
+  let buf = Buffer.create 32768 in
+  Buffer.add_string buf
+    {|
+Dialect llvm {
+  Enum linkage { private_, internal, available_externally, linkonce, weak,
+                 common, appending, extern_weak, linkonce_odr, weak_odr,
+                 external }
+  Enum icmp_predicate { eq, ne, slt, sle, sgt, sge, ult, ule, ugt, uge }
+  Enum fcmp_predicate { false_, oeq, ogt, oge, olt, ole, one, ord, ueq, ugt,
+                        uge, ult, ule, une, uno, true_ }
+  Enum atomic_ordering { not_atomic, unordered, monotonic, acquire, release,
+                         acq_rel, seq_cst }
+
+  TypeOrAttrParam StructBodyParam {
+    Summary "The field list of an identified struct"
+    CppClassName "LLVMStructTypeStorage*"
+    CppParser "parseStructBody($self)"
+    CppPrinter "printStructBody($self)"
+  }
+
+  TypeOrAttrParam DINodeParam {
+    Summary "A debug-info metadata node"
+    CppClassName "llvm::DINode*"
+    CppParser "parseDINode($self)"
+    CppPrinter "printDINode($self)"
+  }
+
+  Type void {
+    Summary "The void type"
+  }
+
+  Type ptr {
+    Parameters (addressSpace: uint32_t)
+    Summary "An (opaque) LLVM pointer"
+  }
+
+  Type struct {
+    Parameters (identifier: string, body: StructBodyParam, packed: bool)
+    Summary "An LLVM aggregate struct"
+    CppConstraint "$_self.isIdentified() || !$_self.isPacked()"
+  }
+
+  Type array {
+    Parameters (elementType: !AnyType, numElements: uint64_t)
+    Summary "An LLVM array"
+    CppConstraint "LLVMArrayType::isValidElementType($_self.elementType)"
+  }
+
+  Type fixed_vec {
+    Parameters (elementType: !AnyType, numElements: uint64_t)
+    Summary "A fixed-length LLVM vector"
+    CppConstraint "$_self.numElements >= 1"
+  }
+
+  Type scalable_vec {
+    Parameters (elementType: !AnyType, minNumElements: uint64_t)
+    Summary "A scalable LLVM vector"
+  }
+
+  Type func {
+    Parameters (result: !AnyType, arguments: array<!AnyType>, isVarArg: bool)
+    Summary "An LLVM function type"
+  }
+
+  Type metadata {
+    Summary "LLVM metadata"
+  }
+
+  Type token {
+    Summary "The LLVM token type"
+  }
+
+  Type label {
+    Summary "The LLVM label type"
+  }
+
+  Type x86_mmx {
+    Summary "The x86 MMX register type"
+  }
+
+  Attribute linkage_attr {
+    Parameters (linkage: linkage)
+    Summary "Symbol linkage"
+  }
+
+  Attribute fastmath {
+    Parameters (flags: array<string>)
+    Summary "Fast-math flags"
+  }
+
+  Attribute loop_options {
+    Parameters (options: array<#AnyAttr>)
+    Summary "Loop metadata options"
+    CppConstraint "optionsAreSorted($_self.options)"
+  }
+
+  Attribute di_subprogram {
+    Parameters (node: DINodeParam)
+    Summary "Debug-info subprogram reference"
+  }
+
+  // Struct-opacity checks need IRDL-C++ (the largest category of Figure 12).
+  Constraint NonOpaquePointee : !AnyType {
+    Summary "a pointee type that is not an opaque struct"
+    CppConstraint "!isOpaqueStruct($_self)"
+  }
+
+  Constraint NonOpaqueAggregate : AnyOf<!struct, !array> {
+    Summary "an aggregate whose struct members are non-opaque"
+    CppConstraint "!hasOpaqueMember($_self)"
+  }
+
+  Alias !Int = !AnyOf<!i1, !i8, !i16, !i32, !i64>
+  Alias !Float = !AnyOf<!bf16, !f16, !f32, !f64>
+|};
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    ConstraintVars (T: AnyOf<!Int, !fixed_vec>)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+    Summary "LLVM '%s' instruction"
+  }
+|}
+           op op))
+    int_binops;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    ConstraintVars (T: AnyOf<!Float, !fixed_vec>)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+    Attributes (fastmathFlags: Optional<#fastmath>)
+    Summary "LLVM '%s' instruction"
+  }
+|}
+           op op))
+    float_binops;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    Operands (arg: !AnyType)
+    Results (res: !AnyType)
+    Summary "LLVM '%s' cast"
+    CppConstraint "areCastCompatible($_self.arg().getType(), $_self.res().getType())"
+  }
+|}
+           op op))
+    casts;
+  Buffer.add_string buf
+    {|
+  Operation fneg {
+    ConstraintVars (T: AnyOf<!Float, !fixed_vec>)
+    Operands (operand: !T)
+    Results (res: !T)
+    Summary "LLVM 'fneg' instruction"
+  }
+
+  Operation icmp {
+    ConstraintVars (T: !AnyType)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !i1)
+    Attributes (predicate: icmp_predicate)
+    Summary "LLVM integer comparison"
+  }
+
+  Operation fcmp {
+    ConstraintVars (T: !AnyType)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !i1)
+    Attributes (predicate: fcmp_predicate, fastmathFlags: Optional<#fastmath>)
+    Summary "LLVM floating-point comparison"
+  }
+
+  Operation alloca {
+    Operands (arraySize: !Int)
+    Results (res: !ptr)
+    Attributes (alignment: Optional<i64_attr>, elem_type: Optional<NonOpaquePointee>)
+    Summary "Stack allocation"
+  }
+
+  Operation load {
+    Operands (addr: !ptr)
+    Results (res: NonOpaquePointee)
+    Attributes (alignment: Optional<i64_attr>, volatile_: Optional<bool>,
+                nontemporal: Optional<bool>)
+    Summary "Memory load"
+  }
+
+  Operation store {
+    Operands (value: NonOpaquePointee, addr: !ptr)
+    Attributes (alignment: Optional<i64_attr>, volatile_: Optional<bool>)
+    Summary "Memory store"
+  }
+
+  Operation getelementptr {
+    Operands (base: !ptr, dynamicIndices: Variadic<!Int>)
+    Results (res: !ptr)
+    Attributes (rawConstantIndices: array<int32_t>, elem_type: Optional<#AnyAttr>)
+    Summary "Address computation"
+    CppConstraint "!baseIsOpaqueStruct($_self) || $_self.elem_type() != nullptr"
+  }
+
+  Operation fence {
+    Attributes (ordering: atomic_ordering, syncscope: Optional<string>)
+    Summary "Memory fence"
+  }
+
+  Operation atomicrmw {
+    Operands (ptr: !ptr, val: !AnyType)
+    Results (res: !AnyType)
+    Attributes (bin_op: string, ordering: atomic_ordering)
+    Summary "Atomic read-modify-write"
+  }
+
+  Operation cmpxchg {
+    Operands (ptr: !ptr, cmp: !AnyType, val: !AnyType)
+    Results (res: NonOpaqueAggregate)
+    Attributes (success_ordering: atomic_ordering,
+                failure_ordering: atomic_ordering)
+    Summary "Atomic compare-and-exchange"
+    CppConstraint "$_self.cmp().getType() == $_self.val().getType()"
+  }
+
+  Operation extractvalue {
+    Operands (container: NonOpaqueAggregate)
+    Results (res: !AnyType)
+    Attributes (position: array<int64_t>)
+    Summary "Extract from an aggregate"
+    CppConstraint "positionIsValid($_self.container().getType(), $_self.position())"
+  }
+
+  Operation insertvalue {
+    Operands (container: NonOpaqueAggregate, value: !AnyType)
+    Results (res: NonOpaqueAggregate)
+    Attributes (position: array<int64_t>)
+    Summary "Insert into an aggregate"
+    CppConstraint "$_self.container().getType() == $_self.res().getType()"
+  }
+
+  Operation extractelement {
+    Operands (vector: !fixed_vec, position: !Int)
+    Results (res: !AnyType)
+    Summary "Extract a vector lane"
+  }
+
+  Operation insertelement {
+    Operands (vector: !fixed_vec, value: !AnyType, position: !Int)
+    Results (res: !fixed_vec)
+    Summary "Insert a vector lane"
+  }
+
+  Operation shufflevector {
+    Operands (v1: !fixed_vec, v2: !fixed_vec)
+    Results (res: !fixed_vec)
+    Attributes (mask: array<int32_t>)
+    Summary "Shuffle two vectors"
+    CppConstraint "$_self.v1().getType() == $_self.v2().getType()"
+  }
+
+  Operation select {
+    ConstraintVars (T: !AnyType)
+    Operands (condition: !i1, trueValue: !T, falseValue: !T)
+    Results (res: !T)
+    Summary "Value selection"
+  }
+
+  Operation freeze {
+    ConstraintVars (T: !AnyType)
+    Operands (val: !T)
+    Results (res: !T)
+    Summary "Freeze a possibly-poison value"
+  }
+
+  Operation br {
+    Operands (destOperands: Variadic<!AnyType>)
+    Successors (dest)
+    Summary "Unconditional branch"
+  }
+
+  Operation cond_br {
+    Operands (condition: !i1, trueDestOperands: Variadic<!AnyType>,
+              falseDestOperands: Variadic<!AnyType>)
+    Successors (trueDest, falseDest)
+    Summary "Conditional branch"
+  }
+
+  Operation switch {
+    Operands (value: !Int, defaultOperands: Variadic<!AnyType>,
+              caseOperands: Variadic<!AnyType>)
+    Attributes (case_values: Optional<array<int64_t>>)
+    Successors (defaultDestination, caseDestinations)
+    Summary "Multi-way branch"
+  }
+
+  Operation call {
+    Operands (callee_operands: Variadic<!AnyType>)
+    Results (result: Optional<!AnyType>)
+    Attributes (callee: Optional<symbol>, fastmathFlags: Optional<#fastmath>)
+    Summary "Direct or indirect call"
+  }
+
+  Operation invoke {
+    Operands (callee_operands: Variadic<!AnyType>,
+              normalDestOperands: Variadic<!AnyType>,
+              unwindDestOperands: Variadic<!AnyType>)
+    Results (result: Optional<!AnyType>)
+    Attributes (callee: Optional<symbol>)
+    Successors (normalDest, unwindDest)
+    Summary "Call with exception edges"
+  }
+
+  Operation landingpad {
+    Operands (clauses: Variadic<!AnyType>)
+    Results (res: NonOpaqueAggregate)
+    Attributes (cleanup: Optional<bool>)
+    Summary "Exception landing pad"
+  }
+
+  Operation resume {
+    Operands (value: !AnyType)
+    Successors ()
+    Summary "Resume exception propagation"
+  }
+
+  Operation return {
+    Operands (args: Variadic<!AnyType>)
+    Successors ()
+    Summary "Return from a function"
+  }
+
+  Operation unreachable {
+    Successors ()
+    Summary "Unreachable terminator"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType,
+                linkage: Optional<#linkage_attr>, personality: Optional<symbol>,
+                garbageCollector: Optional<string>)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+    }
+    Summary "An LLVM function"
+    CppConstraint "$_self.body().empty() || $_self.body().args() == $_self.function_type().params()"
+  }
+
+  Operation mlir_global {
+    Attributes (sym_name: string, global_type: NonOpaquePointee, constant: Optional<bool>,
+                value: Optional<#AnyAttr>, linkage: Optional<#linkage_attr>,
+                alignment: Optional<i64_attr>)
+    Region initializer {
+      Arguments ()
+    }
+    Summary "A global variable"
+    CppConstraint "$_self.value() != nullptr || !$_self.initializer().empty() || isDeclaration($_self)"
+  }
+
+  Operation mlir_addressof {
+    Results (res: !ptr)
+    Attributes (global_name: symbol)
+    Summary "The address of a global"
+  }
+
+  Operation mlir_constant {
+    Results (res: !AnyType)
+    Attributes (value: #AnyAttr)
+    Summary "An LLVM constant"
+    CppConstraint "valueFitsType($_self.value(), $_self.res().getType())"
+  }
+
+  Operation mlir_null {
+    Results (res: !ptr)
+    Summary "A null pointer"
+  }
+
+  Operation mlir_undef {
+    Results (res: !AnyType)
+    Summary "An undefined value"
+  }
+
+  Operation intr_memcpy {
+    Operands (dst: !ptr, src: !ptr, len: !Int, isVolatile: !i1)
+    Summary "memcpy intrinsic"
+  }
+
+  Operation intr_memmove {
+    Operands (dst: !ptr, src: !ptr, len: !Int, isVolatile: !i1)
+    Summary "memmove intrinsic"
+  }
+
+  Operation intr_memset {
+    Operands (dst: !ptr, val: !i8, len: !Int, isVolatile: !i1)
+    Summary "memset intrinsic"
+  }
+
+  Operation intr_fma {
+    ConstraintVars (T: AnyOf<!Float, !fixed_vec>)
+    Operands (a: !T, b: !T, c: !T)
+    Results (res: !T)
+    Summary "fma intrinsic"
+  }
+
+  Operation intr_fmuladd {
+    ConstraintVars (T: AnyOf<!Float, !fixed_vec>)
+    Operands (a: !T, b: !T, c: !T)
+    Results (res: !T)
+    Summary "fmuladd intrinsic"
+  }
+
+  Operation intr_powi {
+    Operands (val: !Float, power: !i32)
+    Results (res: !Float)
+    Summary "powi intrinsic"
+  }
+
+  Operation intr_ctlz {
+    Operands (in: !Int, zero_undefined: !i1)
+    Results (res: !Int)
+    Summary "count-leading-zeros intrinsic"
+  }
+
+  Operation intr_cttz {
+    Operands (in: !Int, zero_undefined: !i1)
+    Results (res: !Int)
+    Summary "count-trailing-zeros intrinsic"
+  }
+
+  Operation intr_assume {
+    Operands (cond: !i1)
+    Summary "assume intrinsic"
+  }
+
+  Operation intr_expect {
+    ConstraintVars (T: !Int)
+    Operands (val: !T, expected: !T)
+    Results (res: !T)
+    Summary "expect intrinsic"
+  }
+
+  Operation intr_prefetch {
+    Operands (addr: !ptr, rw: !i32, hint: !i32, cache: !i32)
+    Summary "prefetch intrinsic"
+  }
+
+  Operation intr_stacksave {
+    Results (res: !ptr)
+    Summary "stacksave intrinsic"
+  }
+
+  Operation intr_stackrestore {
+    Operands (ptr: !ptr)
+    Summary "stackrestore intrinsic"
+  }
+
+  Operation intr_vastart {
+    Operands (arg_list: !ptr)
+    Summary "va_start intrinsic"
+  }
+
+  Operation intr_vaend {
+    Operands (arg_list: !ptr)
+    Summary "va_end intrinsic"
+  }
+
+  Operation intr_vacopy {
+    Operands (dest_list: !ptr, src_list: !ptr)
+    Summary "va_copy intrinsic"
+  }
+
+  Operation intr_masked_load {
+    Operands (data: !ptr, mask: !fixed_vec, pass_thru: Variadic<!fixed_vec>)
+    Results (res: !fixed_vec)
+    Attributes (alignment: i32_attr)
+    Summary "masked load intrinsic"
+  }
+
+  Operation intr_masked_store {
+    Operands (value: !fixed_vec, data: !ptr, mask: !fixed_vec)
+    Attributes (alignment: i32_attr)
+    Summary "masked store intrinsic"
+  }
+
+  Operation intr_masked_gather {
+    Operands (ptrs: !fixed_vec, mask: !fixed_vec, pass_thru: Variadic<!fixed_vec>)
+    Results (res: !fixed_vec)
+    Attributes (alignment: i32_attr)
+    Summary "masked gather intrinsic"
+  }
+
+  Operation intr_masked_scatter {
+    Operands (value: !fixed_vec, ptrs: !fixed_vec, mask: !fixed_vec)
+    Attributes (alignment: i32_attr)
+    Summary "masked scatter intrinsic"
+  }
+
+  Operation intr_matrix_multiply {
+    Operands (lhs: !fixed_vec, rhs: !fixed_vec)
+    Results (res: !fixed_vec)
+    Attributes (lhs_rows: i32_attr, lhs_columns: i32_attr,
+                rhs_columns: i32_attr)
+    Summary "matrix multiply intrinsic"
+  }
+
+  Operation intr_matrix_transpose {
+    Operands (matrix: !fixed_vec)
+    Results (res: !fixed_vec)
+    Attributes (rows: i32_attr, columns: i32_attr)
+    Summary "matrix transpose intrinsic"
+  }
+
+  Operation intr_lifetime_start {
+    Operands (size: !i64, ptr: !ptr)
+    Summary "lifetime.start intrinsic"
+  }
+
+  Operation intr_lifetime_end {
+    Operands (size: !i64, ptr: !ptr)
+    Summary "lifetime.end intrinsic"
+  }
+
+  Operation intr_dbg_value {
+    Operands (value: !AnyType)
+    Attributes (varInfo: #di_subprogram)
+    Summary "dbg.value intrinsic"
+  }
+
+  Operation intr_dbg_declare {
+    Operands (addr: !ptr)
+    Attributes (varInfo: #di_subprogram)
+    Summary "dbg.declare intrinsic"
+  }
+
+  Operation intr_eh_typeid_for {
+    Operands (type_info: !ptr)
+    Results (res: !i32)
+    Summary "eh.typeid.for intrinsic"
+  }
+|};
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_%s {
+    ConstraintVars (T: AnyOf<!Float, !fixed_vec>)
+    Operands (in: !T)
+    Results (res: !T)
+    Summary "%s intrinsic"
+  }
+|}
+           op op))
+    unary_float_intrinsics;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_%s {
+    ConstraintVars (T: AnyOf<!Float, !fixed_vec>)
+    Operands (a: !T, b: !T)
+    Results (res: !T)
+    Summary "%s intrinsic"
+  }
+|}
+           op op))
+    binary_float_intrinsics;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_%s {
+    ConstraintVars (T: !Int)
+    Operands (in: !T)
+    Results (res: !T)
+    Summary "%s intrinsic"
+  }
+|}
+           op op))
+    bit_intrinsics;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_%s {
+    ConstraintVars (T: !Int)
+    Operands (a: !T, b: !T)
+    Results (res: NonOpaqueAggregate)
+    Summary "%s intrinsic"
+  }
+|}
+           op op))
+    overflow_intrinsics;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_%s {
+    ConstraintVars (T: !Int)
+    Operands (a: !T, b: !T)
+    Results (res: !T)
+    Summary "%s intrinsic"
+  }
+|}
+           op op))
+    sat_intrinsics;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_vector_reduce_%s {
+    Operands (in: !fixed_vec)
+    Results (res: !AnyType)
+    Summary "vector.reduce.%s intrinsic"
+  }
+|}
+           op op))
+    vector_reductions;
+  List.iter
+    (fun op ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation intr_coro_%s {
+    Operands (args: Variadic<!AnyType>)
+    Results (res: Optional<!AnyType>)
+    Summary "coro.%s intrinsic"
+  }
+|}
+           op op))
+    coro_intrinsics;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

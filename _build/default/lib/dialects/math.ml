@@ -1,0 +1,182 @@
+(** The [math] dialect: scalar arithmetic beyond simple operations.
+    Like [complex], fully expressible in declarative IRDL. *)
+
+let name = "math"
+let description = "Scalar arithmetic beyond simple operations"
+
+let source =
+  {|
+Dialect math {
+  Alias !AnyFloat = !AnyOf<!bf16, !f16, !f32, !f64>
+  Alias !FloatLike = AnyOf<!AnyFloat, !builtin.vector, !builtin.tensor>
+  Alias !IntLike = AnyOf<!i1, !i8, !i16, !i32, !i64, !builtin.vector, !builtin.tensor>
+
+  Operation abs {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Floating-point absolute value"
+  }
+
+  Operation atan {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Arcus tangent"
+  }
+
+  Operation atan2 {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Two-argument arcus tangent"
+  }
+
+  Operation ceil {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Round towards positive infinity"
+  }
+
+  Operation copysign {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Copy the sign of one value onto another"
+  }
+
+  Operation cos {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Cosine"
+  }
+
+  Operation sin {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Sine"
+  }
+
+  Operation ctlz {
+    ConstraintVars (T: !IntLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Count leading zeros"
+  }
+
+  Operation cttz {
+    ConstraintVars (T: !IntLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Count trailing zeros"
+  }
+
+  Operation ctpop {
+    ConstraintVars (T: !IntLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Count set bits"
+  }
+
+  Operation erf {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Error function"
+  }
+
+  Operation exp {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Base-e exponential"
+  }
+
+  Operation exp2 {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Base-2 exponential"
+  }
+
+  Operation expm1 {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "exp(x) - 1"
+  }
+
+  Operation floor {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Round towards negative infinity"
+  }
+
+  Operation fma {
+    ConstraintVars (T: !FloatLike)
+    Operands (a: !T, b: !T, c: !T)
+    Results (result: !T)
+    Summary "Fused multiply-add"
+  }
+
+  Operation log {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Natural logarithm"
+  }
+
+  Operation log10 {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Base-10 logarithm"
+  }
+
+  Operation log1p {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "log(1 + x)"
+  }
+
+  Operation log2 {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Base-2 logarithm"
+  }
+
+  Operation powf {
+    ConstraintVars (T: !FloatLike)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point power"
+  }
+
+  Operation rsqrt {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Reciprocal square root"
+  }
+
+  Operation sqrt {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Square root"
+  }
+
+  Operation tanh {
+    ConstraintVars (T: !FloatLike)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Hyperbolic tangent"
+  }
+}
+|}

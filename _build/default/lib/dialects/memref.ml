@@ -1,0 +1,232 @@
+(** The [memref] dialect: multi-dimensional memory references.
+
+    Carries the corpus's "stride check" IRDL-C++ constraints (Figure 12):
+    view-like operations require strided layouts, which plain IRDL cannot
+    express. *)
+
+let name = "memref"
+let description = "Multi-dimensional memory references"
+
+let source =
+  {|
+Dialect memref {
+  Alias !AnyMemRef = !builtin.memref
+  Alias !MemRefLike = AnyOf<!builtin.memref, !builtin.unranked_memref>
+  Alias !AnyTensor = !builtin.tensor
+
+  // Stride checks need IRDL-C++ (Figure 12).
+  Constraint Strided : !builtin.memref {
+    Summary "a memref with a strided layout"
+    CppConstraint "isStrided($_self)"
+  }
+
+  Constraint Alignment : uint64_t {
+    Summary "a power-of-two alignment"
+    CppConstraint "llvm::isPowerOf2_64($_self)"
+  }
+
+  Operation alloc {
+    Operands (dynamicSizes: Variadic<!index>, symbolOperands: Variadic<!index>)
+    Results (memref: !AnyMemRef)
+    Attributes (alignment: Optional<Alignment>)
+    Summary "Allocate a heap buffer"
+    CppConstraint "$_self.dynamicSizes().size() == $_self.memref().getType().getNumDynamicDims()"
+  }
+
+  Operation alloca {
+    Operands (dynamicSizes: Variadic<!index>, symbolOperands: Variadic<!index>)
+    Results (memref: !AnyMemRef)
+    Attributes (alignment: Optional<Alignment>)
+    Summary "Allocate stack memory"
+    CppConstraint "$_self.dynamicSizes().size() == $_self.memref().getType().getNumDynamicDims()"
+  }
+
+  Operation alloca_scope {
+    Results (results: Variadic<!AnyType>)
+    Region bodyRegion {
+      Arguments ()
+      Terminator alloca_scope.return
+    }
+    Summary "A scope delimiting stack allocation lifetime"
+  }
+
+  Operation alloca_scope.return {
+    Operands (results: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates an alloca_scope region"
+  }
+
+  Operation assume_alignment {
+    Operands (memref: !AnyMemRef)
+    Attributes (alignment: Alignment)
+    Summary "Assert a pointer alignment to the optimizer"
+  }
+
+  Operation atomic_rmw {
+    Operands (value: !AnyType, memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Attributes (kind: atomic_kind)
+    Summary "Atomic read-modify-write"
+    CppConstraint "$_self.value().getType() == $_self.memref().getType().getElementType()"
+  }
+  Enum atomic_kind { addf, addi, assign, maxf, maxs, maxu, minf, mins, minu, mulf, muli, ori, andi }
+
+  Operation atomic_yield {
+    Operands (result: !AnyType)
+    Successors ()
+    Summary "Terminates a generic_atomic_rmw region"
+  }
+
+  Operation generic_atomic_rmw {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Region atomic_body {
+      Arguments (current: !AnyType)
+      Terminator atomic_yield
+    }
+    Summary "Atomic read-modify-write with a user-defined region"
+  }
+
+  Operation cast {
+    Operands (source: !MemRefLike)
+    Results (dest: !MemRefLike)
+    Summary "Cast between compatible memref types"
+    CppConstraint "areCastCompatible($_self.source().getType(), $_self.dest().getType())"
+  }
+
+  Operation clone {
+    Operands (input: !MemRefLike)
+    Results (output: !MemRefLike)
+    Summary "Clone a buffer, maybe aliasing"
+  }
+
+  Operation copy {
+    Operands (source: Strided, target: Strided)
+    Summary "Copy between buffers with identical shapes"
+    CppConstraint "$_self.source().getType().getShape() == $_self.target().getType().getShape()"
+  }
+
+  Operation collapse_shape {
+    Operands (src: !AnyMemRef)
+    Results (result: !AnyMemRef)
+    Attributes (reassociation: array<#AnyAttr>)
+    Summary "Collapse contiguous dimension groups"
+    CppConstraint "$_self.reassociation().size() == $_self.result().getType().getRank()"
+  }
+
+  Operation expand_shape {
+    Operands (src: !AnyMemRef)
+    Results (result: !AnyMemRef)
+    Attributes (reassociation: array<#AnyAttr>)
+    Summary "Expand dimensions into contiguous groups"
+    CppConstraint "$_self.reassociation().size() == $_self.src().getType().getRank()"
+  }
+
+  Operation dealloc {
+    Operands (memref: !MemRefLike)
+    Summary "Free a heap buffer"
+  }
+
+  Operation dim {
+    Operands (source: !MemRefLike, index: !index)
+    Results (result: !index)
+    Summary "The size of one dimension"
+  }
+
+  Operation dma_start {
+    Operands (operands: Variadic<!AnyType>)
+    Summary "Start a DMA transfer"
+    CppConstraint "$_self.operands().size() >= 4"
+  }
+
+  Operation dma_wait {
+    Operands (tagMemRef: !AnyMemRef, tagIndices: Variadic<!index>,
+              numElements: !index)
+    Summary "Wait for a DMA transfer"
+  }
+
+  Operation get_global {
+    Results (result: !AnyMemRef)
+    Attributes (name: symbol)
+    Summary "Reference a global memref"
+  }
+
+  Operation global {
+    Attributes (sym_name: string, type: !AnyType,
+                initial_value: Optional<#AnyAttr>, constant: Optional<bool>,
+                alignment: Optional<Alignment>)
+    Summary "Declare a global memref"
+    CppConstraint "$_self.initial_value().getType() == $_self.type()"
+  }
+
+  Operation load {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Summary "Load one element"
+    CppConstraint "$_self.indices().size() == $_self.memref().getType().getRank()"
+  }
+
+  Operation store {
+    Operands (value: !AnyType, memref: !AnyMemRef, indices: Variadic<!index>)
+    Summary "Store one element"
+    CppConstraint "$_self.indices().size() == $_self.memref().getType().getRank()"
+  }
+
+  Operation prefetch {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Attributes (isWrite: bool, localityHint: i32_attr, isDataCache: bool)
+    Summary "Prefetch hint"
+  }
+
+  Operation rank {
+    Operands (memref: !MemRefLike)
+    Results (result: !index)
+    Summary "The rank of a memref"
+  }
+
+  Operation reinterpret_cast {
+    Operands (source: !MemRefLike, offsets: Variadic<!index>,
+              sizes: Variadic<!index>, strides: Variadic<!index>)
+    Results (result: Strided)
+    Attributes (static_offsets: array<int64_t>, static_sizes: array<int64_t>,
+                static_strides: array<int64_t>)
+    Summary "Reinterpret a buffer with new offset/sizes/strides"
+  }
+
+  Operation reshape {
+    Operands (source: !MemRefLike, shape: !AnyMemRef)
+    Results (result: !MemRefLike)
+    Summary "Reshape to a runtime shape"
+    CppConstraint "$_self.shape().getType().getRank() == 1"
+  }
+
+  Operation subview {
+    Operands (source: Strided, offsets: Variadic<!index>,
+              sizes: Variadic<!index>, strides: Variadic<!index>)
+    Results (result: Strided)
+    Attributes (static_offsets: array<int64_t>, static_sizes: array<int64_t>,
+                static_strides: array<int64_t>)
+    Summary "A strided view into a buffer"
+  }
+
+  Operation transpose {
+    Operands (in: Strided)
+    Results (result: Strided)
+    Attributes (permutation: #builtin.affine_map_attr)
+    Summary "A transposed strided view"
+    CppConstraint "$_self.permutation().isPermutation()"
+  }
+
+  Operation view {
+    Operands (source: Strided, byte_shift: !index, sizes: Variadic<!index>)
+    Results (result: !AnyMemRef)
+    Summary "A contiguous view with a byte offset"
+  }
+
+  Operation tensor_store {
+    Operands (tensor: !AnyTensor, memref: !AnyMemRef)
+    Summary "Store a tensor value into a buffer"
+    CppConstraint "$_self.tensor().getType().getShape() == $_self.memref().getType().getShape()"
+  }
+}
+|}

@@ -1,0 +1,153 @@
+(** The [nvvm] dialect: LLVM's IR for NVIDIA GPU compute kernels. *)
+
+let name = "nvvm"
+let description = "LLVM's IR for GPU compute kernels"
+
+let source =
+  {|
+Dialect nvvm {
+  Alias !Ptr = !llvm.ptr
+
+  Operation read_ptx_sreg_tid_x {
+    Results (res: !i32)
+    Summary "Thread id, x dimension"
+  }
+
+  Operation read_ptx_sreg_tid_y {
+    Results (res: !i32)
+    Summary "Thread id, y dimension"
+  }
+
+  Operation read_ptx_sreg_tid_z {
+    Results (res: !i32)
+    Summary "Thread id, z dimension"
+  }
+
+  Operation read_ptx_sreg_ntid_x {
+    Results (res: !i32)
+    Summary "Block dimension, x"
+  }
+
+  Operation read_ptx_sreg_ntid_y {
+    Results (res: !i32)
+    Summary "Block dimension, y"
+  }
+
+  Operation read_ptx_sreg_ntid_z {
+    Results (res: !i32)
+    Summary "Block dimension, z"
+  }
+
+  Operation read_ptx_sreg_ctaid_x {
+    Results (res: !i32)
+    Summary "Block id, x dimension"
+  }
+
+  Operation read_ptx_sreg_ctaid_y {
+    Results (res: !i32)
+    Summary "Block id, y dimension"
+  }
+
+  Operation read_ptx_sreg_ctaid_z {
+    Results (res: !i32)
+    Summary "Block id, z dimension"
+  }
+
+  Operation read_ptx_sreg_nctaid_x {
+    Results (res: !i32)
+    Summary "Grid dimension, x"
+  }
+
+  Operation read_ptx_sreg_nctaid_y {
+    Results (res: !i32)
+    Summary "Grid dimension, y"
+  }
+
+  Operation read_ptx_sreg_nctaid_z {
+    Results (res: !i32)
+    Summary "Grid dimension, z"
+  }
+
+  Operation read_ptx_sreg_laneid {
+    Results (res: !i32)
+    Summary "Lane id within the warp"
+  }
+
+  Operation read_ptx_sreg_warpsize {
+    Results (res: !i32)
+    Summary "Warp size"
+  }
+
+  Operation barrier0 {
+    Summary "Synchronize all threads in a block"
+  }
+
+  Operation shfl_sync {
+    Operands (dst: !i32, val: !AnyType, offset: !i32, mask_and_clamp: !i32)
+    Results (res: !AnyType)
+    Attributes (kind: shfl_kind, return_value_and_is_valid: Optional<bool>)
+    Summary "Warp shuffle"
+    CppConstraint "$_self.val().getType() == $_self.res().getTypeOrValidStruct()"
+  }
+  Enum shfl_kind { bfly, up, down, idx }
+
+  Operation vote_ballot_sync {
+    Operands (mask: !i32, pred: !i1)
+    Results (res: !i32)
+    Summary "Warp ballot vote"
+  }
+
+  Operation mma_sync {
+    Operands (args: Variadic<!AnyType>)
+    Results (res: !AnyType)
+    Attributes (shape: array<int64_t>)
+    Summary "Warp-level matrix multiply-accumulate"
+    CppConstraint "$_self.shape().size() == 3"
+  }
+
+  Operation cp_async_shared_global {
+    Operands (dst: !Ptr, src: !Ptr)
+    Attributes (size: i32_attr)
+    Summary "Asynchronous copy from global to shared memory"
+  }
+
+  Operation cp_async_commit_group {
+    Summary "Commit outstanding async copies"
+  }
+
+  Operation cp_async_wait_group {
+    Attributes (n: i32_attr)
+    Summary "Wait for async copy groups"
+  }
+
+  Operation wmma_load_tile {
+    Operands (ptr: !Ptr, stride: !i32)
+    Results (res: !AnyType)
+    Attributes (m: i32_attr, n: i32_attr, k: i32_attr, layout: string,
+                eltype: string, frag: string)
+    Summary "Load a WMMA tile fragment"
+  }
+
+  Operation wmma_store_tile {
+    Operands (ptr: !Ptr, args: Variadic<!AnyType>)
+    Attributes (m: i32_attr, n: i32_attr, k: i32_attr, layout: string,
+                eltype: string)
+    Summary "Store a WMMA tile fragment"
+  }
+
+  Operation wmma_mma {
+    Operands (args: Variadic<!AnyType>)
+    Results (res: !AnyType)
+    Attributes (m: i32_attr, n: i32_attr, k: i32_attr, layoutA: string,
+                layoutB: string, eltypeA: string, eltypeB: string)
+    Summary "WMMA matrix multiply-accumulate"
+  }
+
+  Operation ld_matrix {
+    Operands (ptr: !Ptr)
+    Results (res: !AnyType)
+    Attributes (num: i32_attr, layout: string)
+    Summary "Load a matrix fragment from shared memory"
+  }
+}
+|}

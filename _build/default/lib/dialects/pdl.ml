@@ -1,0 +1,143 @@
+(** The [pdl] dialect: the pattern description language used to express
+    rewrite patterns as IR. *)
+
+let name = "pdl"
+let description = "Rewrite pattern description language"
+
+let source =
+  {|
+Dialect pdl {
+  Type attribute {
+    Summary "A handle to an attribute"
+  }
+
+  Type operation {
+    Summary "A handle to an operation"
+  }
+
+  Type range {
+    Parameters (elementType: !AnyType)
+    Summary "A range of PDL handles"
+  }
+
+  Type type {
+    Summary "A handle to a type"
+  }
+
+  Type value {
+    Summary "A handle to an SSA value"
+  }
+
+  Constraint PatternBenefit : uint16_t {
+    Summary "a pattern benefit below 65536"
+    CppConstraint "$_self < 65536"
+  }
+
+  Operation apply_native_constraint {
+    Operands (args: Variadic<!AnyType>)
+    Attributes (name: string)
+    Summary "Apply a native constraint to matched entities"
+  }
+
+  Operation apply_native_rewrite {
+    Operands (args: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (name: string)
+    Summary "Apply a native rewrite function"
+  }
+
+  Operation attribute {
+    Operands (valueType: Optional<!type>)
+    Results (attr: !attribute)
+    Attributes (value: Optional<#AnyAttr>)
+    Summary "Define an attribute handle"
+    CppConstraint "!($_self.value() && $_self.valueType())"
+  }
+
+  Operation erase {
+    Operands (opValue: !operation)
+    Summary "Erase a matched operation"
+  }
+
+  Operation operand {
+    Operands (valueType: Optional<!type>)
+    Results (value: !value)
+    Summary "Define an operand handle"
+  }
+
+  Operation operands {
+    Operands (valueType: Optional<!range>)
+    Results (value: !range)
+    Summary "Define a group of operand handles"
+  }
+
+  Operation operation {
+    Operands (operandValues: Variadic<!AnyType>,
+              attributeValues: Variadic<!attribute>,
+              typeValues: Variadic<!AnyType>)
+    Results (op: !operation)
+    Attributes (opName: Optional<string>, attributeValueNames: array<string>)
+    Summary "Define an operation handle"
+    CppConstraint "$_self.attributeValues().size() == $_self.attributeValueNames().size()"
+  }
+
+  Operation pattern {
+    Attributes (benefit: PatternBenefit, sym_name: Optional<string>)
+    Region bodyRegion {
+      Arguments ()
+      Terminator rewrite
+    }
+    Summary "A rewrite pattern definition"
+    CppConstraint "$_self.bodyRegion().front().hasTerminator()"
+  }
+
+  Operation range {
+    Operands (arguments: Variadic<!AnyType>)
+    Results (result: !range)
+    Summary "Construct a range from components"
+  }
+
+  Operation replace {
+    Operands (opValue: !operation, replOperation: Optional<!operation>,
+              replValues: Variadic<!value>)
+    Summary "Replace a matched operation"
+    CppConstraint "($_self.replOperation() != nullptr) != ($_self.replValues().size() > 0)"
+  }
+
+  Operation result {
+    Operands (parent: !operation)
+    Results (val: !value)
+    Attributes (index: i32_attr)
+    Summary "Extract one result from an operation handle"
+  }
+
+  Operation results {
+    Operands (parent: !operation)
+    Results (val: !range)
+    Attributes (index: Optional<i32_attr>)
+    Summary "Extract a result group from an operation handle"
+  }
+
+  Operation rewrite {
+    Operands (root: Optional<!operation>, externalArgs: Variadic<!AnyType>)
+    Attributes (name: Optional<string>)
+    Region bodyRegion {
+      Arguments ()
+    }
+    Successors ()
+    Summary "The rewrite section of a pattern"
+  }
+
+  Operation type {
+    Results (result: !type)
+    Attributes (constantType: Optional<#AnyAttr>)
+    Summary "Define a type handle"
+  }
+
+  Operation types {
+    Results (result: !range)
+    Attributes (constantTypes: Optional<array<#AnyAttr>>)
+    Summary "Define a group of type handles"
+  }
+}
+|}

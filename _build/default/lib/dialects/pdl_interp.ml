@@ -1,0 +1,274 @@
+(** The [pdl_interp] dialect: the state machine the PDL bytecode interpreter
+    executes. Unusually terminator-heavy — matcher control flow is encoded
+    as branches with successors. *)
+
+let name = "pdl_interp"
+let description = "The IR for a PDL interpreter"
+
+let source =
+  {|
+Dialect pdl_interp {
+  Alias !Op = !pdl.operation
+  Alias !Val = !pdl.value
+  Alias !Ty = !pdl.type
+  Alias !At = !pdl.attribute
+  Alias !Range = !pdl.range
+
+  Constraint OperandIndex : uint32_t {
+    Summary "an operand index small enough to inline"
+    CppConstraint "$_self < 4096"
+  }
+
+  Operation apply_constraint {
+    Operands (args: Variadic<!AnyType>)
+    Attributes (name: string)
+    Successors (trueDest, falseDest)
+    Summary "Apply a native constraint and branch on the outcome"
+  }
+
+  Operation apply_rewrite {
+    Operands (args: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (name: string)
+    Summary "Apply a native rewrite"
+  }
+
+  Operation are_equal {
+    Operands (lhs: !AnyType, rhs: !AnyType)
+    Successors (trueDest, falseDest)
+    Summary "Branch on equality of two interpreter values"
+    CppConstraint "$_self.lhs().getType() == $_self.rhs().getType()"
+  }
+
+  Operation branch {
+    Successors (dest)
+    Summary "Unconditional branch"
+  }
+
+  Operation check_attribute {
+    Operands (attribute: !At)
+    Attributes (constantValue: #AnyAttr)
+    Successors (trueDest, falseDest)
+    Summary "Branch on an attribute's constant value"
+  }
+
+  Operation check_operand_count {
+    Operands (inputOp: !Op)
+    Attributes (count: i32_attr, compareAtLeast: Optional<bool>)
+    Successors (trueDest, falseDest)
+    Summary "Branch on an operation's operand count"
+  }
+
+  Operation check_operation_name {
+    Operands (inputOp: !Op)
+    Attributes (name: string)
+    Successors (trueDest, falseDest)
+    Summary "Branch on an operation's name"
+  }
+
+  Operation check_result_count {
+    Operands (inputOp: !Op)
+    Attributes (count: i32_attr, compareAtLeast: Optional<bool>)
+    Successors (trueDest, falseDest)
+    Summary "Branch on an operation's result count"
+  }
+
+  Operation check_type {
+    Operands (value: !Ty)
+    Attributes (type: #AnyAttr)
+    Successors (trueDest, falseDest)
+    Summary "Branch on a type equality"
+  }
+
+  Operation check_types {
+    Operands (value: !Range)
+    Attributes (types: array<#AnyAttr>)
+    Successors (trueDest, falseDest)
+    Summary "Branch on a range of type equalities"
+  }
+
+  Operation continue {
+    Successors ()
+    Summary "Continue to the next iteration of a foreach"
+  }
+
+  Operation create_attribute {
+    Results (attribute: !At)
+    Attributes (value: #AnyAttr)
+    Summary "Materialize an attribute handle"
+  }
+
+  Operation create_operation {
+    Operands (inputOperands: Variadic<!Val>, inputAttributes: Variadic<!At>,
+              inputResultTypes: Variadic<!Ty>)
+    Results (resultOp: !Op)
+    Attributes (name: string, inputAttributeNames: array<string>)
+    Summary "Create an operation"
+    CppConstraint "$_self.inputAttributes().size() == $_self.inputAttributeNames().size()"
+  }
+
+  Operation create_type {
+    Results (result: !Ty)
+    Attributes (value: #AnyAttr)
+    Summary "Materialize a type handle"
+  }
+
+  Operation create_types {
+    Results (result: !Range)
+    Attributes (value: array<#AnyAttr>)
+    Summary "Materialize a range of type handles"
+  }
+
+  Operation erase {
+    Operands (inputOp: !Op)
+    Summary "Erase an operation"
+  }
+
+  Operation extract {
+    Operands (range: !Range)
+    Results (result: !AnyType)
+    Attributes (index: OperandIndex)
+    Summary "Extract an element from a range"
+  }
+
+  Operation finalize {
+    Successors ()
+    Summary "Finalize a matcher or rewriter sequence"
+  }
+
+  Operation foreach {
+    Operands (values: !Range)
+    Region region {
+      Arguments (loopVariable: !AnyType)
+      Terminator continue
+    }
+    Successors (successor)
+    Summary "Iterate over a range"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+    }
+    Summary "An interpreter function"
+  }
+
+  Operation get_attribute {
+    Operands (inputOp: !Op)
+    Results (attribute: !At)
+    Attributes (name: string)
+    Summary "Get an attribute from an operation"
+  }
+
+  Operation get_attribute_type {
+    Operands (value: !At)
+    Results (result: !Ty)
+    Summary "Get the type of an attribute"
+  }
+
+  Operation get_defining_op {
+    Operands (value: !Val)
+    Results (inputOp: !Op)
+    Summary "Get a value's defining operation"
+  }
+
+  Operation get_operand {
+    Operands (inputOp: !Op)
+    Results (value: !Val)
+    Attributes (index: OperandIndex)
+    Summary "Get one operand"
+  }
+
+  Operation get_operands {
+    Operands (inputOp: !Op)
+    Results (value: !Range)
+    Attributes (index: Optional<OperandIndex>)
+    Summary "Get an operand group"
+  }
+
+  Operation get_result {
+    Operands (inputOp: !Op)
+    Results (value: !Val)
+    Attributes (index: OperandIndex)
+    Summary "Get one result"
+  }
+
+  Operation get_results {
+    Operands (inputOp: !Op)
+    Results (value: !Range)
+    Attributes (index: Optional<OperandIndex>)
+    Summary "Get a result group"
+  }
+
+  Operation get_users {
+    Operands (value: !Val)
+    Results (operations: !Range)
+    Summary "Get the users of a value"
+  }
+
+  Operation get_value_type {
+    Operands (value: !Val)
+    Results (result: !Ty)
+    Summary "Get the type of a value"
+  }
+
+  Operation is_not_null {
+    Operands (value: !AnyType)
+    Successors (trueDest, falseDest)
+    Summary "Branch on non-nullness"
+  }
+
+  Operation record_match {
+    Operands (inputs: Variadic<!AnyType>, matchedOps: Variadic<!Op>)
+    Attributes (rewriter: symbol, rootKind: Optional<string>,
+                generatedOps: Optional<array<string>>, benefit: i16_attr)
+    Successors (dest)
+    Summary "Record a successful match"
+  }
+
+  Operation replace {
+    Operands (inputOp: !Op, replValues: Variadic<!Val>)
+    Summary "Replace an operation's results"
+  }
+
+  Operation switch_attribute {
+    Operands (attribute: !At)
+    Attributes (caseValues: array<#AnyAttr>)
+    Successors (defaultDest, cases)
+    Summary "Multi-way branch on an attribute"
+    CppConstraint "$_self.caseValues().size() == $_self.cases().size()"
+  }
+
+  Operation switch_operand_count {
+    Operands (inputOp: !Op)
+    Attributes (caseValues: array<int32_t>)
+    Successors (defaultDest, cases)
+    Summary "Multi-way branch on operand count"
+    CppConstraint "$_self.caseValues().size() == $_self.cases().size()"
+  }
+
+  Operation switch_operation_name {
+    Operands (inputOp: !Op)
+    Attributes (caseValues: array<string>)
+    Successors (defaultDest, cases)
+    Summary "Multi-way branch on operation name"
+    CppConstraint "$_self.caseValues().size() == $_self.cases().size()"
+  }
+
+  Operation switch_result_count {
+    Operands (inputOp: !Op)
+    Attributes (caseValues: array<int32_t>)
+    Successors (defaultDest, cases)
+    Summary "Multi-way branch on result count"
+    CppConstraint "$_self.caseValues().size() == $_self.cases().size()"
+  }
+
+  Operation switch_type {
+    Operands (value: !Ty)
+    Attributes (caseValues: array<#AnyAttr>)
+    Successors (defaultDest, cases)
+    Summary "Multi-way branch on a type"
+  }
+}
+|}

@@ -1,0 +1,119 @@
+(** The [quant] dialect: quantization types and conversion operations. *)
+
+let name = "quant"
+let description = "Quantization"
+
+let source =
+  {|
+Dialect quant {
+  Alias !AnyFloat = !AnyOf<!bf16, !f16, !f32, !f64>
+  Alias !QuantizedOrTensor = AnyOf<!AnyType, !builtin.tensor>
+
+  Constraint StorageBitWidth : uint32_t {
+    Summary "a storage width between 1 and 32 bits"
+    CppConstraint "$_self >= 1 && $_self <= 32"
+  }
+
+  Type any_quantized {
+    Parameters (storageWidth: StorageBitWidth, expressedType: !AnyFloat)
+    Summary "A quantized type with unspecified mapping"
+  }
+
+  Type uniform_quantized {
+    Parameters (storageWidth: StorageBitWidth, expressedType: !AnyFloat,
+                scale: float, zeroPoint: int64_t)
+    Summary "A uniformly quantized type"
+  }
+
+  Type uniform_quantized_per_axis {
+    Parameters (storageWidth: StorageBitWidth, expressedType: !AnyFloat,
+                scales: array<float>, zeroPoints: array<int64_t>,
+                quantizedDimension: int32_t)
+    Summary "A per-axis uniformly quantized type"
+    CppConstraint "$_self.scales.size() == $_self.zeroPoints.size()"
+  }
+
+  Type calibrated {
+    Parameters (expressedType: !AnyFloat, min: float, max: float)
+    Summary "A calibrated type carrying min/max bounds"
+  }
+
+  Operation qcast {
+    Operands (arg: !QuantizedOrTensor)
+    Results (res: !QuantizedOrTensor)
+    Summary "Cast an expressed value to its quantized form"
+    CppConstraint "isCompatibleExpressedType($_self.arg().getType(), $_self.res().getType())"
+  }
+
+  Operation dcast {
+    Operands (arg: !QuantizedOrTensor)
+    Results (res: !QuantizedOrTensor)
+    Summary "Cast a quantized value back to its expressed form"
+    CppConstraint "isCompatibleExpressedType($_self.res().getType(), $_self.arg().getType())"
+  }
+
+  Operation scast {
+    Operands (arg: !QuantizedOrTensor)
+    Results (res: !QuantizedOrTensor)
+    Summary "Cast between a quantized type and its storage type"
+  }
+
+  Operation const_fake_quant {
+    Operands (inputs: !builtin.tensor)
+    Results (outputs: !builtin.tensor)
+    Attributes (min: #f32_attr, max: #f32_attr, num_bits: i64_attr,
+                narrow_range: Optional<bool>, is_signed: Optional<bool>)
+    Summary "Simulate quantization with constant ranges"
+  }
+
+  Operation const_fake_quant_per_axis {
+    Operands (inputs: !builtin.tensor)
+    Results (outputs: !builtin.tensor)
+    Attributes (min: array<float>, max: array<float>, axis: i64_attr,
+                num_bits: i64_attr)
+    Summary "Per-axis fake quantization"
+    CppConstraint "$_self.min().size() == $_self.max().size()"
+  }
+
+  Operation coupled_ref {
+    Operands (arg: !AnyType)
+    Results (res: !AnyType)
+    Attributes (coupledKey: string)
+    Summary "Identify values that must share quantization parameters"
+  }
+
+  Operation region {
+    Operands (inputs: Variadic<!AnyType>)
+    Results (outputs: Variadic<!AnyType>)
+    Attributes (input_specs: array<#AnyAttr>, output_specs: array<#AnyAttr>,
+                logical_kernel: string)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+      Terminator return
+    }
+    Summary "A quantization-aware kernel region"
+  }
+
+  Operation return {
+    Operands (results: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates a quant.region"
+  }
+
+  Operation stats {
+    Operands (arg: !builtin.tensor)
+    Results (res: !builtin.tensor)
+    Attributes (layerStats: #AnyAttr, axisStats: Optional<#AnyAttr>,
+                axis: Optional<i64_attr>)
+    Summary "Recorded calibration statistics"
+    CppConstraint "$_self.layerStats().getType().getNumElements() == 2"
+  }
+
+  Operation stats_ref {
+    Operands (arg: !AnyType)
+    Results (res: !AnyType)
+    Attributes (statsKey: string)
+    Summary "Reference statistics recorded elsewhere"
+  }
+}
+|}

@@ -1,0 +1,126 @@
+(** The [rocdl] dialect: AMD's IR for GPU compute kernels. Dominated by
+    MFMA (matrix fused multiply-add) intrinsic variants. *)
+
+let name = "rocdl"
+let description = "AMD's IR for GPU compute kernels"
+
+let mfma_variants =
+  [
+    "f32_32x32x1f32"; "f32_16x16x1f32"; "f32_4x4x1f32"; "f32_32x32x2f32";
+    "f32_16x16x4f32"; "f32_32x32x4f16"; "f32_16x16x4f16"; "f32_4x4x4f16";
+    "f32_32x32x8f16"; "f32_16x16x16f16"; "i32_32x32x4i8"; "i32_16x16x4i8";
+    "i32_4x4x4i8"; "i32_32x32x8i8"; "i32_16x16x16i8"; "f32_32x32x2bf16";
+    "f32_16x16x2bf16"; "f32_4x4x2bf16"; "f32_32x32x4bf16"; "f32_16x16x8bf16";
+  ]
+
+let source =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    {|
+Dialect rocdl {
+  Alias !Vec = !builtin.vector
+
+  Operation workitem_id_x {
+    Results (res: !i32)
+    Summary "Work-item id, x dimension"
+  }
+
+  Operation workitem_id_y {
+    Results (res: !i32)
+    Summary "Work-item id, y dimension"
+  }
+
+  Operation workitem_id_z {
+    Results (res: !i32)
+    Summary "Work-item id, z dimension"
+  }
+
+  Operation workgroup_id_x {
+    Results (res: !i32)
+    Summary "Workgroup id, x dimension"
+  }
+
+  Operation workgroup_id_y {
+    Results (res: !i32)
+    Summary "Workgroup id, y dimension"
+  }
+
+  Operation workgroup_id_z {
+    Results (res: !i32)
+    Summary "Workgroup id, z dimension"
+  }
+
+  Operation workgroup_dim_x {
+    Results (res: !i32)
+    Summary "Workgroup size, x dimension"
+  }
+
+  Operation workgroup_dim_y {
+    Results (res: !i32)
+    Summary "Workgroup size, y dimension"
+  }
+
+  Operation workgroup_dim_z {
+    Results (res: !i32)
+    Summary "Workgroup size, z dimension"
+  }
+
+  Operation grid_dim_x {
+    Results (res: !i32)
+    Summary "Grid size, x dimension"
+  }
+
+  Operation grid_dim_y {
+    Results (res: !i32)
+    Summary "Grid size, y dimension"
+  }
+
+  Operation grid_dim_z {
+    Results (res: !i32)
+    Summary "Grid size, z dimension"
+  }
+
+  Operation barrier {
+    Summary "Workgroup barrier"
+  }
+
+  Operation mubuf_load {
+    Operands (rsrc: !Vec, vindex: !i32, offset: !i32, glc: !i1, slc: !i1)
+    Results (res: !AnyType)
+    Summary "Raw buffer load intrinsic"
+  }
+
+  Operation mubuf_store {
+    Operands (vdata: !AnyType, rsrc: !Vec, vindex: !i32, offset: !i32,
+              glc: !i1, slc: !i1)
+    Summary "Raw buffer store intrinsic"
+  }
+
+  Operation buffer_load {
+    Operands (rsrc: !Vec, vindex: !i32, voffset: !i32, soffset: !i32,
+              aux: !i32)
+    Results (res: !AnyType)
+    Summary "Structured buffer load intrinsic"
+  }
+
+  Operation buffer_store {
+    Operands (vdata: !AnyType, rsrc: !Vec, vindex: !i32, voffset: !i32,
+              soffset: !i32, aux: !i32)
+    Summary "Structured buffer store intrinsic"
+  }
+|};
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation mfma_%s {
+    Operands (a: !AnyType, b: !AnyType, c: !Vec, cbsz: !i32, abid: !i32, blgp: !i32)
+    Results (res: !Vec)
+    Summary "MFMA intrinsic variant %s"
+  }
+|}
+           v v))
+    mfma_variants;
+  Buffer.add_string buf "\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,128 @@
+(** The [scf] dialect: structured control flow.
+
+    With [builtin], one of the two dialects where more than half the
+    operations carry regions (Figure 7b); [for], [if] and [while] are also
+    the corpus's main users of variadic results (Figure 6b). *)
+
+let name = "scf"
+let description = "Structured control flow, e.g. 'for' and 'if'"
+
+let source =
+  {|
+Dialect scf {
+  Constraint UnrollFactor : uint32_t {
+    Summary "a positive unroll factor"
+    CppConstraint "$_self >= 1"
+  }
+
+  Operation for {
+    Operands (lowerBound: !index, upperBound: !index, step: !index,
+              initArgs: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (unroll: Optional<UnrollFactor>)
+    Region body {
+      Arguments (inductionVar: !index, iterArgs: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "A counted loop with loop-carried values"
+    CppConstraint "$_self.initArgs().getTypes() == $_self.results().getTypes()"
+  }
+
+  Operation if {
+    Operands (condition: !i1)
+    Results (results: Variadic<!AnyType>)
+    Region thenRegion {
+      Arguments ()
+    }
+    Region elseRegion {
+      Arguments ()
+    }
+    Summary "An if-then-else construct returning values"
+    CppConstraint "$_self.elseRegion().empty() implies $_self.results().empty()"
+  }
+
+  Operation while {
+    Operands (inits: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Region before {
+      Arguments (beforeArgs: Variadic<!AnyType>)
+      Terminator condition
+    }
+    Region after {
+      Arguments (afterArgs: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "A general while/do-while loop"
+    CppConstraint "$_self.inits().getTypes() == $_self.before().getArgumentTypes()"
+  }
+
+  Operation parallel {
+    Operands (lowerBound: Variadic<!index>, upperBound: Variadic<!index>,
+              step: Variadic<!index>, initVals: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Region body {
+      Arguments (inductionVars: Variadic<!index>)
+      Terminator yield
+    }
+    Summary "A parallel multi-dimensional loop nest"
+    CppConstraint "$_self.lowerBound().size() == $_self.upperBound().size() && $_self.lowerBound().size() == $_self.step().size()"
+  }
+
+  Operation reduce {
+    Operands (operand: !AnyType)
+    Region reductionOperator {
+      Arguments (lhs: !AnyType, rhs: !AnyType)
+      Terminator reduce.return
+    }
+    Summary "Declare a reduction inside an scf.parallel"
+  }
+
+  Operation reduce.return {
+    Operands (result: !AnyType)
+    Successors ()
+    Summary "Terminates a reduction body"
+    CppConstraint "$_self.result().getType() == $_self.parent().operand().getType()"
+  }
+
+  Operation condition {
+    Operands (condition: !i1, args: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates the before region of scf.while"
+  }
+
+  Operation yield {
+    Operands (results: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates scf regions, forwarding values"
+  }
+
+  Operation execute_region {
+    Results (results: Variadic<!AnyType>)
+    Region body {
+      Arguments ()
+    }
+    Summary "Execute a region inline, yielding values"
+  }
+
+  Operation index_switch {
+    Operands (arg: !index)
+    Results (results: Variadic<!AnyType>)
+    Attributes (cases: array<int64_t>)
+    Region defaultRegion {
+      Arguments ()
+    }
+    Summary "A switch on an index value"
+    CppConstraint "llvm::is_sorted($_self.cases())"
+  }
+
+  Operation forall {
+    Operands (lowerBound: Variadic<!index>, upperBound: Variadic<!index>,
+              step: Variadic<!index>)
+    Results (results: Variadic<!AnyType>)
+    Region body {
+      Arguments (inductionVars: Variadic<!index>)
+    }
+    Summary "A concurrently executed loop nest"
+  }
+}
+|}

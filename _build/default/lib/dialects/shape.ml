@@ -1,0 +1,284 @@
+(** The [shape] dialect: shape inference computations, operating on either
+    shape-dialect types or standard index/tensor values. *)
+
+let name = "shape"
+let description = "Shape inference"
+
+let source =
+  {|
+Dialect shape {
+  Type shape {
+    Summary "A (possibly unranked) shape"
+  }
+
+  Type size {
+    Summary "A dimension size (or an error)"
+  }
+
+  Type value_shape {
+    Summary "A pair of a value and its shape"
+  }
+
+  Type witness {
+    Summary "A proof that constraints hold at runtime"
+  }
+
+  Alias !ShapeOrTensor = AnyOf<!shape, !builtin.tensor>
+  Alias !SizeOrIndex = AnyOf<!size, !index>
+
+  Operation add {
+    Operands (lhs: !SizeOrIndex, rhs: !SizeOrIndex)
+    Results (result: !SizeOrIndex)
+    Summary "Size addition"
+    CppConstraint "resultIsSizeIffAnyOperandIsSize($_self)"
+  }
+
+  Operation any {
+    Operands (inputs: Variadic<!ShapeOrTensor>)
+    Results (result: !ShapeOrTensor)
+    Summary "Pick any of the equivalent input shapes"
+  }
+
+  Operation assuming {
+    Operands (witness: !witness)
+    Results (results: Variadic<!AnyType>)
+    Region doRegion {
+      Arguments ()
+      Terminator assuming_yield
+    }
+    Summary "Execute a region assuming a witness holds"
+  }
+
+  Operation assuming_all {
+    Operands (inputs: Variadic<!witness>)
+    Results (result: !witness)
+    Summary "Conjoin witnesses"
+  }
+
+  Operation assuming_yield {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates an assuming region"
+  }
+
+  Operation broadcast {
+    Operands (shapes: Variadic<!ShapeOrTensor>)
+    Results (result: !ShapeOrTensor)
+    Attributes (error: Optional<string>)
+    Summary "Broadcast shapes"
+  }
+
+  Operation concat {
+    Operands (lhs: !shape, rhs: !shape)
+    Results (result: !shape)
+    Summary "Concatenate shapes"
+  }
+
+  Operation const_shape {
+    Results (result: !ShapeOrTensor)
+    Attributes (shape: array<int64_t>)
+    Summary "A constant shape"
+  }
+
+  Operation const_size {
+    Results (result: !size)
+    Attributes (value: i64_attr)
+    Summary "A constant size"
+  }
+
+  Operation const_witness {
+    Results (result: !witness)
+    Attributes (passing: bool)
+    Summary "A constant witness"
+  }
+
+  Operation cstr_broadcastable {
+    Operands (shapes: Variadic<!ShapeOrTensor>)
+    Results (result: !witness)
+    Summary "Witness that shapes are broadcastable"
+    CppConstraint "$_self.shapes().size() >= 2"
+  }
+
+  Operation cstr_eq {
+    Operands (shapes: Variadic<!ShapeOrTensor>)
+    Results (result: !witness)
+    Summary "Witness that shapes are equal"
+    CppConstraint "$_self.shapes().size() >= 2"
+  }
+
+  Operation cstr_require {
+    Operands (pred: !i1)
+    Results (result: !witness)
+    Attributes (msg: string)
+    Summary "Witness from a boolean predicate"
+  }
+
+  Operation debug_print {
+    Operands (input: !ShapeOrTensor)
+    Results (output: !ShapeOrTensor)
+    Summary "Print a shape for debugging"
+  }
+
+  Operation div {
+    Operands (lhs: !SizeOrIndex, rhs: !SizeOrIndex)
+    Results (result: !SizeOrIndex)
+    Summary "Size division"
+  }
+
+  Operation from_extents {
+    Operands (extents: Variadic<!SizeOrIndex>)
+    Results (shape: !shape)
+    Summary "Build a shape from extents"
+  }
+
+  Operation from_extent_tensor {
+    Operands (input: !builtin.tensor)
+    Results (result: !shape)
+    Summary "Build a shape from an extent tensor"
+    CppConstraint "$_self.input().getType().getRank() == 1"
+  }
+
+  Operation function_library {
+    Attributes (sym_name: string, mapping: #AnyAttr)
+    Region body {
+      Arguments ()
+    }
+    Summary "Maps ops to their shape functions"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType)
+    Region body {
+      Arguments ()
+    }
+    Summary "A shape function definition"
+  }
+
+  Operation get_extent {
+    Operands (shape: !ShapeOrTensor, dim: !SizeOrIndex)
+    Results (extent: !SizeOrIndex)
+    Summary "Extract one extent"
+  }
+
+  Operation index_to_size {
+    Operands (arg: !index)
+    Results (result: !size)
+    Summary "Convert an index to a size"
+  }
+
+  Operation is_broadcastable {
+    Operands (shapes: Variadic<!ShapeOrTensor>)
+    Results (result: !i1)
+    Summary "Test broadcastability"
+  }
+
+  Operation max {
+    Operands (lhs: !SizeOrIndex, rhs: !SizeOrIndex)
+    Results (result: !SizeOrIndex)
+    Summary "Size maximum"
+  }
+
+  Operation meet {
+    Operands (arg0: !AnyType, arg1: !AnyType)
+    Results (result: !AnyType)
+    Attributes (error: Optional<string>)
+    Summary "Most refined of two compatible values"
+  }
+
+  Operation min {
+    Operands (lhs: !SizeOrIndex, rhs: !SizeOrIndex)
+    Results (result: !SizeOrIndex)
+    Summary "Size minimum"
+  }
+
+  Operation mul {
+    Operands (lhs: !SizeOrIndex, rhs: !SizeOrIndex)
+    Results (result: !SizeOrIndex)
+    Summary "Size multiplication"
+  }
+
+  Operation num_elements {
+    Operands (shape: !ShapeOrTensor)
+    Results (result: !SizeOrIndex)
+    Summary "Total element count of a shape"
+  }
+
+  Operation rank {
+    Operands (shape: !ShapeOrTensor)
+    Results (rank: !SizeOrIndex)
+    Summary "The rank of a shape"
+  }
+
+  Operation reduce {
+    Operands (shape: !ShapeOrTensor, initVals: Variadic<!AnyType>)
+    Results (result: Variadic<!AnyType>)
+    Region region {
+      Arguments (index: !index, extent: !SizeOrIndex,
+                 acc: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "Reduce over a shape's extents"
+    CppConstraint "$_self.initVals().getTypes() == $_self.result().getTypes()"
+  }
+
+  Operation return {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Return from a shape function"
+  }
+
+  Operation shape_eq {
+    Operands (shapes: Variadic<!ShapeOrTensor>)
+    Results (result: !i1)
+    Summary "Test shape equality"
+  }
+
+  Operation shape_of {
+    Operands (arg: !AnyType)
+    Results (result: !ShapeOrTensor)
+    Summary "The shape of a value"
+  }
+
+  Operation size_to_index {
+    Operands (arg: !SizeOrIndex)
+    Results (result: !index)
+    Summary "Convert a size to an index"
+  }
+
+  Operation split_at {
+    Operands (operand: !ShapeOrTensor, index: !SizeOrIndex)
+    Results (head: !ShapeOrTensor, tail: !ShapeOrTensor)
+    Summary "Split a shape at an index"
+  }
+
+  Operation to_extent_tensor {
+    Operands (input: !ShapeOrTensor)
+    Results (result: !builtin.tensor)
+    Summary "Convert a shape to an extent tensor"
+  }
+
+  Operation value_as_shape {
+    Operands (arg: !AnyType)
+    Results (shape: !ShapeOrTensor)
+    Summary "Interpret a value's content as a shape"
+  }
+
+  Operation value_of {
+    Operands (arg: !value_shape)
+    Results (result: !AnyType)
+    Summary "The value of a value-shape pair"
+  }
+
+  Operation with_shape {
+    Operands (operand: !AnyType, shape: !ShapeOrTensor)
+    Results (result: !value_shape)
+    Summary "Pair a value with a shape"
+  }
+
+  Operation yield {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates shape regions"
+  }
+}
+|}

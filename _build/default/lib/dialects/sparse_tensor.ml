@@ -1,0 +1,92 @@
+(** The [sparse_tensor] dialect: sparse tensor computations.
+
+    Its [encoding] attribute wraps a native affine-map parameter (the
+    dimension ordering), making it one of the three dialects whose
+    parameters require IRDL-C++ (paper §6.3). *)
+
+let name = "sparse_tensor"
+let description = "Sparse tensor computations"
+
+let source =
+  {|
+Dialect sparse_tensor {
+  Alias !AnyTensor = !builtin.tensor
+  Alias !AnyMemRef = !builtin.memref
+
+  Enum dim_level_type { Dense, Compressed, Singleton }
+
+  TypeOrAttrParam DimOrderingParam {
+    Summary "Dimension ordering as an affine map"
+    CppClassName "AffineMap"
+    CppParser "parseAffineMap($self)"
+    CppPrinter "printAffineMap($self)"
+  }
+
+  Attribute encoding {
+    Parameters (dimLevelType: array<dim_level_type>,
+                dimOrdering: DimOrderingParam,
+                pointerBitWidth: uint32_t,
+                indexBitWidth: uint32_t)
+    Summary "Sparse tensor storage encoding"
+    CppConstraint "isPowerOf2($_self.pointerBitWidth) && isPowerOf2($_self.indexBitWidth)"
+  }
+
+  // Stride checks on buffers need IRDL-C++ (Figure 12).
+  Constraint StridedBuffer : !builtin.memref {
+    Summary "A memref with a strided layout"
+    CppConstraint "isStrided($_self)"
+  }
+
+  Operation new {
+    Operands (source: !AnyType)
+    Results (result: !AnyTensor)
+    Summary "Materialize a sparse tensor from an external source"
+    CppConstraint "getSparseTensorEncoding($_self.result().getType()) != nullptr"
+  }
+
+  Operation init {
+    Operands (sizes: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Summary "Materialize an uninitialized sparse tensor"
+    CppConstraint "$_self.sizes().size() == $_self.result().getType().getRank()"
+  }
+
+  Operation convert {
+    Operands (source: !AnyTensor)
+    Results (dest: !AnyTensor)
+    Summary "Convert between sparse encodings"
+    CppConstraint "$_self.source().getType().getShape() == $_self.dest().getType().getShape()"
+  }
+
+  Operation to_pointers {
+    Operands (tensor: !AnyTensor, dim: !index)
+    Results (result: StridedBuffer)
+    Summary "Extract the pointers array at the given dimension"
+  }
+
+  Operation to_indices {
+    Operands (tensor: !AnyTensor, dim: !index)
+    Results (result: StridedBuffer)
+    Summary "Extract the indices array at the given dimension"
+  }
+
+  Operation to_values {
+    Operands (tensor: !AnyTensor)
+    Results (result: !AnyMemRef)
+    Summary "Extract the values array"
+    CppConstraint "$_self.result().getType().getRank() == 1"
+  }
+
+  Operation load {
+    Operands (tensor: !AnyTensor)
+    Results (result: !AnyTensor)
+    Summary "Rematerialize a tensor from its inserted values"
+  }
+
+  Operation release {
+    Operands (tensor: !AnyTensor)
+    Summary "Release the underlying sparse storage"
+    CppConstraint "getSparseTensorEncoding($_self.tensor().getType()) != nullptr"
+  }
+}
+|}

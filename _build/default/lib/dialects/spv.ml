@@ -1,0 +1,806 @@
+(** The [spv] dialect: SPIR-V for graphics shaders and compute kernels.
+    The largest dialect in the corpus (Figure 4). Uniform instruction
+    families (arithmetic, comparisons, atomics, GL/OCL extended sets, group
+    operations) are generated; structural operations are spelled out. *)
+
+let name = "spv"
+let description = "Graphics shaders and compute kernels"
+
+let int_arith =
+  [ "IAdd"; "ISub"; "IMul"; "SDiv"; "UDiv"; "SMod"; "SRem"; "UMod" ]
+
+let float_arith = [ "FAdd"; "FSub"; "FMul"; "FDiv"; "FMod"; "FRem" ]
+
+let bit_binops =
+  [ "BitwiseAnd"; "BitwiseOr"; "BitwiseXor"; "ShiftLeftLogical";
+    "ShiftRightLogical"; "ShiftRightArithmetic" ]
+
+let int_compares =
+  [ "IEqual"; "INotEqual"; "SGreaterThan"; "SGreaterThanEqual"; "SLessThan";
+    "SLessThanEqual"; "UGreaterThan"; "UGreaterThanEqual"; "ULessThan";
+    "ULessThanEqual" ]
+
+let float_compares =
+  [ "FOrdEqual"; "FOrdGreaterThan"; "FOrdGreaterThanEqual"; "FOrdLessThan";
+    "FOrdLessThanEqual"; "FOrdNotEqual"; "FUnordEqual"; "FUnordGreaterThan";
+    "FUnordGreaterThanEqual"; "FUnordLessThan"; "FUnordLessThanEqual";
+    "FUnordNotEqual" ]
+
+let conversions =
+  [ "Bitcast"; "ConvertFToS"; "ConvertFToU"; "ConvertSToF"; "ConvertUToF";
+    "FConvert"; "SConvert"; "UConvert"; "PtrCastToGeneric"; "GenericCastToPtr" ]
+
+let atomics =
+  [ "AtomicAnd"; "AtomicOr"; "AtomicXor"; "AtomicIAdd"; "AtomicISub";
+    "AtomicSMax"; "AtomicSMin"; "AtomicUMax"; "AtomicUMin"; "AtomicExchange" ]
+
+let gl_unary =
+  [ "FAbs"; "SAbs"; "Ceil"; "Cos"; "Sin"; "Tan"; "Tanh"; "Sinh"; "Cosh";
+    "Acos"; "Asin"; "Atan"; "Exp"; "Log"; "Sqrt"; "InverseSqrt"; "Floor";
+    "Round"; "RoundEven"; "FSign"; "SSign" ]
+
+let gl_binary = [ "FMax"; "FMin"; "SMax"; "SMin"; "UMax"; "UMin"; "Pow" ]
+
+let ocl_unary =
+  [ "erf"; "exp"; "fabs"; "floor"; "log"; "rsqrt"; "sqrt"; "sin"; "cos";
+    "tanh" ]
+
+let group_ops =
+  [ "GroupNonUniformFAdd"; "GroupNonUniformFMax"; "GroupNonUniformFMin";
+    "GroupNonUniformFMul"; "GroupNonUniformIAdd"; "GroupNonUniformIMul";
+    "GroupNonUniformSMax"; "GroupNonUniformSMin"; "GroupNonUniformUMax";
+    "GroupNonUniformUMin" ]
+
+let source =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    {|
+Dialect spv {
+  Enum storage_class { UniformConstant, Input, Uniform, Output, Workgroup,
+                       CrossWorkgroup, Private, Function, Generic,
+                       PushConstant, AtomicCounter, Image, StorageBuffer }
+  Enum scope { CrossDevice, Device, Workgroup, Subgroup, Invocation }
+  Enum memory_semantics { None_, Acquire, Release, AcquireRelease,
+                          SequentiallyConsistent }
+  Enum group_operation { Reduce, InclusiveScan, ExclusiveScan }
+  Enum image_dim { Dim1D, Dim2D, Dim3D, Cube, Rect, Buffer, SubpassData }
+
+  Constraint ValidVersion : uint32_t {
+    Summary "a supported SPIR-V minor version"
+    CppConstraint "$_self <= 6"
+  }
+
+  Constraint DescriptorBinding : uint32_t {
+    Summary "a descriptor binding index within limits"
+    CppConstraint "$_self < 1048576"
+  }
+
+  Type array {
+    Parameters (elementType: !AnyType, elementCount: uint32_t, stride: uint32_t)
+    Summary "A fixed-size SPIR-V array"
+    CppConstraint "$_self.elementCount >= 1"
+  }
+
+  Type runtime_array {
+    Parameters (elementType: !AnyType, stride: uint32_t)
+    Summary "An array without a compile-time size"
+  }
+
+  Type image {
+    Parameters (elementType: !AnyType, dim: image_dim, depthInfo: uint32_t,
+                arrayedInfo: uint32_t, samplingInfo: uint32_t,
+                samplerUseInfo: uint32_t)
+    Summary "An image type"
+  }
+
+  Type sampled_image {
+    Parameters (imageType: !AnyType)
+    Summary "An image combined with a sampler"
+  }
+
+  Type pointer {
+    Parameters (pointeeType: !AnyType, storageClass: storage_class)
+    Summary "A pointer with an explicit storage class"
+  }
+
+  Type struct {
+    Parameters (memberTypes: array<!AnyType>, offsetInfo: array<int64_t>,
+                identifier: string)
+    Summary "A SPIR-V struct with explicit layout"
+    CppConstraint "$_self.offsetInfo.size() == 0 || $_self.offsetInfo.size() == $_self.memberTypes.size()"
+  }
+
+  Type matrix {
+    Parameters (columnType: !AnyType, columnCount: uint32_t)
+    Summary "A matrix of column vectors"
+    CppConstraint "$_self.columnCount >= 2 && $_self.columnCount <= 4"
+  }
+
+  Type cooperative_matrix {
+    Parameters (elementType: !AnyType, rows: uint32_t, columns: uint32_t,
+                scope: scope)
+    Summary "A cooperative matrix"
+  }
+
+  Type sampler {
+    Summary "A sampler"
+  }
+
+  Type void {
+    Summary "The SPIR-V void type"
+  }
+
+  Type function {
+    Parameters (returnType: !AnyType, argumentTypes: array<!AnyType>)
+    Summary "A SPIR-V function type"
+  }
+
+  Type bool {
+    Summary "The SPIR-V boolean"
+  }
+
+  Attribute entry_point_abi {
+    Parameters (local_size: array<int64_t>)
+    Summary "Workgroup size metadata for an entry point"
+    CppConstraint "$_self.local_size.size() == 3"
+  }
+
+  Attribute interface_var_abi {
+    Parameters (descriptor_set: uint32_t, binding: uint32_t,
+                storage_class: storage_class)
+    Summary "Descriptor binding metadata for an interface variable"
+  }
+
+  TypeOrAttrParam ResourceLimitsParam {
+    Summary "Hardware resource limits"
+    CppClassName "spirv::ResourceLimitsAttr"
+    CppParser "parseResourceLimits($self)"
+    CppPrinter "printResourceLimits($self)"
+  }
+
+  Attribute target_env {
+    Parameters (triple: #AnyAttr, limits: ResourceLimitsParam)
+    Summary "The target environment (version, capabilities, limits)"
+  }
+
+  Attribute ver_cap_ext {
+    Parameters (version: ValidVersion, capabilities: array<string>,
+                extensions: array<string>)
+    Summary "A (version, capabilities, extensions) triple"
+  }
+
+  Attribute decoration {
+    Parameters (kind: string, value: #AnyAttr)
+    Summary "A SPIR-V decoration"
+  }
+
+  Attribute linkage_attributes {
+    Parameters (linkage_name: string, linkage_type: string)
+    Summary "Import/export linkage metadata"
+  }
+
+  Alias !Ptr = !pointer
+  // The builtin "bool" parameter constraint shadows the unqualified name,
+  // so the dialect's own boolean type is referenced fully qualified.
+  Alias !Bool = AnyOf<!spv.bool, !i1>
+|};
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation %s {
+    ConstraintVars (T: !AnyType)
+    Operands (operand1: !T, operand2: !T)
+    Results (result: !T)
+    Summary "SPIR-V Op%s"
+  }
+|}
+        op op)
+    (int_arith @ float_arith @ bit_binops);
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation %s {
+    ConstraintVars (T: !AnyType)
+    Operands (operand1: !T, operand2: !T)
+    Results (result: !Bool)
+    Summary "SPIR-V Op%s"
+    CppConstraint "resultShapeMatchesOperands($_self)"
+  }
+|}
+        op op)
+    (int_compares @ float_compares);
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation %s {
+    Operands (operand: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V Op%s"
+    CppConstraint "areConversionCompatible($_self.operand().getType(), $_self.result().getType())"
+  }
+|}
+        op op)
+    conversions;
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation %s {
+    Operands (pointer: !Ptr, value: !AnyType)
+    Results (result: !AnyType)
+    Attributes (memory_scope: scope, semantics: memory_semantics)
+    Summary "SPIR-V Op%s"
+    CppConstraint "$_self.pointer().getType().getPointeeType() == $_self.result().getType()"
+  }
+|}
+        op op)
+    atomics;
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation GL_%s {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "GLSL extended instruction %s"
+  }
+|}
+        op op)
+    gl_unary;
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation GL_%s {
+    ConstraintVars (T: !AnyType)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "GLSL extended instruction %s"
+  }
+|}
+        op op)
+    gl_binary;
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation OCL_%s {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "OpenCL extended instruction %s"
+  }
+|}
+        op op)
+    ocl_unary;
+  List.iter
+    (fun op ->
+      emit
+        {|
+  Operation %s {
+    Operands (value: !AnyType)
+    Results (result: !AnyType)
+    Attributes (execution_scope: scope, group_operation: group_operation)
+    Summary "SPIR-V Op%s"
+    CppConstraint "$_self.value().getType() == $_self.result().getType()"
+  }
+|}
+        op op)
+    group_ops;
+  Buffer.add_string buf
+    {|
+  Operation FNegate {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "SPIR-V OpFNegate"
+  }
+
+  Operation SNegate {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "SPIR-V OpSNegate"
+  }
+
+  Operation Not {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "SPIR-V OpNot"
+  }
+
+  Operation BitCount {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "SPIR-V OpBitCount"
+  }
+
+  Operation BitReverse {
+    ConstraintVars (T: !AnyType)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "SPIR-V OpBitReverse"
+  }
+
+  Operation BitFieldInsert {
+    Operands (base: !AnyType, insert: !AnyType, offset: !AnyType,
+              count: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpBitFieldInsert"
+    CppConstraint "$_self.base().getType() == $_self.result().getType()"
+  }
+
+  Operation BitFieldSExtract {
+    Operands (base: !AnyType, offset: !AnyType, count: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpBitFieldSExtract"
+  }
+
+  Operation BitFieldUExtract {
+    Operands (base: !AnyType, offset: !AnyType, count: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpBitFieldUExtract"
+  }
+
+  Operation LogicalAnd {
+    Operands (operand1: !Bool, operand2: !Bool)
+    Results (result: !Bool)
+    Summary "SPIR-V OpLogicalAnd"
+  }
+
+  Operation LogicalOr {
+    Operands (operand1: !Bool, operand2: !Bool)
+    Results (result: !Bool)
+    Summary "SPIR-V OpLogicalOr"
+  }
+
+  Operation LogicalNot {
+    Operands (operand1: !Bool)
+    Results (result: !Bool)
+    Summary "SPIR-V OpLogicalNot"
+  }
+
+  Operation LogicalEqual {
+    Operands (operand1: !Bool, operand2: !Bool)
+    Results (result: !Bool)
+    Summary "SPIR-V OpLogicalEqual"
+  }
+
+  Operation LogicalNotEqual {
+    Operands (operand1: !Bool, operand2: !Bool)
+    Results (result: !Bool)
+    Summary "SPIR-V OpLogicalNotEqual"
+  }
+
+  Operation Select {
+    ConstraintVars (T: !AnyType)
+    Operands (condition: !Bool, true_value: !T, false_value: !T)
+    Results (result: !T)
+    Summary "SPIR-V OpSelect"
+  }
+
+  Operation IsNan {
+    Operands (operand: !AnyType)
+    Results (result: !Bool)
+    Summary "SPIR-V OpIsNan"
+  }
+
+  Operation IsInf {
+    Operands (operand: !AnyType)
+    Results (result: !Bool)
+    Summary "SPIR-V OpIsInf"
+  }
+
+  Operation Ordered {
+    Operands (operand1: !AnyType, operand2: !AnyType)
+    Results (result: !Bool)
+    Summary "SPIR-V OpOrdered"
+  }
+
+  Operation Unordered {
+    Operands (operand1: !AnyType, operand2: !AnyType)
+    Results (result: !Bool)
+    Summary "SPIR-V OpUnordered"
+  }
+
+  Operation CompositeConstruct {
+    Operands (constituents: Variadic<!AnyType>)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpCompositeConstruct"
+    CppConstraint "constituentsMatchCompositeType($_self)"
+  }
+
+  Operation CompositeExtract {
+    Operands (composite: !AnyType)
+    Results (component: !AnyType)
+    Attributes (indices: array<int32_t>)
+    Summary "SPIR-V OpCompositeExtract"
+    CppConstraint "indicesAreInBounds($_self.composite().getType(), $_self.indices())"
+  }
+
+  Operation CompositeInsert {
+    Operands (object: !AnyType, composite: !AnyType)
+    Results (result: !AnyType)
+    Attributes (indices: array<int32_t>)
+    Summary "SPIR-V OpCompositeInsert"
+    CppConstraint "$_self.composite().getType() == $_self.result().getType()"
+  }
+
+  Operation VectorExtractDynamic {
+    Operands (vector: !AnyType, index: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpVectorExtractDynamic"
+  }
+
+  Operation VectorInsertDynamic {
+    Operands (vector: !AnyType, component: !AnyType, index: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpVectorInsertDynamic"
+  }
+
+  Operation VectorShuffle {
+    Operands (vector1: !AnyType, vector2: !AnyType)
+    Results (result: !AnyType)
+    Attributes (components: array<int32_t>)
+    Summary "SPIR-V OpVectorShuffle"
+  }
+
+  Operation VectorTimesScalar {
+    Operands (vector: !AnyType, scalar: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpVectorTimesScalar"
+  }
+
+  Operation MatrixTimesScalar {
+    Operands (matrix: !matrix, scalar: !AnyType)
+    Results (result: !matrix)
+    Summary "SPIR-V OpMatrixTimesScalar"
+  }
+
+  Operation MatrixTimesMatrix {
+    Operands (leftmatrix: !matrix, rightmatrix: !matrix)
+    Results (result: !matrix)
+    Summary "SPIR-V OpMatrixTimesMatrix"
+    CppConstraint "$_self.leftmatrix().getType().getNumColumns() == $_self.rightmatrix().getType().getNumRows()"
+  }
+
+  Operation Transpose {
+    Operands (matrix: !matrix)
+    Results (result: !matrix)
+    Summary "SPIR-V OpTranspose"
+  }
+
+  Operation Load {
+    Operands (ptr: !Ptr)
+    Results (value: !AnyType)
+    Attributes (memory_access: Optional<string>, alignment: Optional<i32_attr>)
+    Summary "SPIR-V OpLoad"
+    CppConstraint "$_self.value().getType() == $_self.ptr().getType().getPointeeType()"
+  }
+
+  Operation Store {
+    Operands (ptr: !Ptr, value: !AnyType)
+    Attributes (memory_access: Optional<string>, alignment: Optional<i32_attr>)
+    Summary "SPIR-V OpStore"
+    CppConstraint "$_self.value().getType() == $_self.ptr().getType().getPointeeType()"
+  }
+
+  Operation AccessChain {
+    Operands (base_ptr: !Ptr, indices: Variadic<!AnyType>)
+    Results (component_ptr: !Ptr)
+    Summary "SPIR-V OpAccessChain"
+    CppConstraint "accessChainIsValid($_self)"
+  }
+
+  Operation InBoundsPtrAccessChain {
+    Operands (base_ptr: !Ptr, element: !AnyType, indices: Variadic<!AnyType>)
+    Results (result: !Ptr)
+    Summary "SPIR-V OpInBoundsPtrAccessChain"
+  }
+
+  Operation Variable {
+    Operands (initializer: Optional<!AnyType>)
+    Results (pointer: !Ptr)
+    Attributes (storage_class: storage_class)
+    Summary "SPIR-V OpVariable"
+    CppConstraint "$_self.pointer().getType().getStorageClass() == $_self.storage_class()"
+  }
+
+  Operation CopyMemory {
+    Operands (target: !Ptr, source: !Ptr)
+    Attributes (memory_access: Optional<string>)
+    Summary "SPIR-V OpCopyMemory"
+    CppConstraint "$_self.target().getType().getPointeeType() == $_self.source().getType().getPointeeType()"
+  }
+
+  Operation AtomicCompareExchange {
+    Operands (pointer: !Ptr, value: !AnyType, comparator: !AnyType)
+    Results (result: !AnyType)
+    Attributes (memory_scope: scope, equal_semantics: memory_semantics,
+                unequal_semantics: memory_semantics)
+    Summary "SPIR-V OpAtomicCompareExchange"
+  }
+
+  Operation AtomicIIncrement {
+    Operands (pointer: !Ptr)
+    Results (result: !AnyType)
+    Attributes (memory_scope: scope, semantics: memory_semantics)
+    Summary "SPIR-V OpAtomicIIncrement"
+  }
+
+  Operation AtomicIDecrement {
+    Operands (pointer: !Ptr)
+    Results (result: !AnyType)
+    Attributes (memory_scope: scope, semantics: memory_semantics)
+    Summary "SPIR-V OpAtomicIDecrement"
+  }
+
+  Operation ControlBarrier {
+    Attributes (execution_scope: scope, memory_scope: scope,
+                semantics: memory_semantics)
+    Summary "SPIR-V OpControlBarrier"
+  }
+
+  Operation MemoryBarrier {
+    Attributes (memory_scope: scope, semantics: memory_semantics)
+    Summary "SPIR-V OpMemoryBarrier"
+  }
+
+  Operation GroupBroadcast {
+    Operands (value: !AnyType, localid: !AnyType)
+    Results (result: !AnyType)
+    Attributes (execution_scope: scope)
+    Summary "SPIR-V OpGroupBroadcast"
+  }
+
+  Operation GroupNonUniformBallot {
+    Operands (predicate: !Bool)
+    Results (result: !AnyType)
+    Attributes (execution_scope: scope)
+    Summary "SPIR-V OpGroupNonUniformBallot"
+  }
+
+  Operation GroupNonUniformBroadcast {
+    Operands (value: !AnyType, id: !AnyType)
+    Results (result: !AnyType)
+    Attributes (execution_scope: scope)
+    Summary "SPIR-V OpGroupNonUniformBroadcast"
+  }
+
+  Operation GroupNonUniformElect {
+    Results (result: !Bool)
+    Attributes (execution_scope: scope)
+    Summary "SPIR-V OpGroupNonUniformElect"
+  }
+
+  Operation GroupNonUniformShuffle {
+    Operands (value: !AnyType, id: !AnyType)
+    Results (result: !AnyType)
+    Attributes (execution_scope: scope)
+    Summary "SPIR-V OpGroupNonUniformShuffle"
+  }
+
+  Operation CooperativeMatrixLoadNV {
+    Operands (pointer: !Ptr, stride: !AnyType, columnmajor: !Bool)
+    Results (result: !cooperative_matrix)
+    Attributes (memory_access: Optional<string>)
+    Summary "SPIR-V OpCooperativeMatrixLoadNV"
+  }
+
+  Operation CooperativeMatrixStoreNV {
+    Operands (pointer: !Ptr, object: !cooperative_matrix, stride: !AnyType,
+              columnmajor: !Bool)
+    Attributes (memory_access: Optional<string>)
+    Summary "SPIR-V OpCooperativeMatrixStoreNV"
+  }
+
+  Operation CooperativeMatrixMulAddNV {
+    Operands (a: !cooperative_matrix, b: !cooperative_matrix,
+              c: !cooperative_matrix)
+    Results (result: !cooperative_matrix)
+    Summary "SPIR-V OpCooperativeMatrixMulAddNV"
+    CppConstraint "$_self.c().getType() == $_self.result().getType()"
+  }
+
+  Operation CooperativeMatrixLengthNV {
+    Results (result: !i32)
+    Attributes (type: #AnyAttr)
+    Summary "SPIR-V OpCooperativeMatrixLengthNV"
+  }
+
+  Operation ImageSampleImplicitLod {
+    Operands (sampled_image: !sampled_image, coordinate: !AnyType)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpImageSampleImplicitLod"
+  }
+
+  Operation ImageQuerySize {
+    Operands (image: !image)
+    Results (result: !AnyType)
+    Summary "SPIR-V OpImageQuerySize"
+  }
+
+  Operation Image {
+    Operands (sampled_image: !sampled_image)
+    Results (result: !image)
+    Summary "SPIR-V OpImage"
+  }
+
+  Operation module {
+    Attributes (addressing_model: string, memory_model: string,
+                vce_triple: Optional<#ver_cap_ext>, sym_name: Optional<string>)
+    Region body {
+      Arguments ()
+    }
+    Summary "A SPIR-V module"
+    CppConstraint "$_self.body().hasOneBlock()"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType,
+                function_control: string)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+    }
+    Summary "A SPIR-V function"
+  }
+
+  Operation mlir_loop {
+    Region body {
+      Arguments ()
+    }
+    Summary "Structured loop (header/body/merge blocks)"
+    CppConstraint "loopRegionIsStructured($_self)"
+  }
+
+  Operation mlir_selection {
+    Region body {
+      Arguments ()
+    }
+    Summary "Structured selection"
+    CppConstraint "selectionRegionIsStructured($_self)"
+  }
+
+  Operation mlir_merge {
+    Successors ()
+    Summary "Terminates loop/selection constructs"
+  }
+
+  Operation EntryPoint {
+    Attributes (execution_model: string, fn: symbol,
+                interface: array<#AnyAttr>)
+    Summary "SPIR-V OpEntryPoint"
+    CppConstraint "referencedFunctionExists($_self)"
+  }
+
+  Operation ExecutionMode {
+    Attributes (fn: symbol, execution_mode: string, values: array<int32_t>)
+    Summary "SPIR-V OpExecutionMode"
+    CppConstraint "referencedFunctionExists($_self)"
+  }
+
+  Operation GlobalVariable {
+    Attributes (type: #AnyAttr, sym_name: string,
+                descriptor_set: Optional<DescriptorBinding>,
+                binding: Optional<DescriptorBinding>,
+                initializer: Optional<symbol>)
+    Summary "A module-level variable"
+    CppConstraint "$_self.type().isa<PointerType>()"
+  }
+
+  Operation mlir_addressof {
+    Results (pointer: !Ptr)
+    Attributes (variable: symbol)
+    Summary "The address of a global variable"
+  }
+
+  Operation Constant {
+    Results (constant: !AnyType)
+    Attributes (value: #AnyAttr)
+    Summary "SPIR-V OpConstant"
+    CppConstraint "$_self.value().getType() == $_self.constant().getType()"
+  }
+
+  Operation SpecConstant {
+    Attributes (sym_name: string, default_value: #AnyAttr)
+    Summary "SPIR-V OpSpecConstant"
+  }
+
+  Operation SpecConstantComposite {
+    Attributes (sym_name: string, constituents: array<#AnyAttr>)
+    Summary "SPIR-V OpSpecConstantComposite"
+  }
+
+  Operation Undef {
+    Results (result: !AnyType)
+    Summary "SPIR-V OpUndef"
+  }
+
+  Operation FunctionCall {
+    Operands (arguments: Variadic<!AnyType>)
+    Results (return_value: Optional<!AnyType>)
+    Attributes (callee: symbol)
+    Summary "SPIR-V OpFunctionCall"
+  }
+
+  Operation Branch {
+    Operands (blockArguments: Variadic<!AnyType>)
+    Successors (target)
+    Summary "SPIR-V OpBranch"
+  }
+
+  Operation BranchConditional {
+    Operands (condition: !Bool, trueTargetOperands: Variadic<!AnyType>,
+              falseTargetOperands: Variadic<!AnyType>)
+    Attributes (branch_weights: Optional<array<int32_t>>)
+    Successors (trueTarget, falseTarget)
+    Summary "SPIR-V OpBranchConditional"
+  }
+
+  Operation Return {
+    Successors ()
+    Summary "SPIR-V OpReturn"
+  }
+
+  Operation ReturnValue {
+    Operands (value: !AnyType)
+    Successors ()
+    Summary "SPIR-V OpReturnValue"
+  }
+
+  Operation Unreachable {
+    Successors ()
+    Summary "SPIR-V OpUnreachable"
+  }
+
+  Operation GL_FClamp {
+    Operands (x: !AnyType, y: !AnyType, z: !AnyType)
+    Results (result: !AnyType)
+    Summary "GLSL FClamp extended instruction"
+  }
+
+  Operation GL_SClamp {
+    Operands (x: !AnyType, y: !AnyType, z: !AnyType)
+    Results (result: !AnyType)
+    Summary "GLSL SClamp extended instruction"
+  }
+
+  Operation GL_UClamp {
+    Operands (x: !AnyType, y: !AnyType, z: !AnyType)
+    Results (result: !AnyType)
+    Summary "GLSL UClamp extended instruction"
+  }
+
+  Operation GL_FMix {
+    Operands (x: !AnyType, y: !AnyType, a: !AnyType)
+    Results (result: !AnyType)
+    Summary "GLSL FMix extended instruction"
+  }
+
+  Operation GL_Fma {
+    Operands (a: !AnyType, b: !AnyType, c: !AnyType)
+    Results (result: !AnyType)
+    Summary "GLSL Fma extended instruction"
+  }
+
+  Operation GL_Ldexp {
+    Operands (x: !AnyType, exp: !AnyType)
+    Results (y: !AnyType)
+    Summary "GLSL Ldexp extended instruction"
+  }
+
+  Operation GL_FrexpStruct {
+    Operands (operand: !AnyType)
+    Results (result: !struct)
+    Summary "GLSL FrexpStruct extended instruction"
+  }
+}
+|};
+  Buffer.contents buf

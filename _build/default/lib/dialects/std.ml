@@ -1,0 +1,333 @@
+(** The [std] dialect: the historical "standard" dialect at the paper's
+    analysis commit — control flow, calls and assorted non-domain-specific
+    operations that had not yet been split into cf/func/etc. *)
+
+let name = "std"
+let description = "Non domain-specific operations"
+
+let source =
+  {|
+Dialect std {
+  Alias !AnyFloat = !AnyOf<!bf16, !f16, !f32, !f64>
+  Alias !AnyInt = !AnyOf<!i1, !i8, !i16, !i32, !i64, !index>
+  Alias !AnyTensor = !builtin.tensor
+  Alias !AnyMemRef = !builtin.memref
+
+  Operation assert {
+    Operands (arg: !i1)
+    Attributes (msg: string)
+    Summary "Runtime assertion with a message"
+  }
+
+  Operation br {
+    Operands (destOperands: Variadic<!AnyType>)
+    Successors (dest)
+    Summary "Unconditional branch"
+  }
+
+  Operation cond_br {
+    Operands (condition: !i1, trueDestOperands: Variadic<!AnyType>,
+              falseDestOperands: Variadic<!AnyType>)
+    Successors (trueDest, falseDest)
+    Summary "Conditional branch"
+  }
+
+  Operation switch {
+    Operands (flag: !i32, defaultOperands: Variadic<!AnyType>,
+              caseOperands: Variadic<!AnyType>)
+    Attributes (case_values: Optional<array<int64_t>>)
+    Successors (defaultDestination, caseDestinations)
+    Summary "Multi-way branch"
+    CppConstraint "$_self.case_values().size() == $_self.caseDestinations().size()"
+  }
+
+  Operation call {
+    Operands (operands: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Attributes (callee: symbol)
+    Summary "Direct call"
+    CppConstraint "calleeSignatureMatches($_self)"
+  }
+
+  Operation call_indirect {
+    Operands (callee: !AnyType, callee_operands: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Summary "Indirect call through a function value"
+    CppConstraint "$_self.callee().getType().getInputs() == $_self.callee_operands().getTypes()"
+  }
+
+  Operation constant {
+    Results (result: !AnyType)
+    Attributes (value: #AnyAttr)
+    Summary "A constant (including function references)"
+    CppConstraint "$_self.value().getType() == $_self.result().getType()"
+  }
+
+  Operation func {
+    Attributes (sym_name: string, function_type: !AnyType,
+                sym_visibility: Optional<string>)
+    Region body {
+      Arguments (args: Variadic<!AnyType>)
+    }
+    Summary "A function definition"
+    CppConstraint "$_self.body().empty() || $_self.body().args() == $_self.function_type().inputs()"
+  }
+
+  Operation return {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Return from a function"
+    CppConstraint "$_self.operands().getTypes() == $_self.parent().function_type().results()"
+  }
+
+  Operation select {
+    ConstraintVars (T: !AnyType)
+    Operands (condition: !AnyType, true_value: !T, false_value: !T)
+    Results (result: !T)
+    Summary "Value selection"
+  }
+
+  Operation splat {
+    Operands (input: !AnyType)
+    Results (aggregate: AnyOf<!builtin.vector, !builtin.tensor>)
+    Summary "Broadcast a scalar into an aggregate"
+    CppConstraint "$_self.input().getType() == $_self.aggregate().getType().getElementType()"
+  }
+
+  Operation absf {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Floating-point absolute value"
+  }
+
+  Operation copysign {
+    ConstraintVars (T: !AnyFloat)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Copy sign"
+  }
+
+  Operation maximumf {
+    ConstraintVars (T: !AnyFloat)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point maximum"
+  }
+
+  Operation minimumf {
+    ConstraintVars (T: !AnyFloat)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Floating-point minimum"
+  }
+
+  Operation tensor_extract {
+    Operands (tensor: !AnyTensor, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Summary "Extract a tensor element"
+    CppConstraint "$_self.indices().size() == $_self.tensor().getType().getRank()"
+  }
+
+  Operation tensor_insert {
+    Operands (scalar: !AnyType, dest: !AnyTensor, indices: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Summary "Insert a tensor element"
+  }
+
+  Operation tensor_from_elements {
+    Operands (elements: Variadic<!AnyType>)
+    Results (result: !AnyTensor)
+    Summary "Build a tensor from scalars"
+  }
+
+  Operation tensor_load {
+    Operands (memref: !AnyMemRef)
+    Results (result: !AnyTensor)
+    Summary "Load a whole buffer as a tensor"
+    CppConstraint "$_self.memref().getType().getShape() == $_self.result().getType().getShape()"
+  }
+
+  Operation tensor_store {
+    Operands (tensor: !AnyTensor, memref: !AnyMemRef)
+    Summary "Store a tensor into a buffer"
+  }
+
+  Operation tensor_cast {
+    Operands (source: !AnyTensor)
+    Results (dest: !AnyTensor)
+    Summary "Compatible tensor cast"
+    CppConstraint "areCastCompatible($_self.source().getType(), $_self.dest().getType())"
+  }
+
+  Operation view {
+    Operands (source: !AnyMemRef, byte_shift: !index, sizes: Variadic<!index>)
+    Results (result: !AnyMemRef)
+    Summary "A byte-shifted buffer view"
+  }
+
+  Operation subview {
+    Operands (source: !AnyMemRef, offsets: Variadic<!index>,
+              sizes: Variadic<!index>, strides: Variadic<!index>)
+    Results (result: !AnyMemRef)
+    Summary "A strided sub-buffer view"
+  }
+
+  Operation dim {
+    Operands (memrefOrTensor: !AnyType, index: !index)
+    Results (result: !index)
+    Summary "The size of one dimension"
+  }
+
+  Operation rank {
+    Operands (memrefOrTensor: !AnyType)
+    Results (result: !index)
+    Summary "The rank of a shaped value"
+  }
+
+  Operation get_global_memref {
+    Results (result: !AnyMemRef)
+    Attributes (name: symbol)
+    Summary "Reference a global buffer"
+  }
+
+  Operation global_memref {
+    Attributes (sym_name: string, type: !AnyType,
+                initial_value: Optional<#AnyAttr>, constant: Optional<bool>)
+    Summary "Declare a global buffer"
+  }
+
+  Operation atomic_rmw {
+    Operands (value: !AnyType, memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Attributes (kind: atomic_kind)
+    Summary "Atomic read-modify-write"
+  }
+  Enum atomic_kind { addf, addi, assign, maxf, maxs, maxu, minf, mins, minu, mulf, muli }
+
+  Operation generic_atomic_rmw {
+    Operands (memref: !AnyMemRef, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Region atomic_body {
+      Arguments (current: !AnyType)
+      Terminator atomic_rmw_yield
+    }
+    Summary "Atomic read-modify-write with a region"
+  }
+
+  Operation atomic_rmw_yield {
+    Operands (result: !AnyType)
+    Successors ()
+    Summary "Terminates a generic_atomic_rmw region"
+  }
+
+  Operation bitcast {
+    Operands (in: !AnyType)
+    Results (out: !AnyType)
+    Summary "Bitcast between equal-width types"
+    CppConstraint "$_self.in().getType().getIntOrFloatBitWidth() == $_self.out().getType().getIntOrFloatBitWidth()"
+  }
+
+  Operation exp {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Exponential"
+  }
+
+  Operation log {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Natural logarithm"
+  }
+
+  Operation sqrt {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Square root"
+  }
+
+  Operation ceilf {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Ceiling"
+  }
+
+  Operation floorf {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Floor"
+  }
+
+  Operation negf {
+    ConstraintVars (T: !AnyFloat)
+    Operands (operand: !T)
+    Results (result: !T)
+    Summary "Negation"
+  }
+
+  Operation and {
+    ConstraintVars (T: !AnyInt)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Bitwise and"
+  }
+
+  Operation or {
+    ConstraintVars (T: !AnyInt)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Bitwise or"
+  }
+
+  Operation xor {
+    ConstraintVars (T: !AnyInt)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Bitwise xor"
+  }
+
+  Operation shift_left {
+    ConstraintVars (T: !AnyInt)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Shift left"
+  }
+
+  Operation signed_shift_right {
+    ConstraintVars (T: !AnyInt)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Arithmetic shift right"
+  }
+
+  Operation unsigned_shift_right {
+    ConstraintVars (T: !AnyInt)
+    Operands (lhs: !T, rhs: !T)
+    Results (result: !T)
+    Summary "Logical shift right"
+  }
+
+  Operation index_cast {
+    Operands (in: !AnyInt)
+    Results (out: !AnyInt)
+    Summary "Cast between index and integer"
+  }
+
+  Operation sitofp {
+    Operands (in: !AnyInt)
+    Results (out: !AnyFloat)
+    Summary "Signed integer to float"
+  }
+
+  Operation fptosi {
+    Operands (in: !AnyFloat)
+    Results (out: !AnyInt)
+    Summary "Float to signed integer"
+  }
+}
+|}

@@ -1,0 +1,112 @@
+(** The [tensor] dialect: dense tensor computations. *)
+
+let name = "tensor"
+let description = "Dense tensor computations"
+
+let source =
+  {|
+Dialect tensor {
+  Alias !AnyTensor = !builtin.tensor
+  Alias !AnyUnrankedTensor = !builtin.unranked_tensor
+  Alias !TensorLike = AnyOf<!AnyTensor, !AnyUnrankedTensor>
+
+  Operation cast {
+    Operands (source: !TensorLike)
+    Results (dest: !TensorLike)
+    Summary "Cast between compatible tensor types"
+    CppConstraint "areCastCompatible($_self.source().getType(), $_self.dest().getType())"
+  }
+
+  Operation dim {
+    Operands (source: !TensorLike, index: !index)
+    Results (result: !index)
+    Summary "The size of one dimension"
+  }
+
+  Operation extract {
+    Operands (tensor: !AnyTensor, indices: Variadic<!index>)
+    Results (result: !AnyType)
+    Summary "Extract one element"
+    CppConstraint "$_self.indices().size() == $_self.tensor().getType().getRank()"
+  }
+
+  Operation insert {
+    Operands (scalar: !AnyType, dest: !AnyTensor, indices: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Summary "Insert one element"
+    CppConstraint "$_self.scalar().getType() == $_self.dest().getType().getElementType()"
+  }
+
+  Operation extract_slice {
+    Operands (source: !AnyTensor, offsets: Variadic<!index>,
+              sizes: Variadic<!index>, strides: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Attributes (static_offsets: array<int64_t>, static_sizes: array<int64_t>,
+                static_strides: array<int64_t>)
+    Summary "Extract a sub-tensor"
+    CppConstraint "$_self.static_offsets().size() == $_self.source().getType().getRank()"
+  }
+
+  Operation insert_slice {
+    Operands (source: !AnyTensor, dest: !AnyTensor, offsets: Variadic<!index>,
+              sizes: Variadic<!index>, strides: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Attributes (static_offsets: array<int64_t>, static_sizes: array<int64_t>,
+                static_strides: array<int64_t>)
+    Summary "Insert a sub-tensor"
+  }
+
+  Operation from_elements {
+    Operands (elements: Variadic<!AnyType>)
+    Results (result: !AnyTensor)
+    Summary "Build a tensor from scalars"
+    CppConstraint "$_self.elements().size() == $_self.result().getType().getNumElements()"
+  }
+
+  Operation generate {
+    Operands (dynamicExtents: Variadic<!index>)
+    Results (result: !AnyTensor)
+    Region body {
+      Arguments (indices: Variadic<!index>)
+      Terminator yield
+    }
+    Summary "Build a tensor from a computation per element"
+  }
+
+  Operation yield {
+    Operands (value: !AnyType)
+    Successors ()
+    Summary "Terminates tensor regions"
+    CppConstraint "$_self.value().getType() == $_self.parent().getElementType()"
+  }
+
+  Operation rank {
+    Operands (tensor: !TensorLike)
+    Results (result: !index)
+    Summary "The rank of a tensor"
+  }
+
+  Operation reshape {
+    Operands (source: !AnyTensor, shape: !AnyTensor)
+    Results (result: !AnyTensor)
+    Summary "Reshape to the given shape tensor"
+    CppConstraint "$_self.source().getType().getNumElements() == $_self.result().getType().getNumElements()"
+  }
+
+  Operation collapse_shape {
+    Operands (src: !AnyTensor)
+    Results (result: !AnyTensor)
+    Attributes (reassociation: array<#AnyAttr>)
+    Summary "Collapse contiguous dimension groups"
+    CppConstraint "$_self.reassociation().size() == $_self.result().getType().getRank()"
+  }
+
+  Operation expand_shape {
+    Operands (src: !AnyTensor)
+    Results (result: !AnyTensor)
+    Attributes (reassociation: array<#AnyAttr>)
+    Summary "Expand dimensions into contiguous groups"
+    CppConstraint "$_self.reassociation().size() == $_self.src().getType().getRank()"
+  }
+}
+|}

@@ -1,0 +1,399 @@
+(** The [tosa] dialect: the Tensor Operator Set Architecture. A large
+    ML-operator dialect; elementwise operators are generated uniformly,
+    structured operators (convolutions, control flow) are spelled out. *)
+
+let name = "tosa"
+let description = "Tensor operator set architecture"
+
+let unary_ops =
+  [
+    ("abs", "Elementwise absolute value");
+    ("bitwise_not", "Elementwise bitwise negation");
+    ("ceil", "Elementwise ceiling");
+    ("clz", "Elementwise count-leading-zeros");
+    ("exp", "Elementwise exponential");
+    ("floor", "Elementwise floor");
+    ("log", "Elementwise natural logarithm");
+    ("logical_not", "Elementwise logical negation");
+    ("reciprocal", "Elementwise reciprocal");
+    ("rsqrt", "Elementwise reciprocal square root");
+    ("sigmoid", "Elementwise sigmoid");
+    ("tanh", "Elementwise hyperbolic tangent");
+    ("identity", "Identity");
+  ]
+
+let binary_ops =
+  [
+    ("add", "Elementwise addition");
+    ("bitwise_and", "Elementwise bitwise and");
+    ("bitwise_or", "Elementwise bitwise or");
+    ("bitwise_xor", "Elementwise bitwise xor");
+    ("div", "Elementwise integer division");
+    ("logical_and", "Elementwise logical and");
+    ("logical_left_shift", "Elementwise left shift");
+    ("logical_or", "Elementwise logical or");
+    ("logical_right_shift", "Elementwise logical right shift");
+    ("logical_xor", "Elementwise logical xor");
+    ("maximum", "Elementwise maximum");
+    ("minimum", "Elementwise minimum");
+    ("pow", "Elementwise power");
+    ("sub", "Elementwise subtraction");
+  ]
+
+let compare_ops =
+  [
+    ("equal", "Elementwise equality");
+    ("greater", "Elementwise greater-than");
+    ("greater_equal", "Elementwise greater-or-equal");
+  ]
+
+let reduce_ops =
+  [
+    ("reduce_all", "Reduce with logical and");
+    ("reduce_any", "Reduce with logical or");
+    ("reduce_max", "Reduce with maximum");
+    ("reduce_min", "Reduce with minimum");
+    ("reduce_prod", "Reduce with product");
+    ("reduce_sum", "Reduce with sum");
+  ]
+
+let source =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    {|
+Dialect tosa {
+  Alias !Tensor = !builtin.tensor
+
+  Constraint Axis : int64_t {
+    Summary "an axis within the maximum supported rank"
+    CppConstraint "$_self >= 0 && $_self < 32"
+  }
+
+  Constraint Shift8 : int64_t {
+    Summary "a shift amount below 64"
+    CppConstraint "$_self < 64"
+  }
+|};
+  List.iter
+    (fun (op, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    Operands (input1: !Tensor)
+    Results (output: !Tensor)
+    Summary "%s"
+  }
+|}
+           op summary))
+    unary_ops;
+  List.iter
+    (fun (op, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    Operands (input1: !Tensor, input2: !Tensor)
+    Results (output: !Tensor)
+    Summary "%s"
+    CppConstraint "isBroadcastCompatible($_self.input1().getType(), $_self.input2().getType())"
+  }
+|}
+           op summary))
+    binary_ops;
+  List.iter
+    (fun (op, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    Operands (input1: !Tensor, input2: !Tensor)
+    Results (output: !Tensor)
+    Summary "%s"
+  }
+|}
+           op summary))
+    compare_ops;
+  List.iter
+    (fun (op, summary) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|
+  Operation %s {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (axis: Axis)
+    Summary "%s"
+  }
+|}
+           op summary))
+    reduce_ops;
+  Buffer.add_string buf
+    {|
+  Operation argmax {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (axis: Axis)
+    Summary "Index of the maximum along an axis"
+  }
+
+  Operation arithmetic_right_shift {
+    Operands (input1: !Tensor, input2: !Tensor)
+    Results (output: !Tensor)
+    Attributes (round: bool)
+    Summary "Elementwise arithmetic right shift"
+  }
+
+  Operation apply_scale {
+    Operands (value: !Tensor, multiplier: !Tensor, shift: !Tensor)
+    Results (output: !Tensor)
+    Attributes (double_round: bool)
+    Summary "Quantized scaling"
+  }
+
+  Operation avg_pool2d {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (kernel: array<int64_t>, stride: array<int64_t>,
+                pad: array<int64_t>, quantization_info: Optional<#AnyAttr>)
+    Summary "2-d average pooling"
+    CppConstraint "$_self.kernel().size() == 2 && $_self.stride().size() == 2"
+  }
+
+  Operation max_pool2d {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (kernel: array<int64_t>, stride: array<int64_t>,
+                pad: array<int64_t>)
+    Summary "2-d max pooling"
+    CppConstraint "$_self.kernel().size() == 2 && $_self.stride().size() == 2"
+  }
+
+  Operation cast {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Summary "Elementwise type conversion"
+  }
+
+  Operation clamp {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (min_int: i64_attr, max_int: i64_attr, min_fp: #f32_attr,
+                max_fp: #f32_attr)
+    Summary "Clamp to a range"
+    CppConstraint "$_self.min_int() <= $_self.max_int()"
+  }
+
+  Operation concat {
+    Operands (input1: Variadic<!Tensor>)
+    Results (output: !Tensor)
+    Attributes (axis: Axis)
+    Summary "Concatenate along an axis"
+    CppConstraint "$_self.axis() < $_self.output().getType().getRank()"
+  }
+
+  Operation cond_if {
+    Operands (cond: !Tensor, inputs: Variadic<!Tensor>)
+    Results (output: Variadic<!Tensor>)
+    Region then_branch {
+      Arguments ()
+      Terminator yield
+    }
+    Region else_branch {
+      Arguments ()
+      Terminator yield
+    }
+    Summary "Conditional execution"
+  }
+
+  Operation while_loop {
+    Operands (inputs: Variadic<!Tensor>)
+    Results (output: Variadic<!Tensor>)
+    Region cond {
+      Arguments (condArgs: Variadic<!Tensor>)
+      Terminator yield
+    }
+    Region body {
+      Arguments (bodyArgs: Variadic<!Tensor>)
+      Terminator yield
+    }
+    Summary "While loop over tensors"
+    CppConstraint "$_self.inputs().getTypes() == $_self.output().getTypes()"
+  }
+
+  Operation yield {
+    Operands (inputs: Variadic<!Tensor>)
+    Successors ()
+    Summary "Terminates tosa control-flow regions"
+  }
+
+  Operation const {
+    Results (output: !Tensor)
+    Attributes (value: #AnyAttr)
+    Summary "A constant tensor"
+    CppConstraint "$_self.value().getType() == $_self.output().getType()"
+  }
+
+  Operation conv2d {
+    Operands (input: !Tensor, weight: !Tensor, bias: !Tensor)
+    Results (output: !Tensor)
+    Attributes (pad: array<int64_t>, stride: array<int64_t>,
+                dilation: array<int64_t>, quantization_info: Optional<#AnyAttr>)
+    Summary "2-d convolution"
+    CppConstraint "$_self.pad().size() == 4"
+  }
+
+  Operation conv3d {
+    Operands (input: !Tensor, weight: !Tensor, bias: !Tensor)
+    Results (output: !Tensor)
+    Attributes (pad: array<int64_t>, stride: array<int64_t>,
+                dilation: array<int64_t>, quantization_info: Optional<#AnyAttr>)
+    Summary "3-d convolution"
+    CppConstraint "$_self.pad().size() == 6"
+  }
+
+  Operation depthwise_conv2d {
+    Operands (input: !Tensor, weight: !Tensor, bias: !Tensor)
+    Results (output: !Tensor)
+    Attributes (pad: array<int64_t>, stride: array<int64_t>,
+                dilation: array<int64_t>, quantization_info: Optional<#AnyAttr>)
+    Summary "Depthwise 2-d convolution"
+  }
+
+  Operation transpose_conv2d {
+    Operands (input: !Tensor, filter: !Tensor, bias: !Tensor)
+    Results (output: !Tensor)
+    Attributes (out_pad: array<int64_t>, stride: array<int64_t>,
+                out_shape: array<int64_t>, quantization_info: Optional<#AnyAttr>)
+    Summary "Transposed 2-d convolution"
+  }
+
+  Operation fully_connected {
+    Operands (input: !Tensor, weight: !Tensor, bias: !Tensor)
+    Results (output: !Tensor)
+    Attributes (quantization_info: Optional<#AnyAttr>)
+    Summary "Fully connected layer"
+    CppConstraint "$_self.input().getType().getRank() == 2"
+  }
+
+  Operation matmul {
+    Operands (a: !Tensor, b: !Tensor)
+    Results (c: !Tensor)
+    Attributes (quantization_info: Optional<#AnyAttr>)
+    Summary "Batched matrix multiplication"
+    CppConstraint "$_self.a().getType().getDimSize(2) == $_self.b().getType().getDimSize(1)"
+  }
+
+  Operation custom {
+    Operands (inputs: Variadic<!Tensor>)
+    Results (outputs: Variadic<!Tensor>)
+    Attributes (identifier: string, config: Optional<string>,
+                implementation_attrs: Optional<string>)
+    Summary "An implementation-defined operator"
+  }
+
+  Operation gather {
+    Operands (values: !Tensor, indices: !Tensor)
+    Results (output: !Tensor)
+    Summary "Gather along the batch dimension"
+  }
+
+  Operation scatter {
+    Operands (values_in: !Tensor, indices: !Tensor, input: !Tensor)
+    Results (values_out: !Tensor)
+    Summary "Scatter along the batch dimension"
+  }
+
+  Operation mul {
+    Operands (input1: !Tensor, input2: !Tensor)
+    Results (output: !Tensor)
+    Attributes (shift: Shift8)
+    Summary "Elementwise multiplication with shift"
+  }
+
+  Operation negate {
+    Operands (input1: !Tensor)
+    Results (output: !Tensor)
+    Attributes (quantization_info: Optional<#AnyAttr>)
+    Summary "Elementwise negation"
+  }
+
+  Operation pad {
+    Operands (input1: !Tensor, padding: !Tensor, pad_const: Optional<!Tensor>)
+    Results (output: !Tensor)
+    Attributes (quantization_info: Optional<#AnyAttr>)
+    Summary "Pad a tensor"
+    CppConstraint "$_self.padding().getType().getRank() == 2"
+  }
+
+  Operation rescale {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (input_zp: i32_attr, output_zp: i32_attr,
+                multiplier: array<int32_t>, shift: array<int32_t>,
+                scale32: bool, double_round: bool, per_channel: bool)
+    Summary "Quantized rescale"
+    CppConstraint "$_self.multiplier().size() == $_self.shift().size()"
+  }
+
+  Operation reshape {
+    Operands (input1: !Tensor)
+    Results (output: !Tensor)
+    Attributes (new_shape: array<int64_t>)
+    Summary "Reshape preserving element count"
+    CppConstraint "$_self.input1().getType().getNumElements() == $_self.output().getType().getNumElements()"
+  }
+
+  Operation resize {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (output_size: array<int64_t>, stride: array<int64_t>,
+                offset: array<int64_t>, shift: i32_attr, mode: string)
+    Summary "Resize an image tensor"
+  }
+
+  Operation reverse {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (axis: Axis)
+    Summary "Reverse along an axis"
+  }
+
+  Operation select {
+    Operands (pred: !Tensor, on_true: !Tensor, on_false: !Tensor)
+    Results (output: !Tensor)
+    Summary "Elementwise selection"
+    CppConstraint "$_self.on_true().getType() == $_self.on_false().getType()"
+  }
+
+  Operation slice {
+    Operands (input: !Tensor)
+    Results (output: !Tensor)
+    Attributes (start: array<int64_t>, size: array<int64_t>)
+    Summary "Extract a slice"
+    CppConstraint "$_self.start().size() == $_self.size().size()"
+  }
+
+  Operation table {
+    Operands (input: !Tensor, table: !Tensor)
+    Results (output: !Tensor)
+    Summary "Table lookup"
+  }
+
+  Operation tile {
+    Operands (input1: !Tensor)
+    Results (output: !Tensor)
+    Attributes (multiples: array<int64_t>)
+    Summary "Tile a tensor"
+    CppConstraint "$_self.multiples().size() == $_self.input1().getType().getRank()"
+  }
+
+  Operation transpose {
+    Operands (input1: !Tensor, perms: !Tensor)
+    Results (output: !Tensor)
+    Summary "Permute dimensions"
+    CppConstraint "$_self.perms().getType().getNumElements() == $_self.input1().getType().getRank()"
+  }
+}
+|};
+  Buffer.contents buf

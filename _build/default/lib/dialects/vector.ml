@@ -1,0 +1,298 @@
+(** The [vector] dialect: a generic multi-dimensional vector abstraction.
+    Heavy user of op-level IRDL-C++ verifiers: most operations relate
+    operand and result shapes in ways local constraints cannot express
+    (Figure 11b). *)
+
+let name = "vector"
+let description = "A generic vector abstraction"
+
+let source =
+  {|
+Dialect vector {
+  Alias !Vec = !builtin.vector
+  Alias !MemRef = !builtin.memref
+  Alias !Shaped = AnyOf<!builtin.memref, !builtin.tensor>
+
+  Attribute combining_kind_attr {
+    Parameters (kind: combining_kind)
+    Summary "A reduction combining kind"
+  }
+  Enum combining_kind { add, mul, minui, minsi, minf, maxui, maxsi, maxf, and, or, xor }
+
+  Attribute iterator_type_attr {
+    Parameters (kind: iterator_kind)
+    Summary "A contraction iterator kind"
+  }
+  Enum iterator_kind { parallel, reduction }
+
+  Operation bitcast {
+    Operands (source: !Vec)
+    Results (result: !Vec)
+    Summary "Bitcast preserving total bit width"
+    CppConstraint "$_self.source().getType().getTotalBits() == $_self.result().getType().getTotalBits()"
+  }
+
+  Operation broadcast {
+    Operands (source: !AnyType)
+    Results (vector: !Vec)
+    Summary "Broadcast a scalar or vector to a larger vector"
+    CppConstraint "isBroadcastableTo($_self.source().getType(), $_self.vector().getType())"
+  }
+
+  Operation compressstore {
+    Operands (base: !MemRef, indices: Variadic<!index>, mask: !Vec,
+              valueToStore: !Vec)
+    Summary "Compressed store under a mask"
+    CppConstraint "$_self.mask().getType().getNumElements() == $_self.valueToStore().getType().getNumElements()"
+  }
+
+  Operation constant_mask {
+    Results (result: !Vec)
+    Attributes (mask_dim_sizes: array<int64_t>)
+    Summary "A constant all-prefix mask"
+    CppConstraint "$_self.mask_dim_sizes().size() == $_self.result().getType().getRank()"
+  }
+
+  Operation contract {
+    Operands (lhs: !Vec, rhs: !Vec, acc: !AnyType)
+    Results (result: !AnyType)
+    Attributes (indexing_maps: array<#AnyAttr>, iterator_types: array<#AnyAttr>,
+                kind: Optional<combining_kind>)
+    Summary "A generalized vector contraction"
+    CppConstraint "$_self.indexing_maps().size() == 3"
+  }
+
+  Operation create_mask {
+    Operands (operands: Variadic<!index>)
+    Results (result: !Vec)
+    Summary "A runtime all-prefix mask"
+    CppConstraint "$_self.operands().size() == $_self.result().getType().getRank()"
+  }
+
+  Operation expandload {
+    Operands (base: !MemRef, indices: Variadic<!index>, mask: !Vec,
+              passThru: !Vec)
+    Results (result: !Vec)
+    Summary "Expanding load under a mask"
+    CppConstraint "$_self.passThru().getType() == $_self.result().getType()"
+  }
+
+  Operation extract {
+    Operands (vector: !Vec)
+    Results (result: !AnyType)
+    Attributes (position: array<int64_t>)
+    Summary "Extract a scalar or sub-vector"
+    CppConstraint "$_self.position().size() <= $_self.vector().getType().getRank()"
+  }
+
+  Operation extractelement {
+    Operands (vector: !Vec, position: Optional<!index>)
+    Results (result: !AnyType)
+    Summary "Extract one element at a dynamic position"
+  }
+
+  Operation extract_strided_slice {
+    Operands (vector: !Vec)
+    Results (result: !Vec)
+    Attributes (offsets: array<int64_t>, sizes: array<int64_t>,
+                strides: array<int64_t>)
+    Summary "Extract a strided slice"
+    CppConstraint "$_self.offsets().size() == $_self.sizes().size()"
+  }
+
+  Operation fma {
+    ConstraintVars (T: !Vec)
+    Operands (lhs: !T, rhs: !T, acc: !T)
+    Results (result: !T)
+    Summary "Vector fused multiply-add"
+  }
+
+  Operation flat_transpose {
+    Operands (matrix: !Vec)
+    Results (res: !Vec)
+    Attributes (rows: i32_attr, columns: i32_attr)
+    Summary "Transpose of a row-major flattened matrix"
+    CppConstraint "$_self.matrix().getType().getNumElements() == $_self.rows() * $_self.columns()"
+  }
+
+  Operation gather {
+    Operands (base: !Shaped, indices: Variadic<!index>, index_vec: !Vec,
+              mask: !Vec, pass_thru: !Vec)
+    Results (result: !Vec)
+    Summary "Gather under a mask"
+    CppConstraint "$_self.pass_thru().getType() == $_self.result().getType()"
+  }
+
+  Operation insert {
+    Operands (source: !AnyType, dest: !Vec)
+    Results (res: !Vec)
+    Attributes (position: array<int64_t>)
+    Summary "Insert a scalar or sub-vector"
+    CppConstraint "$_self.dest().getType() == $_self.res().getType()"
+  }
+
+  Operation insertelement {
+    Operands (source: !AnyType, dest: !Vec, position: Optional<!index>)
+    Results (result: !Vec)
+    Summary "Insert one element at a dynamic position"
+  }
+
+  Operation insert_strided_slice {
+    Operands (source: !Vec, dest: !Vec)
+    Results (res: !Vec)
+    Attributes (offsets: array<int64_t>, strides: array<int64_t>)
+    Summary "Insert a strided slice"
+    CppConstraint "$_self.dest().getType() == $_self.res().getType()"
+  }
+
+  Operation load {
+    Operands (base: !MemRef, indices: Variadic<!index>)
+    Results (result: !Vec)
+    Summary "Vector load from a buffer"
+    CppConstraint "$_self.indices().size() == $_self.base().getType().getRank()"
+  }
+
+  Operation maskedload {
+    Operands (base: !MemRef, indices: Variadic<!index>, mask: !Vec,
+              pass_thru: !Vec)
+    Results (result: !Vec)
+    Summary "Masked vector load"
+  }
+
+  Operation maskedstore {
+    Operands (base: !MemRef, indices: Variadic<!index>, mask: !Vec,
+              valueToStore: !Vec)
+    Summary "Masked vector store"
+  }
+
+  Operation matrix_multiply {
+    Operands (lhs: !Vec, rhs: !Vec)
+    Results (res: !Vec)
+    Attributes (lhs_rows: i32_attr, lhs_columns: i32_attr, rhs_columns: i32_attr)
+    Summary "Flattened matrix multiplication"
+    CppConstraint "$_self.lhs().getType().getNumElements() == $_self.lhs_rows() * $_self.lhs_columns()"
+  }
+
+  Operation multi_reduction {
+    Operands (source: !Vec, acc: !AnyType)
+    Results (dest: !AnyType)
+    Attributes (kind: combining_kind, reduction_dims: array<int64_t>)
+    Summary "Reduce along several dimensions"
+    CppConstraint "llvm::is_sorted($_self.reduction_dims())"
+  }
+
+  Operation outerproduct {
+    Operands (lhs: !Vec, rhs: !AnyType, acc: Optional<!Vec>)
+    Results (res: !Vec)
+    Attributes (kind: Optional<combining_kind>)
+    Summary "Vector outer product"
+    CppConstraint "$_self.res().getType().getRank() <= 2"
+  }
+
+  Operation print {
+    Operands (source: !AnyType)
+    Summary "Print a value for debugging"
+  }
+
+  Operation reduction {
+    Operands (vector: !Vec, acc: Optional<!AnyType>)
+    Results (dest: !AnyType)
+    Attributes (kind: combining_kind)
+    Summary "Reduce a 1-D vector to a scalar"
+    CppConstraint "$_self.vector().getType().getRank() == 1"
+  }
+
+  Operation scan {
+    Operands (source: !Vec, initial_value: !Vec)
+    Results (dest: !Vec, accumulated_value: !Vec)
+    Attributes (kind: combining_kind, reduction_dim: i64_attr,
+                inclusive: bool)
+    Summary "Prefix scan along a dimension"
+    CppConstraint "$_self.reduction_dim() < $_self.source().getType().getRank()"
+  }
+
+  Operation scatter {
+    Operands (base: !MemRef, indices: Variadic<!index>, index_vec: !Vec,
+              mask: !Vec, valueToStore: !Vec)
+    Summary "Scatter under a mask"
+    CppConstraint "$_self.index_vec().getType().getNumElements() == $_self.valueToStore().getType().getNumElements()"
+  }
+
+  Operation shape_cast {
+    Operands (source: !Vec)
+    Results (result: !Vec)
+    Summary "Reshape preserving element count"
+    CppConstraint "$_self.source().getType().getNumElements() == $_self.result().getType().getNumElements()"
+  }
+
+  Operation shuffle {
+    Operands (v1: !Vec, v2: !Vec)
+    Results (vector: !Vec)
+    Attributes (mask: array<int64_t>)
+    Summary "Shuffle two vectors"
+    CppConstraint "$_self.mask().size() == $_self.vector().getType().getDimSize(0)"
+  }
+
+  Operation splat {
+    Operands (input: !AnyType)
+    Results (aggregate: !Vec)
+    Summary "Broadcast a scalar into all lanes"
+    CppConstraint "$_self.input().getType() == $_self.aggregate().getType().getElementType()"
+  }
+
+  Operation store {
+    Operands (valueToStore: !Vec, base: !MemRef, indices: Variadic<!index>)
+    Summary "Vector store to a buffer"
+  }
+
+  Operation transfer_read {
+    Operands (source: !Shaped, indices: Variadic<!index>, padding: !AnyType,
+              mask: Optional<!Vec>)
+    Results (vector: !Vec)
+    Attributes (permutation_map: #builtin.affine_map_attr,
+                in_bounds: Optional<array<#AnyAttr>>)
+    Summary "Read a vector slice from a shaped value"
+    CppConstraint "$_self.permutation_map().getNumResults() == $_self.vector().getType().getRank()"
+  }
+
+  Operation transfer_write {
+    Operands (vector: !Vec, source: !Shaped, indices: Variadic<!index>,
+              mask: Optional<!Vec>)
+    Results (result: Variadic<!builtin.tensor>)
+    Attributes (permutation_map: #builtin.affine_map_attr,
+                in_bounds: Optional<array<#AnyAttr>>)
+    Summary "Write a vector slice into a shaped value"
+    CppConstraint "$_self.permutation_map().getNumResults() == $_self.vector().getType().getRank()"
+  }
+
+  Operation transpose {
+    Operands (vector: !Vec)
+    Results (result: !Vec)
+    Attributes (transp: array<int64_t>)
+    Summary "Transpose a vector"
+    CppConstraint "isPermutationOfRank($_self.transp(), $_self.vector().getType().getRank())"
+  }
+
+  Operation type_cast {
+    Operands (memref: !MemRef)
+    Results (result: !MemRef)
+    Summary "Cast a scalar memref to a vector memref"
+  }
+
+  Operation warp_execute_on_lane_0 {
+    Operands (laneid: !index, args: Variadic<!AnyType>)
+    Results (results: Variadic<!AnyType>)
+    Region warpRegion {
+      Arguments (blockArgs: Variadic<!AnyType>)
+      Terminator yield
+    }
+    Summary "Execute a region on lane 0 of a warp"
+  }
+
+  Operation yield {
+    Operands (operands: Variadic<!AnyType>)
+    Successors ()
+    Summary "Terminates vector regions"
+  }
+}
+|}

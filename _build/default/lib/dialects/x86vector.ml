@@ -1,0 +1,110 @@
+(** The [x86vector] dialect: Intel x86 vector (AVX/AVX512) instructions.
+    Includes the corpus's only two-result hardware op, [vp2intersect]. *)
+
+let name = "x86vector"
+let description = "The Intel x86 vector instruction set"
+
+let source =
+  {|
+Dialect x86vector {
+  Alias !Vec = !builtin.vector
+
+  Operation avx512_mask_compress {
+    Operands (k: !Vec, a: !Vec, src: Optional<!Vec>)
+    Results (dst: !Vec)
+    Summary "Masked compress (AVX512)"
+    CppConstraint "$_self.a().getType() == $_self.dst().getType()"
+  }
+
+  Operation avx512_mask_rndscale {
+    Operands (src: !Vec, k: !i32, a: !Vec, imm: !i16)
+    Results (dst: !Vec)
+    Summary "Masked round-scale (AVX512)"
+  }
+
+  Operation avx512_mask_scalef {
+    Operands (src: !Vec, a: !Vec, b: !Vec, k: !i16)
+    Results (dst: !Vec)
+    Summary "Masked scale with factor (AVX512)"
+  }
+
+  Operation avx512_vp2intersect {
+    Operands (a: !Vec, b: !Vec)
+    Results (k1: !Vec, k2: !Vec)
+    Summary "Compute intersection masks (AVX512)"
+  }
+
+  Operation avx512_mask_rndscale_ps_512 {
+    Operands (src: !Vec, k: !i32, a: !Vec, imm: !i16, rounding: !i32)
+    Results (dst: !Vec)
+    Summary "Raw rndscale.ps.512 intrinsic"
+  }
+
+  Operation avx512_mask_rndscale_pd_512 {
+    Operands (src: !Vec, k: !i32, a: !Vec, imm: !i16, rounding: !i32)
+    Results (dst: !Vec)
+    Summary "Raw rndscale.pd.512 intrinsic"
+  }
+
+  Operation avx512_mask_scalef_ps_512 {
+    Operands (src: !Vec, a: !Vec, b: !Vec, k: !i16, rounding: !i32)
+    Results (dst: !Vec)
+    Summary "Raw scalef.ps.512 intrinsic"
+  }
+
+  Operation avx512_mask_scalef_pd_512 {
+    Operands (src: !Vec, a: !Vec, b: !Vec, k: !i8, rounding: !i32)
+    Results (dst: !Vec)
+    Summary "Raw scalef.pd.512 intrinsic"
+  }
+
+  Operation avx512_vp2intersect_d_512 {
+    Operands (a: !Vec, b: !Vec)
+    Results (k1: !Vec, k2: !Vec)
+    Summary "Raw vp2intersect.d.512 intrinsic"
+  }
+
+  Operation avx512_vp2intersect_q_512 {
+    Operands (a: !Vec, b: !Vec)
+    Results (k1: !Vec, k2: !Vec)
+    Summary "Raw vp2intersect.q.512 intrinsic"
+  }
+
+  Operation avx_rsqrt {
+    Operands (a: !Vec)
+    Results (b: !Vec)
+    Summary "Reciprocal square root approximation (AVX)"
+    CppConstraint "$_self.a().getType() == $_self.b().getType()"
+  }
+
+  Operation avx_rsqrt_ps_256 {
+    Operands (a: !Vec)
+    Results (b: !Vec)
+    Summary "Raw rsqrt.ps.256 intrinsic"
+  }
+
+  Operation avx_intr_dp_ps_256 {
+    Operands (a: !Vec, b: !Vec, c: !i8)
+    Results (res: !Vec)
+    Summary "Raw dp.ps.256 intrinsic"
+  }
+
+  Operation avx_intr_dot {
+    Operands (a: !Vec, b: !Vec)
+    Results (res: !Vec)
+    Summary "Horizontal dot product (AVX)"
+  }
+
+  Operation avx512_mask_cvt_ps_to_bf16 {
+    Operands (src: !Vec, a: !Vec, k: !i16)
+    Results (dst: !Vec)
+    Summary "Masked convert f32 to bf16 (AVX512)"
+  }
+
+  Operation avx512_gather_dps {
+    Operands (src: !Vec, base: !i64, index: !Vec, k: !i16, scale: !i8)
+    Results (dst: !Vec)
+    Summary "Gather packed singles (AVX512)"
+  }
+}
+|}

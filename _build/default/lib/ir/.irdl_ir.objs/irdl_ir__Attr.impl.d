@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Float Fmt Int64 List Printf String

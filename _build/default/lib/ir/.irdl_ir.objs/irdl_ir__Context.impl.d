@@ -1,0 +1,1 @@
+lib/ir/context.ml: Attr Diag Graph Irdl_support List Map Opfmt Option String

@@ -1,0 +1,1 @@
+lib/ir/context.mli: Attr Diag Graph Irdl_support Map Opfmt

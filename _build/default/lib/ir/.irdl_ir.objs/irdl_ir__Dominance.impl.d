@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Array Diag Graph Hashtbl Irdl_support List Option

@@ -1,0 +1,1 @@
+lib/ir/graph.ml: Attr Fmt Irdl_support List Loc String

@@ -1,0 +1,1 @@
+lib/ir/graph.mli: Attr Format Irdl_support

@@ -1,0 +1,1 @@
+lib/ir/opfmt.ml: Attr

@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Attr Buffer Context Diag Fmt Graph Hashtbl Int64 Irdl_support List Loc Opfmt Option Sbuf String

@@ -1,0 +1,1 @@
+lib/ir/parser.mli: Attr Context Diag Graph Irdl_support

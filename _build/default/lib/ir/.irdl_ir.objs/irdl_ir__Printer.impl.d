@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Buffer Context Fmt Format Graph Hashtbl List Opfmt Printf String

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Attr Context Diag Graph Irdl_support List Loc Result

@@ -1,0 +1,1 @@
+lib/ir/verifier.mli: Attr Context Diag Graph Irdl_support

@@ -1,0 +1,207 @@
+(** Types and attributes of the IR.
+
+    Following xDSL (and unlike MLIR's C++ split), types and attributes live in
+    one recursive value domain: a type can appear as an attribute ({!Type})
+    and dynamic (IRDL-defined) types carry attribute parameters. This makes
+    IRDL parameter constraints uniform: they all constrain attributes.
+
+    Builtin types mirror the MLIR builtins that the paper's corpus depends
+    on: signless/signed/unsigned integers, the standard float kinds, [index],
+    and function/tuple aggregates. Everything else is a {!Dynamic} type or
+    {!Dyn_attr} attribute introduced at runtime by dialect registration. *)
+
+type signedness = Signless | Signed | Unsigned
+
+type float_kind = BF16 | F16 | F32 | F64
+
+type ty =
+  | Integer of { width : int; signedness : signedness }
+  | Float of float_kind
+  | Index
+  | None_ty
+  | Function of { inputs : ty list; outputs : ty list }
+  | Tuple of ty list
+  | Dynamic of { dialect : string; name : string; params : t list }
+
+and t =
+  | Unit
+  | Bool of bool
+  | Int of { value : int64; ty : ty }
+  | Float_attr of { value : float; ty : ty }
+  | String of string
+  | Array of t list
+  | Dict of (string * t) list
+  | Type of ty
+  | Enum of { dialect : string; enum : string; case : string }
+  | Symbol of string
+  | Location of { file : string; line : int; col : int }
+  | Type_id of string
+  | Opaque of { tag : string; repr : string }
+      (** Escape hatch for IRDL-C++ [TypeOrAttrParam] parameters: [tag] names
+          the registered native parameter kind, [repr] its printed form. *)
+  | Dyn_attr of { dialect : string; name : string; params : t list }
+      (** An attribute defined at runtime by an IRDL [Attribute] definition. *)
+
+(* Convenience type constructors. *)
+
+let i1 = Integer { width = 1; signedness = Signless }
+let i8 = Integer { width = 8; signedness = Signless }
+let i16 = Integer { width = 16; signedness = Signless }
+let i32 = Integer { width = 32; signedness = Signless }
+let i64 = Integer { width = 64; signedness = Signless }
+let f16 = Float F16
+let f32 = Float F32
+let f64 = Float F64
+let bf16 = Float BF16
+let index = Index
+
+let integer ?(signedness = Signless) width =
+  if width <= 0 then invalid_arg "Attr.integer: width must be positive";
+  Integer { width; signedness }
+
+let dynamic ~dialect ~name params = Dynamic { dialect; name; params }
+
+(* Convenience attribute constructors. *)
+
+let bool b = Bool b
+let int ?(ty = i64) value = Int { value; ty }
+let int_of ~ty value = Int { value = Int64.of_int value; ty }
+let float ?(ty = f64) value = Float_attr { value; ty }
+let string s = String s
+let array xs = Array xs
+let dict kvs = Dict kvs
+let typ ty = Type ty
+let enum ~dialect ~enum:e case = Enum { dialect; enum = e; case }
+let symbol s = Symbol s
+let opaque ~tag repr = Opaque { tag; repr }
+
+let rec equal_ty (a : ty) (b : ty) =
+  match (a, b) with
+  | Integer a, Integer b -> a.width = b.width && a.signedness = b.signedness
+  | Float a, Float b -> a = b
+  | Index, Index | None_ty, None_ty -> true
+  | Function a, Function b ->
+      List.length a.inputs = List.length b.inputs
+      && List.length a.outputs = List.length b.outputs
+      && List.for_all2 equal_ty a.inputs b.inputs
+      && List.for_all2 equal_ty a.outputs b.outputs
+  | Tuple a, Tuple b ->
+      List.length a = List.length b && List.for_all2 equal_ty a b
+  | Dynamic a, Dynamic b ->
+      a.dialect = b.dialect && a.name = b.name
+      && List.length a.params = List.length b.params
+      && List.for_all2 equal a.params b.params
+  | ( ( Integer _ | Float _ | Index | None_ty | Function _ | Tuple _
+      | Dynamic _ ),
+      _ ) ->
+      false
+
+and equal (a : t) (b : t) =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> Int64.equal a.value b.value && equal_ty a.ty b.ty
+  | Float_attr a, Float_attr b ->
+      (* Bitwise comparison so that attribute equality is reflexive even for
+         NaN payloads appearing in folded constants. *)
+      Int64.equal (Int64.bits_of_float a.value) (Int64.bits_of_float b.value)
+      && equal_ty a.ty b.ty
+  | String a, String b -> String.equal a b
+  | Array a, Array b ->
+      List.length a = List.length b && List.for_all2 equal a b
+  | Dict a, Dict b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+           a b
+  | Type a, Type b -> equal_ty a b
+  | Enum a, Enum b ->
+      a.dialect = b.dialect && a.enum = b.enum && a.case = b.case
+  | Symbol a, Symbol b -> String.equal a b
+  | Location a, Location b ->
+      String.equal a.file b.file && a.line = b.line && a.col = b.col
+  | Type_id a, Type_id b -> String.equal a b
+  | Opaque a, Opaque b -> a.tag = b.tag && a.repr = b.repr
+  | Dyn_attr a, Dyn_attr b ->
+      a.dialect = b.dialect && a.name = b.name
+      && List.length a.params = List.length b.params
+      && List.for_all2 equal a.params b.params
+  | ( ( Unit | Bool _ | Int _ | Float_attr _ | String _ | Array _ | Dict _
+      | Type _ | Enum _ | Symbol _ | Location _ | Type_id _ | Opaque _
+      | Dyn_attr _ ),
+      _ ) ->
+      false
+
+let pp_signedness ppf = function
+  | Signless -> Fmt.string ppf "i"
+  | Signed -> Fmt.string ppf "si"
+  | Unsigned -> Fmt.string ppf "ui"
+
+let pp_float_kind ppf k =
+  Fmt.string ppf
+    (match k with BF16 -> "bf16" | F16 -> "f16" | F32 -> "f32" | F64 -> "f64")
+
+let rec pp_ty ppf (ty : ty) =
+  match ty with
+  | Integer { width; signedness } ->
+      Fmt.pf ppf "%a%d" pp_signedness signedness width
+  | Float k -> pp_float_kind ppf k
+  | Index -> Fmt.string ppf "index"
+  | None_ty -> Fmt.string ppf "none"
+  | Function { inputs; outputs } ->
+      Fmt.pf ppf "(%a) -> (%a)"
+        Fmt.(list ~sep:(any ", ") pp_ty)
+        inputs
+        Fmt.(list ~sep:(any ", ") pp_ty)
+        outputs
+  | Tuple tys -> Fmt.pf ppf "tuple<%a>" Fmt.(list ~sep:(any ", ") pp_ty) tys
+  | Dynamic { dialect; name; params = [] } -> Fmt.pf ppf "!%s.%s" dialect name
+  | Dynamic { dialect; name; params } ->
+      Fmt.pf ppf "!%s.%s<%a>" dialect name Fmt.(list ~sep:(any ", ") pp) params
+
+and pp ppf (a : t) =
+  match a with
+  | Unit -> Fmt.string ppf "unit"
+  | Bool b -> Fmt.bool ppf b
+  | Int { value; ty } -> Fmt.pf ppf "%Ld : %a" value pp_ty ty
+  | Float_attr { value; ty } ->
+      (* Shortest decimal form that round-trips; the parser requires a '.'
+         or exponent to lex a float, which %.1f / %g guarantee here. *)
+      let repr =
+        if Float.is_integer value && Float.abs value < 1e15 then
+          Printf.sprintf "%.1f" value
+        else
+          let s = Printf.sprintf "%.15g" value in
+          if float_of_string s = value then s
+          else Printf.sprintf "%.17g" value
+      in
+      Fmt.pf ppf "%s : %a" repr pp_ty ty
+  | String s -> Fmt.pf ppf "%S" s
+  | Array xs -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp) xs
+  | Dict kvs ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> pf ppf "%s = %a" k pp v))
+        kvs
+  | Type ty -> pp_ty ppf ty
+  | Enum { dialect; enum; case } -> Fmt.pf ppf "#%s<%s.%s>" dialect enum case
+  | Symbol s -> Fmt.pf ppf "@%s" s
+  | Location { file; line; col } -> Fmt.pf ppf "loc(%S:%d:%d)" file line col
+  | Type_id id -> Fmt.pf ppf "#typeid<%s>" id
+  | Opaque { tag; repr } -> Fmt.pf ppf "#native<%s, %S>" tag repr
+  | Dyn_attr { dialect; name; params = [] } -> Fmt.pf ppf "#%s.%s" dialect name
+  | Dyn_attr { dialect; name; params } ->
+      Fmt.pf ppf "#%s.%s<%a>" dialect name Fmt.(list ~sep:(any ", ") pp) params
+
+let ty_to_string ty = Fmt.str "%a" pp_ty ty
+let to_string a = Fmt.str "%a" pp a
+
+(** The [i1] constant [true]/[false] used by conditional branches. *)
+let bool_int b = Int { value = (if b then 1L else 0L); ty = i1 }
+
+let is_float_ty = function Float _ -> true | _ -> false
+let is_integer_ty = function Integer _ -> true | _ -> false
+
+(** Dictionary lookup helper used throughout verifier generation. *)
+let dict_find key = function
+  | Dict kvs -> List.assoc_opt key kvs
+  | _ -> None

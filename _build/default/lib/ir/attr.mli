@@ -1,0 +1,94 @@
+(** Types and attributes of the IR.
+
+    Following xDSL (and unlike MLIR's C++ split), types and attributes live
+    in one recursive value domain: a type can appear as an attribute
+    ({!Type}) and dynamic (IRDL-defined) types carry attribute parameters.
+    This makes IRDL parameter constraints uniform: they all constrain
+    attributes. *)
+
+type signedness = Signless | Signed | Unsigned
+type float_kind = BF16 | F16 | F32 | F64
+
+type ty =
+  | Integer of { width : int; signedness : signedness }
+  | Float of float_kind
+  | Index
+  | None_ty
+  | Function of { inputs : ty list; outputs : ty list }
+  | Tuple of ty list
+  | Dynamic of { dialect : string; name : string; params : t list }
+      (** A type defined at runtime by an IRDL [Type] definition. *)
+
+and t =
+  | Unit
+  | Bool of bool
+  | Int of { value : int64; ty : ty }
+  | Float_attr of { value : float; ty : ty }
+  | String of string
+  | Array of t list
+  | Dict of (string * t) list
+  | Type of ty  (** A type used as an attribute. *)
+  | Enum of { dialect : string; enum : string; case : string }
+  | Symbol of string
+  | Location of { file : string; line : int; col : int }
+  | Type_id of string
+  | Opaque of { tag : string; repr : string }
+      (** Escape hatch for IRDL-C++ [TypeOrAttrParam] parameters: [tag]
+          names the registered native parameter kind, [repr] its printed
+          form. *)
+  | Dyn_attr of { dialect : string; name : string; params : t list }
+      (** An attribute defined at runtime by an IRDL [Attribute]
+          definition. *)
+
+(** {2 Type constructors} *)
+
+val i1 : ty
+val i8 : ty
+val i16 : ty
+val i32 : ty
+val i64 : ty
+val f16 : ty
+val f32 : ty
+val f64 : ty
+val bf16 : ty
+val index : ty
+
+val integer : ?signedness:signedness -> int -> ty
+(** An integer type of the given positive bit width. *)
+
+val dynamic : dialect:string -> name:string -> t list -> ty
+
+(** {2 Attribute constructors} *)
+
+val bool : bool -> t
+val int : ?ty:ty -> int64 -> t
+val int_of : ty:ty -> int -> t
+val float : ?ty:ty -> float -> t
+val string : string -> t
+val array : t list -> t
+val dict : (string * t) list -> t
+val typ : ty -> t
+val enum : dialect:string -> enum:string -> string -> t
+val symbol : string -> t
+val opaque : tag:string -> string -> t
+val bool_int : bool -> t
+(** The [i1] constant 1/0 used by conditional branches. *)
+
+(** {2 Equality and printing} *)
+
+val equal_ty : ty -> ty -> bool
+val equal : t -> t -> bool
+(** Structural; float payloads compare bitwise so equality is reflexive. *)
+
+val pp_signedness : Format.formatter -> signedness -> unit
+val pp_float_kind : Format.formatter -> float_kind -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val pp : Format.formatter -> t -> unit
+val ty_to_string : ty -> string
+val to_string : t -> string
+
+(** {2 Classifiers and helpers} *)
+
+val is_float_ty : ty -> bool
+val is_integer_ty : ty -> bool
+val dict_find : string -> t -> t option

@@ -1,0 +1,59 @@
+(** A convenience API for constructing IR programmatically.
+
+    The builder tracks an insertion point (a block) and appends created
+    operations to it, mirroring MLIR's [OpBuilder]. It is deliberately thin:
+    all structure lives in {!Graph}. *)
+
+type t = { mutable insertion_block : Graph.block option }
+
+let create () = { insertion_block = None }
+
+let at_end_of block = { insertion_block = Some block }
+
+let set_insertion_point t block = t.insertion_block <- Some block
+
+let insertion_block t = t.insertion_block
+
+(** Create an operation and insert it at the current insertion point (if
+    any). Returns the operation; use {!Graph.Op.result} for its values. *)
+let build t ?operands ?result_tys ?attrs ?regions ?successors ?loc name =
+  let op =
+    Graph.Op.create ?operands ?result_tys ?attrs ?regions ?successors ?loc name
+  in
+  (match t.insertion_block with
+  | Some blk -> Graph.Block.append blk op
+  | None -> ());
+  op
+
+(** [build1] is {!build} for the common single-result case; returns the
+    result value. *)
+let build1 t ?operands ~result_ty ?attrs ?regions ?successors ?loc name =
+  let op =
+    build t ?operands ~result_tys:[ result_ty ] ?attrs ?regions ?successors
+      ?loc name
+  in
+  Graph.Op.result op 0
+
+(** Create a single-block region, run [f] with a builder positioned in that
+    block, and return the region. *)
+let region_with_block ?(arg_tys = []) f =
+  let block = Graph.Block.create ~arg_tys () in
+  let region = Graph.Region.create ~blocks:[ block ] () in
+  let b = at_end_of block in
+  f b (Graph.Block.args block);
+  region
+
+(** A module-like top-level container op holding one region with one block. *)
+let module_op ?(name = "builtin.module") ?loc f =
+  let region = region_with_block (fun b _ -> f b) in
+  Graph.Op.create ~regions:[ region ] ?loc name
+
+let func_op ?loc ~name ~inputs ~outputs f =
+  let region = region_with_block ~arg_tys:inputs (fun b args -> f b args) in
+  Graph.Op.create ~regions:[ region ]
+    ~attrs:
+      [
+        ("sym_name", Attr.string name);
+        ("function_type", Attr.typ (Attr.Function { inputs; outputs }));
+      ]
+    ?loc "func.func"

@@ -1,0 +1,40 @@
+(** A convenience API for constructing IR programmatically: an insertion
+    point plus creation helpers, mirroring MLIR's [OpBuilder]. *)
+
+type t
+
+val create : unit -> t
+(** A builder with no insertion point: built ops stay detached. *)
+
+val at_end_of : Graph.block -> t
+val set_insertion_point : t -> Graph.block -> unit
+val insertion_block : t -> Graph.block option
+
+val build :
+  t -> ?operands:Graph.value list -> ?result_tys:Attr.ty list ->
+  ?attrs:(string * Attr.t) list -> ?regions:Graph.region list ->
+  ?successors:Graph.block list -> ?loc:Irdl_support.Loc.t -> string ->
+  Graph.op
+(** Create an operation and append it at the insertion point (if set). *)
+
+val build1 :
+  t -> ?operands:Graph.value list -> result_ty:Attr.ty ->
+  ?attrs:(string * Attr.t) list -> ?regions:Graph.region list ->
+  ?successors:Graph.block list -> ?loc:Irdl_support.Loc.t -> string ->
+  Graph.value
+(** {!build} for the single-result case; returns the result value. *)
+
+val region_with_block :
+  ?arg_tys:Attr.ty list -> (t -> Graph.value list -> unit) -> Graph.region
+(** Create a single-block region and populate it via the callback, which
+    receives a builder positioned in the block and the block arguments. *)
+
+val module_op :
+  ?name:string -> ?loc:Irdl_support.Loc.t -> (t -> unit) -> Graph.op
+(** A module-like container op with one region and one block. *)
+
+val func_op :
+  ?loc:Irdl_support.Loc.t -> name:string -> inputs:Attr.ty list ->
+  outputs:Attr.ty list -> (t -> Graph.value list -> unit) -> Graph.op
+(** A ["func.func"] with [sym_name]/[function_type] attributes and a
+    single-block body. *)

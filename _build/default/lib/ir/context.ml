@@ -1,0 +1,118 @@
+(** The IR context: the registry of dialects and their operation, type and
+    attribute definitions.
+
+    Everything here is runtime data — registering an IRDL dialect populates a
+    context without any code generation, which is the paper's "instantiate
+    all necessary data structures at runtime (without recompilation)". *)
+
+open Irdl_support
+
+module SMap = Map.Make (String)
+
+type op_def = {
+  od_dialect : string;
+  od_name : string;  (** mnemonic, without the dialect prefix *)
+  od_summary : string;
+  od_is_terminator : bool;
+  od_num_regions : int;
+  od_verify : Graph.op -> (unit, Diag.t) result;
+  od_format : Opfmt.t option;
+}
+
+type type_def = {
+  td_dialect : string;
+  td_name : string;
+  td_summary : string;
+  td_num_params : int;
+  td_verify : Attr.t list -> (unit, Diag.t) result;
+}
+
+type attr_def = {
+  ad_dialect : string;
+  ad_name : string;
+  ad_summary : string;
+  ad_num_params : int;
+  ad_verify : Attr.t list -> (unit, Diag.t) result;
+}
+
+type dialect = {
+  d_name : string;
+  mutable d_ops : op_def SMap.t;
+  mutable d_types : type_def SMap.t;
+  mutable d_attrs : attr_def SMap.t;
+}
+
+type t = {
+  mutable dialects : dialect SMap.t;
+  mutable allow_unregistered : bool;
+      (** When true (the default, as in [mlir-opt
+          --allow-unregistered-dialect]), operations of unknown dialects
+          parse and verify structurally only. *)
+}
+
+let create ?(allow_unregistered = true) () =
+  { dialects = SMap.empty; allow_unregistered }
+
+let qualified ~dialect ~name = dialect ^ "." ^ name
+
+let get_dialect t name = SMap.find_opt name t.dialects
+
+let dialects t = SMap.bindings t.dialects |> List.map snd
+
+let register_dialect t name =
+  match SMap.find_opt name t.dialects with
+  | Some d -> d
+  | None ->
+      let d =
+        { d_name = name; d_ops = SMap.empty; d_types = SMap.empty;
+          d_attrs = SMap.empty }
+      in
+      t.dialects <- SMap.add name d t.dialects;
+      d
+
+let register_op t (od : op_def) =
+  let d = register_dialect t od.od_dialect in
+  if SMap.mem od.od_name d.d_ops then
+    Diag.raise_error "operation '%s.%s' is already registered" od.od_dialect
+      od.od_name;
+  d.d_ops <- SMap.add od.od_name od d.d_ops
+
+let register_type t (td : type_def) =
+  let d = register_dialect t td.td_dialect in
+  if SMap.mem td.td_name d.d_types then
+    Diag.raise_error "type '%s.%s' is already registered" td.td_dialect
+      td.td_name;
+  d.d_types <- SMap.add td.td_name td d.d_types
+
+let register_attr t (ad : attr_def) =
+  let d = register_dialect t ad.ad_dialect in
+  if SMap.mem ad.ad_name d.d_attrs then
+    Diag.raise_error "attribute '%s.%s' is already registered" ad.ad_dialect
+      ad.ad_name;
+  d.d_attrs <- SMap.add ad.ad_name ad d.d_attrs
+
+(** Look up the definition for a fully-qualified op name like ["cmath.mul"]. *)
+let lookup_op t qualified_name =
+  match String.index_opt qualified_name '.' with
+  | None -> None
+  | Some i ->
+      let dialect = String.sub qualified_name 0 i in
+      let name =
+        String.sub qualified_name (i + 1)
+          (String.length qualified_name - i - 1)
+      in
+      Option.bind (get_dialect t dialect) (fun d -> SMap.find_opt name d.d_ops)
+
+let lookup_type t ~dialect ~name =
+  Option.bind (get_dialect t dialect) (fun d -> SMap.find_opt name d.d_types)
+
+let lookup_attr t ~dialect ~name =
+  Option.bind (get_dialect t dialect) (fun d -> SMap.find_opt name d.d_attrs)
+
+let op_stats t =
+  SMap.fold
+    (fun _ d (nops, ntys, nattrs) ->
+      ( nops + SMap.cardinal d.d_ops,
+        ntys + SMap.cardinal d.d_types,
+        nattrs + SMap.cardinal d.d_attrs ))
+    t.dialects (0, 0, 0)

@@ -1,0 +1,72 @@
+(** The IR context: the registry of dialects and their operation, type and
+    attribute definitions. Registering an IRDL dialect populates a context
+    at runtime, without code generation (paper §3). *)
+
+open Irdl_support
+
+module SMap : Map.S with type key = string
+
+type op_def = {
+  od_dialect : string;
+  od_name : string;  (** mnemonic, without the dialect prefix *)
+  od_summary : string;
+  od_is_terminator : bool;
+  od_num_regions : int;
+  od_verify : Graph.op -> (unit, Diag.t) result;
+      (** The verifier generated from the IRDL constraints. *)
+  od_format : Opfmt.t option;
+      (** Compiled declarative format, when the op defines one. *)
+}
+
+type type_def = {
+  td_dialect : string;
+  td_name : string;
+  td_summary : string;
+  td_num_params : int;
+  td_verify : Attr.t list -> (unit, Diag.t) result;
+}
+
+type attr_def = {
+  ad_dialect : string;
+  ad_name : string;
+  ad_summary : string;
+  ad_num_params : int;
+  ad_verify : Attr.t list -> (unit, Diag.t) result;
+}
+
+type dialect = {
+  d_name : string;
+  mutable d_ops : op_def SMap.t;
+  mutable d_types : type_def SMap.t;
+  mutable d_attrs : attr_def SMap.t;
+}
+
+type t = {
+  mutable dialects : dialect SMap.t;
+  mutable allow_unregistered : bool;
+      (** When true (the default), operations/types of unknown dialects
+          parse and verify structurally only. *)
+}
+
+val create : ?allow_unregistered:bool -> unit -> t
+val qualified : dialect:string -> name:string -> string
+
+val get_dialect : t -> string -> dialect option
+val dialects : t -> dialect list
+val register_dialect : t -> string -> dialect
+(** Get or create the named dialect. *)
+
+val register_op : t -> op_def -> unit
+(** @raise Irdl_support.Diag.Error_exn on duplicate registration. *)
+
+val register_type : t -> type_def -> unit
+val register_attr : t -> attr_def -> unit
+
+val lookup_op : t -> string -> op_def option
+(** Look up a fully-qualified name like ["cmath.mul"]. *)
+
+val lookup_type : t -> dialect:string -> name:string -> type_def option
+val lookup_attr : t -> dialect:string -> name:string -> attr_def option
+
+val op_stats : t -> int * int * int
+(** Total registered (operations, types, attributes). *)

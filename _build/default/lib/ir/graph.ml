@@ -1,0 +1,259 @@
+(** The mutable SSA IR object graph: values, operations, blocks and regions.
+
+    This mirrors MLIR's object model (section 2 of the paper): operations take
+    SSA-value operands, produce result values, carry named attributes, may own
+    nested regions of basic blocks, and terminators name successor blocks.
+    Blocks carry arguments (phi nodes).
+
+    Operations are extensible: [op_name] is a plain ["dialect.mnemonic"]
+    string and all structural fields are generic, exactly the property IRDL
+    relies on to register dialects at runtime without code generation. *)
+
+open Irdl_support
+
+type value = {
+  v_id : int;
+  mutable v_ty : Attr.ty;
+  mutable v_def : value_def;
+}
+
+and value_def =
+  | Op_result of { op : op; index : int }
+  | Block_arg of { block : block; index : int }
+  | Forward_ref of string
+      (** A use seen before its definition while parsing; patched to a real
+          definition when the defining operation is parsed, and an error if
+          still unresolved at end of parse. *)
+
+and op = {
+  op_id : int;
+  op_name : string;  (** Fully qualified, e.g. ["cmath.mul"]. *)
+  mutable operands : value list;
+  mutable results : value list;
+  mutable attrs : (string * Attr.t) list;
+  mutable regions : region list;
+  mutable successors : block list;
+  mutable op_parent : block option;
+  op_loc : Loc.t;
+}
+
+and block = {
+  blk_id : int;
+  mutable blk_args : value list;
+  mutable blk_ops : op list;
+  mutable blk_parent : region option;
+}
+
+and region = {
+  reg_id : int;
+  mutable blocks : block list;
+  mutable reg_parent : op option;
+}
+
+let next_id =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+module Value = struct
+  type t = value
+
+  let ty v = v.v_ty
+  let id v = v.v_id
+  let equal a b = a.v_id = b.v_id
+
+  let defining_op v =
+    match v.v_def with
+    | Op_result { op; _ } -> Some op
+    | Block_arg _ | Forward_ref _ -> None
+
+  let owner_block v =
+    match v.v_def with
+    | Op_result { op; _ } -> op.op_parent
+    | Block_arg { block; _ } -> Some block
+    | Forward_ref _ -> None
+
+  let pp ppf v = Fmt.pf ppf "%%%d : %a" v.v_id Attr.pp_ty v.v_ty
+end
+
+module Op = struct
+  type t = op
+
+  let create ?(operands = []) ?(result_tys = []) ?(attrs = []) ?(regions = [])
+      ?(successors = []) ?(loc = Loc.unknown) name =
+    let op_id = next_id () in
+    let op =
+      {
+        op_id;
+        op_name = name;
+        operands;
+        results = [];
+        attrs;
+        regions;
+        successors;
+        op_parent = None;
+        op_loc = loc;
+      }
+    in
+    op.results <-
+      List.mapi
+        (fun index ty ->
+          { v_id = next_id (); v_ty = ty; v_def = Op_result { op; index } })
+        result_tys;
+    List.iter
+      (fun r ->
+        if r.reg_parent <> None then
+          invalid_arg "Op.create: region already attached to an operation";
+        r.reg_parent <- Some op)
+      regions;
+    op
+
+  let name op = op.op_name
+
+  let dialect op =
+    match String.index_opt op.op_name '.' with
+    | Some i -> String.sub op.op_name 0 i
+    | None -> ""
+
+  let mnemonic op =
+    match String.index_opt op.op_name '.' with
+    | Some i -> String.sub op.op_name (i + 1) (String.length op.op_name - i - 1)
+    | None -> op.op_name
+
+  let operand op i = List.nth op.operands i
+  let result op i = List.nth op.results i
+  let num_operands op = List.length op.operands
+  let num_results op = List.length op.results
+  let attr op key = List.assoc_opt key op.attrs
+
+  let set_attr op key value =
+    op.attrs <- (key, value) :: List.remove_assoc key op.attrs
+
+  let remove_attr op key = op.attrs <- List.remove_assoc key op.attrs
+
+  let set_operands op operands = op.operands <- operands
+
+  let parent_op op =
+    match op.op_parent with
+    | None -> None
+    | Some blk -> ( match blk.blk_parent with None -> None | Some r -> r.reg_parent)
+
+  (** Pre-order walk over [op] and every operation nested in its regions. *)
+  let rec walk op ~f =
+    f op;
+    List.iter
+      (fun region ->
+        List.iter (fun blk -> List.iter (fun o -> walk o ~f) blk.blk_ops) region.blocks)
+      op.regions
+
+  (** [is_ancestor ~ancestor op]: is [op] nested (strictly or not) inside
+      [ancestor]'s regions? *)
+  let is_ancestor ~ancestor op =
+    let rec up o = if o.op_id = ancestor.op_id then true
+      else match parent_op o with None -> false | Some p -> up p
+    in
+    up op
+end
+
+module Block = struct
+  type t = block
+
+  let create ?(arg_tys = []) () =
+    let blk_id = next_id () in
+    let block = { blk_id; blk_args = []; blk_ops = []; blk_parent = None } in
+    block.blk_args <-
+      List.mapi
+        (fun index ty ->
+          { v_id = next_id (); v_ty = ty; v_def = Block_arg { block; index } })
+        arg_tys;
+    block
+
+  let args b = b.blk_args
+  let ops b = b.blk_ops
+
+  let add_arg b ty =
+    let index = List.length b.blk_args in
+    let v = { v_id = next_id (); v_ty = ty; v_def = Block_arg { block = b; index } } in
+    b.blk_args <- b.blk_args @ [ v ];
+    v
+
+  let append b op =
+    if op.op_parent <> None then
+      invalid_arg "Block.append: operation already has a parent block";
+    op.op_parent <- Some b;
+    b.blk_ops <- b.blk_ops @ [ op ]
+
+  let prepend b op =
+    if op.op_parent <> None then
+      invalid_arg "Block.prepend: operation already has a parent block";
+    op.op_parent <- Some b;
+    b.blk_ops <- op :: b.blk_ops
+
+  let insert_before b ~anchor op =
+    if op.op_parent <> None then
+      invalid_arg "Block.insert_before: operation already has a parent block";
+    let rec go = function
+      | [] -> invalid_arg "Block.insert_before: anchor not in block"
+      | o :: rest when o.op_id = anchor.op_id -> op :: o :: rest
+      | o :: rest -> o :: go rest
+    in
+    op.op_parent <- Some b;
+    b.blk_ops <- go b.blk_ops
+
+  let remove b op =
+    b.blk_ops <- List.filter (fun o -> o.op_id <> op.op_id) b.blk_ops;
+    op.op_parent <- None
+
+  let terminator b =
+    match List.rev b.blk_ops with [] -> None | last :: _ -> Some last
+end
+
+module Region = struct
+  type t = region
+
+  let create ?(blocks = []) () =
+    let r = { reg_id = next_id (); blocks = []; reg_parent = None } in
+    List.iter
+      (fun b ->
+        if b.blk_parent <> None then
+          invalid_arg "Region.create: block already attached to a region";
+        b.blk_parent <- Some r)
+      blocks;
+    r.blocks <- blocks;
+    r
+
+  let add_block r b =
+    if b.blk_parent <> None then
+      invalid_arg "Region.add_block: block already attached to a region";
+    b.blk_parent <- Some r;
+    r.blocks <- r.blocks @ [ b ]
+
+  let entry r = match r.blocks with [] -> None | b :: _ -> Some b
+  let blocks r = r.blocks
+  let num_blocks r = List.length r.blocks
+end
+
+(** Detach [op] from its parent block (if any). The op keeps its operands and
+    results; callers are responsible for use-def hygiene (see
+    {!replace_uses_in}). *)
+let detach op =
+  match op.op_parent with None -> () | Some b -> Block.remove b op
+
+(** Replace every use of [from] by [to_] in all operations nested inside
+    [scope] (inclusive). Scans operand lists; at the IR sizes this project
+    manipulates an explicit use-list is not worth the bookkeeping. *)
+let replace_uses_in scope ~from ~to_ =
+  Op.walk scope ~f:(fun o ->
+      if List.exists (fun v -> Value.equal v from) o.operands then
+        o.operands <-
+          List.map (fun v -> if Value.equal v from then to_ else v) o.operands)
+
+(** [has_uses_in scope v] reports whether any operation nested in [scope] uses
+    [v] as an operand. *)
+let has_uses_in scope v =
+  let found = ref false in
+  Op.walk scope ~f:(fun o ->
+      if (not !found) && List.exists (fun u -> Value.equal u v) o.operands then
+        found := true);
+  !found

@@ -1,0 +1,121 @@
+(** The mutable SSA IR object graph: values, operations, blocks and regions
+    (MLIR's object model, paper §2).
+
+    Operations are extensible: [op_name] is a plain ["dialect.mnemonic"]
+    string and all structural fields are generic — the property IRDL relies
+    on to register dialects at runtime without code generation. *)
+
+type value = {
+  v_id : int;
+  mutable v_ty : Attr.ty;
+  mutable v_def : value_def;
+}
+
+and value_def =
+  | Op_result of { op : op; index : int }
+  | Block_arg of { block : block; index : int }
+  | Forward_ref of string
+      (** A use seen before its definition while parsing; patched to a real
+          definition when the defining operation is parsed. *)
+
+and op = {
+  op_id : int;
+  op_name : string;  (** Fully qualified, e.g. ["cmath.mul"]. *)
+  mutable operands : value list;
+  mutable results : value list;
+  mutable attrs : (string * Attr.t) list;
+  mutable regions : region list;
+  mutable successors : block list;
+  mutable op_parent : block option;
+  op_loc : Irdl_support.Loc.t;
+}
+
+and block = {
+  blk_id : int;
+  mutable blk_args : value list;
+  mutable blk_ops : op list;
+  mutable blk_parent : region option;
+}
+
+and region = {
+  reg_id : int;
+  mutable blocks : block list;
+  mutable reg_parent : op option;
+}
+
+val next_id : unit -> int
+(** A fresh id, unique within the process. *)
+
+module Value : sig
+  type t = value
+
+  val ty : t -> Attr.ty
+  val id : t -> int
+  val equal : t -> t -> bool
+  val defining_op : t -> op option
+  val owner_block : t -> block option
+  val pp : Format.formatter -> t -> unit
+end
+
+module Op : sig
+  type t = op
+
+  val create :
+    ?operands:value list -> ?result_tys:Attr.ty list ->
+    ?attrs:(string * Attr.t) list -> ?regions:region list ->
+    ?successors:block list -> ?loc:Irdl_support.Loc.t -> string -> t
+  (** Create an operation; fresh result values are wired to it, and the
+      given regions are attached (they must be detached). *)
+
+  val name : t -> string
+  val dialect : t -> string
+  val mnemonic : t -> string
+  val operand : t -> int -> value
+  val result : t -> int -> value
+  val num_operands : t -> int
+  val num_results : t -> int
+  val attr : t -> string -> Attr.t option
+  val set_attr : t -> string -> Attr.t -> unit
+  val remove_attr : t -> string -> unit
+  val set_operands : t -> value list -> unit
+  val parent_op : t -> t option
+  val walk : t -> f:(t -> unit) -> unit
+  (** Pre-order walk over the op and everything nested in its regions. *)
+
+  val is_ancestor : ancestor:t -> t -> bool
+  (** Is the op nested (strictly or not) inside [ancestor]? *)
+end
+
+module Block : sig
+  type t = block
+
+  val create : ?arg_tys:Attr.ty list -> unit -> t
+  val args : t -> value list
+  val ops : t -> op list
+  val add_arg : t -> Attr.ty -> value
+  val append : t -> op -> unit
+  val prepend : t -> op -> unit
+  val insert_before : t -> anchor:op -> op -> unit
+  val remove : t -> op -> unit
+  val terminator : t -> op option
+  (** The last operation of the block, if any. *)
+end
+
+module Region : sig
+  type t = region
+
+  val create : ?blocks:block list -> unit -> t
+  val add_block : t -> block -> unit
+  val entry : t -> block option
+  val blocks : t -> block list
+  val num_blocks : t -> int
+end
+
+val detach : op -> unit
+(** Remove an op from its parent block (no-op when detached). *)
+
+val replace_uses_in : op -> from:value -> to_:value -> unit
+(** Replace every use of [from] by [to_] in all operations nested inside the
+    scope op (inclusive). *)
+
+val has_uses_in : op -> value -> bool

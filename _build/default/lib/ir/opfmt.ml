@@ -1,0 +1,45 @@
+(** Compiled declarative operation formats (paper §4.7).
+
+    An IRDL [Format "$lhs, $rhs : $T.elementType"] directive is compiled (by
+    [Irdl_core.Opformat]) into this first-order structure, which the generic
+    printer and parser interpret. Keeping it declarative keeps [lib/ir] free
+    of any dependency on the IRDL frontend while still letting dynamically
+    registered operations print and parse in their custom syntax.
+
+    A format is printable iff every directive projects out of the op's actual
+    state, and parseable iff every operand and result type is reconstructible
+    from the parsed type directives; the format compiler enforces both. *)
+
+(** Where a printed type directive gets its value from: project [path]
+    (successive dynamic-type parameter indices) out of an operand/result
+    type. An empty path is the type itself. *)
+type ty_proj = {
+  source : [ `Operand of int | `Result of int ];
+  path : int list;
+}
+
+(** How to rebuild a type at parse time from the parsed type directives. *)
+type ty_expr =
+  | Known of Attr.ty  (** Fully determined by the op's constraints. *)
+  | From_directive of int  (** The value parsed for the i-th type directive. *)
+  | Param_of of int * int
+      (** [Param_of (i, j)]: parameter [j] of the (dynamic) type parsed for
+          directive [i]. *)
+  | Wrap of { dialect : string; name : string; params : ty_expr list }
+      (** A dynamic type whose parameters are themselves reconstructed. *)
+
+type item =
+  | Lit of string  (** Literal token, e.g. [","] or ["to"]. *)
+  | Operand_ref of int  (** [$name] where [name] is the i-th operand. *)
+  | Operand_group of int
+      (** A variadic operand group: prints/parses a comma-separated list. *)
+  | Attr_ref of string  (** [$name] where [name] is an attribute. *)
+  | Ty_directive of { index : int; proj : ty_proj }
+      (** [$T] / [$T.param] / [$operand_name.ty]: prints the projected type,
+          and at parse time records directive [index]. *)
+
+type t = {
+  items : item list;
+  operand_tys : ty_expr list;  (** one per operand slot, in order *)
+  result_tys : ty_expr list;  (** one per result slot, in order *)
+}

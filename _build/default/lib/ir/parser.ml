@@ -1,0 +1,792 @@
+(** Parser for the textual IR syntax produced by {!Printer}.
+
+    Accepts both the generic form ["cmath.mul"(%a, %b) : (t, t) -> t] and,
+    for operations registered with a declarative format, the custom pretty
+    form [cmath.mul %a, %b : f32]. Forward references to values and blocks
+    are allowed within a region (SSA dominance is not a parsing concern). *)
+
+open Irdl_support
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Value_id of string  (** [%x] *)
+  | Block_id of string  (** [^bb0] *)
+  | Symbol_id of string  (** [@sym] *)
+  | Bang_id of string  (** [!cmath.complex] (dotted) *)
+  | Hash_id of string  (** [#cmath.attr] (dotted) *)
+  | Ident of string  (** bare, possibly dotted: [cmath.mul], [f32] *)
+  | Str of string
+  | Int_lit of int64
+  | Float_lit of float
+  | Punct of string  (** one of ( ) { } [ ] < > , : = - and "->" *)
+  | Eof
+
+type lexed = { tok : token; tloc : Loc.t }
+
+let keyword_chars c = Sbuf.is_ident_char c || c = '.'
+
+let lex_string buf loc_start =
+  let b = Buffer.create 16 in
+  let rec go () =
+    match Sbuf.next buf with
+    | None -> Diag.raise_error ~loc:(Loc.point loc_start) "unterminated string"
+    | Some '"' -> Buffer.contents b
+    | Some '\\' -> (
+        match Sbuf.next buf with
+        | Some 'n' -> Buffer.add_char b '\n'; go ()
+        | Some 't' -> Buffer.add_char b '\t'; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; go ()
+        | Some '"' -> Buffer.add_char b '"'; go ()
+        | Some c -> Buffer.add_char b c; go ()
+        | None ->
+            Diag.raise_error ~loc:(Loc.point loc_start) "unterminated string")
+    | Some c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let rec skip_trivia buf =
+  Sbuf.skip_while buf Sbuf.is_space;
+  (* Line comments: // ... \n *)
+  match (Sbuf.peek buf, Sbuf.peek2 buf) with
+  | Some '/', Some '/' ->
+      Sbuf.skip_while buf (fun c -> c <> '\n');
+      skip_trivia buf
+  | _ -> ()
+
+let is_number_start buf =
+  match Sbuf.peek buf with
+  | Some c when Sbuf.is_digit c -> true
+  | Some '-' -> (
+      match Sbuf.peek2 buf with Some c -> Sbuf.is_digit c | None -> false)
+  | _ -> false
+
+let lex_number buf =
+  let start = Sbuf.pos buf in
+  ignore (Sbuf.accept buf '-');
+  (* Hex floats (0x1.9p+1) and hex ints (0xff). *)
+  let is_hex =
+    Sbuf.peek buf = Some '0'
+    && (Sbuf.peek2 buf = Some 'x' || Sbuf.peek2 buf = Some 'X')
+  in
+  if is_hex then (
+    Sbuf.advance buf;
+    Sbuf.advance buf;
+    Sbuf.skip_while buf (fun c ->
+        Sbuf.is_digit c
+        || (c >= 'a' && c <= 'f')
+        || (c >= 'A' && c <= 'F')
+        || c = '.' || c = 'p' || c = 'P' || c = '+' || c = '-'))
+  else (
+    Sbuf.skip_while buf Sbuf.is_digit;
+    if Sbuf.peek buf = Some '.'
+       && (match Sbuf.peek2 buf with Some c -> Sbuf.is_digit c | None -> false)
+    then (
+      Sbuf.advance buf;
+      Sbuf.skip_while buf Sbuf.is_digit);
+    if Sbuf.peek buf = Some 'e' || Sbuf.peek buf = Some 'E' then (
+      Sbuf.advance buf;
+      ignore (Sbuf.accept buf '+' || Sbuf.accept buf '-');
+      Sbuf.skip_while buf Sbuf.is_digit));
+  let text = Sbuf.slice buf start (Sbuf.pos buf) in
+  let float_lit () =
+    match float_of_string_opt text with
+    | Some f -> Float_lit f
+    | None ->
+        Diag.raise_error
+          ~loc:(Loc.span start (Sbuf.pos buf))
+          "malformed numeric literal '%s'" text
+  in
+  if
+    String.contains text '.'
+    || (not is_hex) && (String.contains text 'e' || String.contains text 'E')
+    || (is_hex && (String.contains text 'p' || String.contains text 'P'))
+  then float_lit ()
+  else
+    match Int64.of_string_opt text with
+    | Some i -> Int_lit i
+    | None -> float_lit ()
+
+let next_token buf : lexed =
+  skip_trivia buf;
+  let start = Sbuf.pos buf in
+  let mk tok = { tok; tloc = Sbuf.loc_from buf start } in
+  match Sbuf.peek buf with
+  | None -> mk Eof
+  | Some '"' ->
+      Sbuf.advance buf;
+      mk (Str (lex_string buf start))
+  | Some '%' ->
+      Sbuf.advance buf;
+      mk (Value_id (Sbuf.take_while buf Sbuf.is_ident_char))
+  | Some '^' ->
+      Sbuf.advance buf;
+      mk (Block_id (Sbuf.take_while buf Sbuf.is_ident_char))
+  | Some '@' ->
+      Sbuf.advance buf;
+      mk (Symbol_id (Sbuf.take_while buf keyword_chars))
+  | Some '!' ->
+      Sbuf.advance buf;
+      mk (Bang_id (Sbuf.take_while buf keyword_chars))
+  | Some '#' ->
+      Sbuf.advance buf;
+      mk (Hash_id (Sbuf.take_while buf keyword_chars))
+  | Some '-' when Sbuf.peek2 buf = Some '>' ->
+      Sbuf.advance buf;
+      Sbuf.advance buf;
+      mk (Punct "->")
+  | Some c when Sbuf.is_digit c -> mk (lex_number buf)
+  | Some '-' when is_number_start buf -> mk (lex_number buf)
+  | Some c when Sbuf.is_ident_start c ->
+      mk (Ident (Sbuf.take_while buf keyword_chars))
+  | Some (('(' | ')' | '{' | '}' | '[' | ']' | '<' | '>' | ',' | ':' | '=' | '-') as c)
+    ->
+      Sbuf.advance buf;
+      mk (Punct (String.make 1 c))
+  | Some c ->
+      Diag.raise_error ~loc:(Loc.point start) "unexpected character %C" c
+
+let pp_token ppf = function
+  | Value_id s -> Fmt.pf ppf "%%%s" s
+  | Block_id s -> Fmt.pf ppf "^%s" s
+  | Symbol_id s -> Fmt.pf ppf "@%s" s
+  | Bang_id s -> Fmt.pf ppf "!%s" s
+  | Hash_id s -> Fmt.pf ppf "#%s" s
+  | Ident s -> Fmt.string ppf s
+  | Str s -> Fmt.pf ppf "%S" s
+  | Int_lit i -> Fmt.pf ppf "%Ld" i
+  | Float_lit f -> Fmt.float ppf f
+  | Punct s -> Fmt.string ppf s
+  | Eof -> Fmt.string ppf "<eof>"
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  ctx : Context.t;
+  buf : Sbuf.t;
+  mutable lookahead : lexed;
+  values : (string, Graph.value) Hashtbl.t;
+  mutable forwards : (string * Graph.value) list;
+}
+
+let create ?(file = "<string>") ctx src =
+  let buf = Sbuf.of_string ~file src in
+  { ctx; buf; lookahead = next_token buf; values = Hashtbl.create 64;
+    forwards = [] }
+
+let peek p = p.lookahead.tok
+let loc p = p.lookahead.tloc
+
+let advance p =
+  let l = p.lookahead in
+  p.lookahead <- next_token p.buf;
+  l
+
+let fail p fmt =
+  Diag.raise_error ~loc:(loc p)
+    ("%a: " ^^ fmt)
+    (fun ppf () -> Fmt.pf ppf "at '%a'" pp_token (peek p))
+    ()
+
+let expect_punct p s =
+  match peek p with
+  | Punct s' when s = s' -> ignore (advance p)
+  | _ -> fail p "expected '%s'" s
+
+let accept_punct p s =
+  match peek p with
+  | Punct s' when s = s' ->
+      ignore (advance p);
+      true
+  | _ -> false
+
+let expect_ident p =
+  match peek p with
+  | Ident s ->
+      ignore (advance p);
+      s
+  | _ -> fail p "expected identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types and attributes                                                *)
+(* ------------------------------------------------------------------ *)
+
+let int_ty_of_ident s : Attr.ty option =
+  let parse_width prefix signedness =
+    let plen = String.length prefix in
+    if
+      String.length s > plen
+      && String.sub s 0 plen = prefix
+      && String.for_all Sbuf.is_digit
+           (String.sub s plen (String.length s - plen))
+    then
+      Some
+        (Attr.Integer
+           {
+             width = int_of_string (String.sub s plen (String.length s - plen));
+             signedness;
+           })
+    else None
+  in
+  match parse_width "si" Attr.Signed with
+  | Some ty -> Some ty
+  | None -> (
+      match parse_width "ui" Attr.Unsigned with
+      | Some ty -> Some ty
+      | None -> parse_width "i" Attr.Signless)
+
+let builtin_ty_of_ident s : Attr.ty option =
+  match s with
+  | "f16" -> Some Attr.f16
+  | "f32" -> Some Attr.f32
+  | "f64" -> Some Attr.f64
+  | "bf16" -> Some Attr.bf16
+  | "index" -> Some Attr.Index
+  | "none" -> Some Attr.None_ty
+  | _ -> int_ty_of_ident s
+
+let split_dialect_name p s =
+  match String.index_opt s '.' with
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> fail p "expected 'dialect.name', got '%s'" s
+
+let rec parse_ty p : Attr.ty =
+  match peek p with
+  | Ident "tuple" ->
+      ignore (advance p);
+      expect_punct p "<";
+      let tys = parse_ty_list_until p ">" in
+      Attr.Tuple tys
+  | Ident s -> (
+      match builtin_ty_of_ident s with
+      | Some ty ->
+          ignore (advance p);
+          ty
+      | None -> fail p "unknown builtin type '%s'" s)
+  | Bang_id s ->
+      ignore (advance p);
+      let dialect, name = split_dialect_name p s in
+      let params =
+        if accept_punct p "<" then parse_attr_list_until p ">" else []
+      in
+      Attr.Dynamic { dialect; name; params }
+  | Punct "(" ->
+      ignore (advance p);
+      let inputs = parse_ty_list_until p ")" in
+      expect_punct p "->";
+      let outputs =
+        if accept_punct p "(" then parse_ty_list_until p ")"
+        else [ parse_ty p ]
+      in
+      Attr.Function { inputs; outputs }
+  | _ -> fail p "expected a type"
+
+and parse_ty_list_until p closer =
+  if accept_punct p closer then []
+  else
+    let rec go acc =
+      let ty = parse_ty p in
+      if accept_punct p "," then go (ty :: acc)
+      else (
+        expect_punct p closer;
+        List.rev (ty :: acc))
+    in
+    go []
+
+and parse_attr p : Attr.t =
+  match peek p with
+  | Ident "unit" ->
+      ignore (advance p);
+      Attr.Unit
+  | Ident "true" ->
+      ignore (advance p);
+      Attr.Bool true
+  | Ident "false" ->
+      ignore (advance p);
+      Attr.Bool false
+  | Ident "loc" ->
+      ignore (advance p);
+      expect_punct p "(";
+      let file =
+        match advance p with
+        | { tok = Str s; _ } -> s
+        | _ -> fail p "expected file string in loc"
+      in
+      expect_punct p ":";
+      let line =
+        match advance p with
+        | { tok = Int_lit i; _ } -> Int64.to_int i
+        | _ -> fail p "expected line number in loc"
+      in
+      expect_punct p ":";
+      let col =
+        match advance p with
+        | { tok = Int_lit i; _ } -> Int64.to_int i
+        | _ -> fail p "expected column number in loc"
+      in
+      expect_punct p ")";
+      Attr.Location { file; line; col }
+  | Str s ->
+      ignore (advance p);
+      Attr.String s
+  | Int_lit v ->
+      ignore (advance p);
+      let ty = if accept_punct p ":" then parse_ty p else Attr.i64 in
+      Attr.Int { value = v; ty }
+  | Float_lit v ->
+      ignore (advance p);
+      let ty = if accept_punct p ":" then parse_ty p else Attr.f64 in
+      Attr.Float_attr { value = v; ty }
+  | Symbol_id s ->
+      ignore (advance p);
+      Attr.Symbol s
+  | Punct "[" ->
+      ignore (advance p);
+      Attr.Array (parse_attr_list_until p "]")
+  | Punct "{" ->
+      ignore (advance p);
+      Attr.Dict (parse_attr_dict_entries p)
+  | Hash_id "typeid" ->
+      ignore (advance p);
+      expect_punct p "<";
+      let id = expect_ident p in
+      expect_punct p ">";
+      Attr.Type_id id
+  | Hash_id "native" ->
+      ignore (advance p);
+      expect_punct p "<";
+      let tag = expect_ident p in
+      expect_punct p ",";
+      let repr =
+        match advance p with
+        | { tok = Str s; _ } -> s
+        | _ -> fail p "expected string repr in #native"
+      in
+      expect_punct p ">";
+      Attr.Opaque { tag; repr }
+  | Hash_id s when String.contains s '.' ->
+      ignore (advance p);
+      let dialect, name = split_dialect_name p s in
+      let params =
+        if accept_punct p "<" then parse_attr_list_until p ">" else []
+      in
+      Attr.Dyn_attr { dialect; name; params }
+  | Hash_id dialect ->
+      (* Enum attribute: #dialect<enum.Case> *)
+      ignore (advance p);
+      expect_punct p "<";
+      let path = expect_ident p in
+      let enum, case = split_dialect_name p path in
+      expect_punct p ">";
+      Attr.Enum { dialect; enum; case }
+  | Ident _ | Bang_id _ | Punct "(" -> Attr.Type (parse_ty p)
+  | _ -> fail p "expected an attribute"
+
+and parse_attr_list_until p closer =
+  if accept_punct p closer then []
+  else
+    let rec go acc =
+      let a = parse_attr p in
+      if accept_punct p "," then go (a :: acc)
+      else (
+        expect_punct p closer;
+        List.rev (a :: acc))
+    in
+    go []
+
+and parse_attr_dict_entries p =
+  if accept_punct p "}" then []
+  else
+    let rec go acc =
+      let key = expect_ident p in
+      expect_punct p "=";
+      let v = parse_attr p in
+      if accept_punct p "," then go ((key, v) :: acc)
+      else (
+        expect_punct p "}";
+        List.rev ((key, v) :: acc))
+    in
+    go []
+
+(* ------------------------------------------------------------------ *)
+(* Values and blocks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Resolve a value use; creates a forward placeholder on first use before
+    definition. *)
+let use_value p name =
+  match Hashtbl.find_opt p.values name with
+  | Some v -> v
+  | None ->
+      let v =
+        {
+          Graph.v_id = Graph.next_id ();
+          v_ty = Attr.None_ty;
+          v_def = Graph.Forward_ref name;
+        }
+      in
+      Hashtbl.replace p.values name v;
+      p.forwards <- (name, v) :: p.forwards;
+      v
+
+(** Bind a definition for [name]. If a forward placeholder exists it is
+    patched in place (keeping use identity) and returned. *)
+let define_value p name (fresh : Graph.value) =
+  match Hashtbl.find_opt p.values name with
+  | Some ({ v_def = Graph.Forward_ref _; _ } as placeholder) ->
+      placeholder.v_ty <- fresh.v_ty;
+      placeholder.v_def <- fresh.v_def;
+      p.forwards <- List.filter (fun (n, _) -> n <> name) p.forwards;
+      Hashtbl.replace p.values name placeholder;
+      placeholder
+  | _ ->
+      Hashtbl.replace p.values name fresh;
+      fresh
+
+let expect_value_id p =
+  match peek p with
+  | Value_id s ->
+      ignore (advance p);
+      s
+  | _ -> fail p "expected SSA value name"
+
+let parse_value_use p = use_value p (expect_value_id p)
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type block_scope = (string, Graph.block) Hashtbl.t
+
+let scope_block (scope : block_scope) name =
+  match Hashtbl.find_opt scope name with
+  | Some b -> b
+  | None ->
+      let b = Graph.Block.create () in
+      Hashtbl.replace scope name b;
+      b
+
+let rec parse_op p ~(scope : block_scope option) : Graph.op =
+  let op_loc = loc p in
+  (* Optional result list: %a, %b = ... *)
+  let result_names =
+    match peek p with
+    | Value_id _ ->
+        let rec go acc =
+          let n = expect_value_id p in
+          if accept_punct p "," then go (n :: acc) else List.rev (n :: acc)
+        in
+        let names = go [] in
+        expect_punct p "=";
+        names
+    | _ -> []
+  in
+  let op =
+    match peek p with
+    | Str name ->
+        ignore (advance p);
+        parse_generic_body p ~scope ~name ~op_loc
+    | Ident name when String.contains name '.' -> (
+        ignore (advance p);
+        match Context.lookup_op p.ctx name with
+        | Some ({ od_format = Some f; _ } as od) ->
+            parse_custom_body p ~name ~od ~format:f ~op_loc
+        | Some _ ->
+            fail p
+              "operation '%s' has no declarative format; use the generic \
+               \"%s\"(...) form"
+              name name
+        | None -> fail p "unknown operation '%s' in custom form" name)
+    | _ -> fail p "expected an operation"
+  in
+  if result_names <> [] then (
+    if List.length result_names <> List.length op.Graph.results then
+      Diag.raise_error ~loc:op_loc
+        "'%s' produces %d results but %d names were bound" op.Graph.op_name
+        (List.length op.Graph.results)
+        (List.length result_names);
+    op.Graph.results <-
+      List.map2 (fun name v -> define_value p name v) result_names
+        op.Graph.results);
+  op
+
+and parse_generic_body p ~scope ~name ~op_loc : Graph.op =
+  expect_punct p "(";
+  let operands =
+    if accept_punct p ")" then []
+    else
+      let rec go acc =
+        let v = parse_value_use p in
+        if accept_punct p "," then go (v :: acc)
+        else (
+          expect_punct p ")";
+          List.rev (v :: acc))
+      in
+      go []
+  in
+  let successors =
+    if accept_punct p "[" then (
+      let scope =
+        match scope with
+        | Some s -> s
+        | None ->
+            Diag.raise_error ~loc:op_loc
+              "successors are only allowed inside a region"
+      in
+      let rec go acc =
+        match advance p with
+        | { tok = Block_id b; _ } ->
+            let blk = scope_block scope b in
+            if accept_punct p "," then go (blk :: acc)
+            else (
+              expect_punct p "]";
+              List.rev (blk :: acc))
+        | _ -> fail p "expected block name"
+      in
+      go [])
+    else []
+  in
+  let regions =
+    if accept_punct p "(" then
+      let rec go acc =
+        let r = parse_region p in
+        if accept_punct p "," then go (r :: acc)
+        else (
+          expect_punct p ")";
+          List.rev (r :: acc))
+      in
+      go []
+    else []
+  in
+  let attrs = if accept_punct p "{" then parse_attr_dict_entries p else [] in
+  expect_punct p ":";
+  expect_punct p "(";
+  let operand_tys = parse_ty_list_until p ")" in
+  expect_punct p "->";
+  let result_tys =
+    if accept_punct p "(" then parse_ty_list_until p ")" else [ parse_ty p ]
+  in
+  if List.length operand_tys <> List.length operands then
+    Diag.raise_error ~loc:op_loc
+      "'%s': %d operands but %d operand types" name (List.length operands)
+      (List.length operand_tys);
+  (* Set (for forwards) or check operand types. *)
+  List.iter2
+    (fun (v : Graph.value) ty ->
+      match v.v_def with
+      | Graph.Forward_ref _ -> v.v_ty <- ty
+      | _ ->
+          if not (Attr.equal_ty v.v_ty ty) then
+            Diag.raise_error ~loc:op_loc
+              "'%s': operand has type %s but was declared with %s" name
+              (Attr.ty_to_string v.v_ty) (Attr.ty_to_string ty))
+    operands operand_tys;
+  Graph.Op.create ~operands ~result_tys ~attrs ~regions ~successors
+    ~loc:op_loc name
+
+and parse_region p : Graph.region =
+  expect_punct p "{";
+  let scope : block_scope = Hashtbl.create 4 in
+  let region = Graph.Region.create () in
+  (* Implicit entry block: operations before any ^label. *)
+  let parse_block_body blk =
+    let rec go () =
+      match peek p with
+      | Punct "}" | Block_id _ | Eof -> ()
+      | _ ->
+          let op = parse_op p ~scope:(Some scope) in
+          Graph.Block.append blk op;
+          go ()
+    in
+    go ()
+  in
+  (match peek p with
+  | Punct "}" -> ()
+  | Block_id _ -> ()
+  | _ ->
+      let entry = Graph.Block.create () in
+      Graph.Region.add_block region entry;
+      parse_block_body entry);
+  let rec labeled_blocks () =
+    match peek p with
+    | Block_id label ->
+        ignore (advance p);
+        let blk = scope_block scope label in
+        if blk.Graph.blk_parent <> None then
+          Diag.raise_error ~loc:(loc p) "duplicate block label ^%s" label;
+        (* Block arguments: (%a: ty, ...) *)
+        if accept_punct p "(" then
+          if not (accept_punct p ")") then begin
+            let rec args () =
+              let name = expect_value_id p in
+              expect_punct p ":";
+              let ty = parse_ty p in
+              let v = Graph.Block.add_arg blk ty in
+              ignore (define_value p name v);
+              if accept_punct p "," then args () else expect_punct p ")"
+            in
+            args ()
+          end;
+        expect_punct p ":";
+        Graph.Region.add_block region blk;
+        parse_block_body blk;
+        labeled_blocks ()
+    | _ -> ()
+  in
+  labeled_blocks ();
+  expect_punct p "}";
+  (* Every referenced block must have been defined (attached). *)
+  Hashtbl.iter
+    (fun name (b : Graph.block) ->
+      if b.blk_parent = None then
+        Diag.raise_error "use of undefined block ^%s" name)
+    scope;
+  region
+
+and parse_custom_body p ~name ~od:_ ~(format : Opfmt.t) ~op_loc : Graph.op =
+  let directives = Hashtbl.create 4 in
+  let fixed = Hashtbl.create 4 in
+  let group = ref None in
+  let attrs = ref [] in
+  List.iter
+    (fun (item : Opfmt.item) ->
+      match item with
+      | Opfmt.Lit s -> (
+          match (peek p, s) with
+          | Punct s', _ when s = s' -> ignore (advance p)
+          | Ident s', _ when s = s' -> ignore (advance p)
+          | _ -> fail p "expected '%s' in '%s' custom syntax" s name)
+      | Opfmt.Operand_ref i -> Hashtbl.replace fixed i (parse_value_use p)
+      | Opfmt.Operand_group _start ->
+          let rec go acc =
+            let v = parse_value_use p in
+            if accept_punct p "," then go (v :: acc) else List.rev (v :: acc)
+          in
+          let vs = match peek p with Value_id _ -> go [] | _ -> [] in
+          group := Some vs
+      | Opfmt.Attr_ref key ->
+          let a = parse_attr p in
+          attrs := (key, a) :: !attrs
+      | Opfmt.Ty_directive { index; _ } ->
+          Hashtbl.replace directives index (parse_ty p))
+    format.items;
+  let directive i =
+    match Hashtbl.find_opt directives i with
+    | Some ty -> ty
+    | None ->
+        Diag.raise_error ~loc:op_loc
+          "'%s': format did not bind type directive %d" name i
+  in
+  let rec eval_ty (e : Opfmt.ty_expr) : Attr.ty =
+    match e with
+    | Opfmt.Known ty -> ty
+    | Opfmt.From_directive i -> directive i
+    | Opfmt.Param_of (i, j) -> (
+        match directive i with
+        | Attr.Dynamic { params; _ } -> (
+            match List.nth_opt params j with
+            | Some (Attr.Type ty) -> ty
+            | _ ->
+                Diag.raise_error ~loc:op_loc
+                  "'%s': type directive %d has no type parameter %d" name i j)
+        | ty ->
+            Diag.raise_error ~loc:op_loc
+              "'%s': type %s has no parameters" name (Attr.ty_to_string ty))
+    | Opfmt.Wrap { dialect; name = tname; params } ->
+        Attr.Dynamic
+          {
+            dialect;
+            name = tname;
+            params = List.map (fun e -> Attr.Type (eval_ty e)) params;
+          }
+  in
+  let num_fixed =
+    List.length format.operand_tys - (match !group with Some _ -> 1 | None -> 0)
+  in
+  let fixed_operands =
+    List.init num_fixed (fun i ->
+        match Hashtbl.find_opt fixed i with
+        | Some v -> v
+        | None ->
+            Diag.raise_error ~loc:op_loc
+              "'%s': format did not bind operand %d" name i)
+  in
+  let operands = fixed_operands @ Option.value ~default:[] !group in
+  (* Reconstruct operand types: set forward placeholders, check the rest. *)
+  let operand_ty i =
+    if i < num_fixed then List.nth format.operand_tys i
+    else List.nth format.operand_tys num_fixed
+  in
+  List.iteri
+    (fun i (v : Graph.value) ->
+      let ty = eval_ty (operand_ty i) in
+      match v.v_def with
+      | Graph.Forward_ref _ -> v.v_ty <- ty
+      | _ ->
+          if not (Attr.equal_ty v.v_ty ty) then
+            Diag.raise_error ~loc:op_loc
+              "'%s': operand %d has type %s, expected %s" name i
+              (Attr.ty_to_string v.v_ty) (Attr.ty_to_string ty))
+    operands;
+  let result_tys = List.map eval_ty format.result_tys in
+  Graph.Op.create ~operands ~result_tys ~attrs:(List.rev !attrs) ~loc:op_loc
+    name
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let finish p =
+  match p.forwards with
+  | [] -> ()
+  | (name, _) :: _ ->
+      Diag.raise_error "use of undefined value %%%s" name
+
+(** Parse a sequence of top-level operations. *)
+let parse_ops ?file ctx src =
+  Diag.protect (fun () ->
+      let p = create ?file ctx src in
+      let rec go acc =
+        match peek p with
+        | Eof -> List.rev acc
+        | _ -> go (parse_op p ~scope:None :: acc)
+      in
+      let ops = go [] in
+      finish p;
+      ops)
+
+(** Parse exactly one operation. *)
+let parse_op_string ?file ctx src =
+  Diag.protect (fun () ->
+      let p = create ?file ctx src in
+      let op = parse_op p ~scope:None in
+      (match peek p with
+      | Eof -> ()
+      | _ -> fail p "trailing input after operation");
+      finish p;
+      op)
+
+(** Parse a standalone type, e.g. ["!cmath.complex<f32>"]. *)
+let parse_type_string ?file ctx src =
+  Diag.protect (fun () ->
+      let p = create ?file ctx src in
+      let ty = parse_ty p in
+      (match peek p with Eof -> () | _ -> fail p "trailing input after type");
+      ty)
+
+(** Parse a standalone attribute. *)
+let parse_attr_string ?file ctx src =
+  Diag.protect (fun () ->
+      let p = create ?file ctx src in
+      let a = parse_attr p in
+      (match peek p with
+      | Eof -> ()
+      | _ -> fail p "trailing input after attribute");
+      a)

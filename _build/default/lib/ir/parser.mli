@@ -1,0 +1,28 @@
+(** Parser for the textual IR syntax produced by {!Printer}: the generic
+    form and, for operations registered with a declarative format, the
+    custom pretty form. Forward references to values and blocks are allowed
+    within a region. *)
+
+open Irdl_support
+
+val builtin_ty_of_ident : string -> Attr.ty option
+(** Classify a bare identifier as a builtin type ([f32], [si8], [index],
+    ...); shared with the IRDL resolver. *)
+
+val int_ty_of_ident : string -> Attr.ty option
+
+val parse_ops :
+  ?file:string -> Context.t -> string -> (Graph.op list, Diag.t) result
+(** Parse a sequence of top-level operations. *)
+
+val parse_op_string :
+  ?file:string -> Context.t -> string -> (Graph.op, Diag.t) result
+(** Parse exactly one operation. *)
+
+val parse_type_string :
+  ?file:string -> Context.t -> string -> (Attr.ty, Diag.t) result
+(** Parse a standalone type, e.g. ["!cmath.complex<f32>"]. *)
+
+val parse_attr_string :
+  ?file:string -> Context.t -> string -> (Attr.t, Diag.t) result
+(** Parse a standalone attribute. *)

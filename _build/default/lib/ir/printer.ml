@@ -1,0 +1,207 @@
+(** Textual IR output.
+
+    Prints the MLIR-like generic form for every operation:
+
+    {v
+    %0 = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+    v}
+
+    and, when the operation's definition carries a compiled declarative
+    format (paper §4.7), the custom pretty form:
+
+    {v
+    %0 = cmath.norm %p : f32
+    v}
+
+    Printing never fails: if a custom format cannot be applied to a
+    (possibly invalid) operation, the printer falls back to the generic
+    form for that operation. *)
+
+type t = {
+  ctx : Context.t;
+  value_names : (int, string) Hashtbl.t;
+  block_names : (int, string) Hashtbl.t;
+  mutable next_value : int;
+  mutable next_block : int;
+  generic : bool;  (** Force generic form even when a format is registered. *)
+}
+
+let create ?(generic = false) ctx =
+  {
+    ctx;
+    value_names = Hashtbl.create 64;
+    block_names = Hashtbl.create 16;
+    next_value = 0;
+    next_block = 0;
+    generic;
+  }
+
+let value_name t (v : Graph.value) =
+  match Hashtbl.find_opt t.value_names v.v_id with
+  | Some n -> n
+  | None ->
+      let n = Printf.sprintf "%%%d" t.next_value in
+      t.next_value <- t.next_value + 1;
+      Hashtbl.add t.value_names v.v_id n;
+      n
+
+let block_name t (b : Graph.block) =
+  match Hashtbl.find_opt t.block_names b.blk_id with
+  | Some n -> n
+  | None ->
+      let n = Printf.sprintf "^bb%d" t.next_block in
+      t.next_block <- t.next_block + 1;
+      Hashtbl.add t.block_names b.blk_id n;
+      n
+
+exception Fallback
+(* Raised when a custom format cannot be applied; caught to emit generic
+   form instead. *)
+
+let project_ty (op : Graph.op) (proj : Opfmt.ty_proj) : Attr.ty =
+  let base =
+    match proj.source with
+    | `Operand i -> (
+        match List.nth_opt op.operands i with
+        | Some v -> Graph.Value.ty v
+        | None -> raise Fallback)
+    | `Result i -> (
+        match List.nth_opt op.results i with
+        | Some v -> Graph.Value.ty v
+        | None -> raise Fallback)
+  in
+  List.fold_left
+    (fun ty idx ->
+      match (ty : Attr.ty) with
+      | Attr.Dynamic { params; _ } -> (
+          match List.nth_opt params idx with
+          | Some (Attr.Type ty') -> ty'
+          | _ -> raise Fallback)
+      | _ -> raise Fallback)
+    base proj.path
+
+let indent ppf n = Fmt.string ppf (String.make n ' ')
+
+let rec pp_op ?(level = 0) t ppf (op : Graph.op) =
+  (* Results are named before the body so that custom formats see them. *)
+  let result_names = List.map (value_name t) op.results in
+  (match result_names with
+  | [] -> ()
+  | names -> Fmt.pf ppf "%s = " (String.concat ", " names));
+  let custom_format =
+    if t.generic then None
+    else
+      match Context.lookup_op t.ctx op.op_name with
+      | Some { od_format = Some f; _ } -> Some f
+      | _ -> None
+  in
+  match custom_format with
+  | Some f -> (
+      (* Render to a buffer first: on Fallback, nothing partial is emitted. *)
+      let buf = Buffer.create 64 in
+      let bppf = Format.formatter_of_buffer buf in
+      try
+        pp_custom t bppf op f;
+        Format.pp_print_flush bppf ();
+        Fmt.string ppf (Buffer.contents buf)
+      with Fallback -> pp_generic ~level t ppf op)
+  | None -> pp_generic ~level t ppf op
+
+and pp_custom t ppf (op : Graph.op) (f : Opfmt.t) =
+  Fmt.pf ppf "%s" op.op_name;
+  List.iter
+    (fun (item : Opfmt.item) ->
+      match item with
+      | Opfmt.Lit s ->
+          (* Punctuation hugs the previous token; words get a space. *)
+          if s = "," || s = ">" || s = ")" then Fmt.string ppf s
+          else Fmt.pf ppf " %s" s
+      | Opfmt.Operand_ref i -> (
+          match List.nth_opt op.operands i with
+          | Some v -> Fmt.pf ppf " %s" (value_name t v)
+          | None -> raise Fallback)
+      | Opfmt.Operand_group start ->
+          let rec drop n l =
+            if n = 0 then l
+            else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+          in
+          let group = drop start op.operands in
+          Fmt.pf ppf " %s"
+            (String.concat ", " (List.map (value_name t) group))
+      | Opfmt.Attr_ref name -> (
+          match Graph.Op.attr op name with
+          | Some a -> Fmt.pf ppf " %a" Attr.pp a
+          | None -> raise Fallback)
+      | Opfmt.Ty_directive { proj; _ } ->
+          Fmt.pf ppf " %a" Attr.pp_ty (project_ty op proj))
+    f.items
+
+and pp_generic ~level t ppf (op : Graph.op) =
+  Fmt.pf ppf "%S(%s)" op.op_name
+    (String.concat ", " (List.map (value_name t) op.operands));
+  (match op.successors with
+  | [] -> ()
+  | succs ->
+      Fmt.pf ppf "[%s]" (String.concat ", " (List.map (block_name t) succs)));
+  (match op.regions with
+  | [] -> ()
+  | regions ->
+      Fmt.pf ppf " (";
+      List.iteri
+        (fun i r ->
+          if i > 0 then Fmt.pf ppf ", ";
+          pp_region ~level t ppf r)
+        regions;
+      Fmt.pf ppf ")");
+  (match op.attrs with
+  | [] -> ()
+  | attrs ->
+      Fmt.pf ppf " {%s}"
+        (String.concat ", "
+           (List.map
+              (fun (k, v) -> Fmt.str "%s = %a" k Attr.pp v)
+              attrs)));
+  Fmt.pf ppf " : (%s) -> (%s)"
+    (String.concat ", "
+       (List.map (fun v -> Attr.ty_to_string (Graph.Value.ty v)) op.operands))
+    (String.concat ", "
+       (List.map (fun v -> Attr.ty_to_string (Graph.Value.ty v)) op.results))
+
+and pp_region ~level t ppf (r : Graph.region) =
+  let inner = level + 2 in
+  Fmt.string ppf "{";
+  List.iteri
+    (fun i (b : Graph.block) ->
+      (* The entry block's label is implicit when it has no arguments and is
+         the only block, matching MLIR's convention. *)
+      let needs_label =
+        i > 0 || b.blk_args <> [] || List.length r.blocks > 1
+      in
+      if needs_label then (
+        Fmt.pf ppf "\n%a%s" indent level (block_name t b);
+        (match b.blk_args with
+        | [] -> ()
+        | args ->
+            Fmt.pf ppf "(%s)"
+              (String.concat ", "
+                 (List.map
+                    (fun v ->
+                      Fmt.str "%s: %a" (value_name t v) Attr.pp_ty
+                        (Graph.Value.ty v))
+                    args)));
+        Fmt.string ppf ":");
+      List.iter
+        (fun o ->
+          Fmt.pf ppf "\n%a%a" indent inner (pp_op ~level:inner t) o)
+        b.blk_ops)
+    r.blocks;
+  Fmt.pf ppf "\n%a}" indent level
+
+let op_to_string ?generic ctx op =
+  let t = create ?generic ctx in
+  Fmt.str "%a" (pp_op t) op
+
+(** Print a list of top-level operations, one per line. *)
+let ops_to_string ?generic ctx ops =
+  let t = create ?generic ctx in
+  String.concat "\n" (List.map (fun o -> Fmt.str "%a" (pp_op t) o) ops)

@@ -1,0 +1,22 @@
+(** Textual IR output: the MLIR-like generic form, plus custom pretty forms
+    for operations registered with a declarative format (paper §4.7).
+    Printing never fails; inapplicable formats fall back to generic form. *)
+
+type t
+
+val create : ?generic:bool -> Context.t -> t
+(** A printing session; value/block names are assigned per session.
+    [generic] forces generic form even when formats are registered. *)
+
+val value_name : t -> Graph.value -> string
+(** The (stable, per-session) printed name of a value, e.g. ["%0"]. *)
+
+val block_name : t -> Graph.block -> string
+
+val pp_op : ?level:int -> t -> Format.formatter -> Graph.op -> unit
+(** Print one operation (and its nested regions) at indent [level]. *)
+
+val op_to_string : ?generic:bool -> Context.t -> Graph.op -> string
+
+val ops_to_string : ?generic:bool -> Context.t -> Graph.op list -> string
+(** Print top-level operations, one per line, sharing value names. *)

@@ -1,0 +1,24 @@
+(** The verification driver: structural SSA invariants, registered per-op
+    verifiers (generated from IRDL constraints), and registered
+    type/attribute parameter verifiers for every type mentioned in the IR. *)
+
+open Irdl_support
+
+val verify_ty : Context.t -> Attr.ty -> (unit, Diag.t) result
+(** Check a type (recursively, including dynamic-type parameters) against
+    the registered definitions. *)
+
+val verify_attr : Context.t -> Attr.t -> (unit, Diag.t) result
+
+val is_terminator : Context.t -> Graph.op -> bool
+(** Registered terminators, or (for unregistered ops) ops with successors. *)
+
+val verify_op : Context.t -> Graph.op -> (unit, Diag.t) result
+(** Verify a single operation (not its nested regions' ops). *)
+
+val verify : Context.t -> Graph.op -> (unit, Diag.t) result
+(** Verify the op and everything nested inside it; stops at the first
+    failure. *)
+
+val verify_all : Context.t -> Graph.op -> Diag.t list
+(** Collect every verification failure instead of stopping at the first. *)

@@ -1,0 +1,1 @@
+lib/rewrite/cse.ml: Attr Buffer Context Dominance Graph Hashtbl Irdl_ir List Option String Verifier

@@ -1,0 +1,1 @@
+lib/rewrite/cse.mli: Context Graph Irdl_ir

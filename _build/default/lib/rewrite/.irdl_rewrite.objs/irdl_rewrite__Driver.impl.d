@@ -1,0 +1,1 @@
+lib/rewrite/driver.ml: Context Fmt Graph Irdl_ir List Logs Pattern Rewriter

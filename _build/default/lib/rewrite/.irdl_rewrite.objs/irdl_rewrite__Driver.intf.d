@@ -1,0 +1,1 @@
+lib/rewrite/driver.mli: Context Format Graph Irdl_ir Pattern

@@ -1,0 +1,1 @@
+lib/rewrite/pattern.ml: Attr Graph Hashtbl Irdl_ir List Rewriter

@@ -1,0 +1,1 @@
+lib/rewrite/pattern.mli: Attr Graph Hashtbl Irdl_ir Rewriter

@@ -1,0 +1,1 @@
+lib/rewrite/rewriter.ml: Context Graph Irdl_ir List

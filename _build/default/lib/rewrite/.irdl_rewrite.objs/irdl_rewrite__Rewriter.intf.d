@@ -1,0 +1,1 @@
+lib/rewrite/rewriter.mli: Attr Context Graph Irdl_ir

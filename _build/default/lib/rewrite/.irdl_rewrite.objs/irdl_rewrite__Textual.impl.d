@@ -1,0 +1,1 @@
+lib/rewrite/textual.ml: Attr Context Diag Irdl_ir Irdl_support List Loc Parser Pattern Result Sbuf String

@@ -1,0 +1,1 @@
+lib/rewrite/textual.mli: Context Diag Irdl_ir Irdl_support Pattern

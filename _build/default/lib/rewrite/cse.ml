@@ -1,0 +1,97 @@
+(** Common-subexpression elimination, dominance-aware.
+
+    Two operations are equivalent when they have the same name, the same
+    operands (as SSA values), the same attributes and the same result types.
+    A dominated duplicate is replaced by its representative. Operations are
+    only considered when they are pure according to [is_pure]; the default
+    heuristic accepts region-, successor- and side-effect-free operations
+    (conservatively excluding memory- and call-like mnemonics).
+
+    This is the classic SSA cleanup pass MLIR runs as [-cse]; here it runs
+    against dynamically registered IRDL dialects like everything else. *)
+
+open Irdl_ir
+
+(* Conservative purity heuristic: structure first, then mnemonic blacklist
+   for effects the structure cannot show. *)
+let default_is_pure (ctx : Context.t) (op : Graph.op) =
+  op.Graph.results <> []
+  && op.Graph.regions = []
+  && op.Graph.successors = []
+  && (not (Verifier.is_terminator ctx op))
+  && (let m = Graph.Op.mnemonic op in
+      let has_fragment frag =
+        let ml = String.length m and fl = String.length frag in
+        let rec go i = i + fl <= ml && (String.sub m i fl = frag || go (i + 1)) in
+        fl > 0 && go 0
+      in
+      not
+        (List.exists has_fragment
+           [ "load"; "store"; "alloc"; "dealloc"; "call"; "atomic"; "dma";
+             "print"; "barrier"; "rand" ]))
+
+(** A structural key for value-numbering. *)
+let op_key (op : Graph.op) : string =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf op.Graph.op_name;
+  List.iter
+    (fun (v : Graph.value) ->
+      Buffer.add_char buf '%';
+      Buffer.add_string buf (string_of_int (Graph.Value.id v)))
+    op.Graph.operands;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '#';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (Attr.to_string v))
+    (List.sort compare op.Graph.attrs);
+  List.iter
+    (fun (r : Graph.value) ->
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Attr.ty_to_string (Graph.Value.ty r)))
+    op.Graph.results;
+  Buffer.contents buf
+
+type stats = { examined : int; eliminated : int }
+
+(** Run CSE inside [scope]. Returns the number of operations eliminated. *)
+let run ?is_pure (ctx : Context.t) (scope : Graph.op) : stats =
+  let is_pure = Option.value ~default:(default_is_pure ctx) is_pure in
+  let dom = Dominance.create () in
+  let table : (string, Graph.op list) Hashtbl.t = Hashtbl.create 64 in
+  let examined = ref 0 in
+  let eliminated = ref 0 in
+  (* Collect candidates in program (walk) order so representatives are seen
+     before ops they might dominate. *)
+  let candidates = ref [] in
+  Graph.Op.walk scope ~f:(fun op ->
+      if op != scope && is_pure op then candidates := op :: !candidates);
+  List.iter
+    (fun (op : Graph.op) ->
+      incr examined;
+      let key = op_key op in
+      let known = Option.value ~default:[] (Hashtbl.find_opt table key) in
+      (* A representative must dominate every use of the duplicate's
+         results; representative-dominates-duplicate is sufficient since
+         uses are dominated by the duplicate. *)
+      let rep =
+        List.find_opt
+          (fun (r : Graph.op) ->
+            r.Graph.op_parent <> None
+            && List.for_all2
+                 (fun (a : Graph.value) _ -> Dominance.value_dominates dom a op)
+                 r.Graph.results op.Graph.results)
+          known
+      in
+      match rep with
+      | Some r ->
+          List.iter2
+            (fun (from : Graph.value) to_ ->
+              Graph.replace_uses_in scope ~from ~to_)
+            op.Graph.results r.Graph.results;
+          Graph.detach op;
+          incr eliminated
+      | None -> Hashtbl.replace table key (op :: known))
+    (List.rev !candidates);
+  { examined = !examined; eliminated = !eliminated }

@@ -1,0 +1,17 @@
+(** Common-subexpression elimination, dominance-aware (MLIR's [-cse]
+    analog), over dynamically registered IRDL dialects. *)
+
+open Irdl_ir
+
+val default_is_pure : Context.t -> Graph.op -> bool
+(** The default purity heuristic: has results, no regions/successors, not a
+    terminator, and no memory/call-like mnemonic fragment. *)
+
+val op_key : Graph.op -> string
+(** The structural value-numbering key (name, operand identities, sorted
+    attributes, result types). *)
+
+type stats = { examined : int; eliminated : int }
+
+val run : ?is_pure:(Graph.op -> bool) -> Context.t -> Graph.op -> stats
+(** Eliminate dominated duplicates of pure operations inside the scope. *)

@@ -1,0 +1,71 @@
+(** The greedy pattern-rewrite driver (MLIR's
+    [applyPatternsAndFoldGreedily] analog).
+
+    Repeatedly sweeps the scope, trying patterns in decreasing benefit
+    order at every operation, until a sweep applies nothing or the
+    iteration cap is hit. Dead producers exposed by replacements are
+    removed between sweeps. *)
+
+open Irdl_ir
+
+type stats = {
+  iterations : int;
+  applications : int;
+  erased : int;
+  converged : bool;
+}
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "%d iteration(s), %d pattern application(s), %d op(s) erased, %s"
+    s.iterations s.applications s.erased
+    (if s.converged then "converged" else "iteration cap reached")
+
+let src = Logs.Src.create "irdl.rewrite" ~doc:"Greedy pattern driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(** Apply [patterns] greedily inside [scope]. *)
+let apply ?(max_iterations = 16) (ctx : Context.t) (patterns : Pattern.t list)
+    (scope : Graph.op) : stats =
+  let patterns =
+    List.sort (fun (a : Pattern.t) b -> compare b.benefit a.benefit) patterns
+  in
+  let rw = Rewriter.create ctx scope in
+  let applications = ref 0 in
+  let erased = ref 0 in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     while !iterations < max_iterations do
+       incr iterations;
+       rw.changed <- false;
+       (* Collect first: rewrites invalidate the walk. *)
+       let worklist = ref [] in
+       Graph.Op.walk scope ~f:(fun o ->
+           if o != scope then worklist := o :: !worklist);
+       List.iter
+         (fun (op : Graph.op) ->
+           (* Skip ops erased by a previous application this sweep. *)
+           if op.op_parent <> None then
+             List.iter
+               (fun (p : Pattern.t) ->
+                 if op.op_parent <> None && p.match_and_rewrite rw op then begin
+                   incr applications;
+                   Log.debug (fun m -> m "applied pattern %s" p.name)
+                 end)
+               patterns)
+         (List.rev !worklist);
+       erased := !erased + Rewriter.dce rw;
+       if not rw.changed then begin
+         converged := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    iterations = !iterations;
+    applications = !applications;
+    erased = !erased;
+    converged = !converged;
+  }

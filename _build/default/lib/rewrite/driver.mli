@@ -1,0 +1,18 @@
+(** The greedy pattern-rewrite driver (MLIR's
+    [applyPatternsAndFoldGreedily] analog): sweeps the scope, trying
+    patterns in decreasing benefit order, until a fixpoint or the iteration
+    cap; dead producers are removed between sweeps. *)
+
+open Irdl_ir
+
+type stats = {
+  iterations : int;
+  applications : int;
+  erased : int;
+  converged : bool;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val apply :
+  ?max_iterations:int -> Context.t -> Pattern.t list -> Graph.op -> stats

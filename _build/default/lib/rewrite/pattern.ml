@@ -1,0 +1,125 @@
+(** Rewrite patterns, native and declarative.
+
+    A native pattern is an arbitrary match-and-rewrite function (MLIR's
+    [RewritePattern]). The declarative combinators below cover the common
+    DAG-shaped peephole patterns — enough to express the paper's Listing 1
+    optimization over dynamically registered IRDL operations without any
+    host-language match code, which is the "dynamic pattern rewriting"
+    companion the paper's §3 refers to. *)
+
+open Irdl_ir
+
+type t = {
+  name : string;
+  benefit : int;  (** Higher-benefit patterns are attempted first. *)
+  match_and_rewrite : Rewriter.t -> Graph.op -> bool;
+      (** Returns true iff the pattern applied (and mutated the IR). *)
+}
+
+let make ?(benefit = 1) ~name match_and_rewrite =
+  { name; benefit; match_and_rewrite }
+
+(* ---------------------------------------------------------------- *)
+(* Declarative DAG patterns                                          *)
+(* ---------------------------------------------------------------- *)
+
+(** Matcher over the producer DAG of an operation: [M_op] matches an op by
+    name and its operand sub-patterns, capturing values by name. *)
+type matcher =
+  | M_op of { op_name : string; operands : matcher list; bind : string option }
+      (** Matches a value produced by (the unique result of) an op. *)
+  | M_value of string  (** Matches any value, capturing it. *)
+
+let m_op ?bind op_name operands = M_op { op_name; operands; bind }
+let m_val name = M_value name
+
+type captures = (string, Graph.value) Hashtbl.t
+
+let rec match_value (m : matcher) (v : Graph.value) (caps : captures) : bool =
+  match m with
+  | M_value name -> (
+      (* Non-linear patterns: a repeated name must match the same value. *)
+      match Hashtbl.find_opt caps name with
+      | Some v' -> Graph.Value.equal v v'
+      | None ->
+          Hashtbl.replace caps name v;
+          true)
+  | M_op { op_name; operands; bind } -> (
+      match Graph.Value.defining_op v with
+      | Some op
+        when op.Graph.op_name = op_name
+             && List.length op.Graph.operands = List.length operands
+             && List.length op.Graph.results = 1 ->
+          (match bind with
+          | Some name -> Hashtbl.replace caps name v
+          | None -> ());
+          List.for_all2 (fun m v -> match_value m v caps) operands
+            op.Graph.operands
+      | _ -> false)
+
+(** Result builder: a small op-DAG template instantiated on success. *)
+type builder =
+  | B_capture of string  (** A captured value. *)
+  | B_op of {
+      op_name : string;
+      operands : builder list;
+      result_ty : ty_builder;
+    }
+
+and ty_builder =
+  | Ty_const of Attr.ty
+  | Ty_of_capture of string  (** Type of a captured value. *)
+  | Ty_fn of (captures -> Attr.ty)
+
+let b_cap name = B_capture name
+let b_op op_name operands result_ty = B_op { op_name; operands; result_ty }
+
+let rec build_value rw ~anchor (caps : captures) (b : builder) : Graph.value =
+  match b with
+  | B_capture name -> (
+      match Hashtbl.find_opt caps name with
+      | Some v -> v
+      | None -> invalid_arg ("Pattern: unbound capture " ^ name))
+  | B_op { op_name; operands; result_ty } ->
+      let operands = List.map (build_value rw ~anchor caps) operands in
+      let ty =
+        match result_ty with
+        | Ty_const ty -> ty
+        | Ty_of_capture name -> (
+            match Hashtbl.find_opt caps name with
+            | Some v -> Graph.Value.ty v
+            | None -> invalid_arg ("Pattern: unbound capture " ^ name))
+        | Ty_fn f -> f caps
+      in
+      let op =
+        Rewriter.insert_before rw ~anchor ~operands ~result_tys:[ ty ] op_name
+      in
+      Graph.Op.result op 0
+
+(** A declarative root-to-leaves pattern: match [root] at an op with one
+    result, rewrite to [replacement]. The root op and any matched producers
+    left dead are cleaned up by the driver's DCE. *)
+let dag ?(benefit = 1) ~name ~(root : matcher) ~(replacement : builder) () : t
+    =
+  let match_and_rewrite rw (op : Graph.op) =
+    match (root, op.Graph.results) with
+    | M_op { op_name; operands; bind }, [ result ]
+      when op_name = op.Graph.op_name
+           && List.length op.Graph.operands = List.length operands ->
+        let caps : captures = Hashtbl.create 8 in
+        (match bind with
+        | Some n -> Hashtbl.replace caps n result
+        | None -> ());
+        if
+          List.for_all2
+            (fun m v -> match_value m v caps)
+            operands op.Graph.operands
+        then begin
+          let v = build_value rw ~anchor:op caps replacement in
+          Rewriter.replace_op rw op ~with_:[ v ];
+          true
+        end
+        else false
+    | _ -> false
+  in
+  { name; benefit; match_and_rewrite }

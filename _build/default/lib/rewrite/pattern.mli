@@ -1,0 +1,50 @@
+(** Rewrite patterns, native and declarative. The declarative combinators
+    cover DAG-shaped peephole patterns — enough to express the paper's
+    Listing 1 optimization without host-language matching code. *)
+
+open Irdl_ir
+
+type t = {
+  name : string;
+  benefit : int;  (** Higher-benefit patterns are attempted first. *)
+  match_and_rewrite : Rewriter.t -> Graph.op -> bool;
+      (** Returns true iff the pattern applied (and mutated the IR). *)
+}
+
+val make : ?benefit:int -> name:string -> (Rewriter.t -> Graph.op -> bool) -> t
+
+(** {2 Declarative DAG patterns} *)
+
+type matcher =
+  | M_op of { op_name : string; operands : matcher list; bind : string option }
+      (** Matches a value produced by (the unique result of) an op. *)
+  | M_value of string
+      (** Matches any value, capturing it; repeated names must match the
+          same value (non-linear patterns). *)
+
+val m_op : ?bind:string -> string -> matcher list -> matcher
+val m_val : string -> matcher
+
+type captures = (string, Graph.value) Hashtbl.t
+
+type builder =
+  | B_capture of string
+  | B_op of {
+      op_name : string;
+      operands : builder list;
+      result_ty : ty_builder;
+    }
+
+and ty_builder =
+  | Ty_const of Attr.ty
+  | Ty_of_capture of string  (** The type of a captured value. *)
+  | Ty_fn of (captures -> Attr.ty)
+
+val b_cap : string -> builder
+val b_op : string -> builder list -> ty_builder -> builder
+
+val dag :
+  ?benefit:int -> name:string -> root:matcher -> replacement:builder ->
+  unit -> t
+(** A root-to-leaves pattern: match [root] at a single-result op, rewrite to
+    [replacement]; dead producers are cleaned up by the driver's DCE. *)

@@ -1,0 +1,95 @@
+(** The IR mutation API handed to rewrite patterns.
+
+    All mutations are scoped to a root operation (typically a function or
+    module): use-def updates walk that scope only. The rewriter records
+    whether anything changed so the greedy driver can detect fixpoints. *)
+
+open Irdl_ir
+
+type t = {
+  scope : Graph.op;  (** root of the IR being rewritten *)
+  ctx : Context.t;
+  mutable changed : bool;
+  mutable num_replacements : int;
+}
+
+let create ctx scope = { scope; ctx; changed = false; num_replacements = 0 }
+
+let mark_changed t =
+  t.changed <- true;
+  t.num_replacements <- t.num_replacements + 1
+
+(** Create an operation inserted immediately before [anchor]. *)
+let insert_before t ~anchor ?operands ?result_tys ?attrs ?regions ?successors
+    name =
+  let op = Graph.Op.create ?operands ?result_tys ?attrs ?regions ?successors name in
+  (match anchor.Graph.op_parent with
+  | Some blk -> Graph.Block.insert_before blk ~anchor op
+  | None -> invalid_arg "Rewriter.insert_before: anchor is detached");
+  t.changed <- true;
+  op
+
+(** Replace every use of [op]'s results with [values] and erase [op].
+    [values] must match the result count. *)
+let replace_op t (op : Graph.op) ~with_:(values : Graph.value list) =
+  if List.length values <> List.length op.Graph.results then
+    invalid_arg "Rewriter.replace_op: result count mismatch";
+  List.iter2
+    (fun from to_ -> Graph.replace_uses_in t.scope ~from ~to_)
+    op.Graph.results values;
+  Graph.detach op;
+  mark_changed t
+
+(** Erase an operation whose results are unused. *)
+let erase_op t (op : Graph.op) =
+  if
+    List.exists (fun r -> Graph.has_uses_in t.scope r) op.Graph.results
+  then invalid_arg "Rewriter.erase_op: results still in use";
+  Graph.detach op;
+  mark_changed t
+
+(** Create a replacement op before [op], wire its results in place of
+    [op]'s, and erase [op]. Returns the new operation. *)
+let replace_op_with_new t (op : Graph.op) ?operands ?attrs ~result_tys name =
+  let fresh = insert_before t ~anchor:op ?operands ?attrs ~result_tys name in
+  replace_op t op ~with_:fresh.Graph.results;
+  fresh
+
+(** Erase operations whose results are all unused and that have no side
+    observable effect in our model (no regions, no successors, not a
+    terminator). One pass; call repeatedly for cascades. *)
+let dce_pass t =
+  let erased = ref 0 in
+  let candidates = ref [] in
+  Graph.Op.walk t.scope ~f:(fun o ->
+      if o != t.scope then candidates := o :: !candidates);
+  List.iter
+    (fun (o : Graph.op) ->
+      let is_terminator =
+        match Context.lookup_op t.ctx o.op_name with
+        | Some od -> od.od_is_terminator
+        | None -> o.successors <> []
+      in
+      if
+        o.op_parent <> None && o.results <> [] && o.regions = []
+        && (not is_terminator)
+        && not
+             (List.exists (fun r -> Graph.has_uses_in t.scope r) o.results)
+      then begin
+        Graph.detach o;
+        incr erased;
+        t.changed <- true
+      end)
+    !candidates;
+  !erased
+
+(** Run {!dce_pass} to fixpoint; returns the number of erased operations. *)
+let dce t =
+  let total = ref 0 in
+  let rec go () =
+    let n = dce_pass t in
+    total := !total + n;
+    if n > 0 then go ()
+  in
+  go ();
+  !total

@@ -1,0 +1,44 @@
+(** The IR mutation API handed to rewrite patterns. All mutations are scoped
+    to a root operation; use-def updates walk that scope only. *)
+
+open Irdl_ir
+
+type t = {
+  scope : Graph.op;  (** root of the IR being rewritten *)
+  ctx : Context.t;
+  mutable changed : bool;
+  mutable num_replacements : int;
+}
+
+val create : Context.t -> Graph.op -> t
+
+val mark_changed : t -> unit
+(** Record that a pattern made progress (for custom patterns that mutate
+    the IR directly). *)
+
+val insert_before :
+  t -> anchor:Graph.op -> ?operands:Graph.value list ->
+  ?result_tys:Attr.ty list -> ?attrs:(string * Attr.t) list ->
+  ?regions:Graph.region list -> ?successors:Graph.block list -> string ->
+  Graph.op
+(** Create an operation inserted immediately before [anchor]. *)
+
+val replace_op : t -> Graph.op -> with_:Graph.value list -> unit
+(** Replace every use of the op's results with [with_] and erase the op.
+    @raise Invalid_argument on result-count mismatch. *)
+
+val erase_op : t -> Graph.op -> unit
+(** Erase an operation whose results are unused.
+    @raise Invalid_argument when results are still used. *)
+
+val replace_op_with_new :
+  t -> Graph.op -> ?operands:Graph.value list ->
+  ?attrs:(string * Attr.t) list -> result_tys:Attr.ty list -> string ->
+  Graph.op
+(** Create a replacement op before [op], rewire its results, erase [op]. *)
+
+val dce_pass : t -> int
+(** One sweep of dead-op elimination; returns the number erased. *)
+
+val dce : t -> int
+(** {!dce_pass} to fixpoint. *)

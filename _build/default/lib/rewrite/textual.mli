@@ -1,0 +1,23 @@
+(** Textual rewrite patterns: rewrites parsed at runtime, completing the
+    fully dynamic flow of paper §3 (dialect from IRDL text + patterns from
+    pattern text + IR from IR text, no host code anywhere).
+
+    {v
+    Pattern norm_of_mul {
+      Benefit 2
+      Match (arith.mulf (cmath.norm $p) (cmath.norm $q))
+      Rewrite (cmath.norm (cmath.mul $p $q : $p) : f32)
+    }
+    v}
+
+    In a [Rewrite] template, [(op args... : ty)] creates an op with one
+    result of type [ty]: a concrete type, or [$x] for "the type of capture
+    [x]"; omitted ascriptions default to the first capture's type. *)
+
+open Irdl_support
+open Irdl_ir
+
+val parse_patterns :
+  Context.t -> ?file:string -> string -> (Pattern.t list, Diag.t) result
+(** Parse a source of [Pattern] definitions; the context is used to parse
+    concrete type ascriptions. *)

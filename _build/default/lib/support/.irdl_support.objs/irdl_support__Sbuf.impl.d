@@ -1,0 +1,1 @@
+lib/support/sbuf.ml: Loc String

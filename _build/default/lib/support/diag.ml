@@ -1,0 +1,62 @@
+(** Structured diagnostics.
+
+    Every user-facing failure in the IRDL frontend, the IR parser and the
+    generated verifiers is reported as a {!t}: a severity, a message, a source
+    location, and optional notes. Internal invariant violations use
+    [invalid_arg]/[assert] instead. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;
+}
+
+exception Error_exn of t
+
+let make ?(severity = Error) ?(loc = Loc.unknown) ?(notes = []) message =
+  { severity; loc; message; notes }
+
+let error ?loc ?notes fmt =
+  Fmt.kstr (fun message -> make ~severity:Error ?loc ?notes message) fmt
+
+let warning ?loc ?notes fmt =
+  Fmt.kstr (fun message -> make ~severity:Warning ?loc ?notes message) fmt
+
+let errorf ?loc ?notes fmt =
+  Fmt.kstr
+    (fun message -> Result.Error (make ~severity:Error ?loc ?notes message))
+    fmt
+
+(** Raise the diagnostic as an exception; callers at API boundaries catch
+    [Error_exn] and convert to [result]. *)
+let raise_error ?loc ?notes fmt =
+  Fmt.kstr
+    (fun message -> raise (Error_exn (make ~severity:Error ?loc ?notes message)))
+    fmt
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Note -> Fmt.string ppf "note"
+
+let pp ppf t =
+  if Loc.is_unknown t.loc then
+    Fmt.pf ppf "%a: %s" pp_severity t.severity t.message
+  else Fmt.pf ppf "%a: %a: %s" Loc.pp t.loc pp_severity t.severity t.message;
+  List.iter
+    (fun (loc, note) ->
+      if Loc.is_unknown loc then Fmt.pf ppf "@\n  note: %s" note
+      else Fmt.pf ppf "@\n  %a: note: %s" Loc.pp loc note)
+    t.notes
+
+let to_string t = Fmt.str "%a" pp t
+
+(** Run [f], converting a raised [Error_exn] into [Error diag]. *)
+let protect f = try Ok (f ()) with Error_exn d -> Error d
+
+let get_ok = function
+  | Ok v -> v
+  | Error d -> raise (Error_exn d)

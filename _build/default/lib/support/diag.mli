@@ -1,0 +1,50 @@
+(** Structured diagnostics.
+
+    Every user-facing failure (IRDL frontend, IR parser, generated
+    verifiers) is reported as a {!t}; internal invariant violations use
+    [invalid_arg]/[assert] instead. *)
+
+type severity = Error | Warning | Note
+
+type t = {
+  severity : severity;
+  loc : Loc.t;
+  message : string;
+  notes : (Loc.t * string) list;
+}
+
+exception Error_exn of t
+(** Raised by {!raise_error}; caught at API boundaries by {!protect}. *)
+
+val make :
+  ?severity:severity -> ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  string -> t
+
+val error :
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [error fmt ...] builds an error diagnostic from a format string. *)
+
+val warning :
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val errorf :
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
+(** Like {!error} but already wrapped in [Result.Error]. *)
+
+val raise_error :
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise the diagnostic as {!Error_exn}. *)
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, converting a raised {!Error_exn} into [Error]. *)
+
+val get_ok : ('a, t) result -> 'a
+(** Unwrap, re-raising {!Error_exn} on [Error]. *)

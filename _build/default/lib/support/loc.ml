@@ -1,0 +1,53 @@
+(** Source locations for diagnostics.
+
+    A location names a point (file, line, column) or a half-open span between
+    two points in the same file. Columns are 1-based and count Unicode scalar
+    values as single columns only for ASCII input, which is all IRDL accepts. *)
+
+type pos = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  offset : int;  (** 0-based byte offset into the source buffer *)
+}
+
+type t = { start_pos : pos; end_pos : pos }
+
+let start_of_file file = { file; line = 1; col = 1; offset = 0 }
+
+let unknown_pos = { file = "<unknown>"; line = 0; col = 0; offset = 0 }
+let unknown = { start_pos = unknown_pos; end_pos = unknown_pos }
+let is_unknown t = t.start_pos.line = 0
+
+let point p = { start_pos = p; end_pos = p }
+let span a b = { start_pos = a; end_pos = b }
+
+(** Smallest span covering both locations. Unknown locations are absorbed. *)
+let merge a b =
+  if is_unknown a then b
+  else if is_unknown b then a
+  else
+    let start_pos =
+      if a.start_pos.offset <= b.start_pos.offset then a.start_pos
+      else b.start_pos
+    in
+    let end_pos =
+      if a.end_pos.offset >= b.end_pos.offset then a.end_pos else b.end_pos
+    in
+    { start_pos; end_pos }
+
+let advance (p : pos) (c : char) =
+  if c = '\n' then { p with line = p.line + 1; col = 1; offset = p.offset + 1 }
+  else { p with col = p.col + 1; offset = p.offset + 1 }
+
+let pp_pos ppf (p : pos) = Fmt.pf ppf "%s:%d:%d" p.file p.line p.col
+
+let pp ppf t =
+  if is_unknown t then Fmt.string ppf "<unknown loc>"
+  else if t.start_pos = t.end_pos then pp_pos ppf t.start_pos
+  else if t.start_pos.line = t.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" t.start_pos.file t.start_pos.line t.start_pos.col
+      t.end_pos.col
+  else Fmt.pf ppf "%a-%a" pp_pos t.start_pos pp_pos t.end_pos
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,34 @@
+(** Source locations for diagnostics. *)
+
+type pos = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  offset : int;  (** 0-based byte offset into the source buffer *)
+}
+
+type t = { start_pos : pos; end_pos : pos }
+
+val start_of_file : string -> pos
+(** The position of the first character of the named file. *)
+
+val unknown : t
+(** A location standing for "no location information". *)
+
+val is_unknown : t -> bool
+
+val point : pos -> t
+(** The empty span at a position. *)
+
+val span : pos -> pos -> t
+(** The half-open span between two positions of the same file. *)
+
+val merge : t -> t -> t
+(** Smallest span covering both locations; {!unknown} is absorbed. *)
+
+val advance : pos -> char -> pos
+(** Advance past one character, tracking lines and columns. *)
+
+val pp_pos : Format.formatter -> pos -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

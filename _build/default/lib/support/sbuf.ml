@@ -1,0 +1,64 @@
+(** A character-stream cursor over an in-memory source buffer.
+
+    Shared lexing base for the IRDL lexer and the generic IR-syntax lexer:
+    peeking, advancing with position tracking, and span extraction. *)
+
+type t = {
+  src : string;
+  mutable pos : Loc.pos;
+}
+
+let of_string ?(file = "<string>") src = { src; pos = Loc.start_of_file file }
+
+let eof t = t.pos.offset >= String.length t.src
+
+let peek t = if eof t then None else Some t.src.[t.pos.offset]
+
+let peek2 t =
+  if t.pos.offset + 1 >= String.length t.src then None
+  else Some t.src.[t.pos.offset + 1]
+
+let pos t = t.pos
+
+let advance t =
+  match peek t with
+  | None -> ()
+  | Some c -> t.pos <- Loc.advance t.pos c
+
+let next t =
+  let c = peek t in
+  advance t;
+  c
+
+(** Consume [c] if it is the next character. *)
+let accept t c =
+  match peek t with
+  | Some c' when c = c' ->
+      advance t;
+      true
+  | _ -> false
+
+let skip_while t pred =
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | Some c when pred c -> advance t
+    | _ -> continue := false
+  done
+
+(** The substring between two previously captured positions. *)
+let slice t (a : Loc.pos) (b : Loc.pos) =
+  String.sub t.src a.offset (b.offset - a.offset)
+
+let take_while t pred =
+  let start = pos t in
+  skip_while t pred;
+  slice t start (pos t)
+
+let loc_from t (start : Loc.pos) = Loc.span start (pos t)
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_start c = is_alpha c || c = '_'
+let is_ident_char c = is_alpha c || is_digit c || c = '_' || c = '$'
+let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\n'

@@ -1,0 +1,34 @@
+(** A character-stream cursor over an in-memory source buffer: the shared
+    lexing base of the IRDL and IR-syntax lexers. *)
+
+type t = { src : string; mutable pos : Loc.pos }
+
+val of_string : ?file:string -> string -> t
+val eof : t -> bool
+val peek : t -> char option
+val peek2 : t -> char option
+(** The character after the next one, if any. *)
+
+val pos : t -> Loc.pos
+val advance : t -> unit
+val next : t -> char option
+(** Consume and return the next character. *)
+
+val accept : t -> char -> bool
+(** Consume [c] iff it is the next character. *)
+
+val skip_while : t -> (char -> bool) -> unit
+val slice : t -> Loc.pos -> Loc.pos -> string
+(** The substring between two previously captured positions. *)
+
+val take_while : t -> (char -> bool) -> string
+val loc_from : t -> Loc.pos -> Loc.t
+(** The span from a saved position to the current one. *)
+
+(** Character classifiers shared by the lexers. *)
+
+val is_digit : char -> bool
+val is_alpha : char -> bool
+val is_ident_start : char -> bool
+val is_ident_char : char -> bool
+val is_space : char -> bool

@@ -1,0 +1,68 @@
+  $ cat > poly.irdl <<'EOF'
+  > Dialect poly {
+  >   Type poly {
+  >     Parameters (coeff: !AnyOf<!f32, !f64>)
+  >     Summary "A dense univariate polynomial"
+  >   }
+  >   Operation eval {
+  >     ConstraintVars (T: !AnyOf<!f32, !f64>)
+  >     Operands (p: !poly<!T>, at: !T)
+  >     Results (res: !T)
+  >     Format "$p, $at : $T"
+  >     Summary "Evaluate a polynomial at a point"
+  >   }
+  >   Operation mul {
+  >     ConstraintVars (T: !poly<AnyOf<!f32, !f64>>)
+  >     Operands (lhs: !T, rhs: !T)
+  >     Results (res: !T)
+  >     Summary "Polynomial multiplication"
+  >   }
+  > }
+  > EOF
+  $ cat > opt.pat <<'EOF'
+  > Pattern eval_of_mul {
+  >   Match (poly.eval (poly.mul $p $q) $x)
+  >   Rewrite (arith.mulf (poly.eval $p $x : $x) (poly.eval $q $x : $x) : $x)
+  > }
+  > EOF
+  $ cat > prog.mlir <<'EOF'
+  > "func.func"() ({
+  > ^bb0(%p: !poly.poly<f32>, %q: !poly.poly<f32>, %x: f32):
+  >   %pq = "poly.mul"(%p, %q) : (!poly.poly<f32>, !poly.poly<f32>) -> !poly.poly<f32>
+  >   %y = poly.eval %pq, %x : f32
+  >   "func.return"(%y) : (f32) -> ()
+  > }) {sym_name = "eval_product"} : () -> ()
+  > EOF
+  $ irdl-opt -d poly.irdl prog.mlir
+  $ irdl-opt -d poly.irdl -p opt.pat prog.mlir
+  $ cat > bad.mlir <<'EOF'
+  > "t.wrap"() ({
+  > ^bb0(%p: !poly.poly<i32>):
+  >   "t.use"(%p) : (!poly.poly<i32>) -> ()
+  > }) : () -> ()
+  > EOF
+  $ irdl-opt -d poly.irdl bad.mlir
+  $ echo 'Dialect d { Operation o { Operands (x: !f32) Summary "an op" } }' > d.irdl
+  $ irdl-stats --fmt d.irdl
+  $ irdl-stats --doc poly poly.irdl | head -8
+  $ irdl-stats --only table1 | tail -3
+  $ cat > nodom.mlir <<'XEOF'
+  > "t.wrap"() ({
+  > ^bb0:
+  >   "t.use"(%later) : (i32) -> ()
+  >   %later = "t.def"() : () -> i32
+  > }) : () -> ()
+  > XEOF
+  $ irdl-opt --dominance --verify-only nodom.mlir
+  $ irdl-opt --verify-only nodom.mlir
+  $ irdl-stats --xref F poly.irdl 2>/dev/null || true
+  $ irdl-stats --xref poly poly.irdl | head -2
+  $ cat > dup.mlir <<'XEOF'
+  > "func.func"() ({
+  > ^bb0(%p: !poly.poly<f32>, %x: f32):
+  >   %a = poly.eval %p, %x : f32
+  >   %b = poly.eval %p, %x : f32
+  >   "t.use"(%a, %b) : (f32, f32) -> ()
+  > }) : () -> ()
+  > XEOF
+  $ irdl-opt -d poly.irdl --cse dup.mlir

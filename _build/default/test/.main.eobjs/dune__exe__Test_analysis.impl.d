@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Float Irdl_analysis Irdl_core Irdl_dialects Lazy List Result String Util

@@ -1,0 +1,1 @@
+test/test_attr.ml: Alcotest Attr Context Float Irdl_ir List Parser QCheck2 QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Attr Builder Graph Irdl_ir List Util

@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Attr Int64 Irdl_core Irdl_ir List QCheck2 QCheck_alcotest Result Util

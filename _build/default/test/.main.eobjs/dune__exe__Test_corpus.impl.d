@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Int64 Irdl_analysis Irdl_core Irdl_dialects Irdl_ir Lazy List Util

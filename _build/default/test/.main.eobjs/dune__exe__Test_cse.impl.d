@@ -1,0 +1,1 @@
+test/test_cse.ml: Alcotest Context Graph Irdl_ir Irdl_rewrite Util

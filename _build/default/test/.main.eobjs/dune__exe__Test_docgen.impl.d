@@ -1,0 +1,1 @@
+test/test_docgen.ml: Alcotest Irdl_analysis Irdl_core Irdl_dialects Irdl_ir Lazy List String Util

@@ -1,0 +1,1 @@
+test/test_dominance.ml: Alcotest Attr Dominance Graph Irdl_ir Irdl_support Util

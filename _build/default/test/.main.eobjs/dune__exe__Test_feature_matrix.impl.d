@@ -1,0 +1,1 @@
+test/test_feature_matrix.ml: Alcotest Attr Graph Int64 Irdl_core Irdl_dialects Irdl_ir List Util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Attr Graph Irdl_ir List Util

@@ -1,0 +1,1 @@
+test/test_ir_parser.ml: Alcotest Attr Context Graph Irdl_ir List Parser Util

@@ -1,0 +1,1 @@
+test/test_ir_property.ml: Array Attr Context Float Graph Hashtbl Int64 Irdl_ir List Parser Printer Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_irdl_frontend.ml: Alcotest Ast Irdl_core Irdl_dialects Irdl_support Lexer List Option Parser Pp Util

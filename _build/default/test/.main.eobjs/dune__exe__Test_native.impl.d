@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Attr Context Graph Irdl_core Irdl_dialects Irdl_ir Util

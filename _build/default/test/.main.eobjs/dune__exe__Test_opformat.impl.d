@@ -1,0 +1,1 @@
+test/test_opformat.ml: Alcotest Attr Fmt Graph Irdl_core Irdl_ir List Opfmt Option Parser Printer Util

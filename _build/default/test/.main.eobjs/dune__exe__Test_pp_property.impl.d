@@ -1,0 +1,1 @@
+test/test_pp_property.ml: Ast Int64 Irdl_core Irdl_support Lexer Parser Pp Printf QCheck2 QCheck_alcotest Test_irdl_frontend

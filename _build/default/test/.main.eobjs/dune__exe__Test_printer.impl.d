@@ -1,0 +1,1 @@
+test/test_printer.ml: Alcotest Attr Context Fmt Graph Irdl_ir List Printer String Util

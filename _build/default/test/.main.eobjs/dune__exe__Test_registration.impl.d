@@ -1,0 +1,1 @@
+test/test_registration.ml: Alcotest Attr Context Graph Int64 Irdl_core Irdl_ir List Util

@@ -1,0 +1,1 @@
+test/test_resolve.ml: Alcotest Constraint_expr Irdl_core Irdl_ir List Parser Resolve Result Util

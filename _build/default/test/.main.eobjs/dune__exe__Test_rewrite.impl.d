@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Attr Context Driver Graph Irdl_ir Irdl_rewrite List Option Pattern Rewriter Util

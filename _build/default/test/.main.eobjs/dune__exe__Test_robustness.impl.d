@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Attr Graph Irdl_core Irdl_ir Irdl_rewrite QCheck2 QCheck_alcotest String Util Verifier

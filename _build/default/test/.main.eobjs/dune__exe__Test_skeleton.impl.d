@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Fmt Fun Irdl_core Irdl_dialects Irdl_ir Irdl_support Lazy List Option Printf String Util

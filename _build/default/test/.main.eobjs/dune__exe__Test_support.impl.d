@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Diag Irdl_support Loc Sbuf String Util

@@ -1,0 +1,1 @@
+test/test_textual.ml: Alcotest Graph Irdl_ir Irdl_rewrite List Util

@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Attr Context Graph Irdl_core Irdl_ir List Util Verifier

@@ -1,0 +1,1 @@
+test/test_xref.ml: Alcotest Irdl_analysis Irdl_core Irdl_dialects Lazy List String Util

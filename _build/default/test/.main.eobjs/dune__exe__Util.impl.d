@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Irdl_core Irdl_dialects Irdl_ir Irdl_support String

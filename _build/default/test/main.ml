@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "irdl"
+    [
+      ("support", Test_support.suite);
+      ("attr", Test_attr.suite);
+      ("graph", Test_graph.suite);
+      ("ir-parser", Test_ir_parser.suite);
+      ("verifier", Test_verifier.suite);
+      ("dominance", Test_dominance.suite);
+      ("builder", Test_builder.suite);
+      ("native", Test_native.suite);
+      ("printer", Test_printer.suite);
+      ("ir-property", Test_ir_property.suite);
+      ("irdl-frontend", Test_irdl_frontend.suite);
+      ("pp-property", Test_pp_property.suite);
+      ("constraints", Test_constraints.suite);
+      ("resolve", Test_resolve.suite);
+      ("registration", Test_registration.suite);
+      ("opformat", Test_opformat.suite);
+      ("rewrite", Test_rewrite.suite);
+      ("textual-patterns", Test_textual.suite);
+      ("cse", Test_cse.suite);
+      ("corpus", Test_corpus.suite);
+      ("skeleton", Test_skeleton.suite);
+      ("analysis", Test_analysis.suite);
+      ("docgen", Test_docgen.suite);
+      ("xref", Test_xref.suite);
+      ("feature-matrix", Test_feature_matrix.suite);
+      ("robustness", Test_robustness.suite);
+    ]

@@ -1,0 +1,289 @@
+(** Tests for the analysis pipeline: exact values on a hand-made dialect,
+    and tolerance checks against the paper's percentages for the corpus. *)
+
+open Util
+module R = Irdl_core.Resolve
+module OS = Irdl_analysis.Op_stats
+module PS = Irdl_analysis.Param_stats
+module EX = Irdl_analysis.Expressiveness
+module EV = Irdl_analysis.Evolution
+
+let small_dialect =
+  lazy
+    (check_ok "resolve"
+       (Result.bind
+          (Irdl_core.Parser.parse_one
+             {|Dialect small {
+                 Enum mode { A, B }
+                 TypeOrAttrParam M { CppClassName "AffineMapX" }
+                 Type t1 { Parameters (a: !AnyType, b: int32_t) }
+                 Type t2 { Parameters (m: M) CppConstraint "ok($_self)" }
+                 Attribute a1 { Parameters (s: string, e: mode, l: location) }
+                 Constraint Bounded : uint8_t { CppConstraint "$_self <= 32" }
+                 Constraint Stride : !AnyType { CppConstraint "isStrided($_self)" }
+                 Operation zero {}
+                 Operation one { Operands (a: !f32) Results (r: !f32) }
+                 Operation two {
+                   Operands (a: !f32, b: Variadic<!f32>)
+                   Results (r1: !f32, r2: Optional<!f32>)
+                   Attributes (k: Bounded)
+                 }
+                 Operation three {
+                   Operands (a: !f32, b: !f32, c: Stride)
+                   Region body { Arguments () }
+                   CppConstraint "nonlocal($_self)"
+                 }
+               }|})
+          R.resolve_dialect))
+
+let profiles () = OS.profiles_of_dialect (Lazy.force small_dialect)
+
+let operand_histogram_exact () =
+  let b = OS.operand_buckets (profiles ()) in
+  Alcotest.(check (array int)) "0/1/2/3+" [| 1; 1; 1; 1 |] b.OS.counts;
+  Alcotest.(check int) "total" 4 (OS.total b)
+
+let variadic_histogram_exact () =
+  let b = OS.variadic_operand_buckets (profiles ()) in
+  Alcotest.(check (array int)) "0/1/2+" [| 3; 1; 0 |] b.OS.counts;
+  let r = OS.variadic_result_buckets (profiles ()) in
+  (* Optional results count as variadic (size 0 or 1, paper 4.6) *)
+  Alcotest.(check (array int)) "res 0/1" [| 3; 1 |] r.OS.counts
+
+let result_attr_region_exact () =
+  Alcotest.(check (array int)) "results" [| 2; 1; 1 |]
+    (OS.result_buckets (profiles ())).OS.counts;
+  Alcotest.(check (array int)) "attrs" [| 3; 1; 0 |]
+    (OS.attribute_buckets (profiles ())).OS.counts;
+  Alcotest.(check (array int)) "regions" [| 3; 1; 0 |]
+    (OS.region_buckets (profiles ())).OS.counts
+
+let dialect_fractions () =
+  let ps = profiles () in
+  Alcotest.(check int) "dialects" 1 (OS.num_dialects ps);
+  Alcotest.(check int) "with variadic" 1
+    (OS.dialects_with ~pred:(fun p -> p.OS.p_variadic_operands > 0) ps);
+  match OS.dialect_fraction ~pred:(fun p -> p.OS.p_regions > 0) ps with
+  | [ ("small", f) ] -> Alcotest.(check (float 0.001)) "region frac" 0.25 f
+  | _ -> Alcotest.fail "expected one dialect"
+
+let param_kinds_exact () =
+  let dl = Lazy.force small_dialect in
+  let h = PS.histogram dl.dl_types in
+  let find k =
+    match List.find_opt (fun (c : PS.count) -> c.kind = k) h with
+    | Some c -> c.total
+    | None -> 0
+  in
+  Alcotest.(check int) "attr/type" 1 (find PS.K_attr_type);
+  Alcotest.(check int) "integer" 1 (find PS.K_integer);
+  Alcotest.(check int) "affine (native class)" 1 (find PS.K_affine);
+  let ha = PS.histogram dl.dl_attrs in
+  let finda k =
+    match List.find_opt (fun (c : PS.count) -> c.kind = k) ha with
+    | Some c -> c.total
+    | None -> 0
+  in
+  Alcotest.(check int) "string" 1 (finda PS.K_string);
+  Alcotest.(check int) "enum" 1 (finda PS.K_enum);
+  Alcotest.(check int) "location" 1 (finda PS.K_location)
+
+let expressiveness_exact () =
+  let dl = Lazy.force small_dialect in
+  let s = EX.def_split dl.dl_types in
+  Alcotest.(check int) "types irdl" 1 s.EX.irdl;
+  Alcotest.(check int) "types native" 1 s.EX.native;
+  let v = EX.verifier_split dl.dl_types in
+  Alcotest.(check int) "type verifier native" 1 v.EX.native;
+  let local = EX.op_local_split dl.dl_ops in
+  (* 'two' uses Bounded, 'three' uses Stride *)
+  Alcotest.(check int) "local native ops" 2 local.EX.native;
+  let ver = EX.op_verifier_split dl.dl_ops in
+  Alcotest.(check int) "verifier native ops" 1 ver.EX.native
+
+let category_classification () =
+  Alcotest.(check bool) "inequality" true
+    (EX.classify_snippet "$_self <= 32" = EX.Integer_inequality);
+  Alcotest.(check bool) "pow2 is inequality" true
+    (EX.classify_snippet "llvm::isPowerOf2_64($_self)" = EX.Integer_inequality);
+  Alcotest.(check bool) "stride" true
+    (EX.classify_snippet "isStrided($_self)" = EX.Stride_check);
+  Alcotest.(check bool) "opacity" true
+    (EX.classify_snippet "$_self.isOpaque()" = EX.Struct_opacity);
+  let cats = EX.category_histogram [ Lazy.force small_dialect ] in
+  Alcotest.(check bool) "has inequality" true
+    (List.mem_assoc EX.Integer_inequality cats);
+  Alcotest.(check bool) "has stride" true
+    (List.mem_assoc EX.Stride_check cats)
+
+let evolution_interpolation () =
+  Alcotest.(check int) "month index" 0 (EV.month_index "2020-04");
+  Alcotest.(check int) "last" 21 (EV.month_index "2022-01");
+  Alcotest.(check string) "roundtrip" "2021-06"
+    (EV.index_month (EV.month_index "2021-06"));
+  (* a dialect introduced mid-series is 0 before its first checkpoint *)
+  let v m =
+    EV.dialect_count_at ~checkpoints:[ ("2021-01", 10) ] ~final:20
+      (EV.month_index m)
+  in
+  Alcotest.(check int) "before intro" 0 (v "2020-06");
+  Alcotest.(check int) "at intro" 10 (v "2021-01");
+  Alcotest.(check int) "at end" 20 (v "2022-01");
+  Alcotest.(check bool) "monotone between" true
+    (v "2021-06" >= 10 && v "2021-06" <= 20)
+
+(* ---------------- paper tolerances on the real corpus ---------------- *)
+
+let corpus = lazy (check_ok "corpus" (Irdl_dialects.Corpus.analyze ()))
+
+let close ~name ~paper ~tol measured =
+  if Float.abs (measured -. paper) > tol then
+    Alcotest.failf "%s: measured %.3f, paper %.3f (tolerance %.3f)" name
+      measured paper tol
+
+let corpus_headline_fractions () =
+  let dls = Lazy.force corpus in
+  let ps = OS.profiles_of_corpus dls in
+  let b = OS.operand_buckets ps in
+  close ~name:"0 operands" ~paper:0.12 ~tol:0.05 (OS.fraction b 0);
+  close ~name:"1 operand" ~paper:0.41 ~tol:0.06 (OS.fraction b 1);
+  close ~name:"2 operands" ~paper:0.32 ~tol:0.06 (OS.fraction b 2);
+  let vb = OS.variadic_operand_buckets ps in
+  close ~name:"non-variadic" ~paper:0.83 ~tol:0.05 (OS.fraction vb 0);
+  let rb = OS.result_buckets ps in
+  close ~name:"1 result" ~paper:0.84 ~tol:0.05 (OS.fraction rb 1);
+  let ab = OS.attribute_buckets ps in
+  close ~name:"0 attrs" ~paper:0.73 ~tol:0.05 (OS.fraction ab 0);
+  let gb = OS.region_buckets ps in
+  close ~name:"0 regions" ~paper:0.96 ~tol:0.03 (OS.fraction gb 0)
+
+let corpus_expressiveness_fractions () =
+  let dls = Lazy.force corpus in
+  let ops = List.concat_map (fun (dl : R.dialect) -> dl.dl_ops) dls in
+  let local = EX.op_local_split ops in
+  close ~name:"local in IRDL" ~paper:0.97 ~tol:0.04
+    (float_of_int local.EX.irdl
+    /. float_of_int (EX.split_total local));
+  let ver = EX.op_verifier_split ops in
+  close ~name:"verifier native" ~paper:0.30 ~tol:0.06
+    (float_of_int ver.EX.native /. float_of_int (EX.split_total ver));
+  let tys = List.concat_map (fun (dl : R.dialect) -> dl.dl_types) dls in
+  close ~name:"type params IRDL" ~paper:0.97 ~tol:0.04
+    (PS.irdl_param_fraction tys);
+  let ats = List.concat_map (fun (dl : R.dialect) -> dl.dl_attrs) dls in
+  close ~name:"attr params IRDL" ~paper:0.77 ~tol:0.10
+    (PS.irdl_param_fraction ats)
+
+let corpus_growth_factor () =
+  let dls = Lazy.force corpus in
+  let finals =
+    List.map (fun (dl : R.dialect) -> (dl.dl_name, List.length dl.dl_ops)) dls
+  in
+  let points = EV.series ~finals in
+  close ~name:"growth" ~paper:2.1 ~tol:0.15 (EV.growth_factor points);
+  (match points with
+  | first :: _ ->
+      Alcotest.(check bool) "starts near 444" true
+        (abs (first.EV.total_ops - 444) <= 30)
+  | [] -> Alcotest.fail "empty series");
+  (* the series is monotonically non-decreasing overall (within noise) *)
+  let rec check_monotone = function
+    | a :: (b :: _ as rest) ->
+        if b.EV.total_ops < a.EV.total_ops - 10 then
+          Alcotest.failf "series dips at %s" b.EV.month;
+        check_monotone rest
+    | _ -> ()
+  in
+  check_monotone points
+
+let corpus_hardware_dialects_many_operands () =
+  (* Figure 5a: dialects dominated by 3+-operand ops are the hardware ones
+     (amx, arm_neon, arm_sve, x86vector). *)
+  let dls = Lazy.force corpus in
+  let ps = OS.profiles_of_corpus dls in
+  let heavy =
+    OS.dialect_fraction ~pred:(fun p -> p.OS.p_operands >= 3) ps
+    |> List.filter (fun (_, f) -> f > 0.5)
+    |> List.map fst
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (d ^ " is operand-heavy") true (List.mem d heavy))
+    [ "amx"; "arm_neon"; "arm_sve"; "x86vector" ];
+  Alcotest.(check bool) "arith is not" false (List.mem "arith" heavy);
+  Alcotest.(check bool) "math is not" false (List.mem "math" heavy)
+
+let corpus_region_heavy_dialects () =
+  (* Figure 7b: builtin and scf are the dialects with >50% region ops. *)
+  let ps = OS.profiles_of_corpus (Lazy.force corpus) in
+  let heavy =
+    OS.dialect_fraction ~pred:(fun p -> p.OS.p_regions > 0) ps
+    |> List.filter (fun (_, f) -> f > 0.5)
+    |> List.map fst |> List.sort compare
+  in
+  Alcotest.(check (list string)) "builtin and scf" [ "builtin"; "scf" ] heavy
+
+let corpus_no_variadic_dialects () =
+  (* Figure 5b's zero rows include the pure-arithmetic dialects. *)
+  let ps = OS.profiles_of_corpus (Lazy.force corpus) in
+  List.iter
+    (fun d ->
+      let frac = List.assoc d
+          (OS.dialect_fraction ~pred:(fun p -> p.OS.p_variadic_operands > 0) ps)
+      in
+      Alcotest.(check (float 0.0)) (d ^ " has no variadic ops") 0.0 frac)
+    [ "complex"; "math"; "arith"; "arm_sve" ]
+
+let corpus_native_categories () =
+  let cats = EX.category_histogram (Lazy.force corpus) in
+  (* exactly the paper's three categories, no 'other' *)
+  Alcotest.(check bool) "no other" true
+    (not (List.mem_assoc EX.Other_native cats));
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool)
+        (EX.category_to_string cat ^ " present")
+        true (List.mem_assoc cat cats))
+    [ EX.Struct_opacity; EX.Stride_check; EX.Integer_inequality ]
+
+let report_renders () =
+  let dls = Lazy.force corpus in
+  let s = Irdl_analysis.Report.full_string dls in
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let hl = String.length hay and nl = String.length needle in
+        let rec go i =
+          i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+        in
+        nl = 0 || go 0
+      in
+      if not (contains s needle) then
+        Alcotest.failf "report lacks %S" needle)
+    [ "Table 1"; "Figure 3"; "Figure 4"; "Figure 5"; "Figure 6"; "Figure 7";
+      "Figure 8"; "Figure 9"; "Figure 10"; "Figure 11"; "Figure 12" ]
+
+let suite =
+  [
+    tc "operand histogram (exact, small dialect)" operand_histogram_exact;
+    tc "variadic histograms (exact)" variadic_histogram_exact;
+    tc "result/attr/region histograms (exact)" result_attr_region_exact;
+    tc "per-dialect fractions" dialect_fractions;
+    tc "parameter kind classification (exact)" param_kinds_exact;
+    tc "expressiveness splits (exact)" expressiveness_exact;
+    tc "native-constraint categories" category_classification;
+    tc "evolution interpolation" evolution_interpolation;
+    tc "corpus: Figures 5-7 fractions within tolerance"
+      corpus_headline_fractions;
+    tc "corpus: Figures 8-11 fractions within tolerance"
+      corpus_expressiveness_fractions;
+    tc "corpus: Figure 3 growth 2.1x from ~444" corpus_growth_factor;
+    tc "corpus: hardware dialects are operand-heavy (Fig 5a)"
+      corpus_hardware_dialects_many_operands;
+    tc "corpus: builtin/scf are region-heavy (Fig 7b)"
+      corpus_region_heavy_dialects;
+    tc "corpus: arithmetic dialects have no variadics (Fig 5b)"
+      corpus_no_variadic_dialects;
+    tc "corpus: Figure 12 categories" corpus_native_categories;
+    tc "report renders every figure" report_renders;
+  ]

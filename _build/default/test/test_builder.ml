@@ -1,0 +1,72 @@
+(** Tests for the builder API. *)
+
+open Irdl_ir
+open Util
+
+let insertion_point () =
+  let blk = Graph.Block.create () in
+  let b = Builder.at_end_of blk in
+  let op1 = Builder.build b "t.a" in
+  let op2 = Builder.build b "t.b" in
+  Alcotest.(check (list string)) "appended in order" [ "t.a"; "t.b" ]
+    (List.map Graph.Op.name (Graph.Block.ops blk));
+  Alcotest.(check bool) "parents set" true
+    (op1.Graph.op_parent <> None && op2.Graph.op_parent <> None)
+
+let detached_builder () =
+  let b = Builder.create () in
+  Alcotest.(check bool) "no block" true (Builder.insertion_block b = None);
+  let op = Builder.build b "t.a" in
+  Alcotest.(check bool) "detached" true (op.Graph.op_parent = None);
+  let blk = Graph.Block.create () in
+  Builder.set_insertion_point b blk;
+  let op2 = Builder.build b "t.b" in
+  Alcotest.(check bool) "attached" true (op2.Graph.op_parent <> None)
+
+let build1_returns_value () =
+  let blk = Graph.Block.create () in
+  let b = Builder.at_end_of blk in
+  let v = Builder.build1 b ~result_ty:Attr.f32 "t.c" in
+  Alcotest.(check bool) "f32" true (Attr.equal_ty Attr.f32 (Graph.Value.ty v))
+
+let region_with_block () =
+  let seen = ref 0 in
+  let region =
+    Builder.region_with_block ~arg_tys:[ Attr.i32; Attr.f32 ] (fun b args ->
+        seen := List.length args;
+        ignore (Builder.build b "t.x"))
+  in
+  Alcotest.(check int) "args passed" 2 !seen;
+  match Graph.Region.entry region with
+  | Some e -> Alcotest.(check int) "ops" 1 (List.length (Graph.Block.ops e))
+  | None -> Alcotest.fail "entry expected"
+
+let module_and_func () =
+  let ctx = cmath_ctx () in
+  let m =
+    Builder.module_op (fun b ->
+        ignore
+          (Builder.func_op ~name:"f" ~inputs:[ Attr.f32 ] ~outputs:[ Attr.f32 ]
+             (fun fb args ->
+               ignore (Builder.build fb ~operands:args "func.return"))
+          |> fun f ->
+            match Builder.insertion_block b with
+            | Some blk -> Graph.Block.append blk f
+            | None -> ()))
+  in
+  Alcotest.(check string) "module name" "builtin.module" (Graph.Op.name m);
+  let names = ref [] in
+  Graph.Op.walk m ~f:(fun o -> names := Graph.Op.name o :: !names);
+  Alcotest.(check (list string)) "structure"
+    [ "builtin.module"; "func.func"; "func.return" ]
+    (List.rev !names);
+  verify_ok ctx m
+
+let suite =
+  [
+    tc "insertion point appends" insertion_point;
+    tc "builder without insertion point" detached_builder;
+    tc "build1 returns the result value" build1_returns_value;
+    tc "region_with_block" region_with_block;
+    tc "module/func helpers" module_and_func;
+  ]

@@ -1,0 +1,194 @@
+(** Tests over the 28-dialect corpus: it must parse, resolve, register, and
+    reproduce the headline counts of the paper's section 6. *)
+
+open Util
+module R = Irdl_core.Resolve
+
+let corpus = lazy (check_ok "analyze corpus" (Irdl_dialects.Corpus.analyze ()))
+
+let dialect name =
+  List.find (fun (dl : R.dialect) -> dl.dl_name = name) (Lazy.force corpus)
+
+let all_load_and_register () =
+  let ctx = Irdl_ir.Context.create () in
+  let dls = check_ok "register corpus" (Irdl_dialects.Corpus.load_all ctx) in
+  Alcotest.(check int) "28 dialects" 28 (List.length dls);
+  let ops, tys, attrs = Irdl_ir.Context.op_stats ctx in
+  Alcotest.(check int) "ops registered" 942 ops;
+  Alcotest.(check int) "types registered" 62 tys;
+  Alcotest.(check int) "attrs registered" 32 attrs
+
+let table1_names_match () =
+  let names =
+    List.map (fun (e : Irdl_dialects.Corpus.entry) -> e.name)
+      Irdl_dialects.Corpus.all
+  in
+  Alcotest.(check int) "28 entries" 28 (List.length names);
+  Alcotest.(check int) "unique" 28 (List.length (List.sort_uniq compare names));
+  (* spot-check Table 1 membership *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("has " ^ n) true (List.mem n names))
+    [ "affine"; "builtin"; "llvm"; "spv"; "tosa"; "scf"; "pdl_interp" ]
+
+let op_counts_shape () =
+  (* Figure 4's shape: builtin/arm_neon smallest at 3; llvm/spv above 100. *)
+  let count n = List.length (dialect n).dl_ops in
+  Alcotest.(check int) "builtin" 3 (count "builtin");
+  Alcotest.(check int) "arm_neon" 3 (count "arm_neon");
+  Alcotest.(check bool) "llvm > 100" true (count "llvm" > 100);
+  Alcotest.(check bool) "spv > 100" true (count "spv" > 100);
+  Alcotest.(check bool) "spv is largest" true
+    (List.for_all
+       (fun (dl : R.dialect) -> List.length dl.dl_ops <= count "spv")
+       (Lazy.force corpus))
+
+let every_op_has_summary () =
+  List.iter
+    (fun (dl : R.dialect) ->
+      List.iter
+        (fun (op : R.op) ->
+          if op.op_summary = None then
+            Alcotest.failf "%s.%s has no summary" dl.dl_name op.op_name)
+        dl.dl_ops)
+    (Lazy.force corpus)
+
+let type_attr_dialect_split () =
+  (* 14 of the 28 dialects define a type or an attribute (paper 6.3). *)
+  let n =
+    List.length
+      (List.filter
+         (fun (dl : R.dialect) -> dl.dl_types <> [] || dl.dl_attrs <> [])
+         (Lazy.force corpus))
+  in
+  Alcotest.(check bool) "13..15 dialects define types/attrs" true
+    (n >= 12 && n <= 16)
+
+let history_is_consistent () =
+  List.iter
+    (fun (e : Irdl_dialects.Corpus.entry) ->
+      (* checkpoints are sorted and positive *)
+      let months = List.map fst e.history in
+      let sorted = List.sort compare months in
+      if months <> sorted then
+        Alcotest.failf "%s: history not sorted" e.name;
+      List.iter
+        (fun (m, v) ->
+          if v < 0 then Alcotest.failf "%s: negative checkpoint" e.name;
+          ignore (Irdl_analysis.Evolution.month_index m))
+        e.history)
+    Irdl_dialects.Corpus.all
+
+let corpus_ir_instantiation () =
+  (* Registered corpus dialects verify actual IR: a small arith/scf
+     program against the dynamically loaded definitions. *)
+  let ctx = Irdl_ir.Context.create () in
+  let _ = check_ok "register" (Irdl_dialects.Corpus.load_all ctx) in
+  let ops =
+    check_ok "parse program"
+      (Irdl_ir.Parser.parse_ops ctx
+         {|
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%a: i32, %b: i32):
+    %c = "arith.addi"(%a, %b) : (i32, i32) -> i32
+    %d = "arith.muli"(%c, %c) : (i32, i32) -> i32
+    %cmp = "arith.cmpi"(%c, %d) {predicate = #arith<cmpi_predicate.slt>} : (i32, i32) -> i1
+    "func.return"(%cmp) : (i1) -> ()
+  }) {sym_name = "f"} : () -> ()
+}) {sym_name = "m"} : () -> ()
+|})
+  in
+  List.iter (verify_ok ctx) ops;
+  (* and rejects ill-typed uses of the same definitions *)
+  let bad =
+    check_ok "parse bad"
+      (Irdl_ir.Parser.parse_ops ctx
+         {|
+"t.wrap"() ({
+^bb0(%a: i32, %b: f32):
+  %c = "arith.addi"(%a, %b) : (i32, f32) -> i32
+}) : () -> ()
+|})
+  in
+  List.iter (fun op -> verify_err ctx op) bad
+
+let scf_for_verifies () =
+  let ctx = Irdl_ir.Context.create () in
+  let _ = check_ok "register" (Irdl_dialects.Corpus.load_all ctx) in
+  let ops =
+    check_ok "scf.for"
+      (Irdl_ir.Parser.parse_ops ctx
+         {|
+"t.wrap"() ({
+^bb0(%lb: index, %ub: index, %step: index, %init: f32):
+  %sum = "scf.for"(%lb, %ub, %step, %init) ({
+  ^body(%iv: index, %acc: f32):
+    "scf.yield"(%acc) : (f32) -> ()
+  }) : (index, index, index, f32) -> f32
+}) : () -> ()
+|})
+  in
+  List.iter (verify_ok ctx) ops
+
+let variadic_segments_in_corpus () =
+  (* linalg.generic requires operandSegmentSizes (two variadic groups). *)
+  let ctx = Irdl_ir.Context.create () in
+  let _ = check_ok "register" (Irdl_dialects.Corpus.load_all ctx) in
+  let tensor =
+    Irdl_ir.Attr.dynamic ~dialect:"builtin" ~name:"tensor"
+      [ Irdl_ir.Attr.array [ Irdl_ir.Attr.int 4L ];
+        Irdl_ir.Attr.typ Irdl_ir.Attr.f32 ]
+  in
+  let v () =
+    Irdl_ir.Graph.Op.result
+      (Irdl_ir.Graph.Op.create ~result_tys:[ tensor ] "t.v")
+      0
+  in
+  let blk = Irdl_ir.Graph.Block.create ~arg_tys:[ Irdl_ir.Attr.f32; Irdl_ir.Attr.f32 ] () in
+  Irdl_ir.Graph.Block.append blk
+    (Irdl_ir.Graph.Op.create
+       ~operands:[ List.hd (Irdl_ir.Graph.Block.args blk) ]
+       "linalg.yield");
+  let region = Irdl_ir.Graph.Region.create ~blocks:[ blk ] () in
+  let attrs segs =
+    [
+      ("indexing_maps", Irdl_ir.Attr.array [ Irdl_ir.Attr.Unit; Irdl_ir.Attr.Unit ]);
+      ("iterator_types", Irdl_ir.Attr.array [ Irdl_ir.Attr.string "parallel" ]);
+      ("operandSegmentSizes",
+       Irdl_ir.Attr.array (List.map (fun n -> Irdl_ir.Attr.int (Int64.of_int n)) segs));
+    ]
+  in
+  let generic =
+    Irdl_ir.Graph.Op.create ~operands:[ v (); v () ] ~attrs:(attrs [ 1; 1 ])
+      ~regions:[ region ] "linalg.generic"
+  in
+  verify_ok ctx generic;
+  (* without the segment attribute it must fail *)
+  let blk2 = Irdl_ir.Graph.Block.create ~arg_tys:[ Irdl_ir.Attr.f32; Irdl_ir.Attr.f32 ] () in
+  Irdl_ir.Graph.Block.append blk2
+    (Irdl_ir.Graph.Op.create
+       ~operands:[ List.hd (Irdl_ir.Graph.Block.args blk2) ]
+       "linalg.yield");
+  let region2 = Irdl_ir.Graph.Region.create ~blocks:[ blk2 ] () in
+  let attrs_without_segments =
+    List.filter (fun (k, _) -> k <> "operandSegmentSizes") (attrs [ 1; 1 ])
+  in
+  let bad =
+    Irdl_ir.Graph.Op.create ~operands:[ v (); v () ]
+      ~attrs:attrs_without_segments ~regions:[ region2 ] "linalg.generic"
+  in
+  verify_err ~containing:"operandSegmentSizes" ctx bad
+
+let suite =
+  [
+    tc "all 28 dialects load and register (942 ops)" all_load_and_register;
+    tc "Table 1 dialect names" table1_names_match;
+    tc "Figure 4 op-count shape" op_counts_shape;
+    tc "every corpus op is documented" every_op_has_summary;
+    tc "type/attr-defining dialect count" type_attr_dialect_split;
+    tc "history checkpoints well-formed" history_is_consistent;
+    tc "corpus definitions verify real IR" corpus_ir_instantiation;
+    tc "scf.for with loop-carried values verifies" scf_for_verifies;
+    tc "linalg.generic needs segment sizes" variadic_segments_in_corpus;
+  ]

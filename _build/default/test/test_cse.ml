@@ -1,0 +1,222 @@
+(** Tests for the dominance-aware CSE pass. *)
+
+open Irdl_ir
+open Util
+
+let count scope name =
+  let n = ref 0 in
+  Graph.Op.walk scope ~f:(fun o -> if Graph.Op.name o = name then incr n);
+  !n
+
+let basic_duplicates () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>):
+  %n1 = cmath.norm %p : f32
+  %n2 = cmath.norm %p : f32
+  %m = "arith.mulf"(%n1, %n2) : (f32, f32) -> f32
+  "func.return"(%m) : (f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "eliminated" 1 stats.Irdl_rewrite.Cse.eliminated;
+  Alcotest.(check int) "one norm left" 1 (count func "cmath.norm");
+  verify_ok ctx func;
+  (* the mulf now squares the single remaining norm *)
+  Graph.Op.walk func ~f:(fun o ->
+      if Graph.Op.name o = "arith.mulf" then
+        match o.Graph.operands with
+        | [ a; b ] ->
+            Alcotest.(check bool) "same operand" true (Graph.Value.equal a b)
+        | _ -> Alcotest.fail "two operands expected")
+
+let different_operands_kept () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %n1 = cmath.norm %p : f32
+  %n2 = cmath.norm %q : f32
+  "func.return"(%n1, %n2) : (f32, f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "nothing eliminated" 0 stats.Irdl_rewrite.Cse.eliminated
+
+let attributes_distinguish () =
+  let ctx = Context.create () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0:
+  %a = "arith.constant"() {value = 1 : i32} : () -> i32
+  %b = "arith.constant"() {value = 2 : i32} : () -> i32
+  %c = "arith.constant"() {value = 1 : i32} : () -> i32
+  "t.use"(%a, %b, %c) : (i32, i32, i32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "only equal constants merge" 1
+    stats.Irdl_rewrite.Cse.eliminated;
+  Alcotest.(check int) "two constants left" 2 (count func "arith.constant")
+
+let impure_ops_kept () =
+  let ctx = Context.create () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%m: !builtin.memref, %i: index):
+  %a = "memref.load"(%m, %i) : (!builtin.memref, index) -> f32
+  %b = "memref.load"(%m, %i) : (!builtin.memref, index) -> f32
+  "t.use"(%a, %b) : (f32, f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "loads are not CSE'd" 0
+    stats.Irdl_rewrite.Cse.eliminated
+
+let sibling_blocks_not_merged () =
+  (* Duplicates in sibling branches do not dominate each other. *)
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%c: i1, %p: !cmath.complex<f32>):
+  "cmath.conditional_branch"(%c)[^l, ^r] : (i1) -> ()
+^l:
+  %n1 = cmath.norm %p : f32
+  "t.use"(%n1) : (f32) -> ()
+^r:
+  %n2 = cmath.norm %p : f32
+  "t.use"(%n2) : (f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "no cross-branch merge" 0
+    stats.Irdl_rewrite.Cse.eliminated
+
+let dominating_block_merges () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%c: i1, %p: !cmath.complex<f32>):
+  %n0 = cmath.norm %p : f32
+  "cmath.conditional_branch"(%c)[^l, ^r] : (i1) -> ()
+^l:
+  %n1 = cmath.norm %p : f32
+  "t.use"(%n1) : (f32) -> ()
+^r:
+  "t.end"() : () -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "entry def subsumes branch dup" 1
+    stats.Irdl_rewrite.Cse.eliminated;
+  verify_ok ctx func
+
+let nested_region_merge () =
+  (* An outer computation dominates uses in a nested region. *)
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%lb: i32, %p: !cmath.complex<f32>):
+  %n0 = cmath.norm %p : f32
+  "cmath.range_loop"(%lb, %lb, %lb) ({
+  ^body(%iv: i32):
+    %n1 = cmath.norm %p : f32
+    "t.use"(%n1) : (f32) -> ()
+    "cmath.range_loop_terminator"() : () -> ()
+  }) : (i32, i32, i32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "outer def subsumes inner dup" 1
+    stats.Irdl_rewrite.Cse.eliminated;
+  verify_ok ctx func
+
+let inner_does_not_leak () =
+  (* The reverse direction must not merge: an inner def does not dominate
+     an outer duplicate. *)
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%lb: i32, %p: !cmath.complex<f32>):
+  "cmath.range_loop"(%lb, %lb, %lb) ({
+  ^body(%iv: i32):
+    %n1 = cmath.norm %p : f32
+    "t.use"(%n1) : (f32) -> ()
+    "cmath.range_loop_terminator"() : () -> ()
+  }) : (i32, i32, i32) -> ()
+  %n0 = cmath.norm %p : f32
+  "t.use"(%n0) : (f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "no merge across region exit" 0
+    stats.Irdl_rewrite.Cse.eliminated
+
+let custom_purity () =
+  let ctx = Context.create () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0:
+  %a = "x.effectful"() : () -> i32
+  %b = "x.effectful"() : () -> i32
+  "t.use"(%a, %b) : (i32, i32) -> ()
+}) : () -> ()
+|}
+  in
+  (* default: looks pure (no telltale mnemonic), merges *)
+  let s1 = Irdl_rewrite.Cse.run ctx func in
+  Alcotest.(check int) "default merges" 1 s1.Irdl_rewrite.Cse.eliminated;
+  (* custom predicate: nothing is pure, nothing merges *)
+  let func2 =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0:
+  %a = "x.effectful"() : () -> i32
+  %b = "x.effectful"() : () -> i32
+  "t.use"(%a, %b) : (i32, i32) -> ()
+}) : () -> ()
+|}
+  in
+  let s2 = Irdl_rewrite.Cse.run ~is_pure:(fun _ -> false) ctx func2 in
+  Alcotest.(check int) "custom keeps" 0 s2.Irdl_rewrite.Cse.eliminated
+
+let suite =
+  [
+    tc "duplicate pure ops merge" basic_duplicates;
+    tc "different operands are kept" different_operands_kept;
+    tc "attributes distinguish ops" attributes_distinguish;
+    tc "impure ops are kept" impure_ops_kept;
+    tc "sibling branches do not merge" sibling_blocks_not_merged;
+    tc "dominating defs subsume branch duplicates" dominating_block_merges;
+    tc "outer defs subsume nested-region duplicates" nested_region_merge;
+    tc "inner defs do not leak out" inner_does_not_leak;
+    tc "custom purity predicate" custom_purity;
+  ]

@@ -1,0 +1,75 @@
+(** Tests for the markdown documentation generator, plus a per-dialect
+    op-count snapshot guarding the corpus against accidental drift. *)
+
+open Util
+module R = Irdl_core.Resolve
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let corpus = lazy (check_ok "corpus" (Irdl_dialects.Corpus.analyze ()))
+
+let dialect name =
+  List.find (fun (dl : R.dialect) -> dl.dl_name = name) (Lazy.force corpus)
+
+let scf_doc () =
+  let doc = Irdl_analysis.Docgen.dialect_to_string (dialect "scf") in
+  List.iter
+    (fun needle ->
+      if not (contains doc needle) then
+        Alcotest.failf "scf doc lacks %S" needle)
+    [
+      "# Dialect `scf`";
+      "### operation `for`";
+      "A counted loop with loop-carried values";
+      "terminated by `scf.yield`";
+      "native verifier";
+      "- terminator (no successors)";
+    ]
+
+let cmath_doc () =
+  let ctx = Irdl_ir.Context.create () in
+  let dl = check_ok "cmath" (Irdl_dialects.Cmath.load ctx) in
+  let doc = Irdl_analysis.Docgen.dialect_to_string dl in
+  List.iter
+    (fun needle ->
+      if not (contains doc needle) then
+        Alcotest.failf "cmath doc lacks %S" needle)
+    [
+      "### type `complex`";
+      "### enum `signedness`";
+      "Constructors: Signless, Signed, Unsigned";
+      "custom syntax: `$lhs, $rhs : $T.elementType`";
+      "terminator with successors: next_bb_true, next_bb_false";
+      "### attribute `StringAttr`";
+    ]
+
+(* Snapshot of per-dialect op counts; update deliberately when the corpus
+   changes, never accidentally. *)
+let expected_op_counts =
+  [
+    ("affine", 14); ("amx", 14); ("arith", 43); ("arm_sve", 32);
+    ("arm_neon", 3); ("async", 25); ("builtin", 3); ("complex", 20);
+    ("emitc", 5); ("gpu", 30); ("linalg", 9); ("llvm", 142); ("math", 24);
+    ("memref", 29); ("nvvm", 25); ("pdl", 15); ("pdl_interp", 37);
+    ("quant", 10); ("rocdl", 37); ("scf", 11); ("shape", 39);
+    ("sparse_tensor", 8); ("spv", 187); ("std", 46); ("tensor", 13);
+    ("tosa", 69); ("vector", 36); ("x86vector", 16);
+  ]
+
+let corpus_snapshot () =
+  List.iter
+    (fun (name, expected) ->
+      Alcotest.(check int) name expected (List.length (dialect name).dl_ops))
+    expected_op_counts;
+  Alcotest.(check int) "total" 942
+    (List.fold_left (fun a (_, n) -> a + n) 0 expected_op_counts)
+
+let suite =
+  [
+    tc "scf documentation renders" scf_doc;
+    tc "cmath documentation covers all constructs" cmath_doc;
+    tc "corpus per-dialect op-count snapshot" corpus_snapshot;
+  ]

@@ -1,0 +1,166 @@
+(** Tests for the IR object graph. *)
+
+open Irdl_ir
+open Util
+
+let create_op () =
+  let op =
+    Graph.Op.create ~result_tys:[ Attr.f32; Attr.i32 ] "test.op"
+  in
+  Alcotest.(check int) "results" 2 (Graph.Op.num_results op);
+  Alcotest.(check int) "operands" 0 (Graph.Op.num_operands op);
+  Alcotest.(check string) "dialect" "test" (Graph.Op.dialect op);
+  Alcotest.(check string) "mnemonic" "op" (Graph.Op.mnemonic op);
+  let r0 = Graph.Op.result op 0 in
+  Alcotest.(check bool) "result ty" true
+    (Attr.equal_ty Attr.f32 (Graph.Value.ty r0));
+  match r0.v_def with
+  | Graph.Op_result { op = owner; index } ->
+      Alcotest.(check bool) "owner" true (owner == op);
+      Alcotest.(check int) "index" 0 index
+  | _ -> Alcotest.fail "expected Op_result"
+
+let attrs_api () =
+  let op = Graph.Op.create "test.op" in
+  Alcotest.(check bool) "absent" true (Graph.Op.attr op "x" = None);
+  Graph.Op.set_attr op "x" (Attr.int 1L);
+  Alcotest.(check bool) "present" true (Graph.Op.attr op "x" <> None);
+  Graph.Op.set_attr op "x" (Attr.int 2L);
+  Alcotest.(check bool) "replaced" true
+    (Graph.Op.attr op "x" = Some (Attr.int 2L));
+  Alcotest.(check int) "no duplicate keys" 1 (List.length op.Graph.attrs);
+  Graph.Op.remove_attr op "x";
+  Alcotest.(check bool) "removed" true (Graph.Op.attr op "x" = None)
+
+let block_ops_order () =
+  let blk = Graph.Block.create () in
+  let a = Graph.Op.create "t.a" and b = Graph.Op.create "t.b" in
+  let c = Graph.Op.create "t.c" in
+  Graph.Block.append blk a;
+  Graph.Block.append blk c;
+  Graph.Block.insert_before blk ~anchor:c b;
+  Alcotest.(check (list string)) "order" [ "t.a"; "t.b"; "t.c" ]
+    (List.map Graph.Op.name (Graph.Block.ops blk));
+  (match Graph.Block.terminator blk with
+  | Some t -> Alcotest.(check string) "terminator" "t.c" (Graph.Op.name t)
+  | None -> Alcotest.fail "expected terminator");
+  Graph.Block.remove blk b;
+  Alcotest.(check (list string)) "after remove" [ "t.a"; "t.c" ]
+    (List.map Graph.Op.name (Graph.Block.ops blk));
+  Alcotest.(check bool) "detached" true (b.Graph.op_parent = None)
+
+let double_attach_rejected () =
+  let blk = Graph.Block.create () in
+  let blk2 = Graph.Block.create () in
+  let a = Graph.Op.create "t.a" in
+  Graph.Block.append blk a;
+  Alcotest.(check bool) "raises" true
+    (try
+       Graph.Block.append blk2 a;
+       false
+     with Invalid_argument _ -> true)
+
+let block_args () =
+  let blk = Graph.Block.create ~arg_tys:[ Attr.i32 ] () in
+  Alcotest.(check int) "one arg" 1 (List.length (Graph.Block.args blk));
+  let v = Graph.Block.add_arg blk Attr.f32 in
+  Alcotest.(check int) "two args" 2 (List.length (Graph.Block.args blk));
+  match v.v_def with
+  | Graph.Block_arg { index; _ } -> Alcotest.(check int) "index" 1 index
+  | _ -> Alcotest.fail "expected Block_arg"
+
+let region_structure () =
+  let b1 = Graph.Block.create () and b2 = Graph.Block.create () in
+  let r = Graph.Region.create ~blocks:[ b1 ] () in
+  Graph.Region.add_block r b2;
+  Alcotest.(check int) "blocks" 2 (Graph.Region.num_blocks r);
+  (match Graph.Region.entry r with
+  | Some e -> Alcotest.(check bool) "entry" true (e == b1)
+  | None -> Alcotest.fail "expected entry");
+  let op = Graph.Op.create ~regions:[ r ] "t.wrap" in
+  match r.Graph.reg_parent with
+  | Some p -> Alcotest.(check bool) "region parent" true (p == op)
+  | None -> Alcotest.fail "expected parent"
+
+let walk_nested () =
+  let inner = Graph.Op.create "t.inner" in
+  let blk = Graph.Block.create () in
+  Graph.Block.append blk inner;
+  let region = Graph.Region.create ~blocks:[ blk ] () in
+  let outer = Graph.Op.create ~regions:[ region ] "t.outer" in
+  let seen = ref [] in
+  Graph.Op.walk outer ~f:(fun o -> seen := Graph.Op.name o :: !seen);
+  Alcotest.(check (list string)) "preorder" [ "t.outer"; "t.inner" ]
+    (List.rev !seen)
+
+let parent_chain () =
+  let inner = Graph.Op.create "t.inner" in
+  let blk = Graph.Block.create () in
+  Graph.Block.append blk inner;
+  let region = Graph.Region.create ~blocks:[ blk ] () in
+  let outer = Graph.Op.create ~regions:[ region ] "t.outer" in
+  (match Graph.Op.parent_op inner with
+  | Some p -> Alcotest.(check string) "parent" "t.outer" (Graph.Op.name p)
+  | None -> Alcotest.fail "expected parent");
+  Alcotest.(check bool) "ancestor" true
+    (Graph.Op.is_ancestor ~ancestor:outer inner);
+  Alcotest.(check bool) "self ancestor" true
+    (Graph.Op.is_ancestor ~ancestor:inner inner);
+  Alcotest.(check bool) "not ancestor" false
+    (Graph.Op.is_ancestor ~ancestor:inner outer)
+
+let replace_uses () =
+  let def1 = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def1" in
+  let def2 = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def2" in
+  let v1 = Graph.Op.result def1 0 and v2 = Graph.Op.result def2 0 in
+  let user = Graph.Op.create ~operands:[ v1; v1 ] "t.use" in
+  let blk = Graph.Block.create () in
+  List.iter (Graph.Block.append blk) [ def1; def2; user ];
+  let region = Graph.Region.create ~blocks:[ blk ] () in
+  let scope = Graph.Op.create ~regions:[ region ] "t.scope" in
+  Alcotest.(check bool) "v1 used" true (Graph.has_uses_in scope v1);
+  Graph.replace_uses_in scope ~from:v1 ~to_:v2;
+  Alcotest.(check bool) "v1 unused" false (Graph.has_uses_in scope v1);
+  Alcotest.(check bool) "v2 used" true (Graph.has_uses_in scope v2);
+  Alcotest.(check bool) "both operands" true
+    (List.for_all (Graph.Value.equal v2) user.Graph.operands)
+
+let value_defining_op () =
+  let def = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def" in
+  let v = Graph.Op.result def 0 in
+  (match Graph.Value.defining_op v with
+  | Some o -> Alcotest.(check string) "def op" "t.def" (Graph.Op.name o)
+  | None -> Alcotest.fail "expected defining op");
+  let blk = Graph.Block.create ~arg_tys:[ Attr.i32 ] () in
+  let arg = List.hd (Graph.Block.args blk) in
+  Alcotest.(check bool) "block arg has no def op" true
+    (Graph.Value.defining_op arg = None)
+
+let unique_ids () =
+  let a = Graph.Op.create "t.a" and b = Graph.Op.create "t.b" in
+  Alcotest.(check bool) "distinct" true (a.Graph.op_id <> b.Graph.op_id)
+
+let detach_op () =
+  let blk = Graph.Block.create () in
+  let op = Graph.Op.create "t.a" in
+  Graph.Block.append blk op;
+  Graph.detach op;
+  Alcotest.(check int) "block empty" 0 (List.length (Graph.Block.ops blk));
+  (* detaching twice is a no-op *)
+  Graph.detach op
+
+let suite =
+  [
+    tc "op creation wires results" create_op;
+    tc "attribute get/set/remove" attrs_api;
+    tc "block op order and insertion" block_ops_order;
+    tc "double attachment rejected" double_attach_rejected;
+    tc "block arguments" block_args;
+    tc "region structure" region_structure;
+    tc "walk visits nested ops preorder" walk_nested;
+    tc "parent chain and ancestry" parent_chain;
+    tc "replace_uses_in rewrites operands" replace_uses;
+    tc "value defining op" value_defining_op;
+    tc "ids are unique" unique_ids;
+    tc "detach" detach_op;
+  ]

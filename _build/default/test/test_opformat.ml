@@ -1,0 +1,191 @@
+(** Tests for the declarative-format compiler (paper §4.7): projection and
+    reconstruction of types, and the well-formedness rejections. *)
+
+open Irdl_ir
+open Util
+
+let compile src ~op_name =
+  let ast = check_ok "parse" (Irdl_core.Parser.parse_one src) in
+  let dl = check_ok "resolve" (Irdl_core.Resolve.resolve_dialect ast) in
+  let op =
+    List.find (fun (o : Irdl_core.Resolve.op) -> o.op_name = op_name) dl.dl_ops
+  in
+  let lookup_type_params ~dialect ~name =
+    if dialect <> dl.dl_name then None
+    else
+      List.find_opt (fun (t : Irdl_core.Resolve.typedef) -> t.td_name = name)
+        dl.dl_types
+      |> Option.map (fun (t : Irdl_core.Resolve.typedef) ->
+             List.map (fun (s : Irdl_core.Resolve.slot) -> s.s_name) t.td_params)
+  in
+  Irdl_core.Opformat.compile ~lookup_type_params dl.dl_name op
+
+let mul_format () =
+  (* Listing 3's cmath.mul: "$lhs, $rhs : $T.elementType" *)
+  let f =
+    check_ok "mul"
+      (compile ~op_name:"mul"
+         {|Dialect cmath {
+             Alias !FloatType = !AnyOf<!f32, !f64>
+             Type complex { Parameters (elementType: !FloatType) }
+             Operation mul {
+               ConstraintVars (T: !complex<FloatType>)
+               Operands (lhs: !T, rhs: !T)
+               Results (res: !T)
+               Format "$lhs, $rhs : $T.elementType"
+             }
+           }|})
+  in
+  (* items: operand , operand : ty-directive *)
+  (match f.Opfmt.items with
+  | [ Opfmt.Operand_ref 0; Opfmt.Lit ","; Opfmt.Operand_ref 1; Opfmt.Lit ":";
+      Opfmt.Ty_directive { index = 0; proj } ] ->
+      Alcotest.(check bool) "proj source" true (proj.source = `Operand 0);
+      Alcotest.(check (list int)) "proj path" [ 0 ] proj.path
+  | _ -> Alcotest.fail "unexpected items");
+  (* reconstruction: operands and result are complex<directive0> *)
+  match f.Opfmt.operand_tys with
+  | [ Opfmt.Wrap { dialect = "cmath"; name = "complex";
+                   params = [ Opfmt.From_directive 0 ] }; _ ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected reconstruction"
+
+let norm_format () =
+  let f =
+    check_ok "norm"
+      (compile ~op_name:"norm"
+         {|Dialect cmath {
+             Alias !FloatType = !AnyOf<!f32, !f64>
+             Type complex { Parameters (elementType: !FloatType) }
+             Operation norm {
+               ConstraintVars (T: !FloatType)
+               Operands (c: !complex<!T>)
+               Results (res: !T)
+               Format "$c : $T"
+             }
+           }|})
+  in
+  (* $T projects out of the operand's first type parameter *)
+  (match f.Opfmt.items with
+  | [ Opfmt.Operand_ref 0; Opfmt.Lit ":";
+      Opfmt.Ty_directive { proj = { source = `Operand 0; path = [ 0 ] }; _ } ]
+    ->
+      ()
+  | _ -> Alcotest.fail "unexpected items");
+  match f.Opfmt.result_tys with
+  | [ Opfmt.From_directive 0 ] -> ()
+  | _ -> Alcotest.fail "unexpected result reconstruction"
+
+let attr_directive () =
+  let f =
+    check_ok "attr fmt"
+      (compile ~op_name:"c"
+         {|Dialect d {
+             Operation c {
+               Results (r: !i32)
+               Attributes (value: i32_attr)
+               Format "$value"
+             }
+           }|})
+  in
+  (match f.Opfmt.items with
+  | [ Opfmt.Attr_ref "value" ] -> ()
+  | _ -> Alcotest.fail "unexpected items");
+  match f.Opfmt.result_tys with
+  | [ Opfmt.Known Attr.(Integer _) ] -> ()
+  | _ -> Alcotest.fail "result should be known i32"
+
+let variadic_group_format () =
+  let f =
+    check_ok "variadic fmt"
+      (compile ~op_name:"pack"
+         {|Dialect d {
+             Operation pack {
+               Operands (first: !i32, rest: Variadic<!i32>)
+               Results (r: !i32)
+               Format "$first, $rest"
+             }
+           }|})
+  in
+  match f.Opfmt.items with
+  | [ Opfmt.Operand_ref 0; Opfmt.Lit ","; Opfmt.Operand_group 1 ] -> ()
+  | _ -> Alcotest.fail "unexpected items"
+
+let rejections () =
+  let expect_reject what src ~op_name needle =
+    check_err_containing what needle (compile ~op_name src)
+  in
+  expect_reject "missing operand"
+    {|Dialect d {
+        Operation o { Operands (a: !i32, b: !i32) Results (r: !i32)
+                      Format "$a" } }|}
+    ~op_name:"o" "does not appear";
+  expect_reject "unknown directive"
+    {|Dialect d { Operation o { Results (r: !i32) Format "$zzz" } }|}
+    ~op_name:"o" "unknown format directive";
+  expect_reject "unreconstructible result"
+    {|Dialect d {
+        Operation o { Operands (a: !i32) Results (r: !AnyType)
+                      Format "$a" } }|}
+    ~op_name:"o" "not reconstructible";
+  expect_reject "regions unsupported"
+    {|Dialect d {
+        Operation o { Region body { Arguments () } Format "x" } }|}
+    ~op_name:"o" "regions";
+  expect_reject "terminators unsupported"
+    {|Dialect d { Operation o { Successors (a) Format "x" } }|}
+    ~op_name:"o" "terminator";
+  expect_reject "unrecoverable variable"
+    {|Dialect d {
+        Operation o { ConstraintVars (T: !AnyType)
+                      Results (r: !AnyType) Format "$T" } }|}
+    ~op_name:"o" "not recoverable"
+
+let end_to_end_roundtrip () =
+  (* A custom-format op defined here, printed and parsed back. *)
+  let ctx, _ =
+    load_dialect
+      {|Dialect v {
+          Type vec { Parameters (elt: !AnyType) }
+          Operation splat {
+            ConstraintVars (T: !AnyType)
+            Operands (x: !T)
+            Results (r: !vec<!T>)
+            Format "$x : $T"
+          }
+        }|}
+  in
+  let x = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def" in
+  let splat =
+    Graph.Op.create
+      ~operands:[ Graph.Op.result x 0 ]
+      ~result_tys:[ Attr.dynamic ~dialect:"v" ~name:"vec" [ Attr.typ Attr.i32 ] ]
+      "v.splat"
+  in
+  verify_ok ctx splat;
+  let printer = Printer.create ctx in
+  let _ = Printer.value_name printer (Graph.Op.result x 0) in
+  let s = Fmt.str "%a" (Printer.pp_op printer) splat in
+  Alcotest.(check string) "printed" "%1 = v.splat %0 : i32" s;
+  (* parse the custom form back in a block providing %0 *)
+  let ops =
+    check_ok "reparse"
+      (Parser.parse_ops ctx
+         {|
+"t.wrap"() ({
+^bb0(%a: i32):
+  %r = v.splat %a : i32
+}) : () -> ()
+|})
+  in
+  List.iter (verify_ok ctx) ops
+
+let suite =
+  [
+    tc "Listing 3 mul format compiles" mul_format;
+    tc "Listing 3 norm format compiles" norm_format;
+    tc "attribute directives" attr_directive;
+    tc "variadic operand groups" variadic_group_format;
+    tc "ill-formed formats rejected" rejections;
+    tc "custom format end-to-end round trip" end_to_end_roundtrip;
+  ]

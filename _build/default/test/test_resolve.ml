@@ -1,0 +1,294 @@
+(** Tests for name resolution: builtins, aliases, enums, constraint
+    definitions, cross-dialect references, and the error cases. *)
+
+open Irdl_core
+module C = Constraint_expr
+open Util
+
+let resolve_dialect src =
+  Result.bind (Parser.parse_one src) Resolve.resolve_dialect
+
+let resolve_ok src = check_ok "resolve" (resolve_dialect src)
+
+let slot_constraint (dl : Resolve.dialect) ~op ~operand =
+  let o = List.find (fun (o : Resolve.op) -> o.op_name = op) dl.dl_ops in
+  let s = List.find (fun (s : Resolve.slot) -> s.s_name = operand) o.op_operands in
+  s.s_constraint
+
+let builtin_types_resolve () =
+  let dl =
+    resolve_ok
+      {|Dialect d { Operation o { Operands (a: !f32, b: !i32, c: !index) } }|}
+  in
+  (match slot_constraint dl ~op:"o" ~operand:"a" with
+  | C.Eq (Irdl_ir.Attr.Type t) ->
+      Alcotest.(check bool) "f32" true (Irdl_ir.Attr.equal_ty Irdl_ir.Attr.f32 t)
+  | c -> Alcotest.failf "unexpected %s" (C.to_string c));
+  match slot_constraint dl ~op:"o" ~operand:"c" with
+  | C.Eq (Irdl_ir.Attr.Type Irdl_ir.Attr.Index) -> ()
+  | c -> Alcotest.failf "unexpected %s" (C.to_string c)
+
+let builtin_constructors () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Operation o {
+            Operands (a: AnyOf<!f32, !f64>, b: And<!AnyType, Not<!f32>>,
+                      c: Variadic<!AnyType>, d: Optional<!i32>)
+            Attributes (s: string, n: int32_t, l: [string, uint8_t],
+                        arr: array<int64_t>, any: AnyParam)
+          } }|}
+  in
+  (match slot_constraint dl ~op:"o" ~operand:"a" with
+  | C.Any_of [ _; _ ] -> ()
+  | c -> Alcotest.failf "AnyOf: %s" (C.to_string c));
+  (match slot_constraint dl ~op:"o" ~operand:"b" with
+  | C.And [ C.Any_type; C.Not _ ] -> ()
+  | c -> Alcotest.failf "And/Not: %s" (C.to_string c));
+  (match slot_constraint dl ~op:"o" ~operand:"c" with
+  | C.Variadic C.Any_type -> ()
+  | c -> Alcotest.failf "Variadic: %s" (C.to_string c));
+  match slot_constraint dl ~op:"o" ~operand:"d" with
+  | C.Optional _ -> ()
+  | c -> Alcotest.failf "Optional: %s" (C.to_string c)
+
+let alias_expansion () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Alias !F = !AnyOf<!f32, !f64>
+          Type box { Parameters (t: !F) }
+          Operation o { Operands (x: !box<F>) }
+        }|}
+  in
+  match slot_constraint dl ~op:"o" ~operand:"x" with
+  | C.Base_type { dialect = "d"; name = "box"; params = Some [ C.Any_of _ ] } ->
+      ()
+  | c -> Alcotest.failf "alias: %s" (C.to_string c)
+
+let parametric_alias () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Type box { Parameters (t: !AnyType) }
+          Alias !BoxOr<T> = AnyOf<!box<!AnyType>, T>
+          Operation o { Operands (x: !BoxOr<!f32>) }
+        }|}
+  in
+  match slot_constraint dl ~op:"o" ~operand:"x" with
+  | C.Any_of [ C.Base_type _; C.Eq _ ] -> ()
+  | c -> Alcotest.failf "parametric alias: %s" (C.to_string c)
+
+let alias_cycle_rejected () =
+  check_err_containing "cycle" "recursively"
+    (resolve_dialect
+       {|Dialect d {
+           Alias !A = !B
+           Alias !B = !A
+           Operation o { Operands (x: !A) }
+         }|})
+
+let alias_arity_mismatch () =
+  check_err_containing "arity" "expects"
+    (resolve_dialect
+       {|Dialect d {
+           Alias !P<T> = AnyOf<T, !f32>
+           Operation o { Operands (x: !P) }
+         }|})
+
+let enums_resolve () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Enum sign { Pos, Neg }
+          Type t { Parameters (s: sign) }
+          Alias !PosT = !t<sign.Pos>
+          Operation o { Operands (x: !PosT) }
+        }|}
+  in
+  match slot_constraint dl ~op:"o" ~operand:"x" with
+  | C.Base_type { params = Some [ C.Eq (Irdl_ir.Attr.Enum e) ]; _ } ->
+      Alcotest.(check string) "case" "Pos" e.case;
+      Alcotest.(check string) "enum" "sign" e.enum
+  | c -> Alcotest.failf "enum: %s" (C.to_string c)
+
+let unknown_enum_case () =
+  check_err_containing "bad case" "no constructor"
+    (resolve_dialect
+       {|Dialect d {
+           Enum sign { Pos, Neg }
+           Type t { Parameters (s: sign.Zero) }
+         }|})
+
+let constraint_def_inlined () =
+  (* A Constraint without CppConstraint is a plain alias for its base. *)
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Constraint Small : uint8_t { Summary "small" }
+          Operation o { Attributes (n: Small) }
+        }|}
+  in
+  let o = List.hd dl.dl_ops in
+  match (List.hd o.op_attributes).s_constraint with
+  | C.Int_param _ -> ()
+  | c -> Alcotest.failf "inline: %s" (C.to_string c)
+
+let constraint_def_native () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Constraint Bounded : uint32_t { CppConstraint "$_self <= 32" }
+          Operation o { Attributes (n: Bounded) }
+        }|}
+  in
+  let o = List.hd dl.dl_ops in
+  match (List.hd o.op_attributes).s_constraint with
+  | C.Native { name = "Bounded"; snippets = [ "$_self <= 32" ]; _ } -> ()
+  | c -> Alcotest.failf "native: %s" (C.to_string c)
+
+let type_or_attr_param () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          TypeOrAttrParam P { CppClassName "char*" }
+          Attribute a { Parameters (x: P) }
+        }|}
+  in
+  let a = List.hd dl.dl_attrs in
+  match (List.hd a.td_params).s_constraint with
+  | C.Native_param { name = "P"; class_name = "char*" } -> ()
+  | c -> Alcotest.failf "param: %s" (C.to_string c)
+
+let cross_dialect_refs () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Operation o { Operands (t: !builtin.tensor, a: !other.thing<!f32>)
+                        Attributes (x: #other.attr) }
+        }|}
+  in
+  (match slot_constraint dl ~op:"o" ~operand:"t" with
+  | C.Base_type { dialect = "builtin"; name = "tensor"; params = None } -> ()
+  | c -> Alcotest.failf "builtin.tensor: %s" (C.to_string c));
+  (match slot_constraint dl ~op:"o" ~operand:"a" with
+  | C.Base_type { dialect = "other"; name = "thing"; params = Some [ _ ] } ->
+      ()
+  | c -> Alcotest.failf "other.thing: %s" (C.to_string c));
+  let o = List.hd dl.dl_ops in
+  match (List.hd o.op_attributes).s_constraint with
+  | C.Base_attr { dialect = "other"; name = "attr"; _ } -> ()
+  | c -> Alcotest.failf "other.attr: %s" (C.to_string c)
+
+let builtin_namespace_shorthand () =
+  (* f32 is shorthand for builtin.f32 (paper section 4.2). *)
+  let dl =
+    resolve_ok {|Dialect d { Operation o { Operands (x: builtin.f32) } }|}
+  in
+  match slot_constraint dl ~op:"o" ~operand:"x" with
+  | C.Eq (Irdl_ir.Attr.Type (Irdl_ir.Attr.Float Irdl_ir.Attr.F32)) -> ()
+  | c -> Alcotest.failf "builtin.f32: %s" (C.to_string c)
+
+let same_dialect_qualified () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Type t { Parameters () }
+          Operation o { Operands (x: !d.t) }
+        }|}
+  in
+  match slot_constraint dl ~op:"o" ~operand:"x" with
+  | C.Base_type { dialect = "d"; name = "t"; _ } -> ()
+  | c -> Alcotest.failf "d.t: %s" (C.to_string c)
+
+let constraint_vars_scope () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Operation o {
+            ConstraintVars (T: !AnyType, U: AnyOf<T, !f32>)
+            Operands (a: !T, b: !U)
+          }
+        }|}
+  in
+  (match slot_constraint dl ~op:"o" ~operand:"a" with
+  | C.Var { C.v_name = "T"; _ } -> ()
+  | c -> Alcotest.failf "var T: %s" (C.to_string c));
+  (* U's own constraint references T *)
+  match slot_constraint dl ~op:"o" ~operand:"b" with
+  | C.Var { C.v_name = "U"; v_constraint = C.Any_of [ C.Var _; _ ] } -> ()
+  | c -> Alcotest.failf "var U: %s" (C.to_string c)
+
+let local_arity_checked () =
+  check_err_containing "type arity" "expects 1 parameters"
+    (resolve_dialect
+       {|Dialect d {
+           Type box { Parameters (t: !AnyType) }
+           Operation o { Operands (x: !box<!f32, !f32>) }
+         }|})
+
+let variadic_positions () =
+  check_err_containing "nested variadic" "top-level"
+    (resolve_dialect
+       {|Dialect d { Operation o { Operands (x: AnyOf<Variadic<!f32>, !f32>) } }|});
+  check_err_containing "type param variadic" "not allowed"
+    (resolve_dialect
+       {|Dialect d { Type t { Parameters (x: Variadic<!f32>) } }|});
+  check_err_containing "variadic attr" "cannot be Variadic"
+    (resolve_dialect
+       {|Dialect d { Operation o { Attributes (x: Variadic<string>) } }|})
+
+let duplicates_rejected () =
+  check_err_containing "dup op" "duplicate operation"
+    (resolve_dialect {|Dialect d { Operation o {} Operation o {} }|});
+  check_err_containing "dup type" "duplicate type"
+    (resolve_dialect {|Dialect d { Type t {} Type t {} }|});
+  check_err_containing "dup var" "duplicate constraint variable"
+    (resolve_dialect
+       {|Dialect d { Operation o { ConstraintVars (T: !AnyType, T: !AnyType) } }|})
+
+let unknown_name () =
+  check_err_containing "unknown" "unknown name"
+    (resolve_dialect {|Dialect d { Operation o { Operands (x: Mystery) } }|})
+
+let terminator_qualification () =
+  let dl =
+    resolve_ok
+      {|Dialect d {
+          Operation stop { Successors () }
+          Operation loop { Region body { Terminator stop } }
+          Operation loop2 { Region body { Terminator other.end } }
+        }|}
+  in
+  let region op_name =
+    let o = List.find (fun (o : Resolve.op) -> o.op_name = op_name) dl.dl_ops in
+    List.hd o.op_regions
+  in
+  Alcotest.(check (option string)) "local qualified" (Some "d.stop")
+    (region "loop").reg_terminator;
+  Alcotest.(check (option string)) "foreign kept" (Some "other.end")
+    (region "loop2").reg_terminator
+
+let suite =
+  [
+    tc "builtin types resolve" builtin_types_resolve;
+    tc "builtin constraint constructors" builtin_constructors;
+    tc "alias expansion" alias_expansion;
+    tc "parametric aliases" parametric_alias;
+    tc "alias cycles rejected" alias_cycle_rejected;
+    tc "alias arity mismatch" alias_arity_mismatch;
+    tc "enums and enum constructors" enums_resolve;
+    tc "unknown enum case rejected" unknown_enum_case;
+    tc "Constraint without C++ is inlined" constraint_def_inlined;
+    tc "Constraint with C++ becomes Native" constraint_def_native;
+    tc "TypeOrAttrParam becomes Native_param" type_or_attr_param;
+    tc "cross-dialect references" cross_dialect_refs;
+    tc "builtin namespace shorthand" builtin_namespace_shorthand;
+    tc "same-dialect qualified references" same_dialect_qualified;
+    tc "constraint variables scope left-to-right" constraint_vars_scope;
+    tc "local type arity checked" local_arity_checked;
+    tc "variadic only in legal positions" variadic_positions;
+    tc "duplicate definitions rejected" duplicates_rejected;
+    tc "unknown names rejected" unknown_name;
+    tc "terminator name qualification" terminator_qualification;
+  ]

@@ -1,0 +1,245 @@
+(** Tests for the rewrite engine: rewriter primitives, DCE, declarative
+    patterns, and the greedy driver. *)
+
+open Irdl_ir
+open Irdl_rewrite
+open Util
+
+(** Build the conorm function (Listing 1a) and return (scope, ctx). *)
+let conorm_scope () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %m = "arith.mulf"(%np, %nq) : (f32, f32) -> f32
+  "func.return"(%m) : (f32) -> ()
+}) : () -> ()
+|}
+  in
+  (ctx, func)
+
+let count_ops scope name =
+  let n = ref 0 in
+  Graph.Op.walk scope ~f:(fun o -> if Graph.Op.name o = name then incr n);
+  !n
+
+let norm_of_mul_pattern =
+  Pattern.dag ~name:"norm-mul"
+    ~root:
+      (Pattern.m_op "arith.mulf"
+         [
+           Pattern.m_op "cmath.norm" [ Pattern.m_val "p" ];
+           Pattern.m_op "cmath.norm" [ Pattern.m_val "q" ];
+         ])
+    ~replacement:
+      (Pattern.b_op "cmath.norm"
+         [ Pattern.b_op "cmath.mul"
+             [ Pattern.b_cap "p"; Pattern.b_cap "q" ]
+             (Pattern.Ty_of_capture "p") ]
+         (Pattern.Ty_const Attr.f32))
+    ()
+
+let replace_op_basics () =
+  let ctx, func = conorm_scope () in
+  let rw = Rewriter.create ctx func in
+  (* find the mulf and replace it with a fresh op *)
+  let mulf = ref None in
+  Graph.Op.walk func ~f:(fun o ->
+      if Graph.Op.name o = "arith.mulf" then mulf := Some o);
+  let mulf = Option.get !mulf in
+  let fresh =
+    Rewriter.replace_op_with_new rw mulf ~operands:mulf.Graph.operands
+      ~result_tys:[ Attr.f32 ] "arith.addf"
+  in
+  Alcotest.(check int) "mulf gone" 0 (count_ops func "arith.mulf");
+  Alcotest.(check int) "addf present" 1 (count_ops func "arith.addf");
+  Alcotest.(check bool) "uses rewired" true
+    (Graph.has_uses_in func (Graph.Op.result fresh 0));
+  Alcotest.(check bool) "changed" true rw.Rewriter.changed
+
+let erase_op_guard () =
+  let ctx, func = conorm_scope () in
+  let rw = Rewriter.create ctx func in
+  let norm = ref None in
+  Graph.Op.walk func ~f:(fun o ->
+      if Graph.Op.name o = "cmath.norm" && !norm = None then norm := Some o);
+  Alcotest.(check bool) "refuses live op" true
+    (try
+       Rewriter.erase_op rw (Option.get !norm);
+       false
+     with Invalid_argument _ -> true)
+
+let dce_removes_dead_chains () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>):
+  %dead1 = cmath.norm %p : f32
+  %dead2 = "arith.mulf"(%dead1, %dead1) : (f32, f32) -> f32
+  %live = cmath.norm %p : f32
+  "func.return"(%live) : (f32) -> ()
+}) : () -> ()
+|}
+  in
+  let rw = Rewriter.create ctx func in
+  let erased = Rewriter.dce rw in
+  Alcotest.(check int) "erased both" 2 erased;
+  Alcotest.(check int) "live norm kept" 1 (count_ops func "cmath.norm");
+  Alcotest.(check int) "return kept" 1 (count_ops func "func.return")
+
+let dce_keeps_terminators_and_regions () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%lb: i32):
+  "cmath.range_loop"(%lb, %lb, %lb) ({
+  ^body(%iv: i32):
+    "cmath.range_loop_terminator"() : () -> ()
+  }) : (i32, i32, i32) -> ()
+}) : () -> ()
+|}
+  in
+  let rw = Rewriter.create ctx func in
+  let erased = Rewriter.dce rw in
+  Alcotest.(check int) "nothing erased" 0 erased
+
+let dag_pattern_matches () =
+  let ctx, func = conorm_scope () in
+  let stats = Driver.apply ctx [ norm_of_mul_pattern ] func in
+  Alcotest.(check int) "applied once" 1 stats.Driver.applications;
+  Alcotest.(check bool) "converged" true stats.Driver.converged;
+  Alcotest.(check int) "mul created" 1 (count_ops func "cmath.mul");
+  Alcotest.(check int) "single norm left" 1 (count_ops func "cmath.norm");
+  Alcotest.(check int) "mulf gone" 0 (count_ops func "arith.mulf");
+  verify_ok ctx func
+
+let dag_pattern_no_match () =
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%a: f32, %b: f32):
+  %m = "arith.mulf"(%a, %b) : (f32, f32) -> f32
+  "func.return"(%m) : (f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Driver.apply ctx [ norm_of_mul_pattern ] func in
+  Alcotest.(check int) "no application" 0 stats.Driver.applications;
+  Alcotest.(check int) "one iteration" 1 stats.Driver.iterations
+
+let nonlinear_capture () =
+  (* x * x with a repeated capture must only match equal operands. *)
+  let square =
+    Pattern.dag ~name:"square"
+      ~root:(Pattern.m_op "arith.mulf" [ Pattern.m_val "x"; Pattern.m_val "x" ])
+      ~replacement:
+        (Pattern.b_op "test.square" [ Pattern.b_cap "x" ]
+           (Pattern.Ty_of_capture "x"))
+      ()
+  in
+  let ctx = cmath_ctx () in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%a: f32, %b: f32):
+  %m1 = "arith.mulf"(%a, %a) : (f32, f32) -> f32
+  %m2 = "arith.mulf"(%a, %b) : (f32, f32) -> f32
+  "func.return"(%m1, %m2) : (f32, f32) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Driver.apply ctx [ square ] func in
+  Alcotest.(check int) "only x*x rewritten" 1 stats.Driver.applications;
+  Alcotest.(check int) "one mulf left" 1 (count_ops func "arith.mulf")
+
+let benefit_ordering () =
+  let log = ref [] in
+  let mk name benefit =
+    Pattern.make ~benefit ~name (fun _rw op ->
+        if Graph.Op.name op = "t.target" then log := name :: !log;
+        false)
+  in
+  let ctx = Context.create () in
+  let blk = Graph.Block.create () in
+  Graph.Block.append blk (Graph.Op.create "t.target");
+  let scope =
+    Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.f"
+  in
+  let _ = Driver.apply ctx [ mk "low" 1; mk "high" 10 ] scope in
+  Alcotest.(check (list string)) "high first" [ "high"; "low" ] (List.rev !log)
+
+let driver_iteration_cap () =
+  (* A pattern that always reports progress must hit the cap, not loop. *)
+  let churn =
+    Pattern.make ~name:"churn" (fun rw op ->
+        if Graph.Op.name op = "t.x" then begin
+          let fresh = Rewriter.insert_before rw ~anchor:op "t.x" in
+          ignore fresh;
+          Graph.detach op;
+          Rewriter.mark_changed rw;
+          true
+        end
+        else false)
+  in
+  let ctx = Context.create () in
+  let blk = Graph.Block.create () in
+  Graph.Block.append blk (Graph.Op.create "t.x");
+  let scope =
+    Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.f"
+  in
+  let stats = Driver.apply ~max_iterations:4 ctx [ churn ] scope in
+  Alcotest.(check bool) "did not converge" false stats.Driver.converged;
+  Alcotest.(check int) "capped" 4 stats.Driver.iterations
+
+let cascading_patterns () =
+  (* a -> b, then b -> c: the driver reaches the fixpoint c. *)
+  let rename from_ to_ =
+    Pattern.make ~name:(from_ ^ "->" ^ to_) (fun rw op ->
+        if Graph.Op.name op = from_ then begin
+          ignore
+            (Rewriter.replace_op_with_new rw op ~operands:op.Graph.operands
+               ~result_tys:(List.map Graph.Value.ty op.Graph.results)
+               to_);
+          true
+        end
+        else false)
+  in
+  let ctx = Context.create () in
+  let blk = Graph.Block.create () in
+  let a = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.a" in
+  Graph.Block.append blk a;
+  let use = Graph.Op.create ~operands:[ Graph.Op.result a 0 ] "t.use" in
+  Graph.Block.append blk use;
+  let scope =
+    Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.f"
+  in
+  let stats = Driver.apply ctx [ rename "t.a" "t.b"; rename "t.b" "t.c" ] scope in
+  Alcotest.(check bool) "converged" true stats.Driver.converged;
+  Alcotest.(check int) "c present" 1 (count_ops scope "t.c");
+  Alcotest.(check int) "a gone" 0 (count_ops scope "t.a");
+  Alcotest.(check int) "use kept" 1 (count_ops scope "t.use")
+
+let suite =
+  [
+    tc "replace_op rewires uses" replace_op_basics;
+    tc "erase_op refuses live results" erase_op_guard;
+    tc "dce removes dead chains" dce_removes_dead_chains;
+    tc "dce keeps terminators and region ops" dce_keeps_terminators_and_regions;
+    tc "Listing 1 rewrite via declarative pattern" dag_pattern_matches;
+    tc "patterns that do not match leave IR intact" dag_pattern_no_match;
+    tc "non-linear captures require equal values" nonlinear_capture;
+    tc "higher-benefit patterns run first" benefit_ordering;
+    tc "driver iteration cap" driver_iteration_cap;
+    tc "cascading patterns reach fixpoint" cascading_patterns;
+  ]

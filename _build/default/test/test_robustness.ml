@@ -1,0 +1,76 @@
+(** Robustness properties: no parser entry point may escape with anything
+    but a diagnostic, whatever the input. *)
+
+open QCheck2.Gen
+open Util
+
+let printable_gen = string_size ~gen:printable (int_range 0 120)
+
+(* Strings biased toward the parsers' own token vocabulary: plain random
+   printables rarely get past the first token. *)
+let token_soup_gen =
+  let frag =
+    oneofl
+      [ "Dialect"; "Operation"; "Type"; "Operands"; "("; ")"; "{"; "}"; "<";
+        ">"; "!f32"; "#a"; "$x"; ":"; ","; "="; "["; "]"; "\"s\""; "42"; "-";
+        "%v"; "^bb"; "@f"; "d.op"; "Variadic"; "AnyOf"; "->"; "//c\n"; " " ]
+  in
+  let* frags = list_size (int_range 0 40) frag in
+  return (String.concat "" frags)
+
+let never_raises name f gen =
+  QCheck2.Test.make ~name ~count:500 gen (fun src ->
+      match f src with Ok _ | Error _ -> true | exception _ -> false)
+
+let irdl_parser_total g name =
+  never_raises name (fun src -> Irdl_core.Parser.parse_file src) g
+
+let ir_parser_total g name =
+  never_raises name
+    (fun src -> Irdl_ir.Parser.parse_ops (Irdl_ir.Context.create ()) src)
+    g
+
+let pattern_parser_total g name =
+  never_raises name
+    (fun src ->
+      Irdl_rewrite.Textual.parse_patterns (Irdl_ir.Context.create ()) src)
+    g
+
+let load_total g name =
+  never_raises name
+    (fun src -> Irdl_core.Irdl.load (Irdl_ir.Context.create ()) src)
+    g
+
+(* Verification never raises either, even on badly-shaped ops. *)
+let verify_total () =
+  let ctx = cmath_ctx () in
+  let open Irdl_ir in
+  let detached_with_everything =
+    Graph.Op.create
+      ~operands:
+        [ Graph.Op.result (Graph.Op.create ~result_tys:[ Attr.None_ty ] "t.v") 0 ]
+      ~result_tys:[ Attr.None_ty ]
+      ~attrs:[ ("operandSegmentSizes", Attr.string "not an array") ]
+      ~regions:[ Graph.Region.create () ]
+      "cmath.mul"
+  in
+  match Verifier.verify ctx detached_with_everything with
+  | Ok () -> Alcotest.fail "should not verify"
+  | Error _ -> ()
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (irdl_parser_total printable_gen "IRDL parser total on noise");
+    QCheck_alcotest.to_alcotest
+      (irdl_parser_total token_soup_gen "IRDL parser total on token soup");
+    QCheck_alcotest.to_alcotest
+      (ir_parser_total printable_gen "IR parser total on noise");
+    QCheck_alcotest.to_alcotest
+      (ir_parser_total token_soup_gen "IR parser total on token soup");
+    QCheck_alcotest.to_alcotest
+      (pattern_parser_total token_soup_gen "pattern parser total");
+    QCheck_alcotest.to_alcotest
+      (load_total token_soup_gen "load (parse+resolve+register) total");
+    tc "verifier total on malformed ops" verify_total;
+  ]

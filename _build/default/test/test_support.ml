@@ -1,0 +1,108 @@
+(** Tests for the support library: locations, diagnostics, lexing base. *)
+
+open Irdl_support
+open Util
+
+let loc_advance () =
+  let p = Loc.start_of_file "f" in
+  let p = Loc.advance p 'a' in
+  Alcotest.(check int) "col" 2 p.col;
+  Alcotest.(check int) "line" 1 p.line;
+  let p = Loc.advance p '\n' in
+  Alcotest.(check int) "line after nl" 2 p.line;
+  Alcotest.(check int) "col after nl" 1 p.col;
+  Alcotest.(check int) "offset" 2 p.offset
+
+let loc_merge () =
+  let a = Loc.start_of_file "f" in
+  let b = Loc.advance (Loc.advance a 'x') 'y' in
+  let l = Loc.merge (Loc.point a) (Loc.point b) in
+  Alcotest.(check int) "start" 0 l.start_pos.offset;
+  Alcotest.(check int) "end" 2 l.end_pos.offset;
+  (* merge is commutative *)
+  let l' = Loc.merge (Loc.point b) (Loc.point a) in
+  Alcotest.(check int) "start'" 0 l'.start_pos.offset;
+  (* unknown absorbs *)
+  let l'' = Loc.merge Loc.unknown (Loc.point b) in
+  Alcotest.(check int) "unknown merge" 2 l''.start_pos.offset
+
+let loc_pp () =
+  let p = Loc.start_of_file "file.irdl" in
+  Alcotest.(check string) "point" "file.irdl:1:1" (Loc.to_string (Loc.point p));
+  Alcotest.(check bool) "unknown" true (Loc.is_unknown Loc.unknown);
+  let q = Loc.advance (Loc.advance p 'a') 'b' in
+  Alcotest.(check string) "span" "file.irdl:1:1-3"
+    (Loc.to_string (Loc.span p q))
+
+let diag_format () =
+  let d = Diag.error "bad %s %d" "thing" 42 in
+  Alcotest.(check string) "msg" "error: bad thing 42" (Diag.to_string d)
+
+let diag_notes () =
+  let d = Diag.error ~notes:[ (Loc.unknown, "see here") ] "top" in
+  let s = Diag.to_string d in
+  Alcotest.(check bool) "has note" true
+    (String.length s > String.length "error: top")
+
+let diag_protect () =
+  (match Diag.protect (fun () -> 42) with
+  | Ok v -> Alcotest.(check int) "ok" 42 v
+  | Error _ -> Alcotest.fail "expected Ok");
+  match Diag.protect (fun () -> Diag.raise_error "boom %d" 1) with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error d -> Alcotest.(check string) "msg" "error: boom 1" (Diag.to_string d)
+
+let diag_errorf () =
+  match (Diag.errorf "x=%d" 3 : (unit, Diag.t) result) with
+  | Error d -> Alcotest.(check string) "msg" "error: x=3" (Diag.to_string d)
+  | Ok () -> Alcotest.fail "expected Error"
+
+let sbuf_cursor () =
+  let b = Sbuf.of_string "ab c" in
+  Alcotest.(check (option char)) "peek" (Some 'a') (Sbuf.peek b);
+  Alcotest.(check (option char)) "peek2" (Some 'b') (Sbuf.peek2 b);
+  Alcotest.(check bool) "accept a" true (Sbuf.accept b 'a');
+  Alcotest.(check bool) "accept z" false (Sbuf.accept b 'z');
+  Alcotest.(check (option char)) "next" (Some 'b') (Sbuf.next b);
+  Sbuf.skip_while b Sbuf.is_space;
+  Alcotest.(check (option char)) "after space" (Some 'c') (Sbuf.peek b);
+  Sbuf.advance b;
+  Alcotest.(check bool) "eof" true (Sbuf.eof b);
+  Alcotest.(check (option char)) "peek eof" None (Sbuf.peek b)
+
+let sbuf_take_while () =
+  let b = Sbuf.of_string "hello42!" in
+  Alcotest.(check string) "ident" "hello42"
+    (Sbuf.take_while b Sbuf.is_ident_char);
+  Alcotest.(check (option char)) "rest" (Some '!') (Sbuf.peek b)
+
+let sbuf_slice () =
+  let b = Sbuf.of_string "abcdef" in
+  let start = Sbuf.pos b in
+  Sbuf.advance b;
+  Sbuf.advance b;
+  Sbuf.advance b;
+  Alcotest.(check string) "slice" "abc" (Sbuf.slice b start (Sbuf.pos b))
+
+let sbuf_classifiers () =
+  Alcotest.(check bool) "digit" true (Sbuf.is_digit '7');
+  Alcotest.(check bool) "not digit" false (Sbuf.is_digit 'a');
+  Alcotest.(check bool) "ident start _" true (Sbuf.is_ident_start '_');
+  Alcotest.(check bool) "ident start 1" false (Sbuf.is_ident_start '1');
+  Alcotest.(check bool) "ident char $" true (Sbuf.is_ident_char '$');
+  Alcotest.(check bool) "space tab" true (Sbuf.is_space '\t')
+
+let suite =
+  [
+    tc "loc: advance tracks lines and columns" loc_advance;
+    tc "loc: merge covers both spans" loc_merge;
+    tc "loc: printing" loc_pp;
+    tc "diag: formatted message" diag_format;
+    tc "diag: notes attach" diag_notes;
+    tc "diag: protect catches raise_error" diag_protect;
+    tc "diag: errorf returns Error" diag_errorf;
+    tc "sbuf: cursor operations" sbuf_cursor;
+    tc "sbuf: take_while" sbuf_take_while;
+    tc "sbuf: slice between positions" sbuf_slice;
+    tc "sbuf: character classifiers" sbuf_classifiers;
+  ]

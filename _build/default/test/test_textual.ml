@@ -1,0 +1,143 @@
+(** Tests for the textual pattern language: the fully dynamic rewrite flow
+    (dialect from IRDL text + patterns from pattern text + IR from IR text,
+    no host code anywhere). *)
+
+open Irdl_ir
+open Util
+
+let conorm ctx =
+  parse_op ctx
+    {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %np = cmath.norm %p : f32
+  %nq = cmath.norm %q : f32
+  %m = "arith.mulf"(%np, %nq) : (f32, f32) -> f32
+  "func.return"(%m) : (f32) -> ()
+}) : () -> ()
+|}
+
+let count scope name =
+  let n = ref 0 in
+  Graph.Op.walk scope ~f:(fun o -> if Graph.Op.name o = name then incr n);
+  !n
+
+let parse_ok ctx src =
+  check_ok "patterns" (Irdl_rewrite.Textual.parse_patterns ctx src)
+
+let norm_mul_src =
+  {|
+// The paper's Listing 1 optimization, defined purely in text.
+Pattern norm_of_mul {
+  Benefit 2
+  Match (arith.mulf (cmath.norm $p) (cmath.norm $q))
+  Rewrite (cmath.norm (cmath.mul $p $q : $p) : f32)
+}
+|}
+
+let full_dynamic_flow () =
+  let ctx = cmath_ctx () in
+  let patterns = parse_ok ctx norm_mul_src in
+  Alcotest.(check int) "one pattern" 1 (List.length patterns);
+  Alcotest.(check int) "benefit" 2 (List.hd patterns).Irdl_rewrite.Pattern.benefit;
+  let func = conorm ctx in
+  let stats = Irdl_rewrite.Driver.apply ctx patterns func in
+  Alcotest.(check int) "applied" 1 stats.Irdl_rewrite.Driver.applications;
+  Alcotest.(check int) "mul" 1 (count func "cmath.mul");
+  Alcotest.(check int) "norm" 1 (count func "cmath.norm");
+  Alcotest.(check int) "mulf gone" 0 (count func "arith.mulf");
+  verify_ok ctx func
+
+let inferred_result_type () =
+  (* no ascription: result type inferred from the first capture *)
+  let ctx = cmath_ctx () in
+  let patterns =
+    parse_ok ctx
+      {|Pattern swap { Match (cmath.mul $a $b) Rewrite (cmath.mul $b $a) }|}
+  in
+  let func =
+    parse_op ctx
+      {|
+"func.func"() ({
+^bb0(%p: !cmath.complex<f32>, %q: !cmath.complex<f32>):
+  %m = cmath.mul %p, %q : f32
+  "func.return"(%m) : (!cmath.complex<f32>) -> ()
+}) : () -> ()
+|}
+  in
+  let stats = Irdl_rewrite.Driver.apply ~max_iterations:1 ctx patterns func in
+  Alcotest.(check bool) "applied at least once" true
+    (stats.Irdl_rewrite.Driver.applications >= 1);
+  verify_ok ctx func
+
+let multiple_patterns () =
+  let ctx = cmath_ctx () in
+  let ps =
+    parse_ok ctx
+      {|
+Pattern a { Match (cmath.mul $x $y) Rewrite (cmath.mul $y $x) }
+Pattern b { Benefit 3 Match (cmath.norm $c) Rewrite (cmath.norm $c) }
+|}
+  in
+  Alcotest.(check int) "two" 2 (List.length ps);
+  Alcotest.(check (list string)) "names" [ "a"; "b" ]
+    (List.map (fun (p : Irdl_rewrite.Pattern.t) -> p.name) ps)
+
+let unbound_capture_rejected () =
+  let ctx = cmath_ctx () in
+  check_err_containing "unbound" "not bound"
+    (Irdl_rewrite.Textual.parse_patterns ctx
+       {|Pattern bad { Match (cmath.norm $a) Rewrite (cmath.norm $zzz) }|})
+
+let capture_root_rejected () =
+  let ctx = cmath_ctx () in
+  check_err_containing "root" "must be an operation"
+    (Irdl_rewrite.Textual.parse_patterns ctx
+       {|Pattern bad { Match $x Rewrite $x }|})
+
+let unqualified_op_rejected () =
+  let ctx = cmath_ctx () in
+  check_err_containing "unqualified" "dialect-qualified"
+    (Irdl_rewrite.Textual.parse_patterns ctx
+       {|Pattern bad { Match (norm $a) Rewrite (norm $a) }|})
+
+let uninferrable_type_rejected () =
+  let ctx = cmath_ctx () in
+  check_err_containing "no type" "cannot infer"
+    (Irdl_rewrite.Textual.parse_patterns ctx
+       {|Pattern bad { Match (cmath.norm $a) Rewrite (cmath.create_constant) }|})
+
+let syntax_errors () =
+  let ctx = cmath_ctx () in
+  ignore
+    (check_err "missing brace"
+       (Irdl_rewrite.Textual.parse_patterns ctx
+          {|Pattern p { Match (cmath.norm $a) Rewrite (cmath.norm $a)|}));
+  ignore
+    (check_err "bad keyword"
+       (Irdl_rewrite.Textual.parse_patterns ctx
+          {|Rule p { Match (cmath.norm $a) Rewrite (cmath.norm $a) }|}))
+
+let concrete_type_ascription () =
+  let ctx = cmath_ctx () in
+  let ps =
+    parse_ok ctx
+      {|Pattern p {
+          Match (cmath.norm $c)
+          Rewrite (cmath.norm $c : !cmath.complex<f64>)
+        }|}
+  in
+  Alcotest.(check int) "parsed" 1 (List.length ps)
+
+let suite =
+  [
+    tc "fully dynamic rewrite flow (Listing 1 from text)" full_dynamic_flow;
+    tc "result type inference from captures" inferred_result_type;
+    tc "multiple patterns per source" multiple_patterns;
+    tc "unbound rewrite captures rejected" unbound_capture_rejected;
+    tc "capture at match root rejected" capture_root_rejected;
+    tc "unqualified op names rejected" unqualified_op_rejected;
+    tc "uninferrable result types rejected" uninferrable_type_rejected;
+    tc "syntax errors reported" syntax_errors;
+    tc "concrete type ascriptions" concrete_type_ascription;
+  ]

@@ -1,0 +1,108 @@
+(** Tests for the cross-reference index (the LSP foundation). *)
+
+open Util
+module X = Irdl_analysis.Xref
+
+let sample =
+  {|Dialect d {
+  Alias !F = !AnyOf<!f32, !f64>
+  Alias !Unused = !i32
+  Enum mode { A, B }
+  Constraint Small : uint8_t { CppConstraint "$_self < 8" }
+  Type box { Parameters (t: !F, m: mode) }
+  Operation make {
+    Operands (x: !box<F, mode.A>)
+    Results (r: !box)
+    Attributes (n: Small)
+  }
+  Operation fin { Successors () }
+  Operation loop {
+    Region body { Arguments (iv: !i32) Terminator fin }
+  }
+}|}
+
+let entries =
+  lazy
+    (let d = check_ok "parse" (Irdl_core.Parser.parse_one sample) in
+     X.index d)
+
+let get name =
+  match X.find (Lazy.force entries) name with
+  | Some e -> e
+  | None -> Alcotest.failf "no entry for %s" name
+
+let definitions_present () =
+  List.iter
+    (fun (name, kind) ->
+      let e = get name in
+      Alcotest.(check string) (name ^ " kind") kind
+        (X.def_kind_to_string e.X.e_kind))
+    [
+      ("d", "dialect"); ("F", "alias"); ("mode", "enum");
+      ("Small", "constraint"); ("box", "type"); ("make", "operation");
+      ("fin", "operation");
+    ]
+
+let reference_counts () =
+  (* F: used in box's parameter and in make's operand (inside !box<F, ...>) *)
+  Alcotest.(check int) "F refs" 2 (List.length (get "F").X.e_refs);
+  (* box: make's operand and result *)
+  Alcotest.(check int) "box refs" 2 (List.length (get "box").X.e_refs);
+  (* mode: box param, and via the constructor reference mode.A *)
+  Alcotest.(check bool) "mode referenced" true ((get "mode").X.e_refs <> []);
+  (* fin: referenced as loop's terminator *)
+  Alcotest.(check int) "fin refs" 1 (List.length (get "fin").X.e_refs);
+  Alcotest.(check int) "Small refs" 1 (List.length (get "Small").X.e_refs)
+
+let unused_detection () =
+  let dead = X.unreferenced (Lazy.force entries) in
+  Alcotest.(check (list string)) "only !Unused is dead" [ "Unused" ]
+    (List.map (fun e -> e.X.e_name) dead)
+
+let go_to_definition () =
+  (* A position inside the box type definition resolves to box, not d. *)
+  let e = get "box" in
+  let pos = e.X.e_loc.start_pos in
+  match X.definition_at (Lazy.force entries) pos with
+  | Some found -> Alcotest.(check string) "tightest" "box" found.X.e_name
+  | None -> Alcotest.fail "no definition at position"
+
+let qualified_self_references () =
+  let d =
+    check_ok "parse"
+      (Irdl_core.Parser.parse_one
+         {|Dialect q {
+             Type t {}
+             Operation o { Operands (x: !q.t) }
+           }|})
+  in
+  let idx = X.index d in
+  match X.find idx "t" with
+  | Some e -> Alcotest.(check int) "q.t counts as a ref to t" 1
+                (List.length e.X.e_refs)
+  | None -> Alcotest.fail "t not indexed"
+
+let corpus_indexes () =
+  (* The index builds for every corpus dialect and finds no dead aliases
+     (the corpus only defines helpers it uses). *)
+  List.iter
+    (fun (e : Irdl_dialects.Corpus.entry) ->
+      let d = check_ok e.name (Irdl_core.Parser.parse_one e.source) in
+      let idx = X.index d in
+      Alcotest.(check bool) (e.name ^ " non-empty") true (List.length idx > 1);
+      match X.unreferenced idx with
+      | [] -> ()
+      | dead ->
+          Alcotest.failf "%s has unreferenced definitions: %s" e.name
+            (String.concat ", " (List.map (fun x -> x.X.e_name) dead)))
+    Irdl_dialects.Corpus.all
+
+let suite =
+  [
+    tc "definitions are indexed" definitions_present;
+    tc "reference counts" reference_counts;
+    tc "unreferenced definitions flagged" unused_detection;
+    tc "go-to-definition by position" go_to_definition;
+    tc "self-qualified references resolve" qualified_self_references;
+    tc "corpus indexes cleanly with no dead aliases" corpus_indexes;
+  ]

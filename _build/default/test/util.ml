@@ -1,0 +1,61 @@
+(** Shared helpers for the test suites. *)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let check_ok what = function
+  | Ok v -> v
+  | Error d -> Alcotest.failf "%s: %s" what (Irdl_support.Diag.to_string d)
+
+(** Assert failure and return the diagnostic message. *)
+let check_err what = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error d -> Irdl_support.Diag.to_string d
+
+let check_err_containing what needle result =
+  let msg = check_err what result in
+  let contains hay needle =
+    let h = String.lowercase_ascii hay and n = String.lowercase_ascii needle in
+    let hl = String.length h and nl = String.length n in
+    let rec go i = i + nl <= hl && (String.sub h i nl = n || go (i + 1)) in
+    nl = 0 || go 0
+  in
+  if not (contains msg needle) then
+    Alcotest.failf "%s: error %S does not mention %S" what msg needle
+
+(** A fresh context with cmath (and its native hooks) loaded. *)
+let cmath_ctx () =
+  let ctx = Irdl_ir.Context.create () in
+  let _ = check_ok "load cmath" (Irdl_dialects.Cmath.load ctx) in
+  ctx
+
+(** Load one dialect from IRDL source into a fresh context. *)
+let load_dialect ?native src =
+  let ctx = Irdl_ir.Context.create () in
+  let dl = check_ok "load dialect" (Irdl_core.Irdl.load_one ?native ctx src) in
+  (ctx, dl)
+
+let complex_f32 =
+  Irdl_ir.Attr.dynamic ~dialect:"cmath" ~name:"complex"
+    [ Irdl_ir.Attr.typ Irdl_ir.Attr.f32 ]
+
+let complex_f64 =
+  Irdl_ir.Attr.dynamic ~dialect:"cmath" ~name:"complex"
+    [ Irdl_ir.Attr.typ Irdl_ir.Attr.f64 ]
+
+(** Parse one op, failing the test on parse errors. *)
+let parse_op ctx src =
+  check_ok "parse op" (Irdl_ir.Parser.parse_op_string ctx src)
+
+let verify_ok ctx op =
+  match Irdl_ir.Verifier.verify ctx op with
+  | Ok () -> ()
+  | Error d -> Alcotest.failf "expected valid IR: %s" (Irdl_support.Diag.to_string d)
+
+let verify_err ?containing ctx op =
+  match Irdl_ir.Verifier.verify ctx op with
+  | Ok () -> Alcotest.fail "expected a verification error"
+  | Error d -> (
+      match containing with
+      | None -> ()
+      | Some needle ->
+          check_err_containing "verify" needle (Error d : (unit, _) result))

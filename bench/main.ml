@@ -281,6 +281,66 @@ let perf_tests =
            | Error _ -> assert false));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Uniquing (hash-consing) benchmarks                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A deep attribute tree built with BARE variant constructors, bypassing
+   the interning smart constructors, so [Attr.equal] on two independent
+   builds must do the full structural walk. ~2^n nodes. *)
+let rec deep_raw n : Irdl_ir.Attr.t =
+  let open Irdl_ir in
+  if n = 0 then Attr.Int { value = 42L; ty = Attr.i64 }
+  else
+    Attr.Array
+      [
+        Attr.Dict
+          [ ("k0", deep_raw (n - 1)); ("k1", Attr.String "payload") ];
+        Attr.Dyn_attr
+          { dialect = "bench"; name = "node"; params = [ deep_raw (n - 1) ] };
+      ]
+
+let deep_a = lazy (deep_raw 10)
+let deep_b = lazy (deep_raw 10)
+let interned_a = lazy (Irdl_ir.Attr.intern (Lazy.force deep_a))
+let interned_b = lazy (Irdl_ir.Attr.intern (Lazy.force deep_b))
+
+(* A large straight-line module with many value-numbering duplicates:
+   2000 ops over 16 distinct keys, so CSE fingerprints every op (ids for
+   attrs and result types) and eliminates the bulk of them. *)
+let make_big_module () =
+  let open Irdl_ir in
+  let blk = Graph.Block.create ~arg_tys:[ Attr.i32; Attr.i32 ] () in
+  let a, b =
+    match Graph.Block.args blk with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  for i = 0 to 1999 do
+    let op =
+      Graph.Op.create ~operands:[ a; b ]
+        ~attrs:[ ("k", Attr.int (Int64.of_int (i mod 16))) ]
+        ~result_tys:[ Attr.i32 ] "t.add"
+    in
+    Graph.Block.append blk op
+  done;
+  Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.func"
+
+let intern_tests =
+  [
+    Test.make ~name:"attr-equal:deep-structural"
+      (stage (fun () ->
+           Irdl_ir.Attr.equal (Lazy.force deep_a) (Lazy.force deep_b)));
+    Test.make ~name:"attr-equal:interned"
+      (stage (fun () ->
+           Irdl_ir.Attr.equal (Lazy.force interned_a)
+             (Lazy.force interned_b)));
+    Test.make ~name:"cse:synthetic-2000ops"
+      (stage (fun () ->
+           let ctx = Irdl_ir.Context.create () in
+           Irdl_rewrite.Cse.run ctx (make_big_module ())));
+  ]
+
 let benchmark tests =
   let instances = [ Instance.monotonic_clock ] in
   let cfg =
@@ -292,18 +352,18 @@ let benchmark tests =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> est
-          | _ -> Float.nan
-        in
-        (name, ns) :: acc)
-      results []
-    |> List.sort compare
-  in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | _ -> Float.nan
+      in
+      (name, ns) :: acc)
+    results []
+  |> List.sort compare
+
+let print_rows rows =
   Fmt.pr "%-45s %15s@." "benchmark" "time/run";
   List.iter
     (fun (name, ns) ->
@@ -316,10 +376,58 @@ let benchmark tests =
       Fmt.pr "%-45s %15s@." name pretty)
     rows
 
+let find_ns rows suffix =
+  let matches (name, _) =
+    let nl = String.length name and sl = String.length suffix in
+    nl >= sl && String.sub name (nl - sl) sl = suffix
+  in
+  match List.find_opt matches rows with Some (_, ns) -> ns | None -> Float.nan
+
+(* Machine-readable summary backing the uniquing acceptance criterion:
+   interned equality must beat the deep structural walk by >= 5x. *)
+let emit_intern_json rows =
+  let deep = find_ns rows "attr-equal:deep-structural" in
+  let interned = find_ns rows "attr-equal:interned" in
+  let cse = find_ns rows "cse:synthetic-2000ops" in
+  let speedup =
+    if Float.is_nan deep || Float.is_nan interned || interned <= 0. then
+      Float.nan
+    else deep /. interned
+  in
+  let ty_stats, attr_stats = Irdl_ir.Attr.uniquer_stats () in
+  let stats_json (s : Irdl_ir.Intern.stats) =
+    Fmt.str
+      {|{ "nodes": %d, "hits": %d, "misses": %d, "hit_rate": %.4f }|}
+      s.Irdl_ir.Intern.nodes s.Irdl_ir.Intern.hits s.Irdl_ir.Intern.misses
+      (Irdl_ir.Intern.hit_rate s)
+  in
+  let num f = if Float.is_nan f then "null" else Fmt.str "%.2f" f in
+  let json =
+    Fmt.str
+      {|{
+  "deep_equal_ns": %s,
+  "interned_equal_ns": %s,
+  "equal_speedup": %s,
+  "cse_synthetic_2000ops_ns": %s,
+  "uniquer": { "types": %s, "attrs": %s }
+}
+|}
+      (num deep) (num interned) (num speedup) (num cse) (stats_json ty_stats)
+      (stats_json attr_stats)
+  in
+  let oc = open_out "BENCH_intern.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_intern.json (equal speedup: %s)@." (num speedup)
+
 let () =
   print_report ();
   Fmt.pr "############ Benchmarks: experiment regeneration ############@.";
-  benchmark figure_tests;
+  print_rows (benchmark figure_tests);
   Fmt.pr "@.############ Benchmarks: implementation performance ############@.";
-  benchmark perf_tests;
+  print_rows (benchmark perf_tests);
+  Fmt.pr "@.############ Benchmarks: uniquing (hash-consing) ############@.";
+  let intern_rows = benchmark intern_tests in
+  print_rows intern_rows;
+  emit_intern_json intern_rows;
   Fmt.pr "@.done.@."

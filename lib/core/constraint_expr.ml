@@ -87,6 +87,9 @@ let rec verify ~(native : Native.t) ~(env : env) (c : t) (a : Attr.t) :
       | _ -> Error (Fmt.str "expected a type, got %a" Attr.pp a))
   | Any_attr -> Ok env
   | Eq expected ->
+      (* Both sides are interned (the constraint at resolution time, the
+         checked attribute at parse/build time), so this is a pointer
+         comparison — the hot path of every fixed-type operand check. *)
       if Attr.equal expected a then Ok env
       else Error (Fmt.str "expected %a, got %a" Attr.pp expected Attr.pp a)
   | Base_type { dialect; name; params } -> (
@@ -204,6 +207,8 @@ let rec verify ~(native : Native.t) ~(env : env) (c : t) (a : Attr.t) :
   | Var { v_name; v_constraint } -> (
       match Env.find_opt v_name env with
       | Some bound ->
+          (* Interned on both sides: O(1) identity check per re-use of a
+             bound [ConstraintVars] variable. *)
           if Attr.equal bound a then Ok env
           else
             Error
@@ -257,8 +262,9 @@ and verify_params ~native ~env ~what pcs params =
         | Ok env -> verify ~native ~env c param)
       (Ok env) pcs params
 
-(** Check a type against a type constraint. *)
-let verify_ty ~native ~env c ty = verify ~native ~env c (Attr.Type ty)
+(** Check a type against a type constraint. [Attr.typ] is a uniquer hit for
+    every type already seen, so the wrapper allocates nothing new. *)
+let verify_ty ~native ~env c ty = verify ~native ~env c (Attr.typ ty)
 
 let is_variadic = function Variadic _ | Optional _ -> true | _ -> false
 let is_optional = function Optional _ -> true | _ -> false

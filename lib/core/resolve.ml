@@ -193,11 +193,11 @@ let rec resolve_cexpr (sc : scope) (e : Ast.cexpr) : C.t =
         | Some k -> (
             match int_kind_of_name k with
             | Some { C.ik_width; ik_signedness } ->
-                Irdl_ir.Attr.Integer { width = ik_width; signedness = ik_signedness }
+                Irdl_ir.Attr.integer ~signedness:ik_signedness ik_width
             | None -> Diag.raise_error ~loc "unknown integer kind '%s'" k)
       in
-      C.Eq (Irdl_ir.Attr.Int { value; ty })
-  | Ast.C_string { value; _ } -> C.Eq (Irdl_ir.Attr.String value)
+      C.Eq (Irdl_ir.Attr.int ~ty value)
+  | Ast.C_string { value; _ } -> C.Eq (Irdl_ir.Attr.string value)
   | Ast.C_list { elems; _ } -> C.Array_exact (List.map (resolve_cexpr sc) elems)
   | Ast.C_ref { prefix; name; args; loc } -> (
       match split_dots name with
@@ -207,7 +207,7 @@ let rec resolve_cexpr (sc : scope) (e : Ast.cexpr) : C.t =
           (* dialect-qualified enum constructor *)
           if args <> None then
             Diag.raise_error ~loc "enum constructor %s takes no arguments" name;
-          C.Eq (Irdl_ir.Attr.Enum { dialect = d; enum = e'; case = c })
+          C.Eq (Irdl_ir.Attr.enum ~dialect:d ~enum:e' c)
       | _ -> Diag.raise_error ~loc "cannot resolve reference '%s'" name)
 
 and resolve_args sc args = Option.map (List.map (resolve_cexpr sc)) args
@@ -267,7 +267,7 @@ and resolve_single sc ~prefix ~name ~args ~loc : C.t =
                   | Some c -> no_args c
                   | None -> (
                       match Irdl_ir.Parser.builtin_ty_of_ident name with
-                      | Some ty -> no_args (C.Eq (Irdl_ir.Attr.Type ty))
+                      | Some ty -> no_args (C.Eq (Irdl_ir.Attr.typ ty))
                       | None -> resolve_local sc ~prefix ~name ~args ~loc)))))
 
 (** Names defined by the current dialect. *)
@@ -360,7 +360,7 @@ and resolve_dotted2 sc ~prefix ~a ~b ~args ~loc : C.t =
         Diag.raise_error ~loc "enum constructor %s.%s takes no arguments" a b;
       if not (List.mem b e.e_cases) then
         Diag.raise_error ~loc "enum %s has no constructor %s" a b;
-      C.Eq (Irdl_ir.Attr.Enum { dialect = sc.dialect_name; enum = a; case = b })
+      C.Eq (Irdl_ir.Attr.enum ~dialect:sc.dialect_name ~enum:a b)
   | None ->
       if a = sc.dialect_name then resolve_local sc ~prefix ~name:b ~args ~loc
       else if a = "builtin" || a = "std" then (
@@ -368,7 +368,7 @@ and resolve_dotted2 sc ~prefix ~a ~b ~args ~loc : C.t =
         | Some ty ->
             if args <> None then
               Diag.raise_error ~loc "builtin type %s takes no arguments" b;
-            C.Eq (Irdl_ir.Attr.Type ty)
+            C.Eq (Irdl_ir.Attr.typ ty)
         | None -> resolve_external sc ~prefix ~dialect:a ~name:b ~args ~loc)
       else resolve_external sc ~prefix ~dialect:a ~name:b ~args ~loc
 

@@ -54,21 +54,20 @@ let rec example_attr ?(lookup = no_lookup) ?(depth = 0) (c : C.t) :
               else None)
     in
     match c with
-    | C.Any | C.Any_attr -> Some Attr.Unit
+    | C.Any | C.Any_attr -> Some Attr.unit
     | C.Any_type -> Some (Attr.typ Attr.f32)
     | C.Eq a -> Some a
     | C.Base_type { dialect; name; params } ->
         Option.map
-          (fun params -> Attr.typ (Attr.Dynamic { dialect; name; params }))
+          (fun params -> Attr.typ (Attr.dynamic ~dialect ~name params))
           (synth_params ~kind:`Type ~dialect ~name params)
     | C.Base_attr { dialect; name; params } ->
         Option.map
-          (fun params -> Attr.Dyn_attr { dialect; name; params })
+          (fun params -> Attr.dyn_attr ~dialect ~name params)
           (synth_params ~kind:`Attr ~dialect ~name params)
   | C.Int_param { ik_width; ik_signedness } ->
       Some
-        (Attr.Int
-           { value = 1L; ty = Attr.Integer { width = ik_width; signedness = ik_signedness } })
+        (Attr.int ~ty:(Attr.integer ~signedness:ik_signedness ik_width) 1L)
   | C.Float_param kind ->
       let ty =
         match kind with
@@ -77,12 +76,12 @@ let rec example_attr ?(lookup = no_lookup) ?(depth = 0) (c : C.t) :
         | Some Attr.BF16 -> Attr.bf16
         | _ -> Attr.f32
       in
-      Some (Attr.Float_attr { value = 1.0; ty })
+      Some (Attr.float ~ty 1.0)
   | C.String_param -> Some (Attr.string "example")
   | C.Symbol_param -> Some (Attr.symbol "example")
   | C.Bool_param -> Some (Attr.bool true)
-  | C.Location_param -> Some (Attr.Location { file = "ex"; line = 1; col = 1 })
-  | C.Type_id_param -> Some (Attr.Type_id "Example")
+  | C.Location_param -> Some (Attr.location ~file:"ex" ~line:1 ~col:1)
+  | C.Type_id_param -> Some (Attr.type_id "Example")
   | C.Enum_param { dialect; enum } ->
       (* The enum's cases are not recorded in the constraint; the context
          would know, but any case name satisfies Enum_param. *)
@@ -96,7 +95,7 @@ let rec example_attr ?(lookup = no_lookup) ?(depth = 0) (c : C.t) :
       else None
   | C.Any_of cs -> List.find_map example_attr cs
   | C.And (c :: _) -> example_attr c
-  | C.And [] -> Some Attr.Unit
+  | C.And [] -> Some Attr.unit
   | C.Not _ -> None
   | C.Var v -> example_attr v.C.v_constraint
   | C.Native { base; _ } ->
@@ -167,8 +166,7 @@ let rec instantiate_op ?(lookup = no_lookup) ?(op_lookup = no_op_lookup)
           if List.for_all Option.is_some xs then
             Some
               (Attr.typ
-                 (Attr.Dynamic
-                    { dialect; name; params = List.filter_map Fun.id xs }))
+                 (Attr.dynamic ~dialect ~name (List.filter_map Fun.id xs)))
           else None
       | _ -> example_attr ~lookup c
     in

@@ -8,7 +8,18 @@
     Builtin types mirror the MLIR builtins that the paper's corpus depends
     on: signless/signed/unsigned integers, the standard float kinds, [index],
     and function/tuple aggregates. Everything else is a {!Dynamic} type or
-    {!Dyn_attr} attribute introduced at runtime by dialect registration. *)
+    {!Dyn_attr} attribute introduced at runtime by dialect registration.
+
+    {b Uniquing.} Like MLIR's [MLIRContext], every node built through the
+    constructors below is hash-consed into a process-wide uniquer
+    ({!Intern}): structurally equal attributes are physically equal, so
+    {!equal}/{!equal_ty} decide interned operands with a pointer comparison.
+    The variant constructors remain exposed for pattern matching, but values
+    must never be built from them directly outside this module — always go
+    through the smart constructors (or {!intern}/{!intern_ty} for values
+    assembled elsewhere). *)
+
+open Irdl_support
 
 type signedness = Signless | Signed | Unsigned
 
@@ -42,40 +53,17 @@ and t =
   | Dyn_attr of { dialect : string; name : string; params : t list }
       (** An attribute defined at runtime by an IRDL [Attribute] definition. *)
 
-(* Convenience type constructors. *)
+(* ------------------------------------------------------------------ *)
+(* Structural equality and hashing (the uniquer's keys)                *)
+(* ------------------------------------------------------------------ *)
 
-let i1 = Integer { width = 1; signedness = Signless }
-let i8 = Integer { width = 8; signedness = Signless }
-let i16 = Integer { width = 16; signedness = Signless }
-let i32 = Integer { width = 32; signedness = Signless }
-let i64 = Integer { width = 64; signedness = Signless }
-let f16 = Float F16
-let f32 = Float F32
-let f64 = Float F64
-let bf16 = Float BF16
-let index = Index
+(* The structural walks below carry a physical fast path at every level:
+   once sub-terms are interned, comparing two attributes only descends until
+   it meets canonical nodes, so equality of interned values never walks. *)
 
-let integer ?(signedness = Signless) width =
-  if width <= 0 then invalid_arg "Attr.integer: width must be positive";
-  Integer { width; signedness }
-
-let dynamic ~dialect ~name params = Dynamic { dialect; name; params }
-
-(* Convenience attribute constructors. *)
-
-let bool b = Bool b
-let int ?(ty = i64) value = Int { value; ty }
-let int_of ~ty value = Int { value = Int64.of_int value; ty }
-let float ?(ty = f64) value = Float_attr { value; ty }
-let string s = String s
-let array xs = Array xs
-let dict kvs = Dict kvs
-let typ ty = Type ty
-let enum ~dialect ~enum:e case = Enum { dialect; enum = e; case }
-let symbol s = Symbol s
-let opaque ~tag repr = Opaque { tag; repr }
-
-let rec equal_ty (a : ty) (b : ty) =
+let rec structural_equal_ty (a : ty) (b : ty) =
+  a == b
+  ||
   match (a, b) with
   | Integer a, Integer b -> a.width = b.width && a.signedness = b.signedness
   | Float a, Float b -> a = b
@@ -83,38 +71,44 @@ let rec equal_ty (a : ty) (b : ty) =
   | Function a, Function b ->
       List.length a.inputs = List.length b.inputs
       && List.length a.outputs = List.length b.outputs
-      && List.for_all2 equal_ty a.inputs b.inputs
-      && List.for_all2 equal_ty a.outputs b.outputs
+      && List.for_all2 structural_equal_ty a.inputs b.inputs
+      && List.for_all2 structural_equal_ty a.outputs b.outputs
   | Tuple a, Tuple b ->
-      List.length a = List.length b && List.for_all2 equal_ty a b
+      List.length a = List.length b && List.for_all2 structural_equal_ty a b
   | Dynamic a, Dynamic b ->
       a.dialect = b.dialect && a.name = b.name
       && List.length a.params = List.length b.params
-      && List.for_all2 equal a.params b.params
+      && List.for_all2 structural_equal a.params b.params
   | ( ( Integer _ | Float _ | Index | None_ty | Function _ | Tuple _
       | Dynamic _ ),
       _ ) ->
       false
 
-and equal (a : t) (b : t) =
+and structural_equal (a : t) (b : t) =
+  a == b
+  ||
   match (a, b) with
   | Unit, Unit -> true
   | Bool a, Bool b -> a = b
-  | Int a, Int b -> Int64.equal a.value b.value && equal_ty a.ty b.ty
+  | Int a, Int b -> Int64.equal a.value b.value && structural_equal_ty a.ty b.ty
   | Float_attr a, Float_attr b ->
       (* Bitwise comparison so that attribute equality is reflexive even for
          NaN payloads appearing in folded constants. *)
       Int64.equal (Int64.bits_of_float a.value) (Int64.bits_of_float b.value)
-      && equal_ty a.ty b.ty
+      && structural_equal_ty a.ty b.ty
   | String a, String b -> String.equal a b
   | Array a, Array b ->
-      List.length a = List.length b && List.for_all2 equal a b
+      List.length a = List.length b && List.for_all2 structural_equal a b
   | Dict a, Dict b ->
+      (* Dictionaries are canonicalized to sorted key order at construction
+         time, so the ordered comparison is key-order-insensitive for any
+         value built through {!dict} or {!intern}. *)
       List.length a = List.length b
       && List.for_all2
-           (fun (ka, va) (kb, vb) -> String.equal ka kb && equal va vb)
+           (fun (ka, va) (kb, vb) ->
+             String.equal ka kb && structural_equal va vb)
            a b
-  | Type a, Type b -> equal_ty a b
+  | Type a, Type b -> structural_equal_ty a b
   | Enum a, Enum b ->
       a.dialect = b.dialect && a.enum = b.enum && a.case = b.case
   | Symbol a, Symbol b -> String.equal a b
@@ -125,12 +119,208 @@ and equal (a : t) (b : t) =
   | Dyn_attr a, Dyn_attr b ->
       a.dialect = b.dialect && a.name = b.name
       && List.length a.params = List.length b.params
-      && List.for_all2 equal a.params b.params
+      && List.for_all2 structural_equal a.params b.params
   | ( ( Unit | Bool _ | Int _ | Float_attr _ | String _ | Array _ | Dict _
       | Type _ | Enum _ | Symbol _ | Location _ | Type_id _ | Opaque _
       | Dyn_attr _ ),
       _ ) ->
       false
+
+(** Interned operands decide on the pointer; the structural walk remains as
+    a correct fallback for values that bypassed the uniquer. *)
+let equal_ty a b = a == b || structural_equal_ty a b
+
+let equal a b = a == b || structural_equal a b
+
+(* A conventional accumulator mix (Boost hash_combine); paired with the
+   equalities above so that [equal a b] implies [hash a = hash b]. *)
+let combine h k = h lxor (k + 0x9e3779b9 + (h lsl 6) + (h lsr 2))
+
+let hash_string h s = combine h (Hashtbl.hash (s : string))
+let hash_int64 h (v : int64) = combine (combine h (Int64.to_int v)) 17
+
+let hash_signedness = function Signless -> 1 | Signed -> 2 | Unsigned -> 3
+let hash_float_kind = function BF16 -> 1 | F16 -> 2 | F32 -> 3 | F64 -> 4
+
+let rec hash_ty (ty : ty) =
+  match ty with
+  | Integer { width; signedness } ->
+      combine (combine 3 width) (hash_signedness signedness)
+  | Float k -> combine 5 (hash_float_kind k)
+  | Index -> 7
+  | None_ty -> 11
+  | Function { inputs; outputs } ->
+      let h = List.fold_left (fun h t -> combine h (hash_ty t)) 13 inputs in
+      List.fold_left (fun h t -> combine h (hash_ty t)) (combine h 0) outputs
+  | Tuple tys -> List.fold_left (fun h t -> combine h (hash_ty t)) 17 tys
+  | Dynamic { dialect; name; params } ->
+      List.fold_left
+        (fun h p -> combine h (hash p))
+        (hash_string (hash_string 19 dialect) name)
+        params
+
+and hash (a : t) =
+  match a with
+  | Unit -> 23
+  | Bool b -> combine 29 (Bool.to_int b)
+  | Int { value; ty } -> combine (hash_int64 31 value) (hash_ty ty)
+  | Float_attr { value; ty } ->
+      (* Hash the bits to match the bitwise equality (NaN-safe). *)
+      combine (hash_int64 37 (Int64.bits_of_float value)) (hash_ty ty)
+  | String s -> hash_string 41 s
+  | Array xs -> List.fold_left (fun h x -> combine h (hash x)) 43 xs
+  | Dict kvs ->
+      List.fold_left
+        (fun h (k, v) -> combine (hash_string h k) (hash v))
+        47 kvs
+  | Type ty -> combine 53 (hash_ty ty)
+  | Enum { dialect; enum; case } ->
+      hash_string (hash_string (hash_string 59 dialect) enum) case
+  | Symbol s -> hash_string 61 s
+  | Location { file; line; col } ->
+      combine (combine (hash_string 67 file) line) col
+  | Type_id s -> hash_string 71 s
+  | Opaque { tag; repr } -> hash_string (hash_string 73 tag) repr
+  | Dyn_attr { dialect; name; params } ->
+      List.fold_left
+        (fun h p -> combine h (hash p))
+        (hash_string (hash_string 79 dialect) name)
+        params
+
+(* ------------------------------------------------------------------ *)
+(* The uniquer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Ty_uniquer = Intern.Make (struct
+  type t = ty
+
+  let equal = structural_equal_ty
+  let hash = hash_ty
+end)
+
+module Attr_uniquer = Intern.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+  let hash = hash
+end)
+
+(* One process-wide uniquer pair, owned conceptually by {!Context} (which
+   reports its statistics): attribute construction must work before any
+   context exists — dialect corpus helpers, constant pools — exactly as
+   MLIR's builtin attribute storage outlives dialect registration. *)
+let ty_uniquer : Ty_uniquer.table = Ty_uniquer.create ()
+let attr_uniquer : Attr_uniquer.table = Attr_uniquer.create ()
+
+(** Canonicalize a dictionary's entries: stable-sort by key so equality and
+    hashing are key-order-insensitive, and reject duplicate keys. *)
+let canonicalize_dict kvs =
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> String.compare a b) kvs
+  in
+  let rec check = function
+    | (k1, _) :: ((k2, _) :: _ as rest) ->
+        if String.equal k1 k2 then
+          Diag.raise_error "duplicate key '%s' in dictionary attribute" k1;
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+(** Deeply intern an attribute/type assembled outside this module (tests,
+    deserializers). Nodes built through the smart constructors are already
+    canonical, so the [find] fast path stops the walk at the first
+    already-interned level. *)
+let rec intern_ty (ty0 : ty) : ty =
+  match Ty_uniquer.find ty_uniquer ty0 with
+  | Some canonical -> canonical
+  | None ->
+      let rebuilt =
+        match ty0 with
+        | Integer _ | Float _ | Index | None_ty -> ty0
+        | Function { inputs; outputs } ->
+            Function
+              {
+                inputs = List.map intern_ty inputs;
+                outputs = List.map intern_ty outputs;
+              }
+        | Tuple tys -> Tuple (List.map intern_ty tys)
+        | Dynamic { dialect; name; params } ->
+            Dynamic { dialect; name; params = List.map intern params }
+      in
+      Ty_uniquer.intern ty_uniquer rebuilt
+
+and intern (a0 : t) : t =
+  match Attr_uniquer.find attr_uniquer a0 with
+  | Some canonical -> canonical
+  | None ->
+      let rebuilt =
+        match a0 with
+        | Unit | Bool _ | String _ | Enum _ | Symbol _ | Location _
+        | Type_id _ | Opaque _ ->
+            a0
+        | Int { value; ty } -> Int { value; ty = intern_ty ty }
+        | Float_attr { value; ty } -> Float_attr { value; ty = intern_ty ty }
+        | Array xs -> Array (List.map intern xs)
+        | Dict kvs ->
+            Dict
+              (canonicalize_dict (List.map (fun (k, v) -> (k, intern v)) kvs))
+        | Type ty -> Type (intern_ty ty)
+        | Dyn_attr { dialect; name; params } ->
+            Dyn_attr { dialect; name; params = List.map intern params }
+      in
+      Attr_uniquer.intern attr_uniquer rebuilt
+
+let id a = Attr_uniquer.id attr_uniquer (intern a)
+let id_ty ty = Ty_uniquer.id ty_uniquer (intern_ty ty)
+
+let uniquer_stats () =
+  (Ty_uniquer.stats ty_uniquer, Attr_uniquer.stats attr_uniquer)
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors (every node they build is interned)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Convenience type constructors. *)
+
+let i1 = intern_ty (Integer { width = 1; signedness = Signless })
+let i8 = intern_ty (Integer { width = 8; signedness = Signless })
+let i16 = intern_ty (Integer { width = 16; signedness = Signless })
+let i32 = intern_ty (Integer { width = 32; signedness = Signless })
+let i64 = intern_ty (Integer { width = 64; signedness = Signless })
+let f16 = intern_ty (Float F16)
+let f32 = intern_ty (Float F32)
+let f64 = intern_ty (Float F64)
+let bf16 = intern_ty (Float BF16)
+let index = intern_ty Index
+let none = intern_ty None_ty
+
+let integer ?(signedness = Signless) width =
+  if width <= 0 then invalid_arg "Attr.integer: width must be positive";
+  intern_ty (Integer { width; signedness })
+
+let dynamic ~dialect ~name params = intern_ty (Dynamic { dialect; name; params })
+let function_ty ~inputs ~outputs = intern_ty (Function { inputs; outputs })
+let tuple tys = intern_ty (Tuple tys)
+
+(* Convenience attribute constructors. *)
+
+let unit = intern Unit
+let bool b = intern (Bool b)
+let int ?(ty = i64) value = intern (Int { value; ty })
+let int_of ~ty value = intern (Int { value = Int64.of_int value; ty })
+let float ?(ty = f64) value = intern (Float_attr { value; ty })
+let string s = intern (String s)
+let array xs = intern (Array xs)
+let dict kvs = intern (Dict kvs)
+let typ ty = intern (Type ty)
+let enum ~dialect ~enum:e case = intern (Enum { dialect; enum = e; case })
+let symbol s = intern (Symbol s)
+let location ~file ~line ~col = intern (Location { file; line; col })
+let type_id s = intern (Type_id s)
+let opaque ~tag repr = intern (Opaque { tag; repr })
+let dyn_attr ~dialect ~name params = intern (Dyn_attr { dialect; name; params })
 
 let pp_signedness ppf = function
   | Signless -> Fmt.string ppf "i"
@@ -196,7 +386,7 @@ let ty_to_string ty = Fmt.str "%a" pp_ty ty
 let to_string a = Fmt.str "%a" pp a
 
 (** The [i1] constant [true]/[false] used by conditional branches. *)
-let bool_int b = Int { value = (if b then 1L else 0L); ty = i1 }
+let bool_int b = int ~ty:i1 (if b then 1L else 0L)
 
 let is_float_ty = function Float _ -> true | _ -> false
 let is_integer_ty = function Integer _ -> true | _ -> false

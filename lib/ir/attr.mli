@@ -4,7 +4,16 @@
     in one recursive value domain: a type can appear as an attribute
     ({!Type}) and dynamic (IRDL-defined) types carry attribute parameters.
     This makes IRDL parameter constraints uniform: they all constrain
-    attributes. *)
+    attributes.
+
+    {b Uniquing discipline.} Every value built through the smart
+    constructors below is hash-consed ({!Intern}) into a process-wide
+    uniquer, as MLIR's [MLIRContext] uniques its types and attributes:
+    structurally equal nodes are physically equal and {!equal}/{!equal_ty}
+    decide them with a pointer comparison. The variant constructors stay
+    exposed for pattern matching only — never build attribute values from
+    them directly; route hand-assembled values through {!intern} /
+    {!intern_ty}. *)
 
 type signedness = Signless | Signed | Unsigned
 type float_kind = BF16 | F16 | F32 | F64
@@ -27,6 +36,7 @@ and t =
   | String of string
   | Array of t list
   | Dict of (string * t) list
+      (** Canonicalized to sorted key order at construction time. *)
   | Type of ty  (** A type used as an attribute. *)
   | Enum of { dialect : string; enum : string; case : string }
   | Symbol of string
@@ -52,33 +62,79 @@ val f32 : ty
 val f64 : ty
 val bf16 : ty
 val index : ty
+val none : ty
 
 val integer : ?signedness:signedness -> int -> ty
 (** An integer type of the given positive bit width. *)
 
 val dynamic : dialect:string -> name:string -> t list -> ty
+val function_ty : inputs:ty list -> outputs:ty list -> ty
+val tuple : ty list -> ty
 
 (** {2 Attribute constructors} *)
 
+val unit : t
 val bool : bool -> t
 val int : ?ty:ty -> int64 -> t
 val int_of : ty:ty -> int -> t
 val float : ?ty:ty -> float -> t
 val string : string -> t
 val array : t list -> t
+
 val dict : (string * t) list -> t
+(** Entries are canonicalized to sorted key order, making dictionary
+    equality key-order-insensitive.
+    @raise Irdl_support.Diag.Error_exn on duplicate keys. *)
+
 val typ : ty -> t
 val enum : dialect:string -> enum:string -> string -> t
 val symbol : string -> t
+val location : file:string -> line:int -> col:int -> t
+val type_id : string -> t
 val opaque : tag:string -> string -> t
+val dyn_attr : dialect:string -> name:string -> t list -> t
+
 val bool_int : bool -> t
 (** The [i1] constant 1/0 used by conditional branches. *)
 
-(** {2 Equality and printing} *)
+(** {2 Uniquing} *)
+
+val intern : t -> t
+(** The canonical node for a (possibly hand-assembled) attribute:
+    structurally equal inputs return the same physical node, recursively
+    canonicalizing sub-terms (dictionary key order included). Idempotent,
+    and the identity on nodes produced by the constructors above.
+    @raise Irdl_support.Diag.Error_exn on dictionaries with duplicate
+    keys. *)
+
+val intern_ty : ty -> ty
+
+val id : t -> int
+(** The unique integer id of the canonical node (interning first if
+    needed): [id a = id b] iff [equal a b]. Ids are dense and stable for
+    the process lifetime; attribute and type ids are separate spaces. *)
+
+val id_ty : ty -> int
+
+val uniquer_stats : unit -> Intern.stats * Intern.stats
+(** Uniquer counters as [(types, attributes)]; reported via
+    {!Context.uniquing_stats}. *)
+
+(** {2 Equality, hashing and printing} *)
 
 val equal_ty : ty -> ty -> bool
+
 val equal : t -> t -> bool
-(** Structural; float payloads compare bitwise so equality is reflexive. *)
+(** Pointer comparison when both operands are interned (the invariant for
+    every value built through this module), falling back to a structural
+    walk — with float payloads comparing bitwise so equality is reflexive —
+    for values that bypassed the uniquer. *)
+
+val hash : t -> int
+(** Structural; agrees with {!equal} ([equal a b] implies
+    [hash a = hash b]). *)
+
+val hash_ty : ty -> int
 
 val pp_signedness : Format.formatter -> signedness -> unit
 val pp_float_kind : Format.formatter -> float_kind -> unit

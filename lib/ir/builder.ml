@@ -54,6 +54,6 @@ let func_op ?loc ~name ~inputs ~outputs f =
     ~attrs:
       [
         ("sym_name", Attr.string name);
-        ("function_type", Attr.typ (Attr.Function { inputs; outputs }));
+        ("function_type", Attr.typ (Attr.function_ty ~inputs ~outputs));
       ]
     ?loc "func.func"

@@ -116,3 +116,17 @@ let op_stats t =
         ntys + SMap.cardinal d.d_types,
         nattrs + SMap.cardinal d.d_attrs ))
     t.dialects (0, 0, 0)
+
+type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
+
+(* The uniquer itself is process-wide (attributes are built before any
+   context exists, e.g. by dialect corpus helpers), so every context reports
+   the same tables — the same shape as MLIR, where builtin attribute storage
+   outlives dialect registration in the context. *)
+let uniquing_stats (_ : t) =
+  let us_types, us_attrs = Attr.uniquer_stats () in
+  { us_types; us_attrs }
+
+let pp_uniquing_stats ppf { us_types; us_attrs } =
+  Fmt.pf ppf "types: %a@ attrs: %a" Intern.pp_stats us_types Intern.pp_stats
+    us_attrs

@@ -70,3 +70,12 @@ val lookup_attr : t -> dialect:string -> name:string -> attr_def option
 
 val op_stats : t -> int * int * int
 (** Total registered (operations, types, attributes). *)
+
+type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
+
+val uniquing_stats : t -> uniquing_stats
+(** Counters of the attribute/type uniquer ({!Intern}) reachable from this
+    context: canonical node counts and hit rates. The uniquer is
+    process-wide, so all contexts report the same tables. *)
+
+val pp_uniquing_stats : Format.formatter -> uniquing_stats -> unit

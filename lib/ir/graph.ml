@@ -89,17 +89,21 @@ module Op = struct
         op_name = name;
         operands;
         results = [];
-        attrs;
+        attrs = List.map (fun (k, v) -> (k, Attr.intern v)) attrs;
         regions;
         successors;
         op_parent = None;
         op_loc = loc;
       }
     in
+    (* Interning at every SSA-value creation point keeps the uniquing
+       invariant even for types assembled outside {!Attr}'s constructors. *)
     op.results <-
       List.mapi
         (fun index ty ->
-          { v_id = next_id (); v_ty = ty; v_def = Op_result { op; index } })
+          { v_id = next_id ();
+            v_ty = Attr.intern_ty ty;
+            v_def = Op_result { op; index } })
         result_tys;
     List.iter
       (fun r ->
@@ -128,7 +132,7 @@ module Op = struct
   let attr op key = List.assoc_opt key op.attrs
 
   let set_attr op key value =
-    op.attrs <- (key, value) :: List.remove_assoc key op.attrs
+    op.attrs <- (key, Attr.intern value) :: List.remove_assoc key op.attrs
 
   let remove_attr op key = op.attrs <- List.remove_assoc key op.attrs
 
@@ -165,7 +169,9 @@ module Block = struct
     block.blk_args <-
       List.mapi
         (fun index ty ->
-          { v_id = next_id (); v_ty = ty; v_def = Block_arg { block; index } })
+          { v_id = next_id ();
+            v_ty = Attr.intern_ty ty;
+            v_def = Block_arg { block; index } })
         arg_tys;
     block
 
@@ -174,7 +180,11 @@ module Block = struct
 
   let add_arg b ty =
     let index = List.length b.blk_args in
-    let v = { v_id = next_id (); v_ty = ty; v_def = Block_arg { block = b; index } } in
+    let v =
+      { v_id = next_id ();
+        v_ty = Attr.intern_ty ty;
+        v_def = Block_arg { block = b; index } }
+    in
     b.blk_args <- b.blk_args @ [ v ];
     v
 

@@ -1,0 +1,125 @@
+(** Hash-consing uniquer tables.
+
+    MLIR's [MLIRContext] uniques every type and attribute it creates so that
+    equality is pointer comparison and re-construction of an existing node is
+    a table hit. This module provides the same mechanism for our runtime:
+    a {!Make}-generated table maps every constructed value to a canonical
+    physical node carrying a unique integer id.
+
+    The table is strong (nodes live as long as the process, like MLIR's
+    context-owned storage): the attribute population of a compilation session
+    is small and heavily shared, so reclaiming unused nodes is not worth the
+    weak-pointer bookkeeping.
+
+    Instantiated by {!Attr} for the type and attribute domains; the counters
+    back the uniquing statistics reported through {!Context}. *)
+
+type stats = {
+  nodes : int;  (** distinct canonical nodes currently in the table *)
+  hits : int;  (** intern calls answered by an existing node *)
+  misses : int;  (** intern calls that created a new node *)
+}
+
+let hit_rate { hits; misses; _ } =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int hits /. float_of_int total
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d nodes, %d hits / %d misses (%.1f%% hit rate)" s.nodes s.hits
+    s.misses
+    (100. *. hit_rate s)
+
+(** The structural identity of the interned domain. [equal]/[hash] must
+    agree ([equal a b] implies [hash a = hash b]); both may assume nothing
+    about prior interning of sub-terms. *)
+module type HASHED = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module type S = sig
+  type node
+
+  type table
+
+  val create : ?size:int -> unit -> table
+
+  val intern : table -> node -> node
+  (** [intern tbl x] returns the canonical node structurally equal to [x],
+      inserting [x] itself (with a fresh id) on first encounter. Idempotent:
+      [intern tbl (intern tbl x) == intern tbl x]. *)
+
+  val find : table -> node -> node option
+  (** Like {!intern} but never inserts; counts a hit when found. *)
+
+  val id : table -> node -> int
+  (** The unique id of [x]'s canonical node, interning it if needed. Ids are
+      dense, starting at 0, and never reused within a table. *)
+
+  val mem : table -> node -> bool
+
+  val stats : table -> stats
+
+  val clear : table -> unit
+  (** Drop all nodes and reset counters. Canonical nodes handed out earlier
+      keep working as plain values but lose their identity guarantee; only
+      meant for tests and benchmarks. *)
+end
+
+module Make (H : HASHED) : S with type node = H.t = struct
+  type node = H.t
+
+  module Tbl = Hashtbl.Make (H)
+
+  type table = {
+    tbl : (node * int) Tbl.t;
+    mutable next_id : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(size = 1024) () =
+    { tbl = Tbl.create size; next_id = 0; hits = 0; misses = 0 }
+
+  let intern t x =
+    match Tbl.find_opt t.tbl x with
+    | Some (canonical, _) ->
+        t.hits <- t.hits + 1;
+        canonical
+    | None ->
+        t.misses <- t.misses + 1;
+        Tbl.add t.tbl x (x, t.next_id);
+        t.next_id <- t.next_id + 1;
+        x
+
+  let find t x =
+    match Tbl.find_opt t.tbl x with
+    | Some (canonical, _) ->
+        t.hits <- t.hits + 1;
+        Some canonical
+    | None -> None
+
+  let id t x =
+    match Tbl.find_opt t.tbl x with
+    | Some (_, id) ->
+        t.hits <- t.hits + 1;
+        id
+    | None ->
+        let id = t.next_id in
+        t.misses <- t.misses + 1;
+        Tbl.add t.tbl x (x, id);
+        t.next_id <- t.next_id + 1;
+        id
+
+  let mem t x = Tbl.mem t.tbl x
+
+  let stats t = { nodes = Tbl.length t.tbl; hits = t.hits; misses = t.misses }
+
+  let clear t =
+    Tbl.reset t.tbl;
+    t.next_id <- 0;
+    t.hits <- 0;
+    t.misses <- 0
+end

@@ -226,12 +226,8 @@ let int_ty_of_ident s : Attr.ty option =
       && String.for_all Sbuf.is_digit
            (String.sub s plen (String.length s - plen))
     then
-      Some
-        (Attr.Integer
-           {
-             width = int_of_string (String.sub s plen (String.length s - plen));
-             signedness;
-           })
+      let width = int_of_string (String.sub s plen (String.length s - plen)) in
+      if width <= 0 then None else Some (Attr.integer ~signedness width)
     else None
   in
   match parse_width "si" Attr.Signed with
@@ -247,8 +243,8 @@ let builtin_ty_of_ident s : Attr.ty option =
   | "f32" -> Some Attr.f32
   | "f64" -> Some Attr.f64
   | "bf16" -> Some Attr.bf16
-  | "index" -> Some Attr.Index
-  | "none" -> Some Attr.None_ty
+  | "index" -> Some Attr.index
+  | "none" -> Some Attr.none
   | _ -> int_ty_of_ident s
 
 let split_dialect_name p s =
@@ -263,7 +259,7 @@ let rec parse_ty p : Attr.ty =
       ignore (advance p);
       expect_punct p "<";
       let tys = parse_ty_list_until p ">" in
-      Attr.Tuple tys
+      Attr.tuple tys
   | Ident s -> (
       match builtin_ty_of_ident s with
       | Some ty ->
@@ -276,7 +272,7 @@ let rec parse_ty p : Attr.ty =
       let params =
         if accept_punct p "<" then parse_attr_list_until p ">" else []
       in
-      Attr.Dynamic { dialect; name; params }
+      Attr.dynamic ~dialect ~name params
   | Punct "(" ->
       ignore (advance p);
       let inputs = parse_ty_list_until p ")" in
@@ -285,7 +281,7 @@ let rec parse_ty p : Attr.ty =
         if accept_punct p "(" then parse_ty_list_until p ")"
         else [ parse_ty p ]
       in
-      Attr.Function { inputs; outputs }
+      Attr.function_ty ~inputs ~outputs
   | _ -> fail p "expected a type"
 
 and parse_ty_list_until p closer =
@@ -304,13 +300,13 @@ and parse_attr p : Attr.t =
   match peek p with
   | Ident "unit" ->
       ignore (advance p);
-      Attr.Unit
+      Attr.unit
   | Ident "true" ->
       ignore (advance p);
-      Attr.Bool true
+      Attr.bool true
   | Ident "false" ->
       ignore (advance p);
-      Attr.Bool false
+      Attr.bool false
   | Ident "loc" ->
       ignore (advance p);
       expect_punct p "(";
@@ -332,33 +328,33 @@ and parse_attr p : Attr.t =
         | _ -> fail p "expected column number in loc"
       in
       expect_punct p ")";
-      Attr.Location { file; line; col }
+      Attr.location ~file ~line ~col
   | Str s ->
       ignore (advance p);
-      Attr.String s
+      Attr.string s
   | Int_lit v ->
       ignore (advance p);
       let ty = if accept_punct p ":" then parse_ty p else Attr.i64 in
-      Attr.Int { value = v; ty }
+      Attr.int ~ty v
   | Float_lit v ->
       ignore (advance p);
       let ty = if accept_punct p ":" then parse_ty p else Attr.f64 in
-      Attr.Float_attr { value = v; ty }
+      Attr.float ~ty v
   | Symbol_id s ->
       ignore (advance p);
-      Attr.Symbol s
+      Attr.symbol s
   | Punct "[" ->
       ignore (advance p);
-      Attr.Array (parse_attr_list_until p "]")
+      Attr.array (parse_attr_list_until p "]")
   | Punct "{" ->
       ignore (advance p);
-      Attr.Dict (parse_attr_dict_entries p)
+      Attr.dict (parse_attr_dict_entries p)
   | Hash_id "typeid" ->
       ignore (advance p);
       expect_punct p "<";
       let id = expect_ident p in
       expect_punct p ">";
-      Attr.Type_id id
+      Attr.type_id id
   | Hash_id "native" ->
       ignore (advance p);
       expect_punct p "<";
@@ -370,14 +366,14 @@ and parse_attr p : Attr.t =
         | _ -> fail p "expected string repr in #native"
       in
       expect_punct p ">";
-      Attr.Opaque { tag; repr }
+      Attr.opaque ~tag repr
   | Hash_id s when String.contains s '.' ->
       ignore (advance p);
       let dialect, name = split_dialect_name p s in
       let params =
         if accept_punct p "<" then parse_attr_list_until p ">" else []
       in
-      Attr.Dyn_attr { dialect; name; params }
+      Attr.dyn_attr ~dialect ~name params
   | Hash_id dialect ->
       (* Enum attribute: #dialect<enum.Case> *)
       ignore (advance p);
@@ -385,8 +381,8 @@ and parse_attr p : Attr.t =
       let path = expect_ident p in
       let enum, case = split_dialect_name p path in
       expect_punct p ">";
-      Attr.Enum { dialect; enum; case }
-  | Ident _ | Bang_id _ | Punct "(" -> Attr.Type (parse_ty p)
+      Attr.enum ~dialect ~enum case
+  | Ident _ | Bang_id _ | Punct "(" -> Attr.typ (parse_ty p)
   | _ -> fail p "expected an attribute"
 
 and parse_attr_list_until p closer =
@@ -428,7 +424,7 @@ let use_value p name =
       let v =
         {
           Graph.v_id = Graph.next_id ();
-          v_ty = Attr.None_ty;
+          v_ty = Attr.none;
           v_def = Graph.Forward_ref name;
         }
       in
@@ -700,12 +696,8 @@ and parse_custom_body p ~name ~od:_ ~(format : Opfmt.t) ~op_loc : Graph.op =
             Diag.raise_error ~loc:op_loc
               "'%s': type %s has no parameters" name (Attr.ty_to_string ty))
     | Opfmt.Wrap { dialect; name = tname; params } ->
-        Attr.Dynamic
-          {
-            dialect;
-            name = tname;
-            params = List.map (fun e -> Attr.Type (eval_ty e)) params;
-          }
+        Attr.dynamic ~dialect ~name:tname
+          (List.map (fun e -> Attr.typ (eval_ty e)) params)
   in
   let num_fixed =
     List.length format.operand_tys - (match !group with Some _ -> 1 | None -> 0)

@@ -30,7 +30,10 @@ let default_is_pure (ctx : Context.t) (op : Graph.op) =
            [ "load"; "store"; "alloc"; "dealloc"; "call"; "atomic"; "dma";
              "print"; "barrier"; "rand" ]))
 
-(** A structural key for value-numbering. *)
+(** A structural key for value-numbering. Attributes and result types are
+    fingerprinted by their uniquer ids ({!Attr.id}) instead of their printed
+    form: operations built by the parser or builder carry canonical nodes,
+    so each component is an O(1) table hit rather than a pretty-print. *)
 let op_key (op : Graph.op) : string =
   let buf = Buffer.create 64 in
   Buffer.add_string buf op.Graph.op_name;
@@ -44,12 +47,12 @@ let op_key (op : Graph.op) : string =
       Buffer.add_char buf '#';
       Buffer.add_string buf k;
       Buffer.add_char buf '=';
-      Buffer.add_string buf (Attr.to_string v))
-    (List.sort compare op.Graph.attrs);
+      Buffer.add_string buf (string_of_int (Attr.id v)))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) op.Graph.attrs);
   List.iter
     (fun (r : Graph.value) ->
       Buffer.add_char buf ':';
-      Buffer.add_string buf (Attr.ty_to_string (Graph.Value.ty r)))
+      Buffer.add_string buf (string_of_int (Attr.id_ty (Graph.Value.ty r))))
     op.Graph.results;
   Buffer.contents buf
 

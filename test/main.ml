@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("attr", Test_attr.suite);
+      ("intern", Test_intern.suite);
       ("graph", Test_graph.suite);
       ("ir-parser", Test_ir_parser.suite);
       ("verifier", Test_verifier.suite);

@@ -57,11 +57,17 @@ let equality_attrs () =
   Alcotest.check attr "ints" (Attr.int 3L) (Attr.int 3L);
   Alcotest.(check bool) "int ty matters" false
     (Attr.equal (Attr.int 3L) (Attr.int ~ty:Attr.i32 3L));
-  Alcotest.(check bool) "dicts ordered" false
+  Alcotest.(check bool) "dicts key-order-insensitive" true
     (Attr.equal
        (Attr.dict [ ("a", Attr.int 1L); ("b", Attr.int 2L) ])
        (Attr.dict [ ("b", Attr.int 2L); ("a", Attr.int 1L) ]));
   Alcotest.check attr "type attrs" (Attr.typ Attr.f32) (Attr.typ Attr.f32)
+
+let dict_duplicate_keys () =
+  (* Canonicalization rejects ambiguous dictionaries outright. *)
+  match Attr.dict [ ("k", Attr.int 1L); ("k", Attr.int 2L) ] with
+  | _ -> Alcotest.fail "duplicate keys accepted"
+  | exception Irdl_support.Diag.Error_exn _ -> ()
 
 let nan_equality () =
   (* Reflexivity must hold even for NaN payloads. *)
@@ -137,6 +143,7 @@ let suite =
     tc "attribute printing" attr_printing;
     tc "type equality" equality_basics;
     tc "attribute equality" equality_attrs;
+    tc "dict duplicate keys rejected" dict_duplicate_keys;
     tc "NaN attr equality is reflexive" nan_equality;
     tc "bool_int" bool_int;
     tc "type classifiers" classifiers;

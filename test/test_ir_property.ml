@@ -24,16 +24,28 @@ let attr_gen =
         map (fun f -> Attr.float ~ty:Attr.f32 f) float_gen;
         map Attr.string (string_size ~gen:printable (int_range 0 12));
         map Attr.bool bool;
-        return Attr.Unit;
+        return Attr.unit;
         map Attr.symbol
           (string_size ~gen:(char_range 'a' 'z') (int_range 1 6));
         return (Attr.typ Attr.f32);
-        return (Attr.typ (Attr.Tuple [ Attr.i32; Attr.Index ]));
+        return (Attr.typ (Attr.tuple [ Attr.i32; Attr.index ]));
         return (Attr.enum ~dialect:"d" ~enum:"e" "Case");
-        return (Attr.Type_id "X");
+        return (Attr.type_id "X");
         return (Attr.opaque ~tag:"P" "payload");
-        return (Attr.Location { file = "f.mlir"; line = 3; col = 7 });
+        return (Attr.location ~file:"f.mlir" ~line:3 ~col:7);
       ]
+  in
+  (* {!Attr.dict} rejects duplicate keys, so generated entries are
+     deduplicated before construction. *)
+  let uniq_keys kvs =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else (
+          Hashtbl.add seen k ();
+          true))
+      kvs
   in
   let rec go n =
     if n = 0 then scalar
@@ -43,43 +55,24 @@ let attr_gen =
           (4, scalar);
           (1, map Attr.array (list_size (int_range 0 3) (go (n - 1))));
           ( 1,
-            map Attr.dict
+            map
+              (fun kvs -> Attr.dict (uniq_keys kvs))
               (list_size (int_range 0 3)
                  (pair
                     (string_size ~gen:(char_range 'a' 'z') (int_range 1 5))
                     (go (n - 1)))) );
           ( 1,
             map
-              (fun a -> Attr.Dyn_attr { dialect = "d"; name = "a"; params = [ a ] })
+              (fun a -> Attr.dyn_attr ~dialect:"d" ~name:"a" [ a ])
               (go (n - 1)) );
         ]
   in
   go 2
 
-(* Dict keys must be unique for a faithful round trip. *)
-let rec dedup_attr (a : Attr.t) : Attr.t =
-  match a with
-  | Attr.Dict kvs ->
-      let seen = Hashtbl.create 8 in
-      Attr.Dict
-        (List.filter_map
-           (fun (k, v) ->
-             if Hashtbl.mem seen k then None
-             else (
-               Hashtbl.add seen k ();
-               Some (k, dedup_attr v)))
-           kvs)
-  | Attr.Array xs -> Attr.Array (List.map dedup_attr xs)
-  | Attr.Dyn_attr d ->
-      Attr.Dyn_attr { d with params = List.map dedup_attr d.params }
-  | a -> a
-
 let attr_roundtrip =
   QCheck2.Test.make ~name:"attribute print/parse roundtrip" ~count:500
-    ~print:(fun a -> Attr.to_string (dedup_attr a))
-    attr_gen
+    ~print:Attr.to_string attr_gen
     (fun a ->
-      let a = dedup_attr a in
       match (a : Attr.t) with
       | Attr.Float_attr { value; _ } when not (Float.is_finite value) ->
           (* NaN/infinity do not round-trip through the decimal syntax;
@@ -93,7 +86,7 @@ let attr_roundtrip =
 
 (* ---------------- random program round trip ---------------- *)
 
-let ty_pool = [| Attr.i1; Attr.i32; Attr.i64; Attr.f32; Attr.f64; Attr.Index |]
+let ty_pool = [| Attr.i1; Attr.i32; Attr.i64; Attr.f32; Attr.f64; Attr.index |]
 
 (** A random straight-line program: each op consumes a random subset of
     previously defined values and produces 0-2 results. *)

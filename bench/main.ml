@@ -341,6 +341,121 @@ let intern_tests =
            Irdl_rewrite.Cse.run ctx (make_big_module ())));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Verification engine benchmarks                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole 28-dialect corpus plus cmath (native hooks included), once
+   with compiled constraint checkers and the memoizing cache (the
+   production configuration) and once with the interpreted reference
+   verifiers (the pre-compilation baseline). *)
+let make_verify_ctx ~compile () =
+  let ctx = Irdl_ir.Context.create () in
+  let native = Irdl_core.Native.create () in
+  Irdl_dialects.Cmath.register_hooks native;
+  (match Irdl_dialects.Corpus.load_all ~native ~compile ctx with
+  | Ok _ -> ()
+  | Error d -> failwith (Irdl_support.Diag.to_string d));
+  (match
+     Irdl_core.Irdl.load_one ~native ~compile ctx Irdl_dialects.Cmath.source
+   with
+  | Ok _ -> ()
+  | Error d -> failwith (Irdl_support.Diag.to_string d));
+  ctx
+
+let verify_compiled_ctx = lazy (make_verify_ctx ~compile:true ())
+let verify_interp_ctx = lazy (make_verify_ctx ~compile:false ())
+
+(* A module shaped like real IR: chains of cmath.mul / cmath.norm over
+   !cmath.complex<f32> (constraint variables, parameterized types), values
+   with rich types (BoundedVector with its native hook, function types over
+   dynamic types), and ops carrying sizable shared attribute payloads
+   (arrays of parameterized dynamic attributes — the analog of MLIR's
+   affine maps, segment arrays and dense constants). Hash-consing makes
+   every repeat visit of these nodes a uniquer hit; the memoized cache
+   turns their re-verification into a table probe. *)
+let make_verify_module () =
+  let open Irdl_ir in
+  let complex =
+    Attr.dynamic ~dialect:"cmath" ~name:"complex" [ Attr.typ Attr.f32 ]
+  in
+  (* 8 distinct payloads of 32 parameterized dynamic attributes each,
+     shared round-robin by the ops below. *)
+  let payloads =
+    Array.init 8 (fun k ->
+        Attr.array
+          (List.init 32 (fun j ->
+               Attr.dyn_attr ~dialect:"cmath" ~name:"StringAttr"
+                 [ Attr.opaque ~tag:"StringParam" (Fmt.str "s%d_%d" k j) ])))
+  in
+  let fn_ty =
+    Attr.function_ty
+      ~inputs:(List.init 8 (fun _ -> complex))
+      ~outputs:[ Attr.f32 ]
+  in
+  let blk = Graph.Block.create ~arg_tys:[ complex; complex ] () in
+  let p, q =
+    match Graph.Block.args blk with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  let last = ref p in
+  for i = 0 to 299 do
+    let mul =
+      Graph.Op.create ~operands:[ !last; q ] ~result_tys:[ complex ]
+        ~attrs:[ ("payload", payloads.(i mod 8)) ]
+        "cmath.mul"
+    in
+    Graph.Block.append blk mul;
+    let norm =
+      Graph.Op.create
+        ~operands:[ Graph.Op.result mul 0 ]
+        ~result_tys:[ Attr.f32 ] "cmath.norm"
+    in
+    Graph.Block.append blk norm;
+    let bv =
+      Attr.dynamic ~dialect:"cmath" ~name:"BoundedVector"
+        [
+          Attr.typ Attr.f32;
+          Attr.int
+            ~ty:(Attr.integer ~signedness:Attr.Unsigned 32)
+            (Int64.of_int (i mod 16));
+        ]
+    in
+    Graph.Block.append blk
+      (Graph.Op.create ~result_tys:[ bv; fn_ty ]
+         ~attrs:[ ("payload", payloads.((i + 3) mod 8)) ]
+         "t.v");
+    last := Graph.Op.result mul 0
+  done;
+  Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.func"
+
+let verify_module = lazy (make_verify_module ())
+
+let verify_tests =
+  [
+    (* Production configuration: compiled checkers, warm memoized cache. *)
+    Test.make ~name:"verify:compiled-memoized"
+      (stage (fun () ->
+           let ctx = Lazy.force verify_compiled_ctx in
+           Irdl_ir.Context.set_verify_cache ctx true;
+           Irdl_ir.Verifier.verify ctx (Lazy.force verify_module)));
+    (* Compiled checkers with memoization switched off: isolates the
+       constraint-compilation layer from the caching layer. *)
+    Test.make ~name:"verify:compiled-uncached"
+      (stage (fun () ->
+           let ctx = Lazy.force verify_compiled_ctx in
+           Irdl_ir.Context.set_verify_cache ctx false;
+           Irdl_ir.Verifier.verify ctx (Lazy.force verify_module)));
+    (* The pre-PR baseline: interpreted constraint trees, every type and
+       attribute re-walked on every visit. *)
+    Test.make ~name:"verify:interpreted-uncached(baseline)"
+      (stage (fun () ->
+           let ctx = Lazy.force verify_interp_ctx in
+           Irdl_ir.Context.set_verify_cache ctx false;
+           Irdl_ir.Verifier.verify ctx (Lazy.force verify_module)));
+  ]
+
 let benchmark tests =
   let instances = [ Instance.monotonic_clock ] in
   let cfg =
@@ -420,14 +535,75 @@ let emit_intern_json rows =
   close_out oc;
   Fmt.pr "@.wrote BENCH_intern.json (equal speedup: %s)@." (num speedup)
 
+(* Machine-readable summary backing the verification-engine acceptance
+   criterion: compiled + memoized whole-corpus verification must beat the
+   interpreted, uncached baseline by >= 3x. *)
+let emit_verify_json rows =
+  (* Sanity: the bench module must actually verify — a module that fails
+     early would make the timings meaningless. *)
+  let sanity_ctx = Lazy.force verify_compiled_ctx in
+  Irdl_ir.Context.set_verify_cache sanity_ctx true;
+  (match Irdl_ir.Verifier.verify sanity_ctx (Lazy.force verify_module) with
+  | Ok () -> ()
+  | Error d ->
+      failwith
+        ("verification bench module does not verify: "
+        ^ Irdl_support.Diag.to_string d));
+  let baseline = find_ns rows "verify:interpreted-uncached(baseline)" in
+  let compiled_uncached = find_ns rows "verify:compiled-uncached" in
+  let memoized = find_ns rows "verify:compiled-memoized" in
+  let speedup =
+    if Float.is_nan baseline || Float.is_nan memoized || memoized <= 0. then
+      Float.nan
+    else baseline /. memoized
+  in
+  let s =
+    Irdl_ir.Context.verify_stats (Lazy.force verify_compiled_ctx)
+  in
+  let num f = if Float.is_nan f then "null" else Fmt.str "%.2f" f in
+  let json =
+    Fmt.str
+      {|{
+  "interpreted_uncached_ns": %s,
+  "compiled_uncached_ns": %s,
+  "compiled_memoized_ns": %s,
+  "speedup": %s,
+  "cache": { "ty_entries": %d, "attr_entries": %d, "hits": %d,
+             "misses": %d, "hit_rate": %.4f, "invalidations": %d }
+}
+|}
+      (num baseline) (num compiled_uncached) (num memoized) (num speedup)
+      s.Irdl_ir.Context.vs_ty_entries s.vs_attr_entries s.vs_hits s.vs_misses
+      (Irdl_ir.Context.verify_hit_rate s)
+      s.vs_invalidations
+  in
+  let oc = open_out "BENCH_verify.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "@.wrote BENCH_verify.json (verify speedup: %s)@." (num speedup)
+
+let run_verify_benches () =
+  Fmt.pr "@.############ Benchmarks: verification engine ############@.";
+  let rows = benchmark verify_tests in
+  print_rows rows;
+  emit_verify_json rows
+
 let () =
-  print_report ();
-  Fmt.pr "############ Benchmarks: experiment regeneration ############@.";
-  print_rows (benchmark figure_tests);
-  Fmt.pr "@.############ Benchmarks: implementation performance ############@.";
-  print_rows (benchmark perf_tests);
-  Fmt.pr "@.############ Benchmarks: uniquing (hash-consing) ############@.";
-  let intern_rows = benchmark intern_tests in
-  print_rows intern_rows;
-  emit_intern_json intern_rows;
+  (* --smoke (used by CI): only the verification bench, so BENCH_verify.json
+     is produced in seconds rather than re-running the whole evaluation. *)
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  if smoke then run_verify_benches ()
+  else begin
+    print_report ();
+    Fmt.pr "############ Benchmarks: experiment regeneration ############@.";
+    print_rows (benchmark figure_tests);
+    Fmt.pr
+      "@.############ Benchmarks: implementation performance ############@.";
+    print_rows (benchmark perf_tests);
+    Fmt.pr "@.############ Benchmarks: uniquing (hash-consing) ############@.";
+    let intern_rows = benchmark intern_tests in
+    print_rows intern_rows;
+    emit_intern_json intern_rows;
+    run_verify_benches ()
+  end;
   Fmt.pr "@.done.@."

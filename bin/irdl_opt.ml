@@ -22,7 +22,7 @@ let fail_diag d =
   exit 1
 
 let run dialect_files pattern_files with_corpus with_cmath input generic
-    verify_only dce cse dominance strict verbose =
+    verify_only dce cse dominance strict verify_stats verbose =
   setup_logs verbose;
   let ctx = Irdl_ir.Context.create () in
   let native = Irdl_core.Native.create ~strict () in
@@ -112,7 +112,10 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
                 ignore (Irdl_rewrite.Rewriter.dce rw))
               ops;
           if not verify_only then
-            Fmt.pr "%s@." (Irdl_ir.Printer.ops_to_string ~generic ctx ops))
+            Fmt.pr "%s@." (Irdl_ir.Printer.ops_to_string ~generic ctx ops));
+  if verify_stats then
+    Fmt.epr "verification cache: %a@." Irdl_ir.Context.pp_verify_stats
+      (Irdl_ir.Context.verify_stats ctx)
 
 let dialect_files =
   Arg.(
@@ -184,6 +187,14 @@ let strict =
           "Fail on IRDL-C++ snippets with no registered native hook instead \
            of accepting them.")
 
+let verify_stats =
+  Arg.(
+    value & flag
+    & info [ "verify-stats" ]
+        ~doc:
+          "Report verification-cache statistics (entries, hit rate, \
+           invalidations) on stderr after the run.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -194,6 +205,6 @@ let cmd =
     Term.(
       const run $ dialect_files $ pattern_files $ with_corpus $ with_cmath
       $ input $ generic $ verify_only $ dce $ cse $ dominance $ strict
-      $ verbose)
+      $ verify_stats $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -18,7 +18,7 @@ let parse = Parser.parse_file
 
 (** Parse, resolve and register every dialect in [src] into [ctx]. Returns
     the resolved dialects for introspection. *)
-let load ?native ?file (ctx : Irdl_ir.Context.t) src :
+let load ?native ?compile ?file (ctx : Irdl_ir.Context.t) src :
     (Resolve.dialect list, Diag.t) result =
   let* asts = Parser.parse_file ?file src in
   let* resolved =
@@ -34,14 +34,15 @@ let load ?native ?file (ctx : Irdl_ir.Context.t) src :
     List.fold_left
       (fun acc dl ->
         let* () = acc in
-        Registration.register ?native ctx dl)
+        Registration.register ?native ?compile ctx dl)
       (Ok ()) resolved
   in
   Ok resolved
 
 (** [load] for sources containing exactly one dialect. *)
-let load_one ?native ?file ctx src : (Resolve.dialect, Diag.t) result =
-  let* dls = load ?native ?file ctx src in
+let load_one ?native ?compile ?file ctx src : (Resolve.dialect, Diag.t) result
+    =
+  let* dls = load ?native ?compile ?file ctx src in
   match dls with
   | [ dl ] -> Ok dl
   | dls ->

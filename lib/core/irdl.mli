@@ -13,14 +13,15 @@ val parse : ?file:string -> string -> (Ast.dialect list, Diag.t) result
 (** Parse IRDL source into ASTs (no resolution or registration). *)
 
 val load :
-  ?native:Native.t -> ?file:string -> Irdl_ir.Context.t -> string ->
-  (Resolve.dialect list, Diag.t) result
+  ?native:Native.t -> ?compile:bool -> ?file:string -> Irdl_ir.Context.t ->
+  string -> (Resolve.dialect list, Diag.t) result
 (** Parse, resolve and register every dialect in the source. Returns the
-    resolved dialects for introspection. *)
+    resolved dialects for introspection. [compile] (default [true]) selects
+    compiled constraint checkers; see {!Registration.register}. *)
 
 val load_one :
-  ?native:Native.t -> ?file:string -> Irdl_ir.Context.t -> string ->
-  (Resolve.dialect, Diag.t) result
+  ?native:Native.t -> ?compile:bool -> ?file:string -> Irdl_ir.Context.t ->
+  string -> (Resolve.dialect, Diag.t) result
 (** {!load} for sources containing exactly one dialect. *)
 
 val analyze :

@@ -126,7 +126,7 @@ let assign_slots ~what ~seg_attr ~(op : Graph.op) (slots : Resolve.slot list)
   Ok (slice values sizes [])
 
 (* ---------------------------------------------------------------- *)
-(* Verifier generation                                               *)
+(* Verifier generation (interpreted reference oracle)                *)
 (* ---------------------------------------------------------------- *)
 
 let check_slot_group ~native ~env ~(op : Graph.op) ~what (s : Resolve.slot)
@@ -243,9 +243,10 @@ let verify_cpp ~native ~(op : Graph.op) snippets =
             "no native hook registered for %S (strict mode)" snippet)
     (Ok ()) snippets
 
-(** The generated operation verifier: the runtime analog of Listing 2's
-    [MulOp::verify]. *)
-let make_op_verifier ~native (rop : Resolve.op) (op : Graph.op) :
+(** The interpreted operation verifier: re-walks the resolved constraint
+    tree on every check. Kept as the reference oracle for the compiled
+    verifier below (differential tests, interpreted benchmarks). *)
+let make_op_verifier_interp ~native (rop : Resolve.op) (op : Graph.op) :
     (unit, Diag.t) result =
   let env = C.empty_env in
   let* env =
@@ -261,8 +262,9 @@ let make_op_verifier ~native (rop : Resolve.op) (op : Graph.op) :
   let* () = verify_successors ~op rop.op_successors in
   verify_cpp ~native ~op rop.op_cpp
 
-let make_params_verifier ~native ~what ~qual_name (slots : Resolve.slot list)
-    (cpp : string list) (params : Attr.t list) : (unit, Diag.t) result =
+let make_params_verifier_interp ~native ~what ~qual_name
+    (slots : Resolve.slot list) (cpp : string list) (params : Attr.t list) :
+    (unit, Diag.t) result =
   if List.length params <> List.length slots then
     Diag.errorf "%s '%s' expects %d parameters, got %d" what qual_name
       (List.length slots) (List.length params)
@@ -292,14 +294,206 @@ let make_params_verifier ~native ~what ~qual_name (slots : Resolve.slot list)
       (Ok ()) cpp
 
 (* ---------------------------------------------------------------- *)
+(* Verifier generation (compiled)                                    *)
+(* ---------------------------------------------------------------- *)
+
+(* A slot whose (variadic-stripped) constraint has been lowered to a
+   checker closure. The original slot rides along for [assign_slots] and
+   diagnostics. *)
+type cslot = {
+  c_slot : Resolve.slot;
+  c_optional : bool;
+  c_check : C.checker;
+}
+
+let compile_slot ~native (s : Resolve.slot) =
+  {
+    c_slot = s;
+    c_optional = C.is_optional s.s_constraint;
+    c_check = C.compile ~native (C.strip_variadic s.s_constraint);
+  }
+
+(* A compiled operand/result/region-argument group: the raw slot list is
+   kept pre-extracted so segmentation pays no per-verify allocation. *)
+type cgroup = { g_raw : Resolve.slot list; g_slots : cslot list }
+
+let compile_group ~native slots =
+  { g_raw = slots; g_slots = List.map (compile_slot ~native) slots }
+
+type cregion = { r_def : Resolve.region; r_args : cgroup }
+
+let check_cslot_group ~env ~(op : Graph.op) ~what (cs : cslot)
+    (tys : Attr.ty list) =
+  List.fold_left
+    (fun acc ty ->
+      let* env = acc in
+      match cs.c_check env (Attr.typ ty) with
+      | Ok env -> Ok env
+      | Error reason ->
+          Diag.errorf ~loc:op.op_loc "'%s': %s '%s': %s" op.op_name what
+            cs.c_slot.s_name reason)
+    (Ok env) tys
+
+let verify_value_cslots ~env ~op ~what ~seg_attr (g : cgroup) values =
+  let tys = List.map Graph.Value.ty values in
+  let* groups = assign_slots ~what ~seg_attr ~op g.g_raw tys in
+  List.fold_left2
+    (fun acc cslot group ->
+      let* env = acc in
+      check_cslot_group ~env ~op ~what cslot group)
+    (Ok env) g.g_slots groups
+
+let verify_cattributes ~env ~(op : Graph.op) (cslots : cslot list) =
+  List.fold_left
+    (fun acc (cs : cslot) ->
+      let* env = acc in
+      match Graph.Op.attr op cs.c_slot.s_name with
+      | None ->
+          if cs.c_optional then Ok env
+          else
+            Diag.errorf ~loc:op.op_loc "'%s' requires attribute '%s'"
+              op.op_name cs.c_slot.s_name
+      | Some a -> (
+          match cs.c_check env a with
+          | Ok env -> Ok env
+          | Error reason ->
+              Diag.errorf ~loc:op.op_loc "'%s': attribute '%s': %s" op.op_name
+                cs.c_slot.s_name reason))
+    (Ok env) cslots
+
+let verify_cregions ~env ~(op : Graph.op) (cregions : cregion list) =
+  if List.length op.regions <> List.length cregions then
+    Diag.errorf ~loc:op.op_loc "'%s' expects %d regions, got %d" op.op_name
+      (List.length cregions)
+      (List.length op.regions)
+  else
+    List.fold_left2
+      (fun acc (cr : cregion) (region : Graph.region) ->
+        let rd = cr.r_def in
+        let* env = acc in
+        let* env =
+          match Graph.Region.entry region with
+          | None ->
+              if rd.reg_args = [] && rd.reg_terminator = None then Ok env
+              else
+                Diag.errorf ~loc:op.op_loc
+                  "'%s': region '%s' must not be empty" op.op_name rd.reg_name
+          | Some entry ->
+              verify_value_cslots ~env ~op ~what:"region argument"
+                ~seg_attr:"regionArgSegmentSizes" cr.r_args
+                (Graph.Block.args entry)
+        in
+        match rd.reg_terminator with
+        | None -> Ok env
+        | Some term_name -> (
+            if Graph.Region.num_blocks region <> 1 then
+              Diag.errorf ~loc:op.op_loc
+                "'%s': region '%s' must consist of a single block" op.op_name
+                rd.reg_name
+            else
+              match Graph.Region.entry region with
+              | None -> assert false
+              | Some entry -> (
+                  match Graph.Block.terminator entry with
+                  | Some last when last.op_name = term_name -> Ok env
+                  | Some last ->
+                      Diag.errorf ~loc:op.op_loc
+                        "'%s': region '%s' must end with '%s', found '%s'"
+                        op.op_name rd.reg_name term_name last.op_name
+                  | None ->
+                      Diag.errorf ~loc:op.op_loc
+                        "'%s': region '%s' must end with '%s' but is empty"
+                        op.op_name rd.reg_name term_name)))
+      (Ok env) cregions op.regions
+
+(** The generated operation verifier: the runtime analog of Listing 2's
+    [MulOp::verify]. Partially applying to the resolved op compiles every
+    slot constraint once — registration stores the returned closure, so
+    verification never re-interprets the constraint tree. *)
+let make_op_verifier ~native (rop : Resolve.op) : Graph.op ->
+    (unit, Diag.t) result =
+  let operands = compile_group ~native rop.op_operands in
+  let results = compile_group ~native rop.op_results in
+  let attributes = List.map (compile_slot ~native) rop.op_attributes in
+  let regions =
+    List.map
+      (fun (rd : Resolve.region) ->
+        { r_def = rd; r_args = compile_group ~native rd.reg_args })
+      rop.op_regions
+  in
+  fun (op : Graph.op) ->
+    let env = C.empty_env in
+    let* env =
+      verify_value_cslots ~env ~op ~what:"operand"
+        ~seg_attr:"operandSegmentSizes" operands op.operands
+    in
+    let* env =
+      verify_value_cslots ~env ~op ~what:"result"
+        ~seg_attr:"resultSegmentSizes" results op.results
+    in
+    let* env = verify_cattributes ~env ~op attributes in
+    let* _env = verify_cregions ~env ~op regions in
+    let* () = verify_successors ~op rop.op_successors in
+    verify_cpp ~native ~op rop.op_cpp
+
+(** The generated type/attribute parameter verifier, compiled the same way:
+    partial application up to [cpp] lowers every parameter constraint. *)
+let make_params_verifier ~native ~what ~qual_name (slots : Resolve.slot list)
+    (cpp : string list) : Attr.t list -> (unit, Diag.t) result =
+  let n = List.length slots in
+  let checks =
+    List.map
+      (fun (s : Resolve.slot) -> (s, C.compile ~native s.s_constraint))
+      slots
+  in
+  fun (params : Attr.t list) ->
+    if List.length params <> n then
+      Diag.errorf "%s '%s' expects %d parameters, got %d" what qual_name n
+        (List.length params)
+    else
+      let* _env =
+        List.fold_left2
+          (fun acc ((s : Resolve.slot), check) param ->
+            let* env = acc in
+            match check env param with
+            | Ok env -> Ok env
+            | Error reason ->
+                Diag.errorf "%s '%s': parameter '%s': %s" what qual_name
+                  s.s_name reason)
+          (Ok C.empty_env) checks params
+      in
+      List.fold_left
+        (fun acc snippet ->
+          let* () = acc in
+          match Native.check_def native snippet params with
+          | Ok true -> Ok ()
+          | Ok false ->
+              Diag.errorf "%s '%s' violates native constraint %S" what
+                qual_name snippet
+          | Error snippet ->
+              Diag.errorf "no native hook registered for %S (strict mode)"
+                snippet)
+        (Ok ()) cpp
+
+(* ---------------------------------------------------------------- *)
 (* Registration                                                      *)
 (* ---------------------------------------------------------------- *)
 
 (** Register a resolved dialect into [ctx]. Compiles declarative formats
-    eagerly so malformed specs fail at registration, not first use. *)
-let register ?(native = Native.default) (ctx : Context.t)
+    eagerly so malformed specs fail at registration, not first use, and —
+    unless [compile:false] selects the interpreted reference verifiers —
+    lowers every constraint to its closure form once, here. *)
+let register ?(native = Native.default) ?(compile = true) (ctx : Context.t)
     (dl : Resolve.dialect) : (unit, Diag.t) result =
   Diag.protect @@ fun () ->
+  let params_verifier ~what ~qual_name slots cpp =
+    if compile then make_params_verifier ~native ~what ~qual_name slots cpp
+    else make_params_verifier_interp ~native ~what ~qual_name slots cpp
+  in
+  let op_verifier rop =
+    if compile then make_op_verifier ~native rop
+    else make_op_verifier_interp ~native rop
+  in
   let lookup_type_params ~dialect ~name =
     if dialect = dl.dl_name then
       List.find_opt (fun (t : Resolve.typedef) -> t.td_name = name) dl.dl_types
@@ -322,9 +516,7 @@ let register ?(native = Native.default) (ctx : Context.t)
           td_num_params = List.length td.td_params;
           td_verify =
             (let qual_name = dl.dl_name ^ "." ^ td.td_name in
-             fun params ->
-               make_params_verifier ~native ~what:"type" ~qual_name
-                 td.td_params td.td_cpp params);
+             params_verifier ~what:"type" ~qual_name td.td_params td.td_cpp);
         })
     dl.dl_types;
   List.iter
@@ -337,9 +529,8 @@ let register ?(native = Native.default) (ctx : Context.t)
           ad_num_params = List.length ad.td_params;
           ad_verify =
             (let qual_name = dl.dl_name ^ "." ^ ad.td_name in
-             fun params ->
-               make_params_verifier ~native ~what:"attribute" ~qual_name
-                 ad.td_params ad.td_cpp params);
+             params_verifier ~what:"attribute" ~qual_name ad.td_params
+               ad.td_cpp);
         })
     dl.dl_attrs;
   List.iter
@@ -359,7 +550,7 @@ let register ?(native = Native.default) (ctx : Context.t)
           od_summary = Option.value ~default:"" rop.op_summary;
           od_is_terminator = rop.op_successors <> None;
           od_num_regions = List.length rop.op_regions;
-          od_verify = make_op_verifier ~native rop;
+          od_verify = op_verifier rop;
           od_format;
         })
     dl.dl_ops

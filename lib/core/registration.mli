@@ -17,9 +17,22 @@ val assign_slots :
 val make_op_verifier :
   native:Native.t -> Resolve.op -> Graph.op -> (unit, Diag.t) result
 (** The generated operation verifier (arity, constraints with shared
-    variables, attributes, regions, successors, IRDL-C++ hooks). *)
+    variables, attributes, regions, successors, IRDL-C++ hooks). Partial
+    application to the resolved op lowers every constraint to its compiled
+    checker form once ({!Constraint_expr.compile}); registration stores the
+    returned closure. *)
+
+val make_op_verifier_interp :
+  native:Native.t -> Resolve.op -> Graph.op -> (unit, Diag.t) result
+(** The interpreted reference oracle: same semantics as
+    {!make_op_verifier}, re-walking the constraint tree on every check.
+    Used by differential tests and the verification benchmarks. *)
 
 val register :
-  ?native:Native.t -> Context.t -> Resolve.dialect -> (unit, Diag.t) result
+  ?native:Native.t -> ?compile:bool -> Context.t -> Resolve.dialect ->
+  (unit, Diag.t) result
 (** Register a resolved dialect. Declarative formats are compiled eagerly so
-    malformed specs fail at registration, not first use. *)
+    malformed specs fail at registration, not first use. [compile] (default
+    [true]) selects the compiled verifiers; [compile:false] registers the
+    interpreted reference verifiers instead, for benchmarking and
+    differential testing. *)

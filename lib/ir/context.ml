@@ -48,10 +48,107 @@ type t = {
       (** When true (the default, as in [mlir-opt
           --allow-unregistered-dialect]), operations of unknown dialects
           parse and verify structurally only. *)
+  vc_ty : (int, (unit, Diag.t) result) Hashtbl.t;
+      (** Memoized type-verification results, keyed by the dense {!Attr.id_ty}
+          of the (hash-consed) type. Valid because types are immutable and
+          the result depends only on this context's registrations; cleared
+          whenever a definition is registered. *)
+  vc_attr : (int, (unit, Diag.t) result) Hashtbl.t;
+  mutable vc_enabled : bool;
+  mutable vc_hits : int;
+  mutable vc_misses : int;
+  mutable vc_invalidations : int;
 }
 
 let create ?(allow_unregistered = true) () =
-  { dialects = SMap.empty; allow_unregistered }
+  {
+    dialects = SMap.empty;
+    allow_unregistered;
+    vc_ty = Hashtbl.create 256;
+    vc_attr = Hashtbl.create 256;
+    vc_enabled = true;
+    vc_hits = 0;
+    vc_misses = 0;
+    vc_invalidations = 0;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Verification cache                                                *)
+(* ---------------------------------------------------------------- *)
+
+(* Counts only flushes that actually dropped entries, so corpus-sized
+   registration bursts into a fresh context don't inflate the number. *)
+let invalidate_verify_cache t =
+  if Hashtbl.length t.vc_ty > 0 || Hashtbl.length t.vc_attr > 0 then begin
+    Hashtbl.reset t.vc_ty;
+    Hashtbl.reset t.vc_attr;
+    t.vc_invalidations <- t.vc_invalidations + 1
+  end
+
+let cached_verify_ty t id compute =
+  if not t.vc_enabled then compute ()
+  else
+    match Hashtbl.find_opt t.vc_ty id with
+    | Some r ->
+        t.vc_hits <- t.vc_hits + 1;
+        r
+    | None ->
+        t.vc_misses <- t.vc_misses + 1;
+        let r = compute () in
+        Hashtbl.replace t.vc_ty id r;
+        r
+
+let cached_verify_attr t id compute =
+  if not t.vc_enabled then compute ()
+  else
+    match Hashtbl.find_opt t.vc_attr id with
+    | Some r ->
+        t.vc_hits <- t.vc_hits + 1;
+        r
+    | None ->
+        t.vc_misses <- t.vc_misses + 1;
+        let r = compute () in
+        Hashtbl.replace t.vc_attr id r;
+        r
+
+(* [set_verify_cache t false] restores the pre-memoization behaviour (every
+   node re-verified on every visit) — the baseline configuration for
+   benchmarks and differential tests. Disabling flushes so a later re-enable
+   starts from a clean slate. *)
+let set_verify_cache t enabled =
+  if (not enabled) && t.vc_enabled then invalidate_verify_cache t;
+  t.vc_enabled <- enabled
+
+let verify_cache_enabled t = t.vc_enabled
+
+type verify_stats = {
+  vs_ty_entries : int;
+  vs_attr_entries : int;
+  vs_hits : int;
+  vs_misses : int;
+  vs_invalidations : int;
+}
+
+let verify_stats t =
+  {
+    vs_ty_entries = Hashtbl.length t.vc_ty;
+    vs_attr_entries = Hashtbl.length t.vc_attr;
+    vs_hits = t.vc_hits;
+    vs_misses = t.vc_misses;
+    vs_invalidations = t.vc_invalidations;
+  }
+
+let verify_hit_rate { vs_hits; vs_misses; _ } =
+  let total = vs_hits + vs_misses in
+  if total = 0 then 0. else float_of_int vs_hits /. float_of_int total
+
+let pp_verify_stats ppf s =
+  Fmt.pf ppf
+    "%d type + %d attr entries, %d hits / %d misses (%.1f%% hit rate), %d \
+     invalidations"
+    s.vs_ty_entries s.vs_attr_entries s.vs_hits s.vs_misses
+    (100. *. verify_hit_rate s)
+    s.vs_invalidations
 
 let qualified ~dialect ~name = dialect ^ "." ^ name
 
@@ -75,21 +172,24 @@ let register_op t (od : op_def) =
   if SMap.mem od.od_name d.d_ops then
     Diag.raise_error "operation '%s.%s' is already registered" od.od_dialect
       od.od_name;
-  d.d_ops <- SMap.add od.od_name od d.d_ops
+  d.d_ops <- SMap.add od.od_name od d.d_ops;
+  invalidate_verify_cache t
 
 let register_type t (td : type_def) =
   let d = register_dialect t td.td_dialect in
   if SMap.mem td.td_name d.d_types then
     Diag.raise_error "type '%s.%s' is already registered" td.td_dialect
       td.td_name;
-  d.d_types <- SMap.add td.td_name td d.d_types
+  d.d_types <- SMap.add td.td_name td d.d_types;
+  invalidate_verify_cache t
 
 let register_attr t (ad : attr_def) =
   let d = register_dialect t ad.ad_dialect in
   if SMap.mem ad.ad_name d.d_attrs then
     Diag.raise_error "attribute '%s.%s' is already registered" ad.ad_dialect
       ad.ad_name;
-  d.d_attrs <- SMap.add ad.ad_name ad d.d_attrs
+  d.d_attrs <- SMap.add ad.ad_name ad d.d_attrs;
+  invalidate_verify_cache t
 
 (** Look up the definition for a fully-qualified op name like ["cmath.mul"]. *)
 let lookup_op t qualified_name =

@@ -46,6 +46,14 @@ type t = {
   mutable allow_unregistered : bool;
       (** When true (the default), operations/types of unknown dialects
           parse and verify structurally only. *)
+  vc_ty : (int, (unit, Diag.t) result) Hashtbl.t;
+      (** Memoized type-verification results keyed by dense {!Attr.id_ty}
+          ids; managed by {!cached_verify_ty} and flushed on registration. *)
+  vc_attr : (int, (unit, Diag.t) result) Hashtbl.t;
+  mutable vc_enabled : bool;
+  mutable vc_hits : int;
+  mutable vc_misses : int;
+  mutable vc_invalidations : int;
 }
 
 val create : ?allow_unregistered:bool -> unit -> t
@@ -70,6 +78,51 @@ val lookup_attr : t -> dialect:string -> name:string -> attr_def option
 
 val op_stats : t -> int * int * int
 (** Total registered (operations, types, attributes). *)
+
+(** {2 Verification cache}
+
+    Hash-consing (PR 1) gives every type and attribute a dense integer id;
+    the context memoizes the result of verifying each one against the
+    registered definitions, so repeat visits are O(1). Registering any
+    operation, type or attribute definition flushes the cache (the new
+    definition may change what verifies). The cache must also be flushed
+    manually — {!invalidate_verify_cache} — if verification behaviour is
+    changed behind the context's back: flipping [allow_unregistered], or
+    registering new native hooks after verification started. *)
+
+val cached_verify_ty :
+  t -> int -> (unit -> (unit, Diag.t) result) -> (unit, Diag.t) result
+(** [cached_verify_ty t id compute] returns the memoized verification
+    result for the type with dense id [id], running (and recording)
+    [compute] on the first visit. *)
+
+val cached_verify_attr :
+  t -> int -> (unit -> (unit, Diag.t) result) -> (unit, Diag.t) result
+
+val invalidate_verify_cache : t -> unit
+(** Drop all memoized verification results. Called automatically by the
+    [register_*] functions; the invalidation counter increments only when
+    entries were actually dropped. *)
+
+val set_verify_cache : t -> bool -> unit
+(** Enable/disable memoization (enabled by default). Disabling flushes the
+    cache and restores the pre-memoization behaviour — every node
+    re-verified on every visit — which is the baseline configuration for
+    benchmarks and differential tests. *)
+
+val verify_cache_enabled : t -> bool
+
+type verify_stats = {
+  vs_ty_entries : int;
+  vs_attr_entries : int;
+  vs_hits : int;
+  vs_misses : int;
+  vs_invalidations : int;
+}
+
+val verify_stats : t -> verify_stats
+val verify_hit_rate : verify_stats -> float
+val pp_verify_stats : Format.formatter -> verify_stats -> unit
 
 type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
 

@@ -56,7 +56,10 @@ module type S = sig
 
   val id : table -> node -> int
   (** The unique id of [x]'s canonical node, interning it if needed. Ids are
-      dense, starting at 0, and never reused within a table. *)
+      dense, starting at 0, and never reused within a table. When [x] is
+      itself canonical (the common case: every constructor interns), the
+      lookup is O(1) via a physical-identity side table rather than a
+      structural re-hash of the whole node. *)
 
   val mem : table -> node -> bool
 
@@ -73,52 +76,89 @@ module Make (H : HASHED) : S with type node = H.t = struct
 
   module Tbl = Hashtbl.Make (H)
 
+  (* Physical-identity side table over canonical nodes. The depth-limited
+     [Hashtbl.hash] only picks a bucket (O(1) even on huge trees); [(==)]
+     decides membership, which is sound because only canonical nodes are
+     ever inserted and each one is inserted exactly once. This is what makes
+     [id] O(1) on an already-interned node instead of a full structural
+     re-hash — the property the verification cache's "dense key" relies on. *)
+  module Phys = Hashtbl.Make (struct
+    type t = H.t
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end)
+
   type table = {
     tbl : (node * int) Tbl.t;
+    phys : int Phys.t;  (** canonical node ↦ id *)
     mutable next_id : int;
     mutable hits : int;
     mutable misses : int;
   }
 
   let create ?(size = 1024) () =
-    { tbl = Tbl.create size; next_id = 0; hits = 0; misses = 0 }
+    {
+      tbl = Tbl.create size;
+      phys = Phys.create size;
+      next_id = 0;
+      hits = 0;
+      misses = 0;
+    }
+
+  let insert t x =
+    let id = t.next_id in
+    t.misses <- t.misses + 1;
+    Tbl.add t.tbl x (x, id);
+    Phys.add t.phys x id;
+    t.next_id <- t.next_id + 1;
+    id
 
   let intern t x =
-    match Tbl.find_opt t.tbl x with
-    | Some (canonical, _) ->
-        t.hits <- t.hits + 1;
-        canonical
-    | None ->
-        t.misses <- t.misses + 1;
-        Tbl.add t.tbl x (x, t.next_id);
-        t.next_id <- t.next_id + 1;
-        x
+    if Phys.mem t.phys x then begin
+      t.hits <- t.hits + 1;
+      x
+    end
+    else
+      match Tbl.find_opt t.tbl x with
+      | Some (canonical, _) ->
+          t.hits <- t.hits + 1;
+          canonical
+      | None ->
+          ignore (insert t x);
+          x
 
   let find t x =
-    match Tbl.find_opt t.tbl x with
-    | Some (canonical, _) ->
-        t.hits <- t.hits + 1;
-        Some canonical
-    | None -> None
+    if Phys.mem t.phys x then begin
+      t.hits <- t.hits + 1;
+      Some x
+    end
+    else
+      match Tbl.find_opt t.tbl x with
+      | Some (canonical, _) ->
+          t.hits <- t.hits + 1;
+          Some canonical
+      | None -> None
 
   let id t x =
-    match Tbl.find_opt t.tbl x with
-    | Some (_, id) ->
+    match Phys.find_opt t.phys x with
+    | Some id ->
         t.hits <- t.hits + 1;
         id
-    | None ->
-        let id = t.next_id in
-        t.misses <- t.misses + 1;
-        Tbl.add t.tbl x (x, id);
-        t.next_id <- t.next_id + 1;
-        id
+    | None -> (
+        match Tbl.find_opt t.tbl x with
+        | Some (_, id) ->
+            t.hits <- t.hits + 1;
+            id
+        | None -> insert t x)
 
-  let mem t x = Tbl.mem t.tbl x
+  let mem t x = Phys.mem t.phys x || Tbl.mem t.tbl x
 
   let stats t = { nodes = Tbl.length t.tbl; hits = t.hits; misses = t.misses }
 
   let clear t =
     Tbl.reset t.tbl;
+    Phys.reset t.phys;
     t.next_id <- 0;
     t.hits <- 0;
     t.misses <- 0

@@ -10,7 +10,19 @@ open Irdl_support
 
 let ( let* ) = Result.bind
 
+(* Types and attributes are hash-consed with dense ids (PR 1), so the
+   context memoizes each composite node's verification result: repeat
+   visits of a type already seen — the common case in any realistic module
+   — are a single hashtable probe. Leaf nodes verify vacuously and are not
+   worth an entry. *)
 let rec verify_ty ctx (ty : Attr.ty) =
+  match ty with
+  | Attr.Dynamic _ | Attr.Function _ | Attr.Tuple _ ->
+      Context.cached_verify_ty ctx (Attr.id_ty ty) (fun () ->
+          verify_ty_uncached ctx ty)
+  | _ -> Ok ()
+
+and verify_ty_uncached ctx (ty : Attr.ty) =
   match ty with
   | Attr.Dynamic { dialect; name; params } -> (
       let* () = verify_params ctx params in
@@ -39,6 +51,13 @@ and verify_attr ctx (a : Attr.t) =
   match a with
   | Attr.Type ty -> verify_ty ctx ty
   | Attr.Int { ty; _ } | Attr.Float_attr { ty; _ } -> verify_ty ctx ty
+  | Attr.Array _ | Attr.Dict _ | Attr.Dyn_attr _ ->
+      Context.cached_verify_attr ctx (Attr.id a) (fun () ->
+          verify_attr_uncached ctx a)
+  | _ -> Ok ()
+
+and verify_attr_uncached ctx (a : Attr.t) =
+  match a with
   | Attr.Array xs -> verify_params ctx xs
   | Attr.Dict kvs -> verify_params ctx (List.map snd kvs)
   | Attr.Dyn_attr { dialect; name; params } -> (

@@ -15,6 +15,8 @@ let () =
       ("irdl-frontend", Test_irdl_frontend.suite);
       ("pp-property", Test_pp_property.suite);
       ("constraints", Test_constraints.suite);
+      ("constraint-compile", Test_constraint_compile.suite);
+      ("verify-cache", Test_verify_cache.suite);
       ("resolve", Test_resolve.suite);
       ("registration", Test_registration.suite);
       ("opformat", Test_opformat.suite);

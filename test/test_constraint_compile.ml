@@ -1,0 +1,254 @@
+(** Differential tests for the compiled constraint checkers.
+
+    {!Irdl_core.Constraint_expr.compile} must be observationally equivalent
+    to the interpreted {!Irdl_core.Constraint_expr.verify}: same
+    accept/reject decision, same final environment bindings, same failure
+    message, on every constraint tree and attribute. The interpreter is the
+    reference oracle; these properties run the two against each other on
+    generated constraint/attribute pairs (1000+ cases per run), including
+    shared constraint variables, nested [AnyOf] and negation. *)
+
+open Irdl_ir
+module C = Irdl_core.Constraint_expr
+open QCheck2.Gen
+
+let native = Irdl_core.Native.create ()
+
+(* ---------------- generators ---------------- *)
+
+(* A deliberately small attribute pool so that generated constraints accept
+   generated attributes often enough to exercise the success paths (and the
+   environments they build), not just the failure messages. *)
+let base_attrs =
+  [
+    Attr.typ Attr.f32;
+    Attr.typ Attr.f64;
+    Attr.typ Attr.i32;
+    Attr.typ (Attr.dynamic ~dialect:"cmath" ~name:"complex"
+                [ Attr.typ Attr.f32 ]);
+    Attr.int 0L;
+    Attr.int 3L;
+    Attr.int ~ty:Attr.i32 1L;
+    Attr.float 1.5;
+    Attr.float ~ty:Attr.f32 0.25;
+    Attr.string "a";
+    Attr.string "b";
+    Attr.bool true;
+    Attr.unit;
+    Attr.symbol "sym";
+    Attr.enum ~dialect:"d" ~enum:"e" "A";
+    Attr.enum ~dialect:"d" ~enum:"e" "B";
+    Attr.opaque ~tag:"P" "x";
+    Attr.opaque ~tag:"Q" "y";
+    Attr.type_id "X";
+    Attr.location ~file:"f.mlir" ~line:1 ~col:2;
+  ]
+
+let attr_gen =
+  let scalar = oneofl base_attrs in
+  let rec go n =
+    if n = 0 then scalar
+    else
+      frequency
+        [
+          (4, scalar);
+          (1, map Attr.array (list_size (int_range 0 3) (go (n - 1))));
+          ( 1,
+            map
+              (fun ps -> Attr.dyn_attr ~dialect:"d" ~name:"a" ps)
+              (list_size (int_range 0 2) (go (n - 1))) );
+        ]
+  in
+  go 2
+
+let int_kind w s = C.Int_param { C.ik_width = w; ik_signedness = s }
+
+let leaf_constraint_gen =
+  oneof
+    [
+      oneofl
+        [
+          C.Any;
+          C.Any_type;
+          C.Any_attr;
+          C.String_param;
+          C.Symbol_param;
+          C.Bool_param;
+          C.Location_param;
+          C.Type_id_param;
+          C.Array_any;
+          int_kind 32 Attr.Signless;
+          int_kind 8 Attr.Unsigned;
+          C.Float_param None;
+          C.Float_param (Some Attr.F32);
+          C.Enum_param { dialect = "d"; enum = "e" };
+          C.Native_param { name = "P"; class_name = "char*" };
+          C.Base_type { dialect = "cmath"; name = "complex"; params = None };
+          C.Base_type
+            {
+              dialect = "cmath";
+              name = "complex";
+              params = Some [ C.Eq (Attr.typ Attr.f32) ];
+            };
+          C.Base_attr { dialect = "d"; name = "a"; params = None };
+          C.Base_attr { dialect = "d"; name = "a"; params = Some [ C.Any ] };
+        ];
+      map (fun a -> C.Eq a) attr_gen;
+    ]
+
+let constraint_gen =
+  let rec go n =
+    if n = 0 then leaf_constraint_gen
+    else
+      let sub = go (n - 1) in
+      frequency
+        [
+          (3, leaf_constraint_gen);
+          (2, map (fun cs -> C.Any_of cs) (list_size (int_range 1 3) sub));
+          (2, map (fun cs -> C.And cs) (list_size (int_range 1 3) sub));
+          (1, map (fun c -> C.Not c) sub);
+          (1, map (fun c -> C.Array_of c) sub);
+          (1, map (fun cs -> C.Array_exact cs) (list_size (int_range 0 2) sub));
+          ( 2,
+            map2
+              (fun name c -> C.Var { C.v_name = name; v_constraint = c })
+              (oneofl [ "T"; "U" ])
+              sub );
+          ( 1,
+            map
+              (fun c ->
+                C.Native { name = "nat"; base = c; snippets = [ "$_self" ] })
+              sub );
+        ]
+  in
+  go 3
+
+(* ---------------- the differential oracle ---------------- *)
+
+let pp_result ppf = function
+  | Ok env ->
+      Fmt.pf ppf "Ok {%a}"
+        Fmt.(
+          list ~sep:(any "; ") (fun ppf (k, v) ->
+              Fmt.pf ppf "%s=%a" k Attr.pp v))
+        (C.Env.bindings env)
+  | Error msg -> Fmt.pf ppf "Error %S" msg
+
+let same_result r1 r2 =
+  match (r1, r2) with
+  | Ok e1, Ok e2 -> C.Env.equal Attr.equal e1 e2
+  | Error m1, Error m2 -> String.equal m1 m2
+  | _ -> false
+
+let agree what c attrs =
+  let check = C.compile ~native c in
+  let run step =
+    List.fold_left
+      (fun acc a ->
+        match acc with Error _ as e -> e | Ok env -> step env a)
+      (Ok C.empty_env) attrs
+  in
+  let interpreted = run (fun env a -> C.verify ~native ~env c a) in
+  let compiled = run (fun env a -> check env a) in
+  if same_result interpreted compiled then true
+  else
+    QCheck2.Test.fail_reportf
+      "%s: compiled and interpreted disagree on@ %a@ against [%a]:@ \
+       interpreted %a@ compiled %a"
+      what C.pp c
+      Fmt.(list ~sep:(any ", ") Attr.pp)
+      attrs pp_result interpreted pp_result compiled
+
+let single_check =
+  QCheck2.Test.make ~name:"compiled = interpreted (single check)" ~count:700
+    (pair constraint_gen attr_gen)
+    (fun (c, a) -> agree "single" c [ a ])
+
+(* Threading one environment through several checks of the same constraint
+   is how operand slots share [ConstraintVars] variables: the first check
+   binds, later checks must agree — on both evaluators identically. *)
+let threaded_checks =
+  QCheck2.Test.make ~name:"compiled = interpreted (threaded env)" ~count:400
+    (pair constraint_gen (list_size (int_range 1 4) attr_gen))
+    (fun (c, attrs) -> agree "threaded" c attrs)
+
+(* ---------------- directed corners ---------------- *)
+
+let var t = C.Var { C.v_name = "T"; v_constraint = t }
+
+let directed () =
+  (* Var sharing across checks: second binding must match the first. *)
+  Alcotest.(check bool)
+    "var sharing conflict agrees" true
+    (agree "var-conflict" (var C.Any_type)
+       [ Attr.typ Attr.f32; Attr.typ Attr.f64 ]);
+  Alcotest.(check bool)
+    "var sharing match agrees" true
+    (agree "var-match" (var C.Any_type) [ Attr.typ Attr.f32; Attr.typ Attr.f32 ]);
+  (* A failed AnyOf branch must not leak the bindings it made. *)
+  let leaky_branch =
+    C.Any_of [ C.And [ var C.Any_type; C.String_param ]; C.Any_type ]
+  in
+  Alcotest.(check bool)
+    "failed AnyOf branch agrees" true
+    (agree "anyof-leak" leaky_branch [ Attr.typ Attr.f32 ]);
+  (match C.compile ~native leaky_branch C.empty_env (Attr.typ Attr.f32) with
+  | Ok env ->
+      Alcotest.(check bool)
+        "compiled failed branch leaks no binding" true (C.Env.is_empty env)
+  | Error m -> Alcotest.failf "expected success, got %s" m);
+  (* Nested AnyOf, successful inner alternative. *)
+  let nested =
+    C.Any_of
+      [
+        C.Any_of [ C.String_param; C.Bool_param ];
+        C.Any_of [ var (C.Eq (Attr.int 3L)); C.Any ];
+      ]
+  in
+  Alcotest.(check bool)
+    "nested AnyOf agrees" true
+    (agree "anyof-nested" nested [ Attr.int 3L ]);
+  (* Negation discards bindings and flips the verdict — identically. *)
+  let neg = C.Not (var C.Any_type) in
+  Alcotest.(check bool)
+    "Not rejects satisfying value" true
+    (agree "not-sat" neg [ Attr.typ Attr.f32 ]);
+  Alcotest.(check bool)
+    "Not accepts violating value" true
+    (agree "not-unsat" neg [ Attr.string "s" ]);
+  (match C.compile ~native neg C.empty_env (Attr.string "s") with
+  | Ok env ->
+      Alcotest.(check bool)
+        "Not leaks no binding" true (C.Env.is_empty env)
+  | Error m -> Alcotest.failf "expected success, got %s" m)
+
+let compile_ty_agrees () =
+  let c =
+    C.Any_of
+      [
+        C.Eq (Attr.typ Attr.f64);
+        C.Base_type { dialect = "cmath"; name = "complex"; params = None };
+      ]
+  in
+  let tys =
+    [
+      Attr.f64;
+      Attr.f32;
+      Attr.dynamic ~dialect:"cmath" ~name:"complex" [ Attr.typ Attr.f32 ];
+    ]
+  in
+  List.iter
+    (fun ty ->
+      let interpreted = C.verify_ty ~native ~env:C.empty_env c ty in
+      let compiled = C.compile_ty ~native c C.empty_env ty in
+      if not (same_result interpreted compiled) then
+        Alcotest.failf "compile_ty disagrees on %a" Attr.pp_ty ty)
+    tys
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest single_check;
+    QCheck_alcotest.to_alcotest threaded_checks;
+    Util.tc "directed corners" directed;
+    Util.tc "compile_ty" compile_ty_agrees;
+  ]

@@ -163,6 +163,53 @@ let variables_in_not () =
   | Ok env -> Alcotest.(check bool) "no leak" true (C.Env.is_empty env)
   | Error e -> Alcotest.fail e
 
+(* The interpreted evaluator must restore the environment when a branch
+   fails: bindings made inside a failed [AnyOf] alternative or a failed
+   [And] conjunct must not leak into subsequent checks. (The env is a
+   persistent map, so this holds by construction — these tests pin the
+   behaviour down so a future mutable-env optimisation cannot silently
+   break it.) *)
+let env_restoration_anyof () =
+  let v = { C.v_name = "T"; v_constraint = C.Any_type } in
+  (* First alternative binds T, then fails on String_param; the succeeding
+     second alternative must see no binding for T. *)
+  let c = C.Any_of [ C.And [ C.Var v; C.String_param ]; C.Any_type ] in
+  (match C.verify ~native ~env:C.empty_env c (tyv Attr.f32) with
+  | Ok env ->
+      Alcotest.(check bool) "failed branch binding dropped" true
+        (C.Env.is_empty env)
+  | Error e -> Alcotest.fail e);
+  (* With T pre-bound to f64, the first alternative fails on the Var
+     equality; the pre-existing binding must survive untouched. *)
+  let env0 = C.Env.add "T" (tyv Attr.f64) C.empty_env in
+  let c' = C.Any_of [ C.And [ C.Var v; C.Any ]; C.Any_type ] in
+  match C.verify ~native ~env:env0 c' (tyv Attr.f32) with
+  | Ok env ->
+      Alcotest.(check bool) "pre-existing binding intact" true
+        (C.Env.equal Attr.equal env env0)
+  | Error e -> Alcotest.fail e
+
+let env_restoration_and () =
+  let v = { C.v_name = "T"; v_constraint = C.Any_type } in
+  (* The And fails on its second conjunct after the first bound T: the
+     caller's environment must be unchanged by the failed check. *)
+  let env0 = C.empty_env in
+  let c = C.And [ C.Var v; C.String_param ] in
+  (match C.verify ~native ~env:env0 c (tyv Attr.f32) with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error _ -> ());
+  Alcotest.(check bool) "caller env unchanged" true (C.Env.is_empty env0);
+  (* The same failed And inside an enclosing AnyOf: a later use of T must
+     bind fresh, not see the failed conjunct's binding. *)
+  let c' = C.Any_of [ c; C.Var v ] in
+  match C.verify ~native ~env:C.empty_env c' (tyv Attr.f64) with
+  | Ok env ->
+      Alcotest.(check bool) "T re-bound by surviving branch" true
+        (match C.Env.find_opt "T" env with
+        | Some a -> Attr.equal a (tyv Attr.f64)
+        | None -> false)
+  | Error e -> Alcotest.fail e
+
 let natives () =
   let n = Irdl_core.Native.create () in
   Irdl_core.Native.register_param_hook n "$_self > 0" (fun a ->
@@ -268,6 +315,8 @@ let suite =
     tc "AnyOf / And / Not" combinators;
     tc "constraint variables bind once" variables;
     tc "negation discards bindings" variables_in_not;
+    tc "failed AnyOf branches restore the env" env_restoration_anyof;
+    tc "failed And conjuncts restore the env" env_restoration_and;
     tc "native constraints run registered hooks" natives;
     tc "unregistered snippets: counted or strict" natives_unregistered;
     tc "native parameters match tags" native_params;

@@ -295,6 +295,85 @@ let region_arg_variadic () =
   verify_err ctx (mk [ Attr.f32 ]);
   verify_err ctx (mk [ Attr.i32; Attr.i32 ])
 
+(* ---------------- assign_slots edge cases (direct) ---------------- *)
+
+module CE = Irdl_core.Constraint_expr
+
+let slot name c =
+  { Irdl_core.Resolve.s_name = name; s_constraint = c;
+    s_loc = Irdl_support.Loc.unknown }
+
+(* Two variadic groups around a required slot: the shape that cannot be
+   inferred and must carry operandSegmentSizes. *)
+let two_variadic_slots =
+  [
+    slot "a" (CE.Variadic (CE.Eq (Attr.typ Attr.i32)));
+    slot "b" (CE.Eq (Attr.typ Attr.f32));
+    slot "c" (CE.Variadic (CE.Eq (Attr.typ Attr.i32)));
+  ]
+
+let seg_sizes sizes =
+  ("operandSegmentSizes",
+   Attr.array (List.map (fun i -> Attr.int (Int64.of_int i)) sizes))
+
+let assign ?attrs slots n_values =
+  let op = Graph.Op.create ?attrs "d.x" in
+  Irdl_core.Registration.assign_slots ~what:"operand"
+    ~seg_attr:"operandSegmentSizes" ~op slots
+    (List.init n_values (fun i -> i))
+
+let assign_slots_missing_segments () =
+  check_err_containing "missing attribute" "operandSegmentSizes"
+    (assign two_variadic_slots 3)
+
+let assign_slots_wrong_group_count () =
+  check_err_containing "too few entries" "2 entries but"
+    (assign ~attrs:[ seg_sizes [ 2; 1 ] ] two_variadic_slots 3);
+  check_err_containing "too many entries" "4 entries but"
+    (assign ~attrs:[ seg_sizes [ 1; 1; 1; 0 ] ] two_variadic_slots 3)
+
+let assign_slots_sum_mismatch () =
+  check_err_containing "sum too small" "sums to 2 but"
+    (assign ~attrs:[ seg_sizes [ 1; 1; 0 ] ] two_variadic_slots 3);
+  check_err_containing "sum too large" "sums to 5 but"
+    (assign ~attrs:[ seg_sizes [ 2; 1; 2 ] ] two_variadic_slots 3);
+  check_err_containing "non-variadic segment must be 1"
+    "must be 1"
+    (assign ~attrs:[ seg_sizes [ 1; 0; 2 ] ] two_variadic_slots 3)
+
+let assign_slots_zero_length_optional () =
+  let slots =
+    [
+      slot "a" (CE.Optional (CE.Eq (Attr.typ Attr.i32)));
+      slot "b" (CE.Eq (Attr.typ Attr.f32));
+      slot "c" (CE.Variadic (CE.Eq (Attr.typ Attr.i32)));
+    ]
+  in
+  (* Zero-length optional segment is legal and yields an empty group. *)
+  (match assign ~attrs:[ seg_sizes [ 0; 1; 2 ] ] slots 3 with
+  | Ok groups ->
+      Alcotest.(check (list (list int)))
+        "grouping" [ []; [ 0 ]; [ 1; 2 ] ] groups
+  | Error d -> Alcotest.failf "unexpected: %s" (Irdl_support.Diag.to_string d));
+  (* ... but an optional segment can never take more than one value. *)
+  check_err_containing "optional segment > 1" "at most 1"
+    (assign ~attrs:[ seg_sizes [ 2; 1; 0 ] ] slots 3);
+  (* Empty variadic groups on both sides of a required slot. *)
+  match assign ~attrs:[ seg_sizes [ 0; 1; 0 ] ] two_variadic_slots 1 with
+  | Ok groups ->
+      Alcotest.(check (list (list int))) "all-empty" [ []; [ 0 ]; [] ] groups
+  | Error d -> Alcotest.failf "unexpected: %s" (Irdl_support.Diag.to_string d)
+
+let assign_slots_non_array_segments () =
+  check_err_containing "segment attr must be an array" "array attribute"
+    (assign
+       ~attrs:[ ("operandSegmentSizes", Attr.int 3L) ]
+       two_variadic_slots 3);
+  check_err_containing "segment entries must be ints" "array of integers"
+    (assign
+       ~attrs:[ ("operandSegmentSizes", Attr.array [ Attr.string "x" ]) ]
+       two_variadic_slots 3)
+
 let suite =
   [
     tc "fixed arity checks" fixed_arity;
@@ -318,4 +397,11 @@ let suite =
     tc "op metadata: summary and format" registration_summary_metadata;
     tc "op metadata: terminators" terminator_metadata;
     tc "variadic region arguments" region_arg_variadic;
+    tc "assign_slots: missing operandSegmentSizes" assign_slots_missing_segments;
+    tc "assign_slots: wrong segment count" assign_slots_wrong_group_count;
+    tc "assign_slots: segment sum mismatch" assign_slots_sum_mismatch;
+    tc "assign_slots: zero-length optional segment"
+      assign_slots_zero_length_optional;
+    tc "assign_slots: malformed segment attribute"
+      assign_slots_non_array_segments;
   ]

@@ -279,6 +279,50 @@ let perf_tests =
            match Irdl_ir.Parser.parse_op_string ctx conorm_text with
            | Ok op -> Irdl_rewrite.Driver.apply ctx [ norm_of_mul_pattern ] op
            | Error _ -> assert false));
+    (* The pass manager's overhead over calling the transformations
+       directly: pipeline resolution, per-pass timing and stats
+       aggregation (plus a whole-module re-verify per pass with
+       --verify-each). *)
+    Test.make ~name:"perf:pass-pipeline-canonicalize-cse-dce"
+      (stage (fun () ->
+           let ctx = Lazy.force cmath_ctx in
+           match Irdl_ir.Parser.parse_op_string ctx conorm_text with
+           | Ok op ->
+               let passes =
+                 match
+                   Irdl_pass.Pipeline.parse
+                     ~available:
+                       (Irdl_pass.Passes.builtin
+                          ~patterns:[ norm_of_mul_pattern ] ())
+                     "canonicalize,cse,dce"
+                 with
+                 | Ok ps -> ps
+                 | Error _ -> assert false
+               in
+               Irdl_pass.Pass_manager.run
+                 (Irdl_pass.Pass_manager.create passes)
+                 ctx [ op ]
+           | Error _ -> assert false));
+    Test.make ~name:"perf:pass-pipeline-verify-each(ablation)"
+      (stage (fun () ->
+           let ctx = Lazy.force cmath_ctx in
+           match Irdl_ir.Parser.parse_op_string ctx conorm_text with
+           | Ok op ->
+               let passes =
+                 match
+                   Irdl_pass.Pipeline.parse
+                     ~available:
+                       (Irdl_pass.Passes.builtin
+                          ~patterns:[ norm_of_mul_pattern ] ())
+                     "canonicalize,cse,dce"
+                 with
+                 | Ok ps -> ps
+                 | Error _ -> assert false
+               in
+               Irdl_pass.Pass_manager.run
+                 (Irdl_pass.Pass_manager.create ~verify_each:true passes)
+                 ctx [ op ]
+           | Error _ -> assert false));
   ]
 
 (* ------------------------------------------------------------------ *)

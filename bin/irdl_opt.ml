@@ -1,9 +1,18 @@
 (* irdl-opt: the mlir-opt analog of this project.
 
    Loads IRDL dialect definitions (from files and/or the bundled corpus),
-   then parses, verifies, optionally canonicalizes (DCE), and re-prints an
-   IR file — the full dynamic-registration flow of paper §3: no code is
-   generated or compiled at any point. *)
+   then parses, verifies, transforms and re-prints an IR file — the full
+   dynamic-registration flow of paper §3: no code is generated or compiled
+   at any point.
+
+   Transformations run through the instrumented pass manager
+   (lib/pass): `--pass-pipeline "canonicalize,cse,dce"` names the passes;
+   `--pass-timing`/`--pass-timing-json` report per-pass wall-clock time;
+   `--print-ir-before/-after[-all]` snapshot the IR around passes; and
+   `--verify-each` re-runs the (memoized) verifier between passes so a
+   pass that breaks IR invariants is caught and attributed by name. The
+   historical `--dce`/`--cse`/`--dominance` flags remain as deprecated
+   aliases that desugar into pipeline entries. *)
 
 open Cmdliner
 
@@ -21,8 +30,36 @@ let fail_diag d =
   Fmt.epr "%a@." Irdl_support.Diag.pp d;
   exit 1
 
+let with_out_channel path f =
+  if path = "-" then f Fmt.stderr
+  else
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        let ppf = Format.formatter_of_out_channel oc in
+        f ppf;
+        Format.pp_print_flush ppf ())
+
+(* The deprecated boolean flags desugar into pipeline entries, in the
+   historical execution order (dominance check, pattern application, CSE,
+   DCE). With an explicit --pass-pipeline the alias entries are appended
+   after it; the parser then reports duplicates uniformly. *)
+let effective_pipeline ~pipeline ~have_patterns ~dce ~cse ~dominance =
+  let explicit = Option.is_some pipeline in
+  let entries =
+    Option.to_list pipeline
+    @ (if dominance then [ "verify-dominance" ] else [])
+    @ (if have_patterns && not explicit then [ "canonicalize" ] else [])
+    @ (if cse then [ "cse" ] else [])
+    @ if dce then [ "dce" ] else []
+  in
+  if entries = [] then None else Some (String.concat "," entries)
+
 let run dialect_files pattern_files with_corpus with_cmath input generic
-    verify_only dce cse dominance strict verify_stats verbose =
+    verify_only pipeline dce cse dominance verify_each print_ir_before
+    print_ir_after print_ir_before_all print_ir_after_all pass_timing
+    pass_timing_json strict verify_stats verbose =
   setup_logs verbose;
   let ctx = Irdl_ir.Context.create () in
   let native = Irdl_core.Native.create ~strict () in
@@ -45,8 +82,8 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
               m "loaded %d dialect(s) from %s" (List.length dls) path)
       | Error d -> fail_diag d)
     dialect_files;
-  (* The IR itself. *)
-  (* Textual rewrite patterns (fully dynamic pattern-based flow, paper §3). *)
+  (* Textual rewrite patterns (fully dynamic pattern-based flow, paper §3);
+     they parameterize the 'canonicalize' pass. *)
   let patterns =
     List.concat_map
       (fun path ->
@@ -60,59 +97,88 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
         | Error d -> fail_diag d)
       pattern_files
   in
-  match input with
+  (* Resolve the pipeline before touching the input so a malformed pipeline
+     fails fast. *)
+  let passes =
+    match
+      effective_pipeline ~pipeline ~have_patterns:(patterns <> []) ~dce ~cse
+        ~dominance
+    with
+    | None -> []
+    | Some src -> (
+        match
+          Irdl_pass.Pipeline.parse
+            ~available:(Irdl_pass.Passes.builtin ~patterns ())
+            src
+        with
+        | Ok passes -> passes
+        | Error d -> fail_diag d)
+  in
+  if
+    patterns <> []
+    && not (List.exists (fun p -> Irdl_pass.Pass.name p = "canonicalize") passes)
+  then
+    Logs.warn (fun m ->
+        m "rewrite patterns were loaded but 'canonicalize' is not in the \
+           pipeline; they will not be applied");
+  (* The IR itself. *)
+  let ops =
+    match input with
+    | None -> []
+    | Some path -> (
+        let src =
+          if path = "-" then In_channel.input_all stdin else read_file path
+        in
+        match Irdl_ir.Parser.parse_ops ~file:path ctx src with
+        | Error d -> fail_diag d
+        | Ok ops ->
+            (match Irdl_ir.Verifier.verify_ops ctx ops with
+            | Ok () -> ()
+            | Error d -> fail_diag d);
+            ops)
+  in
+  (* Run the pipeline (even over an empty module: the timing report is
+     still produced, with every pass at zero ops). *)
+  if passes <> [] then begin
+    let mgr =
+      Irdl_pass.Pass_manager.create ~verify_each
+        ~print_ir_before ~print_ir_after ~print_ir_before_all
+        ~print_ir_after_all passes
+    in
+    match Irdl_pass.Pass_manager.run mgr ctx ops with
+    | Error d -> fail_diag d
+    | Ok report ->
+        (* Whatever ran — CSE and DCE included — the transformed IR must
+           still verify, pipeline instrumentation or not. *)
+        (match Irdl_ir.Verifier.verify_ops ctx ops with
+        | Ok () -> ()
+        | Error d -> fail_diag d);
+        Option.iter
+          (fun path ->
+            with_out_channel path (fun ppf ->
+                Irdl_pass.Pass_manager.pp_report ppf report))
+          pass_timing;
+        Option.iter
+          (fun path ->
+            let json = Irdl_pass.Pass_manager.report_to_json report in
+            if path = "-" then print_string json
+            else
+              let oc = open_out path in
+              output_string oc json;
+              close_out oc)
+          pass_timing_json
+  end;
+  (match input with
   | None ->
-      Fmt.pr "registered dialects: %s@."
-        (String.concat ", "
-           (List.map
-              (fun (d : Irdl_ir.Context.dialect) -> d.d_name)
-              (Irdl_ir.Context.dialects ctx)))
-  | Some path -> (
-      let src = if path = "-" then In_channel.input_all stdin else read_file path in
-      match Irdl_ir.Parser.parse_ops ~file:path ctx src with
-      | Error d -> fail_diag d
-      | Ok ops ->
-          List.iter
-            (fun op ->
-              match Irdl_ir.Verifier.verify ctx op with
-              | Ok () -> ()
-              | Error d -> fail_diag d)
-            ops;
-          if dominance then
-            List.iter
-              (fun op ->
-                match Irdl_ir.Dominance.verify op with
-                | Ok () -> ()
-                | Error d -> fail_diag d)
-              ops;
-          if patterns <> [] then
-            List.iter
-              (fun op ->
-                let stats = Irdl_rewrite.Driver.apply ctx patterns op in
-                Logs.info (fun m ->
-                    m "rewrite: %a" Irdl_rewrite.Driver.pp_stats stats);
-                (* the rewritten IR must still verify *)
-                match Irdl_ir.Verifier.verify ctx op with
-                | Ok () -> ()
-                | Error d -> fail_diag d)
-              ops;
-          if cse then
-            List.iter
-              (fun op ->
-                let stats = Irdl_rewrite.Cse.run ctx op in
-                Logs.info (fun m ->
-                    m "cse: eliminated %d of %d examined"
-                      stats.Irdl_rewrite.Cse.eliminated
-                      stats.Irdl_rewrite.Cse.examined))
-              ops;
-          if dce then
-            List.iter
-              (fun op ->
-                let rw = Irdl_rewrite.Rewriter.create ctx op in
-                ignore (Irdl_rewrite.Rewriter.dce rw))
-              ops;
-          if not verify_only then
-            Fmt.pr "%s@." (Irdl_ir.Printer.ops_to_string ~generic ctx ops));
+      if passes = [] then
+        Fmt.pr "registered dialects: %s@."
+          (String.concat ", "
+             (List.map
+                (fun (d : Irdl_ir.Context.dialect) -> d.d_name)
+                (Irdl_ir.Context.dialects ctx)))
+  | Some _ ->
+      if not verify_only then
+        Fmt.pr "%s@." (Irdl_ir.Printer.ops_to_string ~generic ctx ops));
   if verify_stats then
     Fmt.epr "verification cache: %a@." Irdl_ir.Context.pp_verify_stats
       (Irdl_ir.Context.verify_stats ctx)
@@ -128,8 +194,9 @@ let pattern_files =
     value & opt_all file []
     & info [ "p"; "patterns" ] ~docv:"FILE"
         ~doc:
-          "Load textual rewrite patterns from $(docv) and apply them \
-           greedily. Repeatable.")
+          "Load textual rewrite patterns from $(docv); they parameterize \
+           the 'canonicalize' pass (added to the pipeline automatically \
+           when no $(b,--pass-pipeline) is given). Repeatable.")
 
 let with_corpus =
   Arg.(
@@ -162,22 +229,87 @@ let verify_only =
     value & flag
     & info [ "verify-only" ] ~doc:"Verify without re-printing the IR.")
 
+let pipeline =
+  Arg.(
+    value & opt (some string) None
+    & info [ "pass-pipeline" ] ~docv:"PIPELINE"
+        ~doc:
+          "Run a comma-separated pass pipeline over the parsed IR, e.g. \
+           'canonicalize,cse,dce'. Available passes: canonicalize (greedy \
+           pattern rewriting, uses the patterns of $(b,-p)), cse, dce, \
+           verify-dominance.")
+
 let dce =
   Arg.(
     value & flag
-    & info [ "dce" ] ~doc:"Run dead-code elimination before printing.")
+    & info [ "dce" ]
+        ~doc:
+          "Deprecated alias: appends 'dce' to the pass pipeline \
+           (equivalent to --pass-pipeline dce).")
 
 let cse =
   Arg.(
     value & flag
     & info [ "cse" ]
-        ~doc:"Run dominance-aware common-subexpression elimination.")
+        ~doc:
+          "Deprecated alias: appends 'cse' to the pass pipeline \
+           (equivalent to --pass-pipeline cse).")
 
 let dominance =
   Arg.(
     value & flag
     & info [ "dominance" ]
-        ~doc:"Also check SSA dominance (defs dominate uses).")
+        ~doc:
+          "Deprecated alias: appends 'verify-dominance' to the pass \
+           pipeline (equivalent to --pass-pipeline verify-dominance).")
+
+let verify_each =
+  Arg.(
+    value & flag
+    & info [ "verify-each" ]
+        ~doc:
+          "Re-run the verifier after every pass; a failure is attributed \
+           to the offending pass by name.")
+
+let print_ir_before =
+  Arg.(
+    value & opt_all string []
+    & info [ "print-ir-before" ] ~docv:"PASS"
+        ~doc:"Dump the IR to stderr before the named pass. Repeatable.")
+
+let print_ir_after =
+  Arg.(
+    value & opt_all string []
+    & info [ "print-ir-after" ] ~docv:"PASS"
+        ~doc:"Dump the IR to stderr after the named pass. Repeatable.")
+
+let print_ir_before_all =
+  Arg.(
+    value & flag
+    & info [ "print-ir-before-all" ]
+        ~doc:"Dump the IR to stderr before every pass.")
+
+let print_ir_after_all =
+  Arg.(
+    value & flag
+    & info [ "print-ir-after-all" ]
+        ~doc:"Dump the IR to stderr after every pass.")
+
+let pass_timing =
+  Arg.(
+    value & opt (some string) None
+    & info [ "pass-timing" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-pass wall-clock timing report (text) to $(docv) \
+           ('-' for stderr).")
+
+let pass_timing_json =
+  Arg.(
+    value & opt (some string) None
+    & info [ "pass-timing-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the per-pass timing report as JSON to $(docv) ('-' for \
+           stdout).")
 
 let strict =
   Arg.(
@@ -204,7 +336,9 @@ let cmd =
     (Cmd.info "irdl-opt" ~doc)
     Term.(
       const run $ dialect_files $ pattern_files $ with_corpus $ with_cmath
-      $ input $ generic $ verify_only $ dce $ cse $ dominance $ strict
+      $ input $ generic $ verify_only $ pipeline $ dce $ cse $ dominance
+      $ verify_each $ print_ir_before $ print_ir_after $ print_ir_before_all
+      $ print_ir_after_all $ pass_timing $ pass_timing_json $ strict
       $ verify_stats $ verbose)
 
 let () = exit (Cmd.eval cmd)

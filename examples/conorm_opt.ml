@@ -66,7 +66,7 @@ let () =
   | Error d -> Fmt.pr "rewritten IR is invalid: %a@." Irdl_support.Diag.pp d);
   Fmt.pr "after:@.%s@." (Printer.op_to_string ctx func);
   (* The rewrite must actually have fired. *)
-  assert (stats.Driver.applications = 1);
+  assert (Driver.applications stats = 1);
   let count name =
     let n = ref 0 in
     Graph.Op.walk func ~f:(fun o -> if Graph.Op.name o = name then incr n);

@@ -9,7 +9,10 @@
       registered from IRDL text;
    2. a peephole optimization *and* a lowering to `cmath`/`arith` are
       registered from textual rewrite patterns;
-   3. a program parses, optimizes, lowers, and verifies — all against
+   3. the transformation order is itself text: a pass pipeline
+      "canonicalize,cse,dce" resolved against the builtin registry and run
+      through the instrumented pass manager, verifying after every pass;
+   4. the program parses, optimizes, lowers, and verifies — all against
       definitions that did not exist when this binary was compiled.
 
    Run with: dune exec examples/dynamic_pipeline.exe *)
@@ -86,7 +89,21 @@ let () =
   in
   Fmt.pr "loaded %d rewrite pattern(s) from text@.@." (List.length patterns);
 
-  (* Step 3: compile a program. *)
+  (* Step 3: the pass pipeline is text too, resolved against the builtin
+     registry (the patterns parameterize 'canonicalize'). *)
+  let passes =
+    match
+      Irdl_pass.Pipeline.parse
+        ~available:(Irdl_pass.Passes.builtin ~patterns ())
+        "canonicalize,cse,dce"
+    with
+    | Ok ps -> ps
+    | Error d -> failwith (Irdl_support.Diag.to_string d)
+  in
+  Fmt.pr "pipeline: %s@.@."
+    (String.concat " -> " (List.map Irdl_pass.Pass.name passes));
+
+  (* Step 4: compile a program. *)
   let func =
     match Parser.parse_op_string ~file:"poly.mlir" ctx program with
     | Ok op -> op
@@ -97,11 +114,16 @@ let () =
   | Error d -> failwith (Irdl_support.Diag.to_string d));
   Fmt.pr "input:@.%s@.@." (Printer.op_to_string ctx func);
 
-  let stats = Irdl_rewrite.Driver.apply ctx patterns func in
-  Fmt.pr "pipeline: %a@.@." Irdl_rewrite.Driver.pp_stats stats;
-
-  (match Verifier.verify ctx func with
-  | Ok () -> Fmt.pr "output verifies against the dynamic definitions: OK@.@."
+  (* The manager re-verifies after every pass: a pass that broke the IR
+     would be caught here and attributed by name. *)
+  let mgr = Irdl_pass.Pass_manager.create ~verify_each:true passes in
+  (match Irdl_pass.Pass_manager.run mgr ctx [ func ] with
+  | Ok report ->
+      List.iter
+        (fun (pr : Irdl_pass.Pass_manager.pass_report) ->
+          Fmt.pr "  %-12s %a@." pr.pr_pass Irdl_support.Stats.pp pr.pr_stats)
+        report.rp_passes;
+      Fmt.pr "@.every pass verified against the dynamic definitions: OK@.@."
   | Error d -> failwith (Irdl_support.Diag.to_string d));
   Fmt.pr "output:@.%s@." (Printer.op_to_string ctx func);
 

@@ -174,3 +174,11 @@ let verify_all ctx (op : Graph.op) =
       | Ok () -> ()
       | Error d -> diags := d :: !diags);
   List.rev !diags
+
+(** Verify a whole parsed module (a list of top-level operations), stopping
+    at the first failure. This is the hook the pass manager's
+    [--verify-each] instrumentation runs between passes. *)
+let verify_ops ctx ops =
+  List.fold_left
+    (fun acc op -> match acc with Error _ -> acc | Ok () -> verify ctx op)
+    (Ok ()) ops

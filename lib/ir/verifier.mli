@@ -22,3 +22,8 @@ val verify : Context.t -> Graph.op -> (unit, Diag.t) result
 
 val verify_all : Context.t -> Graph.op -> Diag.t list
 (** Collect every verification failure instead of stopping at the first. *)
+
+val verify_ops : Context.t -> Graph.op list -> (unit, Diag.t) result
+(** {!verify} over a list of top-level operations, stopping at the first
+    failure — the re-verification hook used by the pass manager between
+    passes ([--verify-each]) and after transformation pipelines. *)

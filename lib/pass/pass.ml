@@ -1,0 +1,16 @@
+(** The pass abstraction. See the interface. *)
+
+open Irdl_support
+open Irdl_ir
+
+type statistics = Stats.t
+
+type t = {
+  name : string;
+  description : string;
+  run : Context.t -> Graph.op -> (statistics, Diag.t) result;
+}
+
+let make ~name ?(description = "") run = { name; description; run }
+let name t = t.name
+let description t = t.description

@@ -1,0 +1,32 @@
+(** The pass abstraction (MLIR's [Pass] analog).
+
+    A pass is a named IR transformation (or analysis/check) over one
+    top-level operation. It reports its work as unified {!statistics}
+    (named counters, shared by every pass) or fails with a structured
+    diagnostic. Passes are pure values: wrap any function, register it in
+    a pipeline registry, and the textual pipeline parser ({!Pipeline}) and
+    the instrumented executor ({!Pass_manager}) treat it exactly like the
+    builtins ({!Passes}). *)
+
+open Irdl_support
+open Irdl_ir
+
+type statistics = Stats.t
+(** What a pass did, as named counters — one representation for the greedy
+    driver, CSE, DCE and user passes, with shared [pp]/JSON rendering. *)
+
+type t = {
+  name : string;  (** The pipeline name, e.g. ["cse"]. *)
+  description : string;  (** One line for [--help] and docs. *)
+  run : Context.t -> Graph.op -> (statistics, Diag.t) result;
+      (** Transform (mutate) one top-level op, or fail. *)
+}
+
+val make :
+  name:string ->
+  ?description:string ->
+  (Context.t -> Graph.op -> (statistics, Diag.t) result) ->
+  t
+
+val name : t -> string
+val description : t -> string

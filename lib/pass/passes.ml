@@ -1,0 +1,32 @@
+(** The builtin passes. See the interface. *)
+
+open Irdl_support
+open Irdl_ir
+open Irdl_rewrite
+
+let canonicalize ?max_iterations ~patterns () =
+  Pass.make ~name:"canonicalize"
+    ~description:
+      "apply rewrite patterns greedily to fixpoint, cleaning up dead code \
+       between sweeps"
+    (fun ctx op -> Ok (Driver.apply ?max_iterations ctx patterns op))
+
+let cse =
+  Pass.make ~name:"cse"
+    ~description:"dominance-aware common-subexpression elimination"
+    (fun ctx op -> Ok (Cse.run ctx op))
+
+let dce =
+  Pass.make ~name:"dce" ~description:"dead-code elimination to fixpoint"
+    (fun ctx op -> Ok (Rewriter.dce_stats (Rewriter.create ctx op)))
+
+let verify_dominance =
+  Pass.make ~name:"verify-dominance"
+    ~description:"check SSA dominance (defs dominate uses); mutates nothing"
+    (fun _ctx op ->
+      match Dominance.verify op with
+      | Ok () -> Ok (Stats.v [ ("checked", 1) ])
+      | Error d -> Error d)
+
+let builtin ?max_iterations ?(patterns = []) () =
+  [ canonicalize ?max_iterations ~patterns (); cse; dce; verify_dominance ]

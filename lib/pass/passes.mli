@@ -1,0 +1,26 @@
+(** The builtin passes: the existing transformations of [lib/rewrite] and
+    [lib/ir] wrapped as registered {!Pass.t} values. *)
+
+open Irdl_rewrite
+
+val canonicalize : ?max_iterations:int -> patterns:Pattern.t list -> unit -> Pass.t
+(** The greedy pattern driver ([Driver.apply]) over the given patterns,
+    with its between-sweep dead-code cleanup. Pipeline name
+    ["canonicalize"]. *)
+
+val cse : Pass.t
+(** Dominance-aware common-subexpression elimination ([Cse.run]).
+    Pipeline name ["cse"]. *)
+
+val dce : Pass.t
+(** Dead-code elimination to fixpoint ([Rewriter.dce]). Pipeline name
+    ["dce"]. *)
+
+val verify_dominance : Pass.t
+(** SSA dominance checking ([Dominance.verify]); mutates nothing and fails
+    with the dominance diagnostic. Pipeline name ["verify-dominance"]. *)
+
+val builtin : ?max_iterations:int -> ?patterns:Pattern.t list -> unit -> Pass.t list
+(** Every builtin pass, in a stable order — the default registry handed to
+    {!Pipeline.parse}. [patterns] (default [[]]) parameterizes
+    {!canonicalize}. *)

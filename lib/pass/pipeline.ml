@@ -1,0 +1,84 @@
+(** The textual pass-pipeline parser. See the interface for the grammar. *)
+
+open Irdl_support
+
+let default_file = "<pass-pipeline>"
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let parse ~available ?(file = default_file) src =
+  let n = String.length src in
+  (* positions.(i) is the source position of byte offset i (i = n is the
+     end-of-string position), so every diagnostic is a real span. *)
+  let positions = Array.make (n + 1) (Loc.start_of_file file) in
+  for i = 0 to n - 1 do
+    positions.(i + 1) <- Loc.advance positions.(i) src.[i]
+  done;
+  let loc i j =
+    if i = j then Loc.point positions.(i) else Loc.span positions.(i) positions.(j)
+  in
+  (* Split into comma-separated segments, keeping offsets. *)
+  let segments = ref [] in
+  let start = ref 0 in
+  let commas = ref [] in
+  for i = 0 to n - 1 do
+    if src.[i] = ',' then begin
+      segments := (!start, i) :: !segments;
+      commas := i :: !commas;
+      start := i + 1
+    end
+  done;
+  segments := (!start, n) :: !segments;
+  let segments = List.rev !segments in
+  (* Trim whitespace inside a segment, preserving offsets. *)
+  let trim (i, j) =
+    let i = ref i and j = ref j in
+    while !i < !j && is_space src.[!i] do incr i done;
+    while !j > !i && is_space src.[!j - 1] do decr j done;
+    (!i, !j)
+  in
+  let segments = List.map trim segments in
+  let available_names = String.concat ", " (List.map Pass.name available) in
+  let exception Fail of Diag.t in
+  try
+    (* A trailing comma leaves an empty final segment; diagnose the comma
+       itself rather than the empty name it implies. *)
+    (match (List.rev segments, !commas) with
+    | (i, j) :: _ :: _, last_comma :: _ when i = j ->
+        raise
+          (Fail
+             (Diag.error
+                ~loc:(loc last_comma (last_comma + 1))
+                "trailing comma in pass pipeline"))
+    | _ -> ());
+    (match segments with
+    | [ (i, j) ] when i = j ->
+        raise (Fail (Diag.error ~loc:(loc 0 n) "empty pass pipeline"))
+    | _ -> ());
+    let seen : (string * Loc.t) list ref = ref [] in
+    let resolve (i, j) =
+      let l = loc i j in
+      if i = j then
+        raise (Fail (Diag.error ~loc:l "empty pass name in pipeline"));
+      let name = String.sub src i (j - i) in
+      match List.find_opt (fun p -> Pass.name p = name) available with
+      | None ->
+          raise
+            (Fail
+               (Diag.error ~loc:l
+                  ~notes:
+                    [ (Loc.unknown, "available passes: " ^ available_names) ]
+                  "unknown pass '%s' in pipeline" name))
+      | Some p ->
+          (match List.assoc_opt name !seen with
+          | Some first ->
+              raise
+                (Fail
+                   (Diag.error ~loc:l
+                      ~notes:[ (first, "first occurrence here") ]
+                      "duplicate pass '%s' in pipeline" name))
+          | None -> seen := (name, l) :: !seen);
+          p
+    in
+    Ok (List.map resolve segments)
+  with Fail d -> Error d

@@ -1,0 +1,24 @@
+(** The textual pass-pipeline parser behind
+    [irdl-opt --pass-pipeline "canonicalize,cse,dce"].
+
+    Grammar (documented in DESIGN.md "Pass infrastructure"):
+
+    {v pipeline ::= pass ("," pass)*
+   pass     ::= [A-Za-z0-9_-]+        (surrounding whitespace ignored) v}
+
+    Malformed pipelines — an unknown pass name, an empty entry, a duplicate
+    entry, a trailing comma — are reported as located {!Irdl_support.Diag}
+    diagnostics pointing into the pipeline string (positions are 1-based
+    columns under the pseudo-file name {!default_file}), never as
+    exceptions. *)
+
+open Irdl_support
+
+val default_file : string
+(** ["<pass-pipeline>"], the pseudo-file name used in diagnostics. *)
+
+val parse :
+  available:Pass.t list -> ?file:string -> string -> (Pass.t list, Diag.t) result
+(** Resolve a comma-separated pipeline against the registry [available]
+    (name conflicts resolve to the first entry). Returns the passes in
+    pipeline order. *)

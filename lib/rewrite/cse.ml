@@ -10,6 +10,7 @@
     This is the classic SSA cleanup pass MLIR runs as [-cse]; here it runs
     against dynamically registered IRDL dialects like everything else. *)
 
+open Irdl_support
 open Irdl_ir
 
 (* Conservative purity heuristic: structure first, then mnemonic blacklist
@@ -56,7 +57,10 @@ let op_key (op : Graph.op) : string =
     op.Graph.results;
   Buffer.contents buf
 
-type stats = { examined : int; eliminated : int }
+type stats = Stats.t
+
+let examined s = Stats.get s "examined"
+let eliminated s = Stats.get s "eliminated"
 
 (** Run CSE inside [scope]. Returns the number of operations eliminated. *)
 let run ?is_pure (ctx : Context.t) (scope : Graph.op) : stats =
@@ -97,4 +101,4 @@ let run ?is_pure (ctx : Context.t) (scope : Graph.op) : stats =
           incr eliminated
       | None -> Hashtbl.replace table key (op :: known))
     (List.rev !candidates);
-  { examined = !examined; eliminated = !eliminated }
+  Stats.v [ ("examined", !examined); ("eliminated", !eliminated) ]

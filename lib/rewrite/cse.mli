@@ -1,6 +1,7 @@
 (** Common-subexpression elimination, dominance-aware (MLIR's [-cse]
     analog), over dynamically registered IRDL dialects. *)
 
+open Irdl_support
 open Irdl_ir
 
 val default_is_pure : Context.t -> Graph.op -> bool
@@ -11,7 +12,12 @@ val op_key : Graph.op -> string
 (** The structural value-numbering key (name, operand identities, sorted
     attributes, result types). *)
 
-type stats = { examined : int; eliminated : int }
+type stats = Stats.t
+(** Unified named counters ([examined], [eliminated]); use the typed
+    accessors below rather than counter names. *)
+
+val examined : stats -> int
+val eliminated : stats -> int
 
 val run : ?is_pure:(Graph.op -> bool) -> Context.t -> Graph.op -> stats
 (** Eliminate dominated duplicates of pure operations inside the scope. *)

@@ -6,20 +6,21 @@
     iteration cap is hit. Dead producers exposed by replacements are
     removed between sweeps. *)
 
+open Irdl_support
 open Irdl_ir
 
-type stats = {
-  iterations : int;
-  applications : int;
-  erased : int;
-  converged : bool;
-}
+type stats = Stats.t
+
+let iterations s = Stats.get s "iterations"
+let applications s = Stats.get s "applications"
+let erased s = Stats.get s "erased"
+let converged s = Stats.get_flag s "converged"
 
 let pp_stats ppf (s : stats) =
   Fmt.pf ppf
     "%d iteration(s), %d pattern application(s), %d op(s) erased, %s"
-    s.iterations s.applications s.erased
-    (if s.converged then "converged" else "iteration cap reached")
+    (iterations s) (applications s) (erased s)
+    (if converged s then "converged" else "iteration cap reached")
 
 let src = Logs.Src.create "irdl.rewrite" ~doc:"Greedy pattern driver"
 
@@ -63,9 +64,10 @@ let apply ?(max_iterations = 16) (ctx : Context.t) (patterns : Pattern.t list)
        end
      done
    with Exit -> ());
-  {
-    iterations = !iterations;
-    applications = !applications;
-    erased = !erased;
-    converged = !converged;
-  }
+  Stats.v
+    [
+      ("iterations", !iterations);
+      ("applications", !applications);
+      ("erased", !erased);
+      ("converged", if !converged then 1 else 0);
+    ]

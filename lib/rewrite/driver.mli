@@ -3,14 +3,18 @@
     patterns in decreasing benefit order, until a fixpoint or the iteration
     cap; dead producers are removed between sweeps. *)
 
+open Irdl_support
 open Irdl_ir
 
-type stats = {
-  iterations : int;
-  applications : int;
-  erased : int;
-  converged : bool;
-}
+type stats = Stats.t
+(** Unified named counters ([iterations], [applications], [erased],
+    [converged]) shared with every other pass; use the typed accessors
+    below rather than counter names. *)
+
+val iterations : stats -> int
+val applications : stats -> int
+val erased : stats -> int
+val converged : stats -> bool
 
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -93,3 +93,6 @@ let dce t =
   in
   go ();
   !total
+
+(** {!dce} reported as unified pass statistics. *)
+let dce_stats t = Irdl_support.Stats.v [ ("erased", dce t) ]

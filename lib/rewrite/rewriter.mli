@@ -42,3 +42,7 @@ val dce_pass : t -> int
 
 val dce : t -> int
 (** {!dce_pass} to fixpoint. *)
+
+val dce_stats : t -> Irdl_support.Stats.t
+(** {!dce} with the erased count reported as unified pass statistics
+    (counter [erased]), the representation shared by every pass. *)

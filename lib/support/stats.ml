@@ -1,0 +1,56 @@
+(** Unified transformation statistics: ordered named counters. See the
+    interface for the design notes. *)
+
+type t = (string * int) list
+
+let empty = []
+
+let v counters =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (k, _) ->
+      if Hashtbl.mem seen k then
+        invalid_arg (Printf.sprintf "Stats.v: duplicate counter %S" k);
+      Hashtbl.add seen k ())
+    counters;
+  counters
+
+let get t name = Option.value ~default:0 (List.assoc_opt name t)
+let get_flag t name = get t name <> 0
+
+let add a b =
+  List.map (fun (k, va) -> (k, va + get b k)) a
+  @ List.filter (fun (k, _) -> not (List.mem_assoc k a)) b
+
+let counters t = t
+let is_empty t = t = []
+
+let pp ppf = function
+  | [] -> Fmt.string ppf "(no statistics)"
+  | t ->
+      Fmt.(list ~sep:(any ", ") (fun ppf (k, n) -> pf ppf "%s=%d" k n)) ppf t
+
+(* Counter names are programmer-chosen identifiers; escape the JSON string
+   metacharacters anyway so arbitrary names cannot corrupt the output. *)
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json = function
+  | [] -> "{}"
+  | t ->
+      "{ "
+      ^ String.concat ", "
+          (List.map (fun (k, n) -> Printf.sprintf "\"%s\": %d" (escape k) n) t)
+      ^ " }"

@@ -1,0 +1,39 @@
+(** Unified transformation statistics: ordered named counters.
+
+    Every pass (the greedy pattern driver, CSE, DCE, dominance checking,
+    user-defined passes) reports its work as a list of named counters with
+    one shared pretty-printer and one shared JSON rendering, so the pass
+    manager can aggregate, display and serialize them uniformly. Boolean
+    facts (e.g. "converged") are 0/1 counters. The producing modules keep
+    thin typed accessors ([Driver.iterations], [Cse.eliminated], ...) so
+    call sites stay as readable as with the old per-pass records. *)
+
+type t
+(** Ordered named counters. Counter order is preserved as given (and, for
+    {!add}, first-appearance order), so reports are deterministic. *)
+
+val empty : t
+
+val v : (string * int) list -> t
+(** Build statistics from counters, keeping their order.
+    @raise Invalid_argument on duplicate counter names. *)
+
+val get : t -> string -> int
+(** The value of a counter; [0] when absent. *)
+
+val get_flag : t -> string -> bool
+(** A counter read as a boolean: present and non-zero. *)
+
+val add : t -> t -> t
+(** Pointwise sum. Counters of the left operand first (in their order),
+    then counters only the right operand has. *)
+
+val counters : t -> (string * int) list
+
+val is_empty : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** ["iterations=2, applications=1"]; ["(no statistics)"] when empty. *)
+
+val to_json : t -> string
+(** One JSON object, e.g. [{ "iterations": 2, "applications": 1 }]. *)

@@ -108,7 +108,8 @@ One figure of the paper's evaluation, from the bundled corpus:
     x86vector      The Intel x86 vector instruction set
     total: 28 dialects, 942 operations, 62 types, 32 attributes  (paper: 28 / 942 / 62 / 30)
 
-SSA dominance checking (--dominance):
+SSA dominance checking (--dominance is the deprecated alias of
+--pass-pipeline verify-dominance; both spellings must agree):
 
   $ cat > nodom.mlir <<'XEOF'
   > "t.wrap"() ({
@@ -119,6 +120,11 @@ SSA dominance checking (--dominance):
   > XEOF
   $ irdl-opt --dominance --verify-only nodom.mlir
   nodom.mlir:3:3-10: error: operand 0 of 't.use' is not dominated by its definition
+    note: while running pass 'verify-dominance'
+  [1]
+  $ irdl-opt --pass-pipeline verify-dominance --verify-only nodom.mlir
+  nodom.mlir:3:3-10: error: operand 0 of 't.use' is not dominated by its definition
+    note: while running pass 'verify-dominance'
   [1]
   $ irdl-opt --verify-only nodom.mlir
 
@@ -129,7 +135,8 @@ Cross-references (find-references over IRDL definitions):
   dialect poly.poly  defined at poly.irdl:1:1-poly.irdl:20:1, 0 reference(s)
   type poly.poly  defined at poly.irdl:2:3-poly.irdl:6:12, 2 reference(s)
 
-CSE through the CLI:
+CSE through the CLI, in both spellings (--cse is the deprecated alias of
+--pass-pipeline cse):
 
   $ cat > dup.mlir <<'XEOF'
   > "func.func"() ({
@@ -145,3 +152,89 @@ CSE through the CLI:
     %2 = poly.eval %0, %1 : f32
     "t.use"(%2, %2) : (f32, f32) -> ()
   }) : () -> ()
+  $ irdl-opt -d poly.irdl --pass-pipeline cse dup.mlir
+  "func.func"() ({
+  ^bb0(%0: !poly.poly<f32>, %1: f32):
+    %2 = poly.eval %0, %1 : f32
+    "t.use"(%2, %2) : (f32, f32) -> ()
+  }) : () -> ()
+
+A full textual pipeline (the explicit spelling of "-p plus cleanups"):
+
+  $ irdl-opt -d poly.irdl -p opt.pat --pass-pipeline "canonicalize,cse,dce" prog.mlir
+  "func.func"() ({
+  ^bb0(%0: !poly.poly<f32>, %1: !poly.poly<f32>, %2: f32):
+    %3 = poly.eval %0, %2 : f32
+    %4 = poly.eval %1, %2 : f32
+    %5 = "arith.mulf"(%3, %4) : (f32, f32) -> (f32)
+    "func.return"(%5) : (f32) -> ()
+  }) {sym_name = "eval_product"} : () -> ()
+
+Malformed pipelines are located diagnostics, not exceptions:
+
+  $ irdl-opt --pass-pipeline "cse,nope" dup.mlir
+  <pass-pipeline>:1:5-9: error: unknown pass 'nope' in pipeline
+    note: available passes: canonicalize, cse, dce, verify-dominance
+  [1]
+  $ irdl-opt --pass-pipeline "cse,dce," dup.mlir
+  <pass-pipeline>:1:8-9: error: trailing comma in pass pipeline
+  [1]
+  $ irdl-opt --pass-pipeline "cse,,dce" dup.mlir
+  <pass-pipeline>:1:5: error: empty pass name in pipeline
+  [1]
+  $ irdl-opt --pass-pipeline "cse,cse" dup.mlir
+  <pass-pipeline>:1:5-8: error: duplicate pass 'cse' in pipeline
+    <pass-pipeline>:1:1-4: note: first occurrence here
+  [1]
+  $ irdl-opt --pass-pipeline "" dup.mlir
+  <pass-pipeline>:1:1: error: empty pass pipeline
+  [1]
+
+Per-pass wall-clock timing, as a text report and as machine-readable JSON
+(times normalized for reproducibility):
+
+  $ irdl-opt -d poly.irdl --pass-pipeline "cse,dce" --verify-only --pass-timing timing.txt --pass-timing-json timing.json dup.mlir
+  $ sed -E 's/[0-9]+\.[0-9]+/T/g; s/  +/ /g; s/ +$//' timing.txt
+  ===------------------------------------------------------------===
+   pass execution timing report
+  ===------------------------------------------------------------===
+   total wall-clock: T s
+   time (s) share pass statistics
+   T T% cse examined=2, eliminated=1
+   T T% dce erased=0
+  $ sed -E 's/[0-9]+\.[0-9]+/T/g' timing.json
+  {
+    "total_s": T,
+    "passes": [
+      { "pass": "cse", "time_s": T, "stats": { "examined": 2, "eliminated": 1 } },
+      { "pass": "dce", "time_s": T, "stats": { "erased": 0 } }
+    ]
+  }
+
+IR snapshots around passes go to stderr:
+
+  $ irdl-opt -d poly.irdl --pass-pipeline cse --print-ir-after cse --verify-only dup.mlir
+  // -----// IR dump after cse //----- //
+  "func.func"() ({
+  ^bb0(%0: !poly.poly<f32>, %1: f32):
+    %2 = "poly.eval"(%0, %1) : (!poly.poly<f32>, f32) -> (f32)
+    "t.use"(%2, %2) : (f32, f32) -> ()
+  }) : () -> ()
+
+--verify-each re-runs the verifier between passes and attributes a failure
+to the offending pass by name; without it, the transformed IR is still
+re-verified after the pipeline (no silent soundness hole), only without
+the attribution:
+
+  $ cat > break.pat <<'EOF'
+  > Pattern break_types {
+  >   Match (poly.eval $p $x)
+  >   Rewrite (poly.eval $x $x : $x)
+  > }
+  > EOF
+  $ irdl-opt -d poly.irdl -p break.pat --verify-each prog.mlir
+  error: IR verification failed after pass 'canonicalize': 'poly.eval': operand 'p': expected a !poly.poly type, got f32
+  [1]
+  $ irdl-opt -d poly.irdl -p break.pat prog.mlir
+  error: 'poly.eval': operand 'p': expected a !poly.poly type, got f32
+  [1]

@@ -21,6 +21,7 @@ let () =
       ("registration", Test_registration.suite);
       ("opformat", Test_opformat.suite);
       ("rewrite", Test_rewrite.suite);
+      ("pass", Test_pass.suite);
       ("textual-patterns", Test_textual.suite);
       ("cse", Test_cse.suite);
       ("corpus", Test_corpus.suite);

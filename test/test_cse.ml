@@ -23,7 +23,7 @@ let basic_duplicates () =
 |}
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
-  Alcotest.(check int) "eliminated" 1 stats.Irdl_rewrite.Cse.eliminated;
+  Alcotest.(check int) "eliminated" 1 (Irdl_rewrite.Cse.eliminated stats);
   Alcotest.(check int) "one norm left" 1 (count func "cmath.norm");
   verify_ok ctx func;
   (* the mulf now squares the single remaining norm *)
@@ -48,7 +48,7 @@ let different_operands_kept () =
 |}
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
-  Alcotest.(check int) "nothing eliminated" 0 stats.Irdl_rewrite.Cse.eliminated
+  Alcotest.(check int) "nothing eliminated" 0 (Irdl_rewrite.Cse.eliminated stats)
 
 let attributes_distinguish () =
   let ctx = Context.create () in
@@ -66,7 +66,7 @@ let attributes_distinguish () =
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
   Alcotest.(check int) "only equal constants merge" 1
-    stats.Irdl_rewrite.Cse.eliminated;
+    (Irdl_rewrite.Cse.eliminated stats);
   Alcotest.(check int) "two constants left" 2 (count func "arith.constant")
 
 let impure_ops_kept () =
@@ -84,7 +84,7 @@ let impure_ops_kept () =
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
   Alcotest.(check int) "loads are not CSE'd" 0
-    stats.Irdl_rewrite.Cse.eliminated
+    (Irdl_rewrite.Cse.eliminated stats)
 
 let sibling_blocks_not_merged () =
   (* Duplicates in sibling branches do not dominate each other. *)
@@ -106,7 +106,7 @@ let sibling_blocks_not_merged () =
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
   Alcotest.(check int) "no cross-branch merge" 0
-    stats.Irdl_rewrite.Cse.eliminated
+    (Irdl_rewrite.Cse.eliminated stats)
 
 let dominating_block_merges () =
   let ctx = cmath_ctx () in
@@ -127,7 +127,7 @@ let dominating_block_merges () =
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
   Alcotest.(check int) "entry def subsumes branch dup" 1
-    stats.Irdl_rewrite.Cse.eliminated;
+    (Irdl_rewrite.Cse.eliminated stats);
   verify_ok ctx func
 
 let nested_region_merge () =
@@ -150,7 +150,7 @@ let nested_region_merge () =
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
   Alcotest.(check int) "outer def subsumes inner dup" 1
-    stats.Irdl_rewrite.Cse.eliminated;
+    (Irdl_rewrite.Cse.eliminated stats);
   verify_ok ctx func
 
 let inner_does_not_leak () =
@@ -175,7 +175,7 @@ let inner_does_not_leak () =
   in
   let stats = Irdl_rewrite.Cse.run ctx func in
   Alcotest.(check int) "no merge across region exit" 0
-    stats.Irdl_rewrite.Cse.eliminated
+    (Irdl_rewrite.Cse.eliminated stats)
 
 let custom_purity () =
   let ctx = Context.create () in
@@ -192,7 +192,7 @@ let custom_purity () =
   in
   (* default: looks pure (no telltale mnemonic), merges *)
   let s1 = Irdl_rewrite.Cse.run ctx func in
-  Alcotest.(check int) "default merges" 1 s1.Irdl_rewrite.Cse.eliminated;
+  Alcotest.(check int) "default merges" 1 (Irdl_rewrite.Cse.eliminated s1);
   (* custom predicate: nothing is pure, nothing merges *)
   let func2 =
     parse_op ctx
@@ -206,7 +206,7 @@ let custom_purity () =
 |}
   in
   let s2 = Irdl_rewrite.Cse.run ~is_pure:(fun _ -> false) ctx func2 in
-  Alcotest.(check int) "custom keeps" 0 s2.Irdl_rewrite.Cse.eliminated
+  Alcotest.(check int) "custom keeps" 0 (Irdl_rewrite.Cse.eliminated s2)
 
 let suite =
   [

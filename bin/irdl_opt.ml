@@ -5,6 +5,20 @@
    dynamic-registration flow of paper §3: no code is generated or compiled
    at any point.
 
+   All user-facing failures flow through a diagnostic engine
+   (lib/support/diag): the frontend recovers and reports every error in a
+   source instead of stopping at the first, errors render with caret
+   source snippets, `--max-errors` caps the flood, and `--diag-json`
+   mirrors the run to a machine-readable sink. `--split-input-file`
+   processes `// -----`-separated chunks independently and
+   `--verify-diagnostics` checks produced diagnostics against
+   `expected-error {{...}}` annotations, MLIR-style.
+
+   Exit codes: 0 success; 1 parse-class failure (IRDL/pattern/pipeline/IR
+   parsing); 2 verify-class failure (verifier or pass failures on IR that
+   parsed); 3 `--verify-diagnostics` mismatch or malformed annotation.
+   Parse failures take precedence over verify failures.
+
    Transformations run through the instrumented pass manager
    (lib/pass): `--pass-pipeline "canonicalize,cse,dce"` names the passes;
    `--pass-timing`/`--pass-timing-json` report per-pass wall-clock time;
@@ -15,6 +29,8 @@
    aliases that desugar into pipeline entries. *)
 
 open Cmdliner
+module Diag = Irdl_support.Diag
+module Harness = Irdl_support.Diag_harness
 
 let read_file path =
   let ic = open_in_bin path in
@@ -26,8 +42,10 @@ let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
+(* For failures outside any user source (bundled corpus, cmath): nothing to
+   recover, nothing to annotate. *)
 let fail_diag d =
-  Fmt.epr "%a@." Irdl_support.Diag.pp d;
+  Fmt.epr "%a@." Diag.pp d;
   exit 1
 
 let with_out_channel path f =
@@ -57,15 +75,37 @@ let effective_pipeline ~pipeline ~have_patterns ~dce ~cse ~dominance =
   if entries = [] then None else Some (String.concat "," entries)
 
 let run dialect_files pattern_files with_corpus with_cmath input generic
-    verify_only pipeline dce cse dominance verify_each print_ir_before
-    print_ir_after print_ir_before_all print_ir_after_all pass_timing
-    pass_timing_json strict verify_stats verbose =
+    verify_only split_input_file verify_diagnostics max_errors diag_json
+    pipeline dce cse dominance verify_each print_ir_before print_ir_after
+    print_ir_before_all print_ir_after_all pass_timing pass_timing_json strict
+    verify_stats verbose =
   setup_logs verbose;
+  let engine = Diag.Engine.create ~max_errors () in
+  (* Under --verify-diagnostics the produced diagnostics are consumed by
+     the matcher instead of printed; only harness failures reach stderr. *)
+  if not verify_diagnostics then
+    Diag.Engine.add_handler engine (Diag.Engine.printer Fmt.stderr);
+  let parse_failed = ref false and verify_failed = ref false in
   let ctx = Irdl_ir.Context.create () in
   let native = Irdl_core.Native.create ~strict () in
-  if with_cmath then
-    Irdl_dialects.Cmath.register_hooks native;
-  (* Dialect definitions: bundled corpus, cmath, then user files. *)
+  if with_cmath then Irdl_dialects.Cmath.register_hooks native;
+  let finish code =
+    Option.iter
+      (fun path ->
+        let json = Diag.Engine.to_json engine in
+        if path = "-" then print_string json
+        else
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc)
+      diag_json;
+    if verify_stats then
+      Fmt.epr "verification cache: %a@." Irdl_ir.Context.pp_verify_stats
+        (Irdl_ir.Context.verify_stats ctx);
+    exit code
+  in
+  (* Dialect definitions: bundled corpus, cmath, then user files. The
+     bundled sources are not user input; a failure there is a build bug. *)
   if with_corpus then (
     match Irdl_dialects.Corpus.load_all ~native ctx with
     | Ok _ -> ()
@@ -74,13 +114,18 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     match Irdl_core.Irdl.load_one ~native ctx Irdl_dialects.Cmath.source with
     | Ok _ -> ()
     | Error d -> fail_diag d);
+  (* User dialect files: fail-soft. Every error in every file is reported;
+     definitions that survive are registered so later stages still have
+     something to check against. *)
+  let errors_before_frontend = Diag.Engine.error_count engine in
   List.iter
     (fun path ->
-      match Irdl_core.Irdl.load ~native ~file:path ctx (read_file path) with
-      | Ok dls ->
-          Logs.info (fun m ->
-              m "loaded %d dialect(s) from %s" (List.length dls) path)
-      | Error d -> fail_diag d)
+      let dls =
+        Irdl_core.Irdl.load_collect ~native ~file:path ~engine ctx
+          (read_file path)
+      in
+      Logs.info (fun m ->
+          m "loaded %d dialect(s) from %s" (List.length dls) path))
     dialect_files;
   (* Textual rewrite patterns (fully dynamic pattern-based flow, paper §3);
      they parameterize the 'canonicalize' pass. *)
@@ -94,11 +139,16 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
             Logs.info (fun m ->
                 m "loaded %d pattern(s) from %s" (List.length ps) path);
             ps
-        | Error d -> fail_diag d)
+        | Error d ->
+            Diag.Engine.emit engine d;
+            [])
       pattern_files
   in
+  if Diag.Engine.error_count engine > errors_before_frontend then
+    parse_failed := true;
   (* Resolve the pipeline before touching the input so a malformed pipeline
-     fails fast. *)
+     fails fast. Pipeline text carries no annotations to expect diagnostics
+     against, so this is fatal even under --verify-diagnostics. *)
   let passes =
     match
       effective_pipeline ~pipeline ~have_patterns:(patterns <> []) ~dce ~cse
@@ -112,7 +162,10 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
             src
         with
         | Ok passes -> passes
-        | Error d -> fail_diag d)
+        | Error d ->
+            Diag.Engine.emit engine d;
+            if verify_diagnostics then Fmt.epr "%a@." Diag.pp d;
+            finish 1)
   in
   if
     patterns <> []
@@ -121,38 +174,27 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     Logs.warn (fun m ->
         m "rewrite patterns were loaded but 'canonicalize' is not in the \
            pipeline; they will not be applied");
-  (* The IR itself. *)
-  let ops =
-    match input with
-    | None -> []
-    | Some path -> (
-        let src =
-          if path = "-" then In_channel.input_all stdin else read_file path
-        in
-        match Irdl_ir.Parser.parse_ops ~file:path ctx src with
-        | Error d -> fail_diag d
-        | Ok ops ->
-            (match Irdl_ir.Verifier.verify_ops ctx ops with
-            | Ok () -> ()
-            | Error d -> fail_diag d);
-            ops)
-  in
-  (* Run the pipeline (even over an empty module: the timing report is
-     still produced, with every pass at zero ops). *)
-  if passes <> [] then begin
+  (* A broken frontend would drown the IR in cascaded 'unregistered
+     operation' errors, so stop here — except under --verify-diagnostics,
+     where those errors may be exactly what the run expects. *)
+  if !parse_failed && not verify_diagnostics then finish 1;
+  let run_passes ops =
+    (* Run the pipeline (even over an empty module: the timing report is
+       still produced, with every pass at zero ops). *)
     let mgr =
-      Irdl_pass.Pass_manager.create ~verify_each
-        ~print_ir_before ~print_ir_after ~print_ir_before_all
-        ~print_ir_after_all passes
+      Irdl_pass.Pass_manager.create ~verify_each ~print_ir_before
+        ~print_ir_after ~print_ir_before_all ~print_ir_after_all passes
     in
     match Irdl_pass.Pass_manager.run mgr ctx ops with
-    | Error d -> fail_diag d
+    | Error d ->
+        Diag.Engine.emit engine d;
+        verify_failed := true
     | Ok report ->
         (* Whatever ran — CSE and DCE included — the transformed IR must
            still verify, pipeline instrumentation or not. *)
-        (match Irdl_ir.Verifier.verify_ops ctx ops with
-        | Ok () -> ()
-        | Error d -> fail_diag d);
+        let post = Irdl_ir.Verifier.verify_ops_all ctx ops in
+        List.iter (Diag.Engine.emit engine) post;
+        if post <> [] then verify_failed := true;
         Option.iter
           (fun path ->
             with_out_channel path (fun ppf ->
@@ -167,21 +209,80 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
               output_string oc json;
               close_out oc)
           pass_timing_json
-  end;
-  (match input with
+  in
+  (* The IR itself, chunk by chunk under --split-input-file: a chunk that
+     fails to parse or verify never blocks the chunks after it. *)
+  let input_src =
+    match input with
+    | None -> None
+    | Some path ->
+        Some
+          ( path,
+            if path = "-" then In_channel.input_all stdin else read_file path )
+  in
+  (match input_src with
   | None ->
-      if passes = [] then
+      if passes <> [] then run_passes []
+      else if not verify_diagnostics then
         Fmt.pr "registered dialects: %s@."
           (String.concat ", "
              (List.map
                 (fun (d : Irdl_ir.Context.dialect) -> d.d_name)
                 (Irdl_ir.Context.dialects ctx)))
-  | Some _ ->
-      if not verify_only then
-        Fmt.pr "%s@." (Irdl_ir.Printer.ops_to_string ~generic ctx ops));
-  if verify_stats then
-    Fmt.epr "verification cache: %a@." Irdl_ir.Context.pp_verify_stats
-      (Irdl_ir.Context.verify_stats ctx)
+  | Some _ when !parse_failed -> ()
+  | Some (path, src) ->
+      let chunks =
+        if split_input_file then Harness.split_input src else [ src ]
+      in
+      let outputs = ref [] in
+      List.iter
+        (fun chunk ->
+          let e0 = Diag.Engine.error_count engine in
+          let ops =
+            Irdl_ir.Parser.parse_ops_collect ~file:path ~engine ctx chunk
+          in
+          if Diag.Engine.error_count engine > e0 then parse_failed := true
+          else begin
+            let vdiags = Irdl_ir.Verifier.verify_ops_all ctx ops in
+            List.iter (Diag.Engine.emit engine) vdiags;
+            if vdiags <> [] then verify_failed := true
+            else begin
+              if passes <> [] then run_passes ops;
+              if
+                (not (verify_only || verify_diagnostics))
+                && Diag.Engine.error_count engine = e0
+              then
+                outputs :=
+                  Irdl_ir.Printer.ops_to_string ~generic ctx ops :: !outputs
+            end
+          end)
+        chunks;
+      (match List.rev !outputs with
+      | [] -> ()
+      | outs -> Fmt.pr "%s@." (String.concat "\n// -----\n" outs)));
+  if verify_diagnostics then begin
+    (* Expectations come from the input file and every -d dialect file. *)
+    let sources =
+      List.map (fun p -> (p, read_file p)) dialect_files
+      @ Option.to_list input_src
+    in
+    let expectations, scan_errors =
+      List.fold_left
+        (fun (es, errs) (file, src) ->
+          let e, r = Harness.scan_expectations ~file src in
+          (es @ e, errs @ r))
+        ([], []) sources
+    in
+    let failures =
+      scan_errors @ Harness.check ~expectations (Diag.Engine.diagnostics engine)
+    in
+    if failures = [] then finish 0
+    else begin
+      List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) failures;
+      finish 3
+    end
+  end;
+  finish (if !parse_failed then 1 else if !verify_failed then 2 else 0)
 
 let dialect_files =
   Arg.(
@@ -228,6 +329,42 @@ let verify_only =
   Arg.(
     value & flag
     & info [ "verify-only" ] ~doc:"Verify without re-printing the IR.")
+
+let split_input_file =
+  Arg.(
+    value & flag
+    & info [ "split-input-file" ]
+        ~doc:
+          "Split the input at '// -----' lines and process each chunk \
+           independently; a malformed chunk does not block later chunks. \
+           Diagnostics keep the line numbers of the original file.")
+
+let verify_diagnostics =
+  Arg.(
+    value & flag
+    & info [ "verify-diagnostics" ]
+        ~doc:
+          "Check produced diagnostics against 'expected-error@<offset> \
+           {{substring}}' comment annotations (also -warning/-note; \
+           offsets: @+N, @-N, @above, @below) in the input and dialect \
+           files instead of printing them. Unexpected diagnostics and \
+           unfulfilled expectations are reported and exit with status 3.")
+
+let max_errors =
+  Arg.(
+    value & opt int 0
+    & info [ "max-errors" ] ~docv:"N"
+        ~doc:
+          "Stop collecting after $(docv) errors (0, the default, is \
+           unlimited); further errors are counted as suppressed.")
+
+let diag_json =
+  Arg.(
+    value & opt (some string) None
+    & info [ "diag-json" ] ~docv:"FILE"
+        ~doc:
+          "Write every diagnostic of the run (plus severity counts) as a \
+           JSON document to $(docv) ('-' for stdout).")
 
 let pipeline =
   Arg.(
@@ -336,7 +473,8 @@ let cmd =
     (Cmd.info "irdl-opt" ~doc)
     Term.(
       const run $ dialect_files $ pattern_files $ with_corpus $ with_cmath
-      $ input $ generic $ verify_only $ pipeline $ dce $ cse $ dominance
+      $ input $ generic $ verify_only $ split_input_file $ verify_diagnostics
+      $ max_errors $ diag_json $ pipeline $ dce $ cse $ dominance
       $ verify_each $ print_ir_before $ print_ir_after $ print_ir_before_all
       $ print_ir_after_all $ pass_timing $ pass_timing_json $ strict
       $ verify_stats $ verbose)

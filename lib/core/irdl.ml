@@ -39,6 +39,23 @@ let load ?native ?compile ?file (ctx : Irdl_ir.Context.t) src :
   in
   Ok resolved
 
+(** Fail-soft variant of {!load}: every error across parsing, resolution
+    and registration is emitted to [engine], and every definition that
+    survives is registered — a dialect file with three mistakes reports all
+    three in one run, and its good definitions still work. *)
+let load_collect ?native ?compile ?file ~engine (ctx : Irdl_ir.Context.t) src
+    : Resolve.dialect list =
+  let asts = Parser.parse_file_collect ?file ~engine src in
+  let resolved =
+    List.filter_map (Resolve.resolve_dialect_collect ~engine) asts
+  in
+  List.iter
+    (fun dl ->
+      List.iter (Diag.Engine.emit engine)
+        (Registration.register_collect ?native ?compile ctx dl))
+    resolved;
+  resolved
+
 (** [load] for sources containing exactly one dialect. *)
 let load_one ?native ?compile ?file ctx src : (Resolve.dialect, Diag.t) result
     =

@@ -19,6 +19,14 @@ val load :
     resolved dialects for introspection. [compile] (default [true]) selects
     compiled constraint checkers; see {!Registration.register}. *)
 
+val load_collect :
+  ?native:Native.t -> ?compile:bool -> ?file:string ->
+  engine:Diag.Engine.t -> Irdl_ir.Context.t -> string ->
+  Resolve.dialect list
+(** Fail-soft variant of {!load}: every error across parsing, resolution
+    and registration is emitted to [engine], and every definition that
+    survives is registered, so one run reports all errors in a source. *)
+
 val load_one :
   ?native:Native.t -> ?compile:bool -> ?file:string -> Irdl_ir.Context.t ->
   string -> (Resolve.dialect, Diag.t) result

@@ -57,6 +57,14 @@ let lex_string buf start =
   in
   go ()
 
+let lex_int buf start text =
+  match Int64.of_string_opt text with
+  | Some v -> v
+  | None ->
+      Diag.raise_error
+        ~loc:(Sbuf.loc_from buf start)
+        "integer literal '%s' out of range" text
+
 let next_token buf : t =
   skip_trivia buf;
   let start = Sbuf.pos buf in
@@ -74,13 +82,13 @@ let next_token buf : t =
       mk (Hash_ident (Sbuf.take_while buf dotted_ident_char))
   | Some c when Sbuf.is_digit c ->
       let text = Sbuf.take_while buf Sbuf.is_digit in
-      mk (Int_lit (Int64.of_string text))
+      mk (Int_lit (lex_int buf start text))
   | Some '-' when (match Sbuf.peek2 buf with
                    | Some c -> Sbuf.is_digit c
                    | None -> false) ->
       Sbuf.advance buf;
       let text = Sbuf.take_while buf Sbuf.is_digit in
-      mk (Int_lit (Int64.neg (Int64.of_string text)))
+      mk (Int_lit (Int64.neg (lex_int buf start text)))
   | Some c when Sbuf.is_ident_start c ->
       mk (Ident (Sbuf.take_while buf dotted_ident_char))
   | Some (('{' | '}' | '(' | ')' | '<' | '>' | ',' | ':' | '=' | '[' | ']' | '-') as c)
@@ -88,6 +96,10 @@ let next_token buf : t =
       Sbuf.advance buf;
       mk (Punct (String.make 1 c))
   | Some c ->
+      (* Consume the offending character so every lexer error leaves the
+         buffer strictly advanced — the recovering parsers rely on that to
+         retry lexing without looping. *)
+      Sbuf.advance buf;
       Diag.raise_error ~loc:(Loc.point start) "unexpected character %C" c
 
 (** Lex a whole buffer; used by tests and the round-trip property checks. *)

@@ -64,12 +64,24 @@ let note_unresolved t snippet =
   Log.debug (fun m -> m "no native hook registered for %S" snippet);
   t.unresolved <- snippet :: t.unresolved
 
+(* Hooks are arbitrary user closures; one that raises must not crash the
+   verifier, so a raising hook counts as a failed constraint (with a
+   warning naming the snippet). Out-of-memory is re-raised. *)
+let apply_hook snippet f x =
+  try f x with
+  | Out_of_memory -> raise Out_of_memory
+  | exn ->
+      Log.warn (fun m ->
+          m "native hook for %S raised %s; treating as failed" snippet
+            (Printexc.to_string exn));
+      false
+
 (** Evaluate a snippet against a value. [Ok true]/[Ok false] when a hook is
     registered, [Ok true] with a note when unresolved and non-strict,
     [Error] when unresolved in strict mode. *)
 let check_param t snippet value =
   match Hashtbl.find_opt t.param_hooks snippet with
-  | Some f -> Ok (f value)
+  | Some f -> Ok (apply_hook snippet f value)
   | None ->
       if t.strict then Error snippet
       else (
@@ -78,7 +90,7 @@ let check_param t snippet value =
 
 let check_def t snippet params =
   match Hashtbl.find_opt t.def_hooks snippet with
-  | Some f -> Ok (f params)
+  | Some f -> Ok (apply_hook snippet f params)
   | None ->
       if t.strict then Error snippet
       else (
@@ -87,7 +99,7 @@ let check_def t snippet params =
 
 let check_op t snippet op =
   match Hashtbl.find_opt t.op_hooks snippet with
-  | Some f -> Ok (f op)
+  | Some f -> Ok (apply_hook snippet f op)
   | None ->
       if t.strict then Error snippet
       else (

@@ -7,19 +7,39 @@ open Irdl_support
 
 type t = {
   buf : Sbuf.t;
+  engine : Diag.Engine.t option;
+      (** when set, lexing and dialect bodies recover instead of aborting *)
   mutable lookahead : Lexer.t;
 }
 
-let create ?(file = "<string>") src =
+(* Lex the next token. In fail-soft mode lexer errors are emitted to the
+   engine and lexing retried: every lexer raise leaves the buffer strictly
+   advanced (or at end of file), so this terminates. *)
+let next_token p =
+  match p.engine with
+  | None -> Lexer.next_token p.buf
+  | Some e ->
+      let rec go () =
+        match Diag.protect (fun () -> Lexer.next_token p.buf) with
+        | Ok t -> t
+        | Error d ->
+            Diag.Engine.emit e d;
+            go ()
+      in
+      go ()
+
+let create ?(file = "<string>") ?engine src =
   let buf = Sbuf.of_string ~file src in
-  { buf; lookahead = Lexer.next_token buf }
+  let p = { buf; engine; lookahead = { Lexer.tok = Lexer.Eof; loc = Loc.unknown } } in
+  p.lookahead <- next_token p;
+  p
 
 let peek p = p.lookahead.tok
 let loc p = p.lookahead.loc
 
 let advance p =
   let t = p.lookahead in
-  p.lookahead <- Lexer.next_token p.buf;
+  p.lookahead <- next_token p;
   t
 
 let fail p fmt =
@@ -415,14 +435,68 @@ let parse_item p : Ast.item =
       "expected a dialect item (Type, Attribute, Operation, Alias, Enum, \
        Constraint, TypeOrAttrParam)"
 
+let item_keywords =
+  [ "Type"; "Attribute"; "Operation"; "Alias"; "Enum"; "Constraint";
+    "TypeOrAttrParam" ]
+
+(* Panic-mode resynchronization after a failed item: skip tokens until
+   something that can start the next item, a new [Dialect] (a missing
+   brace), or end of file. Braces are tracked so sync keywords inside a
+   nested body are not mistaken for item starts. A '}' at depth 0 is
+   ambiguous — the broken item's own closer or the dialect's — so it is
+   consumed tentatively: when an item keyword follows it belonged to the
+   item ([`Item]); when [Dialect]/EOF follows it closed the dialect
+   ([`Closed]). *)
+let resync_item p =
+  let rec go depth ~closed =
+    match peek p with
+    | Lexer.Eof -> if closed then `Closed else `Eof
+    | Lexer.Punct "}" when depth = 0 ->
+        ignore (advance p);
+        go 0 ~closed:true
+    | Lexer.Punct "}" ->
+        ignore (advance p);
+        go (depth - 1) ~closed
+    | Lexer.Punct "{" ->
+        ignore (advance p);
+        go (depth + 1) ~closed
+    | Lexer.Ident kw when depth = 0 && List.mem kw item_keywords -> `Item
+    | Lexer.Ident "Dialect" when depth = 0 ->
+        if closed then `Closed else `Dialect
+    | _ ->
+        ignore (advance p);
+        go depth ~closed
+  in
+  go 0 ~closed:false
+
 let parse_dialect_body p ~start : Ast.dialect =
   let d_name = expect_ident p in
   expect_punct p "{";
-  let rec go acc =
-    if accept_punct p "}" then List.rev acc else go (parse_item p :: acc)
-  in
-  let d_items = go [] in
-  { d_name; d_items; d_loc = Loc.merge start (loc p) }
+  let items = ref [] in
+  let continue = ref true in
+  while !continue do
+    if accept_punct p "}" then continue := false
+    else
+      match (peek p, p.engine) with
+      | Lexer.Eof, None -> items := parse_item p :: !items (* fail as before *)
+      | Lexer.Eof, Some e ->
+          Diag.Engine.emit e
+            (Diag.error ~loc:(loc p) "unexpected end of file in dialect '%s'"
+               d_name);
+          continue := false
+      | _, None -> items := parse_item p :: !items
+      | _, Some e -> (
+          match Diag.protect (fun () -> parse_item p) with
+          | Ok item -> items := item :: !items
+          | Error d ->
+              Diag.Engine.emit e d;
+              if Diag.Engine.limit_reached e then continue := false
+              else
+                (match resync_item p with
+                | `Item -> () (* next iteration parses it *)
+                | `Closed | `Dialect | `Eof -> continue := false))
+  done;
+  { d_name; d_items = List.rev !items; d_loc = Loc.merge start (loc p) }
 
 (** Parse one [Dialect name { ... }]. *)
 let parse_dialect p : Ast.dialect =
@@ -432,7 +506,7 @@ let parse_dialect p : Ast.dialect =
 
 (** Parse a whole IRDL file: a sequence of dialect definitions. *)
 let parse_file ?file src : (Ast.dialect list, Diag.t) result =
-  Diag.protect (fun () ->
+  Diag.protect_any (fun () ->
       let p = create ?file src in
       let rec go acc =
         match peek p with
@@ -440,6 +514,57 @@ let parse_file ?file src : (Ast.dialect list, Diag.t) result =
         | _ -> go (parse_dialect p :: acc)
       in
       go [])
+
+(* Skip to the next top-level [Dialect] keyword (or end of file) after a
+   failed dialect, tracking braces so nested occurrences don't count. *)
+let resync_dialect p =
+  let rec go depth =
+    match peek p with
+    | Lexer.Eof -> ()
+    | Lexer.Ident "Dialect" when depth = 0 -> ()
+    | Lexer.Punct "{" ->
+        ignore (advance p);
+        go (depth + 1)
+    | Lexer.Punct "}" ->
+        ignore (advance p);
+        go (max 0 (depth - 1))
+    | _ ->
+        ignore (advance p);
+        go depth
+  in
+  go 0
+
+(** Fail-soft variant of {!parse_file}: parse as many dialects as possible,
+    emitting every error to [engine] and resynchronizing at item and
+    dialect boundaries. Dialects whose header parsed are kept with the
+    items that survived. *)
+let parse_file_collect ?file ~engine src : Ast.dialect list =
+  match
+    Diag.protect_any (fun () ->
+        let p = create ?file ~engine src in
+        let dialects = ref [] in
+        let continue = ref true in
+        while !continue do
+          match peek p with
+          | Lexer.Eof -> continue := false
+          | _ when Diag.Engine.limit_reached engine -> continue := false
+          | _ -> (
+              let before = (loc p).start_pos.offset in
+              match Diag.protect (fun () -> parse_dialect p) with
+              | Ok d -> dialects := d :: !dialects
+              | Error d ->
+                  Diag.Engine.emit engine d;
+                  resync_dialect p;
+                  (* Belt and braces: never loop without consuming. *)
+                  if (loc p).start_pos.offset = before && peek p <> Lexer.Eof
+                  then ignore (advance p))
+        done;
+        List.rev !dialects)
+  with
+  | Ok ds -> ds
+  | Error d ->
+      Diag.Engine.emit engine d;
+      []
 
 (** Parse a source expected to contain exactly one dialect. *)
 let parse_one ?file src : (Ast.dialect, Diag.t) result =
@@ -452,7 +577,7 @@ let parse_one ?file src : (Ast.dialect, Diag.t) result =
 
 (** Parse a standalone constraint expression (used by tests and tooling). *)
 let parse_constraint_string ?file src : (Ast.cexpr, Diag.t) result =
-  Diag.protect (fun () ->
+  Diag.protect_any (fun () ->
       let p = create ?file src in
       let e = parse_cexpr p in
       match peek p with

@@ -479,13 +479,28 @@ let make_params_verifier ~native ~what ~qual_name (slots : Resolve.slot list)
 (* Registration                                                      *)
 (* ---------------------------------------------------------------- *)
 
-(** Register a resolved dialect into [ctx]. Compiles declarative formats
-    eagerly so malformed specs fail at registration, not first use, and —
-    unless [compile:false] selects the interpreted reference verifiers —
-    lowers every constraint to its closure form once, here. *)
-let register ?(native = Native.default) ?(compile = true) (ctx : Context.t)
-    (dl : Resolve.dialect) : (unit, Diag.t) result =
-  Diag.protect @@ fun () ->
+(** Register a resolved dialect into [ctx], accumulating one error per
+    definition that failed (duplicate registration, malformed declarative
+    format) while all the others are registered. Compiles declarative
+    formats eagerly so malformed specs fail at registration, not first use,
+    and — unless [compile:false] selects the interpreted reference
+    verifiers — lowers every constraint to its closure form once, here. *)
+let register_collect ?(native = Native.default) ?(compile = true)
+    (ctx : Context.t) (dl : Resolve.dialect) : Diag.t list =
+  let errors = ref [] in
+  (* Run one definition's registration; errors without a location get the
+     definition's own. *)
+  let guard ~loc f =
+    match Diag.protect_any ~loc f with
+    | Ok () -> ()
+    | Error (d : Diag.t) ->
+        let d =
+          if Loc.is_unknown d.loc && not (Loc.is_unknown loc) then
+            { d with loc }
+          else d
+        in
+        errors := d :: !errors
+  in
   let params_verifier ~what ~qual_name slots cpp =
     if compile then make_params_verifier ~native ~what ~qual_name slots cpp
     else make_params_verifier_interp ~native ~what ~qual_name slots cpp
@@ -508,49 +523,62 @@ let register ?(native = Native.default) ?(compile = true) (ctx : Context.t)
   in
   List.iter
     (fun (td : Resolve.typedef) ->
-      Context.register_type ctx
-        {
-          Context.td_dialect = dl.dl_name;
-          td_name = td.td_name;
-          td_summary = Option.value ~default:"" td.td_summary;
-          td_num_params = List.length td.td_params;
-          td_verify =
-            (let qual_name = dl.dl_name ^ "." ^ td.td_name in
-             params_verifier ~what:"type" ~qual_name td.td_params td.td_cpp);
-        })
+      guard ~loc:td.td_loc (fun () ->
+          Context.register_type ctx
+            {
+              Context.td_dialect = dl.dl_name;
+              td_name = td.td_name;
+              td_summary = Option.value ~default:"" td.td_summary;
+              td_num_params = List.length td.td_params;
+              td_verify =
+                (let qual_name = dl.dl_name ^ "." ^ td.td_name in
+                 params_verifier ~what:"type" ~qual_name td.td_params
+                   td.td_cpp);
+            }))
     dl.dl_types;
   List.iter
     (fun (ad : Resolve.typedef) ->
-      Context.register_attr ctx
-        {
-          Context.ad_dialect = dl.dl_name;
-          ad_name = ad.td_name;
-          ad_summary = Option.value ~default:"" ad.td_summary;
-          ad_num_params = List.length ad.td_params;
-          ad_verify =
-            (let qual_name = dl.dl_name ^ "." ^ ad.td_name in
-             params_verifier ~what:"attribute" ~qual_name ad.td_params
-               ad.td_cpp);
-        })
+      guard ~loc:ad.td_loc (fun () ->
+          Context.register_attr ctx
+            {
+              Context.ad_dialect = dl.dl_name;
+              ad_name = ad.td_name;
+              ad_summary = Option.value ~default:"" ad.td_summary;
+              ad_num_params = List.length ad.td_params;
+              ad_verify =
+                (let qual_name = dl.dl_name ^ "." ^ ad.td_name in
+                 params_verifier ~what:"attribute" ~qual_name ad.td_params
+                   ad.td_cpp);
+            }))
     dl.dl_attrs;
   List.iter
     (fun (rop : Resolve.op) ->
-      let od_format =
-        match rop.op_format with
-        | None -> None
-        | Some _ -> (
-            match Opformat.compile ~lookup_type_params dl.dl_name rop with
-            | Ok f -> Some f
-            | Error d -> raise (Diag.Error_exn d))
-      in
-      Context.register_op ctx
-        {
-          Context.od_dialect = dl.dl_name;
-          od_name = rop.op_name;
-          od_summary = Option.value ~default:"" rop.op_summary;
-          od_is_terminator = rop.op_successors <> None;
-          od_num_regions = List.length rop.op_regions;
-          od_verify = op_verifier rop;
-          od_format;
-        })
-    dl.dl_ops
+      guard ~loc:rop.op_loc (fun () ->
+          let od_format =
+            match rop.op_format with
+            | None -> None
+            | Some _ -> (
+                match Opformat.compile ~lookup_type_params dl.dl_name rop with
+                | Ok f -> Some f
+                | Error d -> raise (Diag.Error_exn d))
+          in
+          Context.register_op ctx
+            {
+              Context.od_dialect = dl.dl_name;
+              od_name = rop.op_name;
+              od_summary = Option.value ~default:"" rop.op_summary;
+              od_is_terminator = rop.op_successors <> None;
+              od_num_regions = List.length rop.op_regions;
+              od_verify = op_verifier rop;
+              od_format;
+            }))
+    dl.dl_ops;
+  List.rev !errors
+
+(** Like {!register_collect}, reporting only the first error. Definitions
+    after a failed one are still registered. *)
+let register ?native ?compile (ctx : Context.t) (dl : Resolve.dialect) :
+    (unit, Diag.t) result =
+  match register_collect ?native ?compile ctx dl with
+  | [] -> Ok ()
+  | d :: _ -> Error d

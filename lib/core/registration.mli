@@ -28,11 +28,18 @@ val make_op_verifier_interp :
     {!make_op_verifier}, re-walking the constraint tree on every check.
     Used by differential tests and the verification benchmarks. *)
 
-val register :
+val register_collect :
   ?native:Native.t -> ?compile:bool -> Context.t -> Resolve.dialect ->
-  (unit, Diag.t) result
-(** Register a resolved dialect. Declarative formats are compiled eagerly so
+  Diag.t list
+(** Register a resolved dialect, accumulating one error per definition that
+    failed (duplicate registration, malformed declarative format) while all
+    the others are registered. Declarative formats are compiled eagerly so
     malformed specs fail at registration, not first use. [compile] (default
     [true]) selects the compiled verifiers; [compile:false] registers the
     interpreted reference verifiers instead, for benchmarking and
     differential testing. *)
+
+val register :
+  ?native:Native.t -> ?compile:bool -> Context.t -> Resolve.dialect ->
+  (unit, Diag.t) result
+(** Like {!register_collect}, reporting only the first error. *)

@@ -75,11 +75,21 @@ type scope = {
   expanding : string list;  (** alias expansion stack, for cycle detection *)
 }
 
-let scope_of_dialect (d : Ast.dialect) =
+let scope_of_dialect ?on_dup (d : Ast.dialect) =
+  (* Duplicate definitions raise by default; a fail-soft caller passes
+     [on_dup] to record the error and keep the first definition. *)
   let add_named name v map loc what =
-    if SMap.mem name map then
-      Diag.raise_error ~loc "duplicate %s definition '%s' in dialect %s" what
-        name d.d_name
+    if SMap.mem name map then begin
+      let diag =
+        Diag.error ~loc "duplicate %s definition '%s' in dialect %s" what name
+          d.d_name
+      in
+      match on_dup with
+      | None -> raise (Diag.Error_exn diag)
+      | Some f ->
+          f diag;
+          map
+    end
     else SMap.add name v map
   in
   List.fold_left
@@ -143,7 +153,9 @@ let int_kind_of_name name : C.int_kind option =
     then
       let digits = String.sub name plen (slen - plen - 2) in
       if digits <> "" && String.for_all Sbuf.is_digit digits then
-        Some { C.ik_width = int_of_string digits; ik_signedness = signedness }
+        match int_of_string_opt digits with
+        | Some width -> Some { C.ik_width = width; ik_signedness = signedness }
+        | None -> None (* absurdly wide: not an integer kind *)
       else None
     else None
   in
@@ -167,12 +179,12 @@ let value_attr_of_name name : C.t option =
         && String.sub name (slen - 5) 5 = "_attr"
         && String.for_all Sbuf.is_digit (String.sub name 1 (slen - 6))
       then
-        Some
-          (C.Int_param
-             {
-               C.ik_width = int_of_string (String.sub name 1 (slen - 6));
-               ik_signedness = Irdl_ir.Attr.Signless;
-             })
+        match int_of_string_opt (String.sub name 1 (slen - 6)) with
+        | Some width ->
+            Some
+              (C.Int_param
+                 { C.ik_width = width; ik_signedness = Irdl_ir.Attr.Signless })
+        | None -> None (* absurdly wide: not a value-attr constraint *)
       else None
 
 let split_dots s = String.split_on_char '.' s
@@ -481,7 +493,7 @@ let resolve_op sc (o : Ast.op_def) : op =
 
 (** Resolve a whole dialect definition. *)
 let resolve_dialect (d : Ast.dialect) : (dialect, Diag.t) result =
-  Diag.protect (fun () ->
+  Diag.protect_any ~loc:d.d_loc (fun () ->
       let sc = scope_of_dialect d in
       let dl_types =
         List.map
@@ -518,3 +530,71 @@ let resolve_dialect (d : Ast.dialect) : (dialect, Diag.t) result =
         dl_enums = Ast.enums d;
         dl_ast = d;
       })
+
+(** Fail-soft variant of {!resolve_dialect}: every error — duplicate
+    definitions, unresolvable references, misplaced variadics — is emitted
+    to [engine] and resolution continues with the next definition. Returns
+    the dialect built from the definitions that resolved; [None] only when
+    the scope itself could not be built. *)
+let resolve_dialect_collect ~engine (d : Ast.dialect) : dialect option =
+  match
+    Diag.protect_any ~loc:d.d_loc (fun () ->
+        let sc = scope_of_dialect ~on_dup:(Diag.Engine.emit engine) d in
+        let keep ~loc f x =
+          match Diag.protect_any ~loc (fun () -> f x) with
+          | Ok v -> Some v
+          | Error diag ->
+              Diag.Engine.emit engine diag;
+              None
+        in
+        let dl_types =
+          List.filter_map
+            (fun (t : Ast.type_def) ->
+              keep ~loc:t.t_loc
+                (fun t ->
+                  let sc = { sc with vars = SMap.empty } in
+                  resolve_typedef sc ~what:"type" ~name:t.Ast.t_name
+                    ~params:t.t_params ~summary:t.t_summary
+                    ~cpp:t.t_cpp_constraints ~loc:t.t_loc)
+                t)
+            (Ast.types d)
+        in
+        let dl_attrs =
+          List.filter_map
+            (fun (a : Ast.attr_def) ->
+              keep ~loc:a.a_loc
+                (fun a ->
+                  resolve_typedef sc ~what:"attribute" ~name:a.Ast.a_name
+                    ~params:a.a_params ~summary:a.a_summary
+                    ~cpp:a.a_cpp_constraints ~loc:a.a_loc)
+                a)
+            (Ast.attrs d)
+        in
+        let seen_ops = Hashtbl.create 16 in
+        let dl_ops =
+          List.filter_map
+            (fun (o : Ast.op_def) ->
+              keep ~loc:o.o_loc
+                (fun o ->
+                  if Hashtbl.mem seen_ops o.Ast.o_name then
+                    Diag.raise_error ~loc:o.o_loc
+                      "duplicate operation '%s' in dialect %s" o.o_name
+                      d.d_name;
+                  Hashtbl.add seen_ops o.o_name ();
+                  resolve_op sc o)
+                o)
+            (Ast.ops d)
+        in
+        {
+          dl_name = d.d_name;
+          dl_types;
+          dl_attrs;
+          dl_ops;
+          dl_enums = Ast.enums d;
+          dl_ast = d;
+        })
+  with
+  | Ok dl -> Some dl
+  | Error diag ->
+      Diag.Engine.emit engine diag;
+      None

@@ -52,3 +52,12 @@ type dialect = {
 }
 
 val resolve_dialect : Ast.dialect -> (dialect, Diag.t) result
+(** Resolve a whole dialect definition. Stops at the first error. *)
+
+val resolve_dialect_collect :
+  engine:Diag.Engine.t -> Ast.dialect -> dialect option
+(** Fail-soft variant of {!resolve_dialect}: every error is emitted to
+    [engine] and resolution continues with the next definition, so one run
+    reports all errors. Definitions that fail to resolve are dropped from
+    the returned dialect; [None] only when the dialect scope itself could
+    not be built. *)

@@ -148,6 +148,9 @@ let next_token buf : lexed =
       Sbuf.advance buf;
       mk (Punct (String.make 1 c))
   | Some c ->
+      (* Consume the offending character so every lexer error leaves the
+         buffer strictly advanced — fail-soft retry relies on that. *)
+      Sbuf.advance buf;
       Diag.raise_error ~loc:(Loc.point start) "unexpected character %C" c
 
 let pp_token ppf = function
@@ -170,22 +173,44 @@ let pp_token ppf = function
 type t = {
   ctx : Context.t;
   buf : Sbuf.t;
+  engine : Diag.Engine.t option;
+      (** when set, lexing and op sequences recover instead of aborting *)
   mutable lookahead : lexed;
   values : (string, Graph.value) Hashtbl.t;
-  mutable forwards : (string * Graph.value) list;
+  mutable forwards : (string * Loc.t * Graph.value) list;
+      (** pending forward references with the location of their first use *)
 }
 
-let create ?(file = "<string>") ctx src =
+(* Lex the next token; in fail-soft mode lexer errors go to the engine and
+   lexing is retried (every lexer raise leaves the buffer advanced). *)
+let next_token_safe p =
+  match p.engine with
+  | None -> next_token p.buf
+  | Some e ->
+      let rec go () =
+        match Diag.protect (fun () -> next_token p.buf) with
+        | Ok t -> t
+        | Error d ->
+            Diag.Engine.emit e d;
+            go ()
+      in
+      go ()
+
+let create ?(file = "<string>") ?engine ctx src =
   let buf = Sbuf.of_string ~file src in
-  { ctx; buf; lookahead = next_token buf; values = Hashtbl.create 64;
-    forwards = [] }
+  let p =
+    { ctx; buf; engine; lookahead = { tok = Eof; tloc = Loc.unknown };
+      values = Hashtbl.create 64; forwards = [] }
+  in
+  p.lookahead <- next_token_safe p;
+  p
 
 let peek p = p.lookahead.tok
 let loc p = p.lookahead.tloc
 
 let advance p =
   let l = p.lookahead in
-  p.lookahead <- next_token p.buf;
+  p.lookahead <- next_token_safe p;
   l
 
 let fail p fmt =
@@ -226,8 +251,9 @@ let int_ty_of_ident s : Attr.ty option =
       && String.for_all Sbuf.is_digit
            (String.sub s plen (String.length s - plen))
     then
-      let width = int_of_string (String.sub s plen (String.length s - plen)) in
-      if width <= 0 then None else Some (Attr.integer ~signedness width)
+      match int_of_string_opt (String.sub s plen (String.length s - plen)) with
+      | Some width when width > 0 -> Some (Attr.integer ~signedness width)
+      | _ -> None (* zero or absurdly wide: not a builtin integer type *)
     else None
   in
   match parse_width "si" Attr.Signed with
@@ -416,8 +442,8 @@ and parse_attr_dict_entries p =
 (* ------------------------------------------------------------------ *)
 
 (** Resolve a value use; creates a forward placeholder on first use before
-    definition. *)
-let use_value p name =
+    definition, remembering where that first use was for error reporting. *)
+let use_value p ~loc name =
   match Hashtbl.find_opt p.values name with
   | Some v -> v
   | None ->
@@ -429,7 +455,7 @@ let use_value p name =
         }
       in
       Hashtbl.replace p.values name v;
-      p.forwards <- (name, v) :: p.forwards;
+      p.forwards <- (name, loc, v) :: p.forwards;
       v
 
 (** Bind a definition for [name]. If a forward placeholder exists it is
@@ -439,7 +465,7 @@ let define_value p name (fresh : Graph.value) =
   | Some ({ v_def = Graph.Forward_ref _; _ } as placeholder) ->
       placeholder.v_ty <- fresh.v_ty;
       placeholder.v_def <- fresh.v_def;
-      p.forwards <- List.filter (fun (n, _) -> n <> name) p.forwards;
+      p.forwards <- List.filter (fun (n, _, _) -> n <> name) p.forwards;
       Hashtbl.replace p.values name placeholder;
       placeholder
   | _ ->
@@ -453,11 +479,43 @@ let expect_value_id p =
       s
   | _ -> fail p "expected SSA value name"
 
-let parse_value_use p = use_value p (expect_value_id p)
+let parse_value_use p =
+  let use_loc = loc p in
+  use_value p ~loc:use_loc (expect_value_id p)
 
 (* ------------------------------------------------------------------ *)
 (* Operations                                                          *)
 (* ------------------------------------------------------------------ *)
+
+(* Whether a token can plausibly start an operation (or block label) —
+   the sync points of panic-mode recovery. *)
+let op_start_token = function
+  | Value_id _ | Str _ | Block_id _ -> true
+  | Ident s -> String.contains s '.'
+  | _ -> false
+
+(* Skip tokens after a failed operation until something that can start the
+   next one, a closing [}] of the enclosing region (left unconsumed for the
+   region parser), or end of file. Brace/paren nesting is tracked so tokens
+   inside the abandoned op's sub-structure are not mistaken for sync
+   points. *)
+let resync_op p =
+  let rec go depth =
+    match peek p with
+    | Eof -> ()
+    | Punct "}" when depth = 0 -> ()
+    | t when depth = 0 && op_start_token t -> ()
+    | Punct ("{" | "(") ->
+        ignore (advance p);
+        go (depth + 1)
+    | Punct ("}" | ")") ->
+        ignore (advance p);
+        go (max 0 (depth - 1))
+    | _ ->
+        ignore (advance p);
+        go depth
+  in
+  go 0
 
 type block_scope = (string, Graph.block) Hashtbl.t
 
@@ -588,20 +646,42 @@ and parse_generic_body p ~scope ~name ~op_loc : Graph.op =
     ~loc:op_loc name
 
 and parse_region p : Graph.region =
+  let region_start = loc p in
   expect_punct p "{";
   let scope : block_scope = Hashtbl.create 4 in
   let region = Graph.Region.create () in
-  (* Implicit entry block: operations before any ^label. *)
+  (* Implicit entry block: operations before any ^label. In fail-soft mode
+     each operation is parsed under its own protection, so one bad op in a
+     block does not abandon the ops after it. *)
   let parse_block_body blk =
-    let rec go () =
+    let continue = ref true in
+    while !continue do
       match peek p with
-      | Punct "}" | Block_id _ | Eof -> ()
-      | _ ->
-          let op = parse_op p ~scope:(Some scope) in
-          Graph.Block.append blk op;
-          go ()
-    in
-    go ()
+      | Punct "}" | Block_id _ | Eof -> continue := false
+      | _ -> (
+          match p.engine with
+          | None ->
+              let op = parse_op p ~scope:(Some scope) in
+              Graph.Block.append blk op
+          | Some e ->
+              if Diag.Engine.limit_reached e then continue := false
+              else begin
+                let before = (loc p).start_pos.offset in
+                match Diag.protect (fun () -> parse_op p ~scope:(Some scope))
+                with
+                | Ok op -> Graph.Block.append blk op
+                | Error d ->
+                    Diag.Engine.emit e d;
+                    resync_op p;
+                    (* Never loop without consuming. *)
+                    if
+                      (loc p).start_pos.offset = before
+                      && (match peek p with
+                         | Eof | Punct "}" | Block_id _ -> false
+                         | _ -> true)
+                    then ignore (advance p)
+              end)
+    done
   in
   (match peek p with
   | Punct "}" -> ()
@@ -642,7 +722,7 @@ and parse_region p : Graph.region =
   Hashtbl.iter
     (fun name (b : Graph.block) ->
       if b.blk_parent = None then
-        Diag.raise_error "use of undefined block ^%s" name)
+        Diag.raise_error ~loc:region_start "use of undefined block ^%s" name)
     scope;
   region
 
@@ -736,14 +816,23 @@ and parse_custom_body p ~name ~od:_ ~(format : Opfmt.t) ~op_loc : Graph.op =
 (* ------------------------------------------------------------------ *)
 
 let finish p =
-  match p.forwards with
+  match List.rev p.forwards with
   | [] -> ()
-  | (name, _) :: _ ->
-      Diag.raise_error "use of undefined value %%%s" name
+  | (name, use_loc, _) :: _ ->
+      Diag.raise_error ~loc:use_loc "use of undefined value %%%s" name
+
+(* Collect-mode counterpart of {!finish}: one located error per value that
+   was used but never defined. *)
+let finish_collect p engine =
+  List.iter
+    (fun (name, use_loc, _) ->
+      Diag.Engine.emit engine
+        (Diag.error ~loc:use_loc "use of undefined value %%%s" name))
+    (List.rev p.forwards)
 
 (** Parse a sequence of top-level operations. *)
 let parse_ops ?file ctx src =
-  Diag.protect (fun () ->
+  Diag.protect_any (fun () ->
       let p = create ?file ctx src in
       let rec go acc =
         match peek p with
@@ -754,9 +843,50 @@ let parse_ops ?file ctx src =
       finish p;
       ops)
 
+(** Fail-soft variant of {!parse_ops}: every error is emitted to [engine]
+    and parsing resumes at the next operation boundary, so one run reports
+    all errors. Returns the operations that parsed. *)
+let parse_ops_collect ?file ~engine ctx src : Graph.op list =
+  match
+    Diag.protect_any (fun () ->
+        let p = create ?file ~engine ctx src in
+        let ops = ref [] in
+        let continue = ref true in
+        while !continue do
+          if Diag.Engine.limit_reached engine then continue := false
+          else
+            match peek p with
+            | Eof -> continue := false
+            | Punct "}" ->
+                (* Fallout of an earlier abandoned op — or a genuinely stray
+                   brace. Consume it either way so it cannot poison the ops
+                   after it. *)
+                let brace_loc = loc p in
+                ignore (advance p);
+                if not (Diag.Engine.has_errors engine) then
+                  Diag.Engine.emit engine
+                    (Diag.error ~loc:brace_loc "unexpected '}'")
+            | _ -> (
+                let before = (loc p).start_pos.offset in
+                match Diag.protect (fun () -> parse_op p ~scope:None) with
+                | Ok op -> ops := op :: !ops
+                | Error d ->
+                    Diag.Engine.emit engine d;
+                    resync_op p;
+                    if (loc p).start_pos.offset = before && peek p <> Eof then
+                      ignore (advance p))
+        done;
+        finish_collect p engine;
+        List.rev !ops)
+  with
+  | Ok ops -> ops
+  | Error d ->
+      Diag.Engine.emit engine d;
+      []
+
 (** Parse exactly one operation. *)
 let parse_op_string ?file ctx src =
-  Diag.protect (fun () ->
+  Diag.protect_any (fun () ->
       let p = create ?file ctx src in
       let op = parse_op p ~scope:None in
       (match peek p with
@@ -767,7 +897,7 @@ let parse_op_string ?file ctx src =
 
 (** Parse a standalone type, e.g. ["!cmath.complex<f32>"]. *)
 let parse_type_string ?file ctx src =
-  Diag.protect (fun () ->
+  Diag.protect_any (fun () ->
       let p = create ?file ctx src in
       let ty = parse_ty p in
       (match peek p with Eof -> () | _ -> fail p "trailing input after type");
@@ -775,7 +905,7 @@ let parse_type_string ?file ctx src =
 
 (** Parse a standalone attribute. *)
 let parse_attr_string ?file ctx src =
-  Diag.protect (fun () ->
+  Diag.protect_any (fun () ->
       let p = create ?file ctx src in
       let a = parse_attr p in
       (match peek p with

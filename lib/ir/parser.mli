@@ -13,7 +13,13 @@ val int_ty_of_ident : string -> Attr.ty option
 
 val parse_ops :
   ?file:string -> Context.t -> string -> (Graph.op list, Diag.t) result
-(** Parse a sequence of top-level operations. *)
+(** Parse a sequence of top-level operations. Stops at the first error. *)
+
+val parse_ops_collect :
+  ?file:string -> engine:Diag.Engine.t -> Context.t -> string -> Graph.op list
+(** Fail-soft variant of {!parse_ops}: every lexing/parsing error (and every
+    undefined value) is emitted to [engine] and parsing resumes at the next
+    operation boundary. Returns the operations that parsed. *)
 
 val parse_op_string :
   ?file:string -> Context.t -> string -> (Graph.op, Diag.t) result

@@ -166,14 +166,26 @@ let verify ctx (op : Graph.op) =
    with Exit -> ());
   !result
 
-(** Collect every verification failure instead of stopping at the first. *)
+(* Stable order for multi-error output: by location (file, then start and
+   end offsets), ties broken structurally so sorting is deterministic
+   whatever order the walk produced. Used with [List.sort_uniq], it also
+   drops repeated identical diagnostics from shared sub-terms. *)
+let diag_order (a : Diag.t) (b : Diag.t) =
+  let pos (d : Diag.t) =
+    (d.loc.start_pos.file, d.loc.start_pos.offset, d.loc.end_pos.offset)
+  in
+  match compare (pos a) (pos b) with 0 -> compare a b | c -> c
+
+(** Collect every verification failure instead of stopping at the first.
+    The result is sorted by location and de-duplicated, so multi-error
+    output is diffable. *)
 let verify_all ctx (op : Graph.op) =
   let diags = ref [] in
   Graph.Op.walk op ~f:(fun o ->
       match verify_op ctx o with
       | Ok () -> ()
       | Error d -> diags := d :: !diags);
-  List.rev !diags
+  List.sort_uniq diag_order !diags
 
 (** Verify a whole parsed module (a list of top-level operations), stopping
     at the first failure. This is the hook the pass manager's
@@ -182,3 +194,8 @@ let verify_ops ctx ops =
   List.fold_left
     (fun acc op -> match acc with Error _ -> acc | Ok () -> verify ctx op)
     (Ok ()) ops
+
+(** Collect every verification failure across a whole parsed module, in the
+    same stable, de-duplicated order as {!verify_all}. *)
+let verify_ops_all ctx ops =
+  List.concat_map (verify_all ctx) ops |> List.sort_uniq diag_order

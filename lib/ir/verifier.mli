@@ -21,9 +21,15 @@ val verify : Context.t -> Graph.op -> (unit, Diag.t) result
     failure. *)
 
 val verify_all : Context.t -> Graph.op -> Diag.t list
-(** Collect every verification failure instead of stopping at the first. *)
+(** Collect every verification failure instead of stopping at the first,
+    sorted by location and de-duplicated so multi-error output is stable
+    and diffable. *)
 
 val verify_ops : Context.t -> Graph.op list -> (unit, Diag.t) result
 (** {!verify} over a list of top-level operations, stopping at the first
     failure — the re-verification hook used by the pass manager between
     passes ([--verify-each]) and after transformation pipelines. *)
+
+val verify_ops_all : Context.t -> Graph.op list -> Diag.t list
+(** {!verify_all} over a whole parsed module, in one stable, de-duplicated
+    location order. *)

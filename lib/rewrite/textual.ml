@@ -196,7 +196,7 @@ let kw st expected =
     definitions against [ctx] (used to parse concrete types). *)
 let parse_patterns (ctx : Context.t) ?(file = "<pattern>") src :
     (Pattern.t list, Diag.t) result =
-  Diag.protect @@ fun () ->
+  Diag.protect_any @@ fun () ->
   let st = { buf = Sbuf.of_string ~file src; ctx } in
   let rec go acc =
     skip_ws st;
@@ -214,7 +214,9 @@ let parse_patterns (ctx : Context.t) ?(file = "<pattern>") src :
          skip_ws st;
          let digits = Sbuf.take_while st.buf Sbuf.is_digit in
          if digits = "" then fail st "expected a benefit value";
-         benefit := int_of_string digits
+         match int_of_string_opt digits with
+         | Some b -> benefit := b
+         | None -> fail st "benefit value '%s' out of range" digits
        end
        else st.buf.Sbuf.pos <- save);
       kw st "Match";

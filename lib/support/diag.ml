@@ -3,7 +3,14 @@
     Every user-facing failure in the IRDL frontend, the IR parser and the
     generated verifiers is reported as a {!t}: a severity, a message, a source
     location, and optional notes. Internal invariant violations use
-    [invalid_arg]/[assert] instead. *)
+    [invalid_arg]/[assert] instead — but {!protect_any} converts even those
+    into diagnostics at public entry points, so no input can crash a caller.
+
+    {!Engine} upgrades single-shot reporting into a fail-soft pipeline: an
+    engine collects every diagnostic of a run (with severity counts and an
+    error cap), forwards them to pluggable handlers, and can serialize the
+    whole run as JSON. {!Sources} keeps the text of every lexed buffer so
+    diagnostics can be rendered with caret/underline source snippets. *)
 
 type severity = Error | Warning | Note
 
@@ -57,6 +64,227 @@ let to_string t = Fmt.str "%a" pp t
 (** Run [f], converting a raised [Error_exn] into [Error diag]. *)
 let protect f = try Ok (f ()) with Error_exn d -> Error d
 
+(** Like {!protect}, but additionally converts any other exception — a stray
+    [Failure], [Invalid_argument], [Not_found], even a failed assertion —
+    into an "internal error" diagnostic. Out-of-memory is re-raised. Public
+    entry points use this so no input, however malformed, can crash a
+    caller. *)
+let protect_any ?(loc = Loc.unknown) f =
+  try Ok (f ()) with
+  | Error_exn d -> Error d
+  | Out_of_memory -> raise Out_of_memory
+  | Stack_overflow ->
+      Error (make ~loc "internal error: stack overflow (input nested too deeply)")
+  | exn -> Error (make ~loc ("internal error: " ^ Printexc.to_string exn))
+
 let get_ok = function
   | Ok v -> v
   | Error d -> raise (Error_exn d)
+
+(* ------------------------------------------------------------------ *)
+(* Source-buffer registry                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Sources = struct
+  (* Keyed by file name; {!Sbuf.of_string} registers every buffer it wraps,
+     so by the time a diagnostic is rendered the text it points into is
+     available here. Re-registration overwrites (the common "<string>"
+     scratch name), making rendering best-effort by design. *)
+  let table : (string, string) Hashtbl.t = Hashtbl.create 16
+
+  let register ~file src = if file <> "" then Hashtbl.replace table file src
+  let lookup file = Hashtbl.find_opt table file
+  let clear () = Hashtbl.reset table
+end
+
+(* ------------------------------------------------------------------ *)
+(* Snippet rendering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [start, end) byte offsets of 1-based line [n] in [src]; None when out of
+   range. Lines are located by counting newlines, not by the location's
+   offset, so rendering stays correct for sources re-materialized with the
+   same line structure (e.g. --split-input-file chunks padded with blank
+   lines). *)
+let line_bounds src n =
+  let len = String.length src in
+  let rec find_start line i =
+    if line >= n then Some i
+    else
+      match String.index_from_opt src i '\n' with
+      | Some j when j + 1 <= len -> find_start (line + 1) (j + 1)
+      | _ -> None
+  in
+  if n < 1 then None
+  else
+    match find_start 1 0 with
+    | None -> None
+    | Some start ->
+        let stop =
+          match String.index_from_opt src start '\n' with
+          | Some j -> j
+          | None -> len
+        in
+        Some (start, stop)
+
+(** Render the source line under [loc] with a [^~~~] caret span, when the
+    file's text is available in {!Sources}. Renders nothing otherwise. *)
+let pp_snippet ppf (loc : Loc.t) =
+  if not (Loc.is_unknown loc) then
+    match Sources.lookup loc.start_pos.file with
+    | None -> ()
+    | Some src -> (
+        match line_bounds src loc.start_pos.line with
+        | None -> ()
+        | Some (start, stop) ->
+            let line =
+              String.map
+                (fun c -> if c = '\t' then ' ' else c)
+                (String.sub src start (stop - start))
+            in
+            let gutter = string_of_int loc.start_pos.line in
+            let col = max 1 (min loc.start_pos.col (String.length line + 1)) in
+            let width =
+              if
+                loc.end_pos.line = loc.start_pos.line
+                && loc.end_pos.col > loc.start_pos.col
+              then loc.end_pos.col - loc.start_pos.col
+              else 1
+            in
+            let width = max 1 (min width (String.length line - col + 2)) in
+            Fmt.pf ppf "@\n  %s | %s@\n  %s | %s^%s" gutter line
+              (String.make (String.length gutter) ' ')
+              (String.make (col - 1) ' ')
+              (String.make (width - 1) '~'))
+
+(** Like {!pp}, with a rendered source snippet under the header line and
+    under every note whose location is known. *)
+let pp_rendered ppf t =
+  if Loc.is_unknown t.loc then
+    Fmt.pf ppf "%a: %s" pp_severity t.severity t.message
+  else Fmt.pf ppf "%a: %a: %s" Loc.pp t.loc pp_severity t.severity t.message;
+  pp_snippet ppf t.loc;
+  List.iter
+    (fun (loc, note) ->
+      if Loc.is_unknown loc then Fmt.pf ppf "@\n  note: %s" note
+      else Fmt.pf ppf "@\n  %a: note: %s" Loc.pp loc note;
+      pp_snippet ppf loc)
+    t.notes
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let loc_json (loc : Loc.t) =
+  if Loc.is_unknown loc then {|"file": null, "line": 0, "col": 0|}
+  else
+    Printf.sprintf {|"file": "%s", "line": %d, "col": %d|}
+      (json_escape loc.start_pos.file)
+      loc.start_pos.line loc.start_pos.col
+
+let to_json t =
+  let notes =
+    t.notes
+    |> List.map (fun (loc, note) ->
+           Printf.sprintf {|{ %s, "message": "%s" }|} (loc_json loc)
+             (json_escape note))
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    {|{ "severity": "%s", %s, "message": "%s", "notes": [%s] }|}
+    (Fmt.str "%a" pp_severity t.severity)
+    (loc_json t.loc) (json_escape t.message) notes
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic engine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type diag = t
+
+module Engine = struct
+  type handler = diag -> unit
+
+  type t = {
+    mutable diags_rev : diag list;
+    mutable n_errors : int;
+    mutable n_warnings : int;
+    mutable n_notes : int;
+    mutable n_suppressed : int;
+    max_errors : int;  (** 0 = unlimited *)
+    mutable handlers : handler list;
+  }
+
+  let create ?(max_errors = 0) () =
+    {
+      diags_rev = [];
+      n_errors = 0;
+      n_warnings = 0;
+      n_notes = 0;
+      n_suppressed = 0;
+      max_errors;
+      handlers = [];
+    }
+
+  let add_handler e h = e.handlers <- e.handlers @ [ h ]
+
+  let limit_reached e = e.max_errors > 0 && e.n_errors >= e.max_errors
+
+  (** Record a diagnostic, bump the severity counts and run every handler.
+      Errors past the [max_errors] cap are counted as suppressed and
+      neither recorded nor forwarded. *)
+  let emit e (d : diag) =
+    if d.severity = Error && limit_reached e then
+      e.n_suppressed <- e.n_suppressed + 1
+    else begin
+      e.diags_rev <- d :: e.diags_rev;
+      (match d.severity with
+      | Error -> e.n_errors <- e.n_errors + 1
+      | Warning -> e.n_warnings <- e.n_warnings + 1
+      | Note -> e.n_notes <- e.n_notes + 1);
+      List.iter (fun h -> h d) e.handlers
+    end
+
+  let diagnostics e = List.rev e.diags_rev
+  let error_count e = e.n_errors
+  let warning_count e = e.n_warnings
+  let note_count e = e.n_notes
+  let suppressed_count e = e.n_suppressed
+  let has_errors e = e.n_errors > 0
+
+  (** A handler printing each diagnostic to [ppf], one per line, with
+      source snippets unless [snippets:false]. *)
+  let printer ?(snippets = true) ppf : handler =
+   fun d -> Fmt.pf ppf "%a@." (if snippets then pp_rendered else pp) d
+
+  let to_json e =
+    let diags =
+      diagnostics e |> List.map to_json |> String.concat ",\n    "
+    in
+    Printf.sprintf
+      {|{
+  "errors": %d,
+  "warnings": %d,
+  "notes": %d,
+  "suppressed": %d,
+  "diagnostics": [
+    %s
+  ]
+}|}
+      e.n_errors e.n_warnings e.n_notes e.n_suppressed diags
+end

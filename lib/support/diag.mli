@@ -2,7 +2,9 @@
 
     Every user-facing failure (IRDL frontend, IR parser, generated
     verifiers) is reported as a {!t}; internal invariant violations use
-    [invalid_arg]/[assert] instead. *)
+    [invalid_arg]/[assert] instead. {!Engine} collects every diagnostic of a
+    fail-soft run; {!Sources} keeps lexed buffers so diagnostics render with
+    caret/underline source snippets. *)
 
 type severity = Error | Warning | Note
 
@@ -46,5 +48,85 @@ val to_string : t -> string
 val protect : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, converting a raised {!Error_exn} into [Error]. *)
 
+val protect_any : ?loc:Loc.t -> (unit -> 'a) -> ('a, t) result
+(** Like {!protect}, but additionally converts any other exception (stray
+    [Failure], [Invalid_argument], [Not_found], assertion failure, stack
+    overflow) into an "internal error" diagnostic at [loc]. Out-of-memory
+    is re-raised. Public entry points use this so no input can crash a
+    caller. *)
+
 val get_ok : ('a, t) result -> 'a
 (** Unwrap, re-raising {!Error_exn} on [Error]. *)
+
+(** Registry of source-buffer contents, keyed by file name. {!Sbuf.of_string}
+    registers every buffer it wraps; {!pp_snippet} reads it back at render
+    time. Re-registration overwrites, so rendering is best-effort for
+    scratch names like ["<string>"]. *)
+module Sources : sig
+  val register : file:string -> string -> unit
+  val lookup : string -> string option
+  val clear : unit -> unit
+end
+
+val pp_snippet : Format.formatter -> Loc.t -> unit
+(** Render the source line under a location with a [^~~~] caret span, when
+    the file's text is registered in {!Sources}; renders nothing otherwise.
+    The line is found by line number, so sources re-materialized with the
+    same line structure (split-input-file chunks) render correctly. *)
+
+val pp_rendered : Format.formatter -> t -> unit
+(** Like {!pp}, with a source snippet under the header and under every
+    note whose location is known. *)
+
+val to_json : t -> string
+(** One diagnostic as a JSON object (severity, file/line/col, message,
+    notes). *)
+
+type diag = t
+(** Alias so {!Engine} can refer to diagnostics past its own [t]. *)
+
+(** A diagnostic engine: collects every diagnostic of a run instead of
+    stopping at the first, with severity counts, an error cap, and
+    pluggable handlers. The recorded list doubles as the recording sink
+    for tests; {!Engine.to_json} is the machine-readable sink. *)
+module Engine : sig
+  type handler = diag -> unit
+
+  type t = {
+    mutable diags_rev : diag list;
+    mutable n_errors : int;
+    mutable n_warnings : int;
+    mutable n_notes : int;
+    mutable n_suppressed : int;
+    max_errors : int;
+    mutable handlers : handler list;
+  }
+
+  val create : ?max_errors:int -> unit -> t
+  (** [max_errors] caps recorded errors; 0 (the default) is unlimited. *)
+
+  val add_handler : t -> handler -> unit
+  (** Handlers run on every recorded diagnostic, in registration order. *)
+
+  val emit : t -> diag -> unit
+  (** Record a diagnostic and forward it to the handlers. Errors past the
+      cap are counted as suppressed instead. *)
+
+  val limit_reached : t -> bool
+  (** Whether the error cap has been hit (recovering parsers stop). *)
+
+  val diagnostics : t -> diag list
+  (** Everything recorded so far, in emission order. *)
+
+  val error_count : t -> int
+  val warning_count : t -> int
+  val note_count : t -> int
+  val suppressed_count : t -> int
+  val has_errors : t -> bool
+
+  val printer : ?snippets:bool -> Format.formatter -> handler
+  (** A handler printing each diagnostic (with snippets by default). *)
+
+  val to_json : t -> string
+  (** The whole run as a JSON document: counts plus every diagnostic. *)
+end

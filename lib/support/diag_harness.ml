@@ -1,0 +1,247 @@
+(** The MLIR-style diagnostic test harness.
+
+    Two building blocks used by [irdl-opt]:
+
+    - {!split_input} cuts a source file at [// -----] separator lines into
+      independent chunks, each padded with leading newlines so every
+      diagnostic keeps its original line number.
+    - {!scan_expectations}/{!check} implement [--verify-diagnostics]:
+      [// expected-error@<offset> {{substring}}] annotations (and the
+      [expected-warning]/[expected-note] variants) are matched against the
+      diagnostics a run actually produced, reporting both unexpected
+      diagnostics and annotations nothing fulfilled. *)
+
+let is_separator line = String.trim line = "// -----"
+
+(* Split [src] at separator lines. Each chunk is re-materialized with one
+   leading newline per preceding source line, so the lexer reports the same
+   line numbers it would for the whole file — and Diag's snippet renderer,
+   which looks lines up by number, stays exact. Without any separator the
+   source is returned untouched. *)
+let split_input src =
+  let lines = String.split_on_char '\n' src in
+  if not (List.exists is_separator lines) then [ src ]
+  else begin
+    let chunks = ref [] in
+    let current = ref [] in
+    let start_line = ref 0 in
+    let lineno = ref 0 in
+    let flush () =
+      let body = String.concat "\n" (List.rev !current) in
+      chunks := (String.make !start_line '\n' ^ body) :: !chunks;
+      current := []
+    in
+    List.iter
+      (fun line ->
+        if is_separator line then begin
+          flush ();
+          start_line := !lineno + 1
+        end
+        else current := line :: !current;
+        incr lineno)
+      lines;
+    flush ();
+    List.rev !chunks
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Expected-diagnostic annotations                                     *)
+(* ------------------------------------------------------------------ *)
+
+type expectation = {
+  exp_file : string;
+  exp_line : int;  (** line the diagnostic must be located on *)
+  exp_decl_line : int;  (** line of the annotation comment itself *)
+  exp_severity : Diag.severity;
+  exp_substr : string;
+  mutable exp_matched : bool;
+}
+
+let find_from s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if m = 0 || i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go (max 0 from)
+
+let contains s sub = find_from s sub 0 <> None
+
+(* Parse the "@+2" / "@-1" / "@above" / "@below" offset suffix starting at
+   [i]; no suffix means "this very line". Returns (line-delta, index after
+   the suffix), or None when the suffix is malformed. *)
+let parse_offset line i =
+  let n = String.length line in
+  if i >= n || line.[i] <> '@' then Some (0, i)
+  else
+    let i = i + 1 in
+    let word_at w delta =
+      let m = String.length w in
+      if i + m <= n && String.sub line i m = w then Some (delta, i + m)
+      else None
+    in
+    match word_at "above" (-1) with
+    | Some _ as r -> r
+    | None -> (
+        match word_at "below" 1 with
+        | Some _ as r -> r
+        | None ->
+            if i < n && (line.[i] = '+' || line.[i] = '-') then begin
+              let sign = if line.[i] = '+' then 1 else -1 in
+              let j = ref (i + 1) in
+              let v = ref 0 in
+              let digits = ref 0 in
+              while
+                !j < n && line.[!j] >= '0' && line.[!j] <= '9' && !digits < 6
+              do
+                v := (!v * 10) + (Char.code line.[!j] - Char.code '0');
+                incr j;
+                incr digits
+              done;
+              if !digits = 0 then None else Some (sign * !v, !j)
+            end
+            else None)
+
+let keywords =
+  [
+    ("expected-error", Diag.Error);
+    ("expected-warning", Diag.Warning);
+    ("expected-note", Diag.Note);
+  ]
+
+(* All annotations on one line. An annotation only counts inside a [//]
+   comment; malformed ones (bad offset, missing [{{..}}]) are reported as
+   harness errors rather than silently ignored. *)
+let scan_line ~file ~lineno line =
+  match find_from line "//" 0 with
+  | None -> ([], [])
+  | Some comment_at ->
+      let expectations = ref [] and errors = ref [] in
+      List.iter
+        (fun (kw, severity) ->
+          let rec scan from =
+            match find_from line kw from with
+            | None -> ()
+            | Some i when i < comment_at -> scan (i + 1)
+            | Some i -> (
+                let after = i + String.length kw in
+                match parse_offset line after with
+                | None ->
+                    errors :=
+                      Diag.error
+                        "%s:%d: malformed offset after '%s' (expected @+N, \
+                         @-N, @above or @below)"
+                        file lineno kw
+                      :: !errors;
+                    scan (after + 1)
+                | Some (delta, j) -> (
+                    let j = ref j in
+                    let n = String.length line in
+                    while !j < n && (line.[!j] = ' ' || line.[!j] = '\t') do
+                      incr j
+                    done;
+                    match find_from line "{{" !j with
+                    | Some b when b = !j -> (
+                        match find_from line "}}" (b + 2) with
+                        | None ->
+                            errors :=
+                              Diag.error "%s:%d: unterminated {{...}} after '%s'"
+                                file lineno kw
+                              :: !errors;
+                            scan (after + 1)
+                        | Some e ->
+                            expectations :=
+                              {
+                                exp_file = file;
+                                exp_line = lineno + delta;
+                                exp_decl_line = lineno;
+                                exp_severity = severity;
+                                exp_substr = String.sub line (b + 2) (e - b - 2);
+                                exp_matched = false;
+                              }
+                              :: !expectations;
+                            scan (e + 2))
+                    | _ ->
+                        errors :=
+                          Diag.error "%s:%d: expected {{...}} after '%s'" file
+                            lineno kw
+                          :: !errors;
+                        scan (after + 1)))
+          in
+          scan comment_at)
+        keywords;
+      (List.rev !expectations, List.rev !errors)
+
+(** Collect every annotation in [src]. Returns the expectations plus
+    harness errors for malformed annotations. *)
+let scan_expectations ~file src =
+  let lines = String.split_on_char '\n' src in
+  let expectations = ref [] and errors = ref [] in
+  List.iteri
+    (fun i line ->
+      let exps, errs = scan_line ~file ~lineno:(i + 1) line in
+      expectations := List.rev_append exps !expectations;
+      errors := List.rev_append errs !errors)
+    lines;
+  (List.rev !expectations, List.rev !errors)
+
+let loc_of_line file line : Loc.t =
+  let pos = { Loc.file; line; col = 1; offset = 0 } in
+  { start_pos = pos; end_pos = pos }
+
+(* A diagnostic plus its notes, flattened into matchable
+   (severity, loc, message) triples. *)
+let flatten (d : Diag.t) =
+  (d.severity, d.loc, d.message)
+  :: List.map (fun (loc, msg) -> (Diag.Note, loc, msg)) d.notes
+
+(** Match [diags] against [expectations] (mutating [exp_matched]).
+    Returns harness failures: one error per unexpected error/warning and
+    one per annotation that nothing fulfilled. Notes attached to matched or
+    unmatched diagnostics are lenient — an un-annotated note is not a
+    failure, only an [expected-note] annotation without a note is. *)
+let check ~expectations diags =
+  let failures = ref [] in
+  let try_match (sev, (loc : Loc.t), message) =
+    match
+      List.find_opt
+        (fun e ->
+          (not e.exp_matched)
+          && e.exp_severity = sev
+          && e.exp_file = loc.start_pos.file
+          && e.exp_line = loc.start_pos.line
+          && contains message e.exp_substr)
+        expectations
+    with
+    | Some e ->
+        e.exp_matched <- true;
+        true
+    | None -> false
+  in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun ((sev, loc, message) as item) ->
+          if not (try_match item) && sev <> Diag.Note then
+            failures :=
+              Diag.error ~loc "unexpected %s: %s"
+                (Fmt.str "%a" Diag.pp_severity sev)
+                message
+              :: !failures)
+        (flatten d))
+    diags;
+  List.iter
+    (fun e ->
+      if not e.exp_matched then
+        failures :=
+          Diag.error
+            ~loc:(loc_of_line e.exp_file e.exp_decl_line)
+            "expected %s {{%s}} was not produced%s"
+            (Fmt.str "%a" Diag.pp_severity e.exp_severity)
+            e.exp_substr
+            (if e.exp_line = e.exp_decl_line then ""
+             else Printf.sprintf " at line %d" e.exp_line)
+          :: !failures)
+    expectations;
+  List.rev !failures

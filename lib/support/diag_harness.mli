@@ -1,0 +1,29 @@
+(** MLIR-style diagnostic test harness: [--split-input-file] chunking and
+    [--verify-diagnostics] expected-diagnostic annotations. *)
+
+val split_input : string -> string list
+(** Split a source at [// -----] separator lines into independent chunks.
+    Each chunk is padded with leading newlines so diagnostics keep the line
+    numbers of the original file. A source without separators is returned
+    as a single untouched chunk. *)
+
+type expectation = {
+  exp_file : string;
+  exp_line : int;  (** line the diagnostic must be located on *)
+  exp_decl_line : int;  (** line of the annotation comment itself *)
+  exp_severity : Diag.severity;
+  exp_substr : string;  (** substring the message must contain *)
+  mutable exp_matched : bool;
+}
+
+val scan_expectations : file:string -> string -> expectation list * Diag.t list
+(** All [// expected-error@<offset> {{substr}}] annotations (and the
+    [-warning]/[-note] variants) in a source, plus harness errors for
+    malformed annotations. Offsets: none (same line), [@+N], [@-N],
+    [@above], [@below]. *)
+
+val check : expectations:expectation list -> Diag.t list -> Diag.t list
+(** Match produced diagnostics against the expectations (marking them
+    fulfilled). Returns harness failures: unexpected errors/warnings and
+    expectations nothing fulfilled. Notes are matched when annotated but
+    un-annotated notes are not failures. *)

@@ -8,7 +8,11 @@ type t = {
   mutable pos : Loc.pos;
 }
 
-let of_string ?(file = "<string>") src = { src; pos = Loc.start_of_file file }
+let of_string ?(file = "<string>") src =
+  (* Feed the source registry so diagnostics over this buffer can render
+     caret snippets long after the cursor is gone. *)
+  Diag.Sources.register ~file src;
+  { src; pos = Loc.start_of_file file }
 
 let eof t = t.pos.offset >= String.length t.src
 

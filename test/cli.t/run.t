@@ -71,7 +71,9 @@ Verification failures are reported with locations and exit code 1:
   > EOF
   $ irdl-opt -d poly.irdl bad.mlir
   bad.mlir:3:3-10: error: type 'poly.poly': parameter 'coeff': i32 satisfies no alternative of AnyOf
-  [1]
+    3 |   "t.use"(%p) : (!poly.poly<i32>) -> ()
+      |   ^~~~~~~
+  [2]
 
 The formatter normalizes IRDL sources:
 
@@ -120,12 +122,16 @@ SSA dominance checking (--dominance is the deprecated alias of
   > XEOF
   $ irdl-opt --dominance --verify-only nodom.mlir
   nodom.mlir:3:3-10: error: operand 0 of 't.use' is not dominated by its definition
+    3 |   "t.use"(%later) : (i32) -> ()
+      |   ^~~~~~~
     note: while running pass 'verify-dominance'
-  [1]
+  [2]
   $ irdl-opt --pass-pipeline verify-dominance --verify-only nodom.mlir
   nodom.mlir:3:3-10: error: operand 0 of 't.use' is not dominated by its definition
+    3 |   "t.use"(%later) : (i32) -> ()
+      |   ^~~~~~~
     note: while running pass 'verify-dominance'
-  [1]
+  [2]
   $ irdl-opt --verify-only nodom.mlir
 
 Cross-references (find-references over IRDL definitions):
@@ -234,7 +240,7 @@ the attribution:
   > EOF
   $ irdl-opt -d poly.irdl -p break.pat --verify-each prog.mlir
   error: IR verification failed after pass 'canonicalize': 'poly.eval': operand 'p': expected a !poly.poly type, got f32
-  [1]
+  [2]
   $ irdl-opt -d poly.irdl -p break.pat prog.mlir
   error: 'poly.eval': operand 'p': expected a !poly.poly type, got f32
-  [1]
+  [2]

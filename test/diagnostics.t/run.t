@@ -1,0 +1,150 @@
+The fail-soft frontend: one run reports every error, with caret snippets,
+split-input-file chunk isolation and expected-diagnostic verification.
+
+A dialect file with several distinct errors — all of them are reported in
+a single run, each with a caret snippet, and the exit code is the
+parse-class code 1:
+
+  $ cat > broken.irdl <<'EOF'
+  > Dialect broken {
+  >   Type t1 { Bogus }
+  >   Operation ok { Operands() Results() }
+  >   Operation bad { Operands(x UnknownThing) Results() }
+  >   Type t2 { Parameters (p: NoSuchConstraint) }
+  > }
+  > EOF
+  $ irdl-opt -d broken.irdl
+  broken.irdl:2:13-18: error: at 'Bogus': expected Parameters, Summary, CppConstraint or '}'
+    2 |   Type t1 { Bogus }
+      |             ^~~~~
+  broken.irdl:4:30-42: error: at 'UnknownThing': expected ':'
+    4 |   Operation bad { Operands(x UnknownThing) Results() }
+      |                              ^~~~~~~~~~~~
+  broken.irdl:5:28-45: error: unknown name 'NoSuchConstraint' in dialect broken
+    5 |   Type t2 { Parameters (p: NoSuchConstraint) }
+      |                            ^~~~~~~~~~~~~~~~~
+  [1]
+
+--max-errors caps the flood; the rest is counted, not printed:
+
+  $ irdl-opt -d broken.irdl --max-errors 1
+  broken.irdl:2:13-18: error: at 'Bogus': expected Parameters, Summary, CppConstraint or '}'
+    2 |   Type t1 { Bogus }
+      |             ^~~~~
+  [1]
+
+--diag-json mirrors the run to a machine-readable sink:
+
+  $ irdl-opt -d broken.irdl --diag-json diags.json
+  broken.irdl:2:13-18: error: at 'Bogus': expected Parameters, Summary, CppConstraint or '}'
+    2 |   Type t1 { Bogus }
+      |             ^~~~~
+  broken.irdl:4:30-42: error: at 'UnknownThing': expected ':'
+    4 |   Operation bad { Operands(x UnknownThing) Results() }
+      |                              ^~~~~~~~~~~~
+  broken.irdl:5:28-45: error: unknown name 'NoSuchConstraint' in dialect broken
+    5 |   Type t2 { Parameters (p: NoSuchConstraint) }
+      |                            ^~~~~~~~~~~~~~~~~
+  [1]
+  $ grep -c '"severity": "error"' diags.json
+  3
+
+The same annotations, checked instead of printed: expected-error lines in
+the dialect file make the run pass (exit 0):
+
+  $ cat > annotated.irdl <<'EOF'
+  > Dialect broken {
+  >   // expected-error@below {{at 'Bogus'}}
+  >   Type t1 { Bogus }
+  >   Operation ok { Operands() Results() }
+  >   // expected-error@below {{at 'UnknownThing'}}
+  >   Operation bad { Operands(x UnknownThing) Results() }
+  >   // expected-error@below {{unknown name 'NoSuchConstraint'}}
+  >   Type t2 { Parameters (p: NoSuchConstraint) }
+  > }
+  > EOF
+  $ irdl-opt -d annotated.irdl --verify-diagnostics
+
+A wrong or missing expectation is a harness failure with exit code 3:
+
+  $ cat > wrong.irdl <<'EOF'
+  > Dialect broken {
+  >   // expected-error@below {{something else}}
+  >   Type t1 { Bogus }
+  > }
+  > EOF
+  $ irdl-opt -d wrong.irdl --verify-diagnostics
+  wrong.irdl:3:13-18: error: unexpected error: at 'Bogus': expected Parameters, Summary, CppConstraint or '}'
+  wrong.irdl:2:1: error: expected error {{something else}} was not produced at line 3
+  [3]
+
+Split-input-file: chunks separated by '// -----' are processed
+independently; a malformed chunk reports its errors (with the line
+numbers of the original file) and does not block later chunks:
+
+  $ cat > chunks.mlir <<'EOF'
+  > %a = "t.one"() : () -> (i32)
+  > // -----
+  > %b = "t.two"(%undef) : (i32) -> (i32)
+  > // -----
+  > %c = "t.three"() : () -> (f32)
+  > EOF
+  $ irdl-opt --split-input-file chunks.mlir
+  chunks.mlir:3:14-20: error: use of undefined value %undef
+    3 | %b = "t.two"(%undef) : (i32) -> (i32)
+      |              ^~~~~~
+  %0 = "t.one"() : () -> (i32)
+  // -----
+  %0 = "t.three"() : () -> (f32)
+  [1]
+
+Verifier errors from the paper's cmath dialect (Listing 9: constraint
+variables tie operand and result types), as a --verify-diagnostics run:
+
+  $ cat > listing9.mlir <<'EOF'
+  > %c1 = "t.cast"() : () -> (!cmath.complex<f32>)
+  > %c2 = "t.cast"() : () -> (!cmath.complex<f64>)
+  > // expected-error@below {{constraint variable T already bound to !cmath.complex<f32>}}
+  > %m = "cmath.mul"(%c1, %c2) : (!cmath.complex<f32>, !cmath.complex<f64>) -> (!cmath.complex<f32>)
+  > // expected-error@below {{result 'res': constraint variable T already bound to f32, got i32}}
+  > %n = "cmath.norm"(%m) : (!cmath.complex<f32>) -> (i32)
+  > EOF
+  $ irdl-opt --cmath --verify-diagnostics listing9.mlir
+
+Without --verify-diagnostics the same file reports both verifier errors in
+one run and exits with the verify-class code 2:
+
+  $ grep -v expected-error listing9.mlir > listing9-plain.mlir
+  $ irdl-opt --cmath listing9-plain.mlir
+  listing9-plain.mlir:3:1-3: error: 'cmath.mul': operand 'rhs': constraint variable T already bound to !cmath.complex<f32>, got !cmath.complex<f64>
+    3 | %m = "cmath.mul"(%c1, %c2) : (!cmath.complex<f32>, !cmath.complex<f64>) -> (!cmath.complex<f32>)
+      | ^~
+  listing9-plain.mlir:4:1-3: error: 'cmath.norm': result 'res': constraint variable T already bound to f32, got i32
+    4 | %n = "cmath.norm"(%m) : (!cmath.complex<f32>) -> (i32)
+      | ^~
+  [2]
+
+Verify-class and parse-class failures are distinguished: a file that does
+not parse exits 1 even when verification would also fail elsewhere:
+
+  $ cat > mixed.mlir <<'EOF'
+  > %a = "t.one"( : ???
+  > %m = "cmath.mul"() : () -> ()
+  > EOF
+  $ irdl-opt --cmath mixed.mlir --verify-only
+  mixed.mlir:1:15-16: error: at ':': expected SSA value name
+    1 | %a = "t.one"( : ???
+      |               ^
+  mixed.mlir:1:17: error: unexpected character '?'
+    1 | %a = "t.one"( : ???
+      |                 ^
+  mixed.mlir:1:18: error: unexpected character '?'
+    1 | %a = "t.one"( : ???
+      |                  ^
+  mixed.mlir:1:19: error: unexpected character '?'
+    1 | %a = "t.one"( : ???
+      |                   ^
+  mixed.mlir:2:1-3: error: 'cmath.mul' produces 0 results but 1 names were bound
+    2 | %m = "cmath.mul"() : () -> ()
+      | ^~
+  [1]

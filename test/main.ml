@@ -30,5 +30,7 @@ let () =
       ("docgen", Test_docgen.suite);
       ("xref", Test_xref.suite);
       ("feature-matrix", Test_feature_matrix.suite);
+      ("diag-engine", Test_diag_engine.suite);
+      ("recovery", Test_recovery.suite);
       ("robustness", Test_robustness.suite);
     ]

@@ -1,0 +1,169 @@
+(** The diagnostic engine: counting, capping, handlers, sinks, snippet
+    rendering, and the --split-input-file / --verify-diagnostics harness. *)
+
+open Irdl_support
+open Util
+
+let pos file line col offset = { Loc.file; line; col; offset }
+
+let loc_at ?(file = "t.mlir") line col width off =
+  Loc.span (pos file line col off) (pos file line (col + width) (off + width))
+
+(* ---------------- engine bookkeeping ---------------- *)
+
+let counts () =
+  let e = Diag.Engine.create () in
+  Diag.Engine.emit e (Diag.error "boom");
+  Diag.Engine.emit e (Diag.warning "hm");
+  Diag.Engine.emit e (Diag.make ~severity:Diag.Note "fyi");
+  Diag.Engine.emit e (Diag.error "boom again");
+  Alcotest.(check int) "errors" 2 (Diag.Engine.error_count e);
+  Alcotest.(check int) "warnings" 1 (Diag.Engine.warning_count e);
+  Alcotest.(check int) "notes" 1 (Diag.Engine.note_count e);
+  Alcotest.(check bool) "has_errors" true (Diag.Engine.has_errors e);
+  Alcotest.(check (list string)) "emission order"
+    [ "boom"; "hm"; "fyi"; "boom again" ]
+    (List.map (fun (d : Diag.t) -> d.message) (Diag.Engine.diagnostics e))
+
+let error_cap () =
+  let e = Diag.Engine.create ~max_errors:2 () in
+  Diag.Engine.emit e (Diag.error "one");
+  Alcotest.(check bool) "below cap" false (Diag.Engine.limit_reached e);
+  Diag.Engine.emit e (Diag.error "two");
+  Alcotest.(check bool) "at cap" true (Diag.Engine.limit_reached e);
+  Diag.Engine.emit e (Diag.error "three");
+  Diag.Engine.emit e (Diag.warning "still recorded");
+  Alcotest.(check int) "errors capped" 2 (Diag.Engine.error_count e);
+  Alcotest.(check int) "suppressed" 1 (Diag.Engine.suppressed_count e);
+  Alcotest.(check int) "warnings pass the cap" 1
+    (Diag.Engine.warning_count e);
+  Alcotest.(check int) "recorded list excludes suppressed" 3
+    (List.length (Diag.Engine.diagnostics e))
+
+let handlers () =
+  let e = Diag.Engine.create () in
+  let seen = ref [] in
+  Diag.Engine.add_handler e (fun d -> seen := ("a:" ^ d.message) :: !seen);
+  Diag.Engine.add_handler e (fun d -> seen := ("b:" ^ d.message) :: !seen);
+  Diag.Engine.emit e (Diag.error "x");
+  Alcotest.(check (list string)) "both handlers, registration order"
+    [ "b:x"; "a:x" ] !seen
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let json_sink () =
+  let e = Diag.Engine.create () in
+  Diag.Engine.emit e (Diag.error ~loc:(loc_at 3 7 4 20) "bad \"thing\"");
+  Diag.Engine.emit e (Diag.warning "odd");
+  let json = Diag.Engine.to_json e in
+  List.iter
+    (fun needle ->
+      if not (contains json needle) then
+        Alcotest.failf "JSON %s lacks %S" json needle)
+    [ {|"errors": 1|}; {|"warnings": 1|}; {|"file": "t.mlir"|};
+      {|"line": 3|}; {|bad \"thing\"|}; {|"severity": "warning"|} ]
+
+(* ---------------- snippet rendering ---------------- *)
+
+let snippet () =
+  let src = "first line\nsecond line\nthird" in
+  Diag.Sources.register ~file:"snip.x" src;
+  let d = Diag.error ~loc:(loc_at ~file:"snip.x" 2 8 4 18) "bad suffix" in
+  let rendered = Fmt.str "%a" Diag.pp_rendered d in
+  Alcotest.(check string) "caret under the span"
+    "snip.x:2:8-12: error: bad suffix\n\
+    \  2 | second line\n\
+    \    |        ^~~~" rendered
+
+let snippet_unknown_source () =
+  let d = Diag.error ~loc:(loc_at ~file:"not-registered.x" 1 1 3 0) "eh" in
+  Alcotest.(check string) "falls back to the plain header"
+    (Fmt.str "%a" Diag.pp d)
+    (Fmt.str "%a" Diag.pp_rendered d)
+
+(* ---------------- split-input-file ---------------- *)
+
+let split_basic () =
+  let src = "a1\na2\n// -----\nb1\n" in
+  match Diag_harness.split_input src with
+  | [ c1; c2 ] ->
+      Alcotest.(check string) "first chunk" "a1\na2" c1;
+      Alcotest.(check string) "second chunk keeps line numbers" "\n\n\nb1\n" c2
+  | cs -> Alcotest.failf "expected 2 chunks, got %d" (List.length cs)
+
+let split_none () =
+  let src = "only\nchunk\n" in
+  Alcotest.(check (list string)) "untouched" [ src ]
+    (Diag_harness.split_input src)
+
+(* ---------------- expectation scanning and checking ---------------- *)
+
+let scan () =
+  let src =
+    "op1\n\
+     // expected-error@below {{bad op}}\n\
+     op2  // expected-warning {{shady}}\n\
+     // expected-error@+2 {{later}}\n\
+     \n\
+     op3\n"
+  in
+  let exps, errs = Diag_harness.scan_expectations ~file:"f.mlir" src in
+  Alcotest.(check int) "no harness errors" 0 (List.length errs);
+  Alcotest.(check (list (pair int string)))
+    "lines and substrings"
+    [ (3, "bad op"); (3, "shady"); (6, "later") ]
+    (List.map
+       (fun (e : Diag_harness.expectation) -> (e.exp_line, e.exp_substr))
+       exps)
+
+let scan_malformed () =
+  let _, errs =
+    Diag_harness.scan_expectations ~file:"f.mlir"
+      "// expected-error@wat {{x}}\n// expected-error {{unterminated\n"
+  in
+  Alcotest.(check int) "both reported" 2 (List.length errs)
+
+let check_matching () =
+  let src = "// expected-error@below {{undefined}}\nuse\n" in
+  let exps, _ = Diag_harness.scan_expectations ~file:"f.mlir" src in
+  let produced = [ Diag.error ~loc:(loc_at ~file:"f.mlir" 2 1 3 0) "use of undefined value" ] in
+  Alcotest.(check int) "fulfilled" 0
+    (List.length (Diag_harness.check ~expectations:exps produced));
+  (* Same expectation, nothing produced: one failure. *)
+  let exps, _ = Diag_harness.scan_expectations ~file:"f.mlir" src in
+  (match Diag_harness.check ~expectations:exps [] with
+  | [ d ] ->
+      check_err_containing "unfulfilled" "was not produced" (Error d)
+  | ds -> Alcotest.failf "expected 1 failure, got %d" (List.length ds));
+  (* Unexpected diagnostic: one failure naming it. *)
+  (match Diag_harness.check ~expectations:[] produced with
+  | [ d ] -> check_err_containing "unexpected" "unexpected error" (Error d)
+  | ds -> Alcotest.failf "expected 1 failure, got %d" (List.length ds))
+
+let check_severity_mismatch () =
+  let exps, _ =
+    Diag_harness.scan_expectations ~file:"f.mlir"
+      "// expected-warning@below {{oops}}\nx\n"
+  in
+  let produced = [ Diag.error ~loc:(loc_at ~file:"f.mlir" 2 1 1 0) "oops" ] in
+  Alcotest.(check int) "error does not satisfy expected-warning" 2
+    (List.length (Diag_harness.check ~expectations:exps produced))
+
+let suite =
+  [
+    tc "severity counts and order" counts;
+    tc "max-errors cap suppresses" error_cap;
+    tc "handlers run in order" handlers;
+    tc "JSON sink" json_sink;
+    tc "caret snippet rendering" snippet;
+    tc "snippet falls back without source" snippet_unknown_source;
+    tc "split-input-file chunks pad line numbers" split_basic;
+    tc "split-input-file without separator" split_none;
+    tc "expectation scanning" scan;
+    tc "malformed annotations are harness errors" scan_malformed;
+    tc "expectation checking" check_matching;
+    tc "severity must match" check_severity_mismatch;
+  ]

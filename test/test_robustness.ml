@@ -58,6 +58,50 @@ let verify_total () =
   | Ok () -> Alcotest.fail "should not verify"
   | Error _ -> ()
 
+(* Raw bytes, the full 0-255 range: embedded NULs, broken UTF-8, control
+   characters. *)
+let bytes_gen = string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 120)
+
+(* Real IRDL sources with random point mutations: valid-looking input that
+   goes wrong somewhere in the middle — the profile recovery must survive. *)
+let mutated_corpus_gen =
+  let* entry = oneofl Irdl_dialects.Corpus.all in
+  let src = entry.Irdl_dialects.Corpus.source in
+  let n = String.length src in
+  let* edits = list_size (int_range 1 4) (pair (int_range 0 (n - 1)) char) in
+  let b = Bytes.of_string src in
+  List.iter (fun (i, c) -> Bytes.set b i c) edits;
+  return (Bytes.to_string b)
+
+(* The collecting entry points are total too: whatever the input, every
+   reported diagnostic carries a location and nothing escapes. *)
+let collect_never_raises name f gen =
+  QCheck2.Test.make ~name ~count:300 gen (fun src ->
+      let engine = Irdl_support.Diag.Engine.create () in
+      match f ~engine src with
+      | _ ->
+          List.for_all
+            (fun (d : Irdl_support.Diag.t) -> d.message <> "")
+            (Irdl_support.Diag.Engine.diagnostics engine)
+      | exception _ -> false)
+
+let irdl_collect_total g name =
+  collect_never_raises name
+    (fun ~engine src -> Irdl_core.Parser.parse_file_collect ~engine src)
+    g
+
+let ir_collect_total g name =
+  collect_never_raises name
+    (fun ~engine src ->
+      Irdl_ir.Parser.parse_ops_collect ~engine (Irdl_ir.Context.create ()) src)
+    g
+
+let load_collect_total g name =
+  collect_never_raises name
+    (fun ~engine src ->
+      Irdl_core.Irdl.load_collect ~engine (Irdl_ir.Context.create ()) src)
+    g
+
 let suite =
   [
     QCheck_alcotest.to_alcotest
@@ -73,4 +117,22 @@ let suite =
     QCheck_alcotest.to_alcotest
       (load_total token_soup_gen "load (parse+resolve+register) total");
     tc "verifier total on malformed ops" verify_total;
+    QCheck_alcotest.to_alcotest
+      (irdl_parser_total bytes_gen "IRDL parser total on raw bytes");
+    QCheck_alcotest.to_alcotest
+      (ir_parser_total bytes_gen "IR parser total on raw bytes");
+    QCheck_alcotest.to_alcotest
+      (load_total mutated_corpus_gen "load total on mutated corpus");
+    QCheck_alcotest.to_alcotest
+      (irdl_collect_total token_soup_gen "IRDL collect total on token soup");
+    QCheck_alcotest.to_alcotest
+      (irdl_collect_total bytes_gen "IRDL collect total on raw bytes");
+    QCheck_alcotest.to_alcotest
+      (irdl_collect_total mutated_corpus_gen "IRDL collect total on mutated corpus");
+    QCheck_alcotest.to_alcotest
+      (ir_collect_total token_soup_gen "IR collect total on token soup");
+    QCheck_alcotest.to_alcotest
+      (ir_collect_total bytes_gen "IR collect total on raw bytes");
+    QCheck_alcotest.to_alcotest
+      (load_collect_total mutated_corpus_gen "load_collect total on mutated corpus");
   ]

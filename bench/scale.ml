@@ -1,0 +1,294 @@
+(* Scale benchmark for the intrusive IR core (BENCH_scale.json).
+
+   Builds 10^3..10^6-op modules and measures the five macro workloads the
+   core refactor targets: module construction, parsing, verification,
+   canonicalization (cse + dce) and RAUW-heavy rewriting. An embedded
+   list-based [Baseline] module replicates the former object graph
+   (append = full list rebuild, replace-all-uses = full scope scan) so the
+   speedup claims are measured against the real alternative rather than
+   guessed; its quadratic construction keeps it to sizes <= 10^5.
+
+   `--smoke` (used by CI) runs only the 10^4 row so the artifact stays
+   cheap to produce on every push. *)
+
+open Irdl_ir
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+(* Best-of-k for the small sizes, where one-shot timings are all noise. *)
+let timed ?(repeats = 1) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let t, r = time f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  (!best, Option.get !result)
+
+(* ------------------------------------------------------------------ *)
+(* Workload modules                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A straight-line chain: op i consumes op i-1's result plus a block
+   argument, so every result has exactly one use — the RAUW sweet spot. *)
+let build_chain n =
+  let blk = Graph.Block.create ~arg_tys:[ Attr.i32; Attr.i32 ] () in
+  let a = Graph.Block.arg blk 0 and b = Graph.Block.arg blk 1 in
+  let prev = ref a in
+  for i = 1 to n do
+    let op =
+      Graph.Op.create ~operands:[ !prev; b ] ~result_tys:[ Attr.i32 ]
+        (if i land 1 = 0 then "t.add" else "t.mul")
+    in
+    Graph.Block.append blk op;
+    prev := Graph.Op.result op 0
+  done;
+  Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.func"
+
+(* Duplicate-heavy module: only 64 distinct value-numbering keys, so CSE
+   collapses almost everything and DCE sweeps the leftovers. *)
+let build_duplicates n =
+  let blk = Graph.Block.create ~arg_tys:[ Attr.i32; Attr.i32 ] () in
+  let a = Graph.Block.arg blk 0 and b = Graph.Block.arg blk 1 in
+  for i = 1 to n do
+    let op =
+      Graph.Op.create ~operands:[ a; b ] ~result_tys:[ Attr.i32 ]
+        ~attrs:[ ("k", Attr.int (Int64.of_int (i mod 64))) ]
+        "t.add"
+    in
+    Graph.Block.append blk op
+  done;
+  Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.func"
+
+let chain_ops func =
+  let ops = ref [] in
+  Graph.Op.walk func ~f:(fun o -> if o != func then ops := o :: !ops);
+  Array.of_list (List.rev !ops)
+
+(* k pseudo-random single-use replacements: redirect op i's result to the
+   entry block argument. O(1) each on the intrusive chains. *)
+let rauw_replacements = 1_000
+
+let run_rauw func =
+  let ops = chain_ops func in
+  let n = Array.length ops in
+  let a =
+    match func.Graph.regions with
+    | [ r ] -> (
+        match Graph.Region.entry r with
+        | Some blk -> Graph.Block.arg blk 0
+        | None -> failwith "no entry block")
+    | _ -> failwith "expected one region"
+  in
+  for j = 0 to rauw_replacements - 1 do
+    let op = ops.(j * 7919 mod n) in
+    Graph.Value.replace_all_uses ~from:(Graph.Op.result op 0) ~to_:a
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The list-based baseline (the pre-refactor object graph)             *)
+(* ------------------------------------------------------------------ *)
+
+module Baseline = struct
+  type value = { v_id : int }
+
+  type op = {
+    o_id : int;
+    o_name : string;
+    mutable operands : value list;
+    results : value list;
+  }
+
+  type block = { mutable ops : op list; args : value list }
+
+  let next = ref 0
+
+  let fresh () =
+    incr next;
+    { v_id = !next }
+
+  (* The old [Block.append]: rebuild the op list. *)
+  let append b o = b.ops <- b.ops @ [ o ]
+
+  let build n =
+    let args = [ fresh (); fresh () ] in
+    let b = { ops = []; args } in
+    let a = List.nth args 0 and second = List.nth args 1 in
+    let prev = ref a in
+    for i = 1 to n do
+      incr next;
+      let op =
+        {
+          o_id = !next;
+          o_name = (if i land 1 = 0 then "t.add" else "t.mul");
+          operands = [ !prev; second ];
+          results = [ fresh () ];
+        }
+      in
+      append b op;
+      prev := List.hd op.results
+    done;
+    (b, a)
+
+  (* The old [replace_uses_in]: rewrite every op of the scope. *)
+  let replace_uses b ~from ~to_ =
+    List.iter
+      (fun o ->
+        o.operands <-
+          List.map (fun v -> if v == from then to_ else v) o.operands)
+      b.ops
+
+  let run_rauw (b, a) =
+    let ops = Array.of_list b.ops in
+    let n = Array.length ops in
+    for j = 0 to rauw_replacements - 1 do
+      let op = ops.(j * 7919 mod n) in
+      replace_uses b ~from:(List.hd op.results) ~to_:a
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  n : int;
+  build_s : float;
+  parse_s : float;
+  verify_s : float;
+  canonicalize_s : float;
+  rauw_s : float;
+  baseline_build_s : float option;
+  baseline_rauw_s : float option;
+}
+
+(* The quadratic baseline is capped: 10^6 list appends would take hours. *)
+let baseline_cap = 100_000
+
+let measure n : row =
+  let ctx = Context.create () in
+  let repeats = if n <= 10_000 then 3 else 1 in
+  let build_s, func = timed ~repeats (fun () -> build_chain n) in
+  let text = Printer.op_to_string ctx func in
+  let parse_s, parsed =
+    timed ~repeats (fun () ->
+        match Parser.parse_op_string ctx text with
+        | Ok op -> op
+        | Error d -> failwith (Irdl_support.Diag.to_string d))
+  in
+  let verify_s, () =
+    timed ~repeats (fun () ->
+        match Verifier.verify ctx parsed with
+        | Ok () -> ()
+        | Error d -> failwith (Irdl_support.Diag.to_string d))
+  in
+  (* cse+dce mutates its module, so canonicalization gets a fresh one and a
+     single shot. *)
+  let dups = build_duplicates n in
+  let canonicalize_s, () =
+    time (fun () ->
+        let _ = Irdl_rewrite.Cse.run ctx dups in
+        let rw = Irdl_rewrite.Rewriter.create ctx dups in
+        let _ = Irdl_rewrite.Rewriter.dce rw in
+        ())
+  in
+  let rauw_s, () = time (fun () -> run_rauw func) in
+  let baseline_build_s, baseline_rauw_s =
+    if n <= baseline_cap then begin
+      let bb, base = time (fun () -> Baseline.build n) in
+      let br, () = time (fun () -> Baseline.run_rauw base) in
+      (Some bb, Some br)
+    end
+    else (None, None)
+  in
+  {
+    n;
+    build_s;
+    parse_s;
+    verify_s;
+    canonicalize_s;
+    rauw_s;
+    baseline_build_s;
+    baseline_rauw_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fnum v = Printf.sprintf "%.6f" v
+
+let opt_num = function None -> "null" | Some v -> fnum v
+
+let row_json r =
+  Printf.sprintf
+    {|    { "n": %d, "build_s": %s, "parse_s": %s, "verify_s": %s, "canonicalize_s": %s, "rauw_s": %s, "baseline_build_s": %s, "baseline_rauw_s": %s }|}
+    r.n (fnum r.build_s) (fnum r.parse_s) (fnum r.verify_s)
+    (fnum r.canonicalize_s) (fnum r.rauw_s)
+    (opt_num r.baseline_build_s)
+    (opt_num r.baseline_rauw_s)
+
+let emit_json rows =
+  (* Speedups vs the baseline at the largest size it was run at. *)
+  let speedup =
+    let rec last acc = function
+      | [] -> acc
+      | r :: rest ->
+          last (if r.baseline_build_s <> None then Some r else acc) rest
+    in
+    match last None rows with
+    | Some r ->
+        Printf.sprintf
+          {|{ "n": %d, "build": %.2f, "rauw": %.2f }|}
+          r.n
+          (Option.get r.baseline_build_s /. r.build_s)
+          (Option.get r.baseline_rauw_s /. r.rauw_s)
+    | None -> "null"
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "scale",
+  "description": "intrusive-list IR core vs list-based baseline; times in seconds",
+  "rauw_replacements": %d,
+  "rows": [
+%s
+  ],
+  "speedup_vs_baseline": %s
+}
+|}
+      rauw_replacements
+      (String.concat ",\n" (List.map row_json rows))
+      speedup
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_scale.json (speedup vs baseline: %s)@." speedup
+
+let () =
+  let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  let sizes =
+    if smoke then [ 10_000 ] else [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        Fmt.pr "scale: n = %d...@." n;
+        let r = measure n in
+        Fmt.pr
+          "  build %.4fs  parse %.4fs  verify %.4fs  canonicalize %.4fs  \
+           rauw %.4fs%s@."
+          r.build_s r.parse_s r.verify_s r.canonicalize_s r.rauw_s
+          (match (r.baseline_build_s, r.baseline_rauw_s) with
+          | Some bb, Some br ->
+              Printf.sprintf "  [baseline: build %.4fs rauw %.4fs]" bb br
+          | _ -> "");
+        r)
+      sizes
+  in
+  emit_json rows

@@ -142,8 +142,10 @@ let check_slot_group ~native ~env ~(op : Graph.op) ~what (s : Resolve.slot)
             s.s_name reason)
     (Ok env) tys
 
-let verify_value_slots ~native ~env ~op ~what ~seg_attr slots values =
-  let tys = List.map Graph.Value.ty values in
+(* Takes the slot types directly: callers use [Graph.Op.operand_tys] /
+   [result_tys], which read the operand arrays without materializing an
+   intermediate value list on the hot verification path. *)
+let verify_value_slots ~native ~env ~op ~what ~seg_attr slots tys =
   let* groups = assign_slots ~what ~seg_attr ~op slots tys in
   List.fold_left2
     (fun acc slot group ->
@@ -190,7 +192,7 @@ let verify_regions ~native ~env ~(op : Graph.op) (rdefs : Resolve.region list)
           | Some entry ->
               verify_value_slots ~native ~env ~op ~what:"region argument"
                 ~seg_attr:"regionArgSegmentSizes" rd.reg_args
-                (Graph.Block.args entry)
+                (List.map Graph.Value.ty (Graph.Block.args entry))
         in
         match rd.reg_terminator with
         | None -> Ok env
@@ -251,11 +253,11 @@ let make_op_verifier_interp ~native (rop : Resolve.op) (op : Graph.op) :
   let env = C.empty_env in
   let* env =
     verify_value_slots ~native ~env ~op ~what:"operand"
-      ~seg_attr:"operandSegmentSizes" rop.op_operands op.operands
+      ~seg_attr:"operandSegmentSizes" rop.op_operands (Graph.Op.operand_tys op)
   in
   let* env =
     verify_value_slots ~native ~env ~op ~what:"result"
-      ~seg_attr:"resultSegmentSizes" rop.op_results op.results
+      ~seg_attr:"resultSegmentSizes" rop.op_results (Graph.Op.result_tys op)
   in
   let* env = verify_attributes ~native ~env ~op rop.op_attributes in
   let* _env = verify_regions ~native ~env ~op rop.op_regions in
@@ -334,8 +336,7 @@ let check_cslot_group ~env ~(op : Graph.op) ~what (cs : cslot)
             cs.c_slot.s_name reason)
     (Ok env) tys
 
-let verify_value_cslots ~env ~op ~what ~seg_attr (g : cgroup) values =
-  let tys = List.map Graph.Value.ty values in
+let verify_value_cslots ~env ~op ~what ~seg_attr (g : cgroup) tys =
   let* groups = assign_slots ~what ~seg_attr ~op g.g_raw tys in
   List.fold_left2
     (fun acc cslot group ->
@@ -381,7 +382,7 @@ let verify_cregions ~env ~(op : Graph.op) (cregions : cregion list) =
           | Some entry ->
               verify_value_cslots ~env ~op ~what:"region argument"
                 ~seg_attr:"regionArgSegmentSizes" cr.r_args
-                (Graph.Block.args entry)
+                (List.map Graph.Value.ty (Graph.Block.args entry))
         in
         match rd.reg_terminator with
         | None -> Ok env
@@ -425,11 +426,11 @@ let make_op_verifier ~native (rop : Resolve.op) : Graph.op ->
     let env = C.empty_env in
     let* env =
       verify_value_cslots ~env ~op ~what:"operand"
-        ~seg_attr:"operandSegmentSizes" operands op.operands
+        ~seg_attr:"operandSegmentSizes" operands (Graph.Op.operand_tys op)
     in
     let* env =
       verify_value_cslots ~env ~op ~what:"result"
-        ~seg_attr:"resultSegmentSizes" results op.results
+        ~seg_attr:"resultSegmentSizes" results (Graph.Op.result_tys op)
     in
     let* env = verify_cattributes ~env ~op attributes in
     let* _env = verify_cregions ~env ~op regions in

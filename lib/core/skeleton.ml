@@ -247,13 +247,11 @@ let rec instantiate_op ?(lookup = no_lookup) ?(op_lookup = no_op_lookup)
                 | Ok term ->
                     (* Move the terminator's placeholder operand sources
                        into the block so the IR stays well-scoped. *)
-                    List.iter
-                      (fun (v : Graph.value) ->
+                    Graph.Op.iter_operands term ~f:(fun (v : Graph.value) ->
                         match Graph.Value.defining_op v with
                         | Some src when src.Graph.op_parent = None ->
                             Graph.Block.append block src
-                        | _ -> ())
-                      term.Graph.operands;
+                        | _ -> ());
                     Graph.Block.append block term;
                     finish ()))
     in

@@ -135,7 +135,7 @@ let register_hooks (native : Irdl_core.Native.t) =
   Irdl_core.Native.register_op_hook native
     "$_self.lhs().size() + $_self.rhs().size() == $_self.res().size()"
     (fun op ->
-      match (op.Graph.operands, op.Graph.results) with
+      match (Graph.Op.operands op, Graph.Op.results op) with
       | [ lhs; rhs ], [ res ] -> (
           match
             ( bounded_vector_size (Graph.Value.ty lhs),

@@ -105,28 +105,23 @@ let dominates_index (info : region_info) a b =
 (* ------------------------------------------------------------------ *)
 
 (** The chain of (region, block, position-in-block) from the scope root
-    down to [op]. *)
-let rec ancestry (op : Graph.op) : (Graph.region * Graph.block * int) list =
-  match op.Graph.op_parent with
-  | None -> []
-  | Some blk -> (
-      match blk.Graph.blk_parent with
-      | None -> []
-      | Some region ->
-          let pos =
-            let rec find i = function
-              | [] -> -1
-              | (o : Graph.op) :: rest ->
-                  if o.op_id = op.Graph.op_id then i else find (i + 1) rest
-            in
-            find 0 blk.Graph.blk_ops
-          in
-          let above =
-            match region.Graph.reg_parent with
-            | None -> []
-            | Some parent -> ancestry parent
-          in
-          above @ [ (region, blk, pos) ])
+    down to [op]. Positions are the block-local [op_order] indices, so each
+    level costs O(1); the loop is iterative (no stack growth on deep
+    nesting). *)
+let ancestry (op : Graph.op) : (Graph.region * Graph.block * int) list =
+  let rec up acc (op : Graph.op) =
+    match op.Graph.op_parent with
+    | None -> acc
+    | Some blk -> (
+        match blk.Graph.blk_parent with
+        | None -> acc
+        | Some region ->
+            let acc = (region, blk, op.Graph.op_order) :: acc in
+            (match region.Graph.reg_parent with
+            | None -> acc
+            | Some parent -> up acc parent))
+  in
+  up [] op
 
 type t = {
   infos : (int, region_info) Hashtbl.t;  (** region id -> dominator info *)
@@ -143,27 +138,23 @@ let info_for t (region : Graph.region) =
       info
 
 (** The definition point of a value: its region, block, and position in the
-    block (block arguments use -1 so they dominate every op of the block).
-    [None] for forward references and detached definitions. *)
+    block — the defining op's [op_order] index, or [min_int] for block
+    arguments so they dominate every op of the block (orders can go
+    negative under prepending). [None] for forward references and detached
+    definitions. *)
 let def_point (value : Graph.value) :
     (Graph.region * Graph.block * int) option =
   match value.Graph.v_def with
   | Graph.Forward_ref _ -> None
   | Graph.Block_arg { block; _ } ->
-      Option.map (fun r -> (r, block, -1)) block.Graph.blk_parent
+      Option.map (fun r -> (r, block, min_int)) block.Graph.blk_parent
   | Graph.Op_result { op = def_op; _ } -> (
       match def_op.Graph.op_parent with
       | None -> None
       | Some blk -> (
           match blk.Graph.blk_parent with
           | None -> None
-          | Some region ->
-              let rec find i = function
-                | [] -> -1
-                | (o : Graph.op) :: rest ->
-                    if o.op_id = def_op.Graph.op_id then i else find (i + 1) rest
-              in
-              Some (region, blk, find 0 blk.Graph.blk_ops)))
+          | Some region -> Some (region, blk, def_op.Graph.op_order)))
 
 (** Does [value] properly dominate the use in [user]?
 
@@ -201,15 +192,13 @@ let verify (scope : Graph.op) : (unit, Diag.t) result =
   (try
      Graph.Op.walk scope ~f:(fun user ->
          if user != scope then
-           List.iteri
-             (fun i (v : Graph.value) ->
+           Graph.Op.iteri_operands user ~f:(fun i (v : Graph.value) ->
                if not (value_dominates t v user) then begin
                  result :=
                    Diag.errorf ~loc:user.Graph.op_loc
                      "operand %d of '%s' is not dominated by its definition"
                      i user.Graph.op_name;
                  raise Exit
-               end)
-             user.Graph.operands)
+               end))
    with Exit -> ());
   !result

@@ -447,13 +447,7 @@ let use_value p ~loc name =
   match Hashtbl.find_opt p.values name with
   | Some v -> v
   | None ->
-      let v =
-        {
-          Graph.v_id = Graph.next_id ();
-          v_ty = Attr.none;
-          v_def = Graph.Forward_ref name;
-        }
-      in
+      let v = Graph.Value.forward_ref name in
       Hashtbl.replace p.values name v;
       p.forwards <- (name, loc, v) :: p.forwards;
       v
@@ -561,14 +555,18 @@ let rec parse_op p ~(scope : block_scope option) : Graph.op =
     | _ -> fail p "expected an operation"
   in
   if result_names <> [] then (
-    if List.length result_names <> List.length op.Graph.results then
+    if List.length result_names <> Graph.Op.num_results op then
       Diag.raise_error ~loc:op_loc
         "'%s' produces %d results but %d names were bound" op.Graph.op_name
-        (List.length op.Graph.results)
+        (Graph.Op.num_results op)
         (List.length result_names);
-    op.Graph.results <-
-      List.map2 (fun name v -> define_value p name v) result_names
-        op.Graph.results);
+    (* Forward placeholders are patched in place and substituted for the
+       fresh result values, keeping the identity earlier uses point at. *)
+    List.iteri
+      (fun i name ->
+        op.Graph.op_results.(i) <-
+          define_value p name op.Graph.op_results.(i))
+      result_names);
   op
 
 and parse_generic_body p ~scope ~name ~op_loc : Graph.op =
@@ -705,7 +703,12 @@ and parse_region p : Graph.region =
               expect_punct p ":";
               let ty = parse_ty p in
               let v = Graph.Block.add_arg blk ty in
-              ignore (define_value p name v);
+              (* As with results: a forward placeholder is patched in place
+                 and substituted into the argument slot, keeping the
+                 identity earlier uses point at. *)
+              let bound = define_value p name v in
+              if bound != v then
+                blk.Graph.blk_args.(Graph.Block.num_args blk - 1) <- bound;
               if accept_punct p "," then args () else expect_punct p ")"
             in
             args ()

@@ -61,14 +61,14 @@ exception Fallback
 let project_ty (op : Graph.op) (proj : Opfmt.ty_proj) : Attr.ty =
   let base =
     match proj.source with
-    | `Operand i -> (
-        match List.nth_opt op.operands i with
-        | Some v -> Graph.Value.ty v
-        | None -> raise Fallback)
-    | `Result i -> (
-        match List.nth_opt op.results i with
-        | Some v -> Graph.Value.ty v
-        | None -> raise Fallback)
+    | `Operand i ->
+        if i < Graph.Op.num_operands op then
+          Graph.Value.ty (Graph.Op.operand op i)
+        else raise Fallback
+    | `Result i ->
+        if i < Graph.Op.num_results op then
+          Graph.Value.ty (Graph.Op.result op i)
+        else raise Fallback
   in
   List.fold_left
     (fun ty idx ->
@@ -80,34 +80,12 @@ let project_ty (op : Graph.op) (proj : Opfmt.ty_proj) : Attr.ty =
       | _ -> raise Fallback)
     base proj.path
 
-let indent ppf n = Fmt.string ppf (String.make n ' ')
+(* Indentation is capped so that pathologically deep region nesting (the
+   50k-level regression test) produces O(n) output instead of O(n²). *)
+let max_indent = 64
+let indent_string n = String.make (min n max_indent) ' '
 
-let rec pp_op ?(level = 0) t ppf (op : Graph.op) =
-  (* Results are named before the body so that custom formats see them. *)
-  let result_names = List.map (value_name t) op.results in
-  (match result_names with
-  | [] -> ()
-  | names -> Fmt.pf ppf "%s = " (String.concat ", " names));
-  let custom_format =
-    if t.generic then None
-    else
-      match Context.lookup_op t.ctx op.op_name with
-      | Some { od_format = Some f; _ } -> Some f
-      | _ -> None
-  in
-  match custom_format with
-  | Some f -> (
-      (* Render to a buffer first: on Fallback, nothing partial is emitted. *)
-      let buf = Buffer.create 64 in
-      let bppf = Format.formatter_of_buffer buf in
-      try
-        pp_custom t bppf op f;
-        Format.pp_print_flush bppf ();
-        Fmt.string ppf (Buffer.contents buf)
-      with Fallback -> pp_generic ~level t ppf op)
-  | None -> pp_generic ~level t ppf op
-
-and pp_custom t ppf (op : Graph.op) (f : Opfmt.t) =
+let pp_custom t ppf (op : Graph.op) (f : Opfmt.t) =
   Fmt.pf ppf "%s" op.op_name;
   List.iter
     (fun (item : Opfmt.item) ->
@@ -116,16 +94,16 @@ and pp_custom t ppf (op : Graph.op) (f : Opfmt.t) =
           (* Punctuation hugs the previous token; words get a space. *)
           if s = "," || s = ">" || s = ")" then Fmt.string ppf s
           else Fmt.pf ppf " %s" s
-      | Opfmt.Operand_ref i -> (
-          match List.nth_opt op.operands i with
-          | Some v -> Fmt.pf ppf " %s" (value_name t v)
-          | None -> raise Fallback)
+      | Opfmt.Operand_ref i ->
+          if i < Graph.Op.num_operands op then
+            Fmt.pf ppf " %s" (value_name t (Graph.Op.operand op i))
+          else raise Fallback
       | Opfmt.Operand_group start ->
           let rec drop n l =
             if n = 0 then l
             else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
           in
-          let group = drop start op.operands in
+          let group = drop start (Graph.Op.operands op) in
           Fmt.pf ppf " %s"
             (String.concat ", " (List.map (value_name t) group))
       | Opfmt.Attr_ref name -> (
@@ -136,66 +114,135 @@ and pp_custom t ppf (op : Graph.op) (f : Opfmt.t) =
           Fmt.pf ppf " %a" Attr.pp_ty (project_ty op proj))
     f.items
 
-and pp_generic ~level t ppf (op : Graph.op) =
-  Fmt.pf ppf "%S(%s)" op.op_name
-    (String.concat ", " (List.map (value_name t) op.operands));
-  (match op.successors with
-  | [] -> ()
-  | succs ->
-      Fmt.pf ppf "[%s]" (String.concat ", " (List.map (block_name t) succs)));
-  (match op.regions with
-  | [] -> ()
-  | regions ->
-      Fmt.pf ppf " (";
-      List.iteri
-        (fun i r ->
-          if i > 0 then Fmt.pf ppf ", ";
-          pp_region ~level t ppf r)
-        regions;
-      Fmt.pf ppf ")");
-  (match op.attrs with
-  | [] -> ()
-  | attrs ->
-      Fmt.pf ppf " {%s}"
-        (String.concat ", "
-           (List.map
-              (fun (k, v) -> Fmt.str "%s = %a" k Attr.pp v)
-              attrs)));
-  Fmt.pf ppf " : (%s) -> (%s)"
-    (String.concat ", "
-       (List.map (fun v -> Attr.ty_to_string (Graph.Value.ty v)) op.operands))
-    (String.concat ", "
-       (List.map (fun v -> Attr.ty_to_string (Graph.Value.ty v)) op.results))
+(* The printer drives an explicit job stack instead of recursing through
+   regions, so nesting depth is bounded only by memory. Value and block
+   names are assigned strictly at emission time, which keeps the numbering
+   (and thus the output) identical to the former recursive printer. *)
+type job =
+  | J_text of string
+  | J_op of int * Graph.op  (** print one op at the given indent level *)
+  | J_region of int * Graph.region
+  | J_block_label of int * bool * Graph.block
 
-and pp_region ~level t ppf (r : Graph.region) =
-  let inner = level + 2 in
-  Fmt.string ppf "{";
-  List.iteri
-    (fun i (b : Graph.block) ->
-      (* The entry block's label is implicit when it has no arguments and is
-         the only block, matching MLIR's convention. *)
-      let needs_label =
-        i > 0 || b.blk_args <> [] || List.length r.blocks > 1
-      in
-      if needs_label then (
-        Fmt.pf ppf "\n%a%s" indent level (block_name t b);
-        (match b.blk_args with
-        | [] -> ()
-        | args ->
-            Fmt.pf ppf "(%s)"
+let pp_op ?(level = 0) t ppf (op : Graph.op) =
+  let stack = ref [ J_op (level, op) ] in
+  let push_in_order jobs = List.iter (fun j -> stack := j :: !stack) (List.rev jobs) in
+  let emit_generic level (op : Graph.op) =
+    Fmt.pf ppf "%S(%s)" op.op_name
+      (String.concat ", " (List.map (value_name t) (Graph.Op.operands op)));
+    (match op.successors with
+    | [] -> ()
+    | succs ->
+        Fmt.pf ppf "[%s]"
+          (String.concat ", " (List.map (block_name t) succs)));
+    (* Everything after the regions contains no value names, so it can be
+       rendered now and deferred as plain text. *)
+    let tail =
+      let attrs_part =
+        match op.attrs with
+        | [] -> ""
+        | attrs ->
+            Fmt.str " {%s}"
               (String.concat ", "
                  (List.map
-                    (fun v ->
-                      Fmt.str "%s: %a" (value_name t v) Attr.pp_ty
-                        (Graph.Value.ty v))
-                    args)));
-        Fmt.string ppf ":");
-      List.iter
-        (fun o ->
-          Fmt.pf ppf "\n%a%a" indent inner (pp_op ~level:inner t) o)
-        b.blk_ops)
-    r.blocks;
-  Fmt.pf ppf "\n%a}" indent level
+                    (fun (k, v) -> Fmt.str "%s = %a" k Attr.pp v)
+                    attrs))
+      in
+      attrs_part
+      ^ Fmt.str " : (%s) -> (%s)"
+          (String.concat ", "
+             (List.map Attr.ty_to_string (Graph.Op.operand_tys op)))
+          (String.concat ", "
+             (List.map Attr.ty_to_string (Graph.Op.result_tys op)))
+    in
+    match op.regions with
+    | [] -> Fmt.string ppf tail
+    | regions ->
+        Fmt.string ppf " (";
+        let jobs = ref [] in
+        List.iteri
+          (fun i r ->
+            if i > 0 then jobs := J_text ", " :: !jobs;
+            jobs := J_region (level, r) :: !jobs)
+          regions;
+        jobs := J_text (")" ^ tail) :: !jobs;
+        push_in_order (List.rev !jobs)
+  in
+  let emit_op level (op : Graph.op) =
+    (* Results are named before the body so that custom formats see them. *)
+    let result_names = List.map (value_name t) (Graph.Op.results op) in
+    (match result_names with
+    | [] -> ()
+    | names -> Fmt.pf ppf "%s = " (String.concat ", " names));
+    let custom_format =
+      if t.generic then None
+      else
+        match Context.lookup_op t.ctx op.op_name with
+        | Some { od_format = Some f; _ } -> Some f
+        | _ -> None
+    in
+    match custom_format with
+    | Some f -> (
+        (* Render to a buffer first: on Fallback, nothing partial is
+           emitted. Custom formats never nest regions, so this stays flat. *)
+        let buf = Buffer.create 64 in
+        let bppf = Format.formatter_of_buffer buf in
+        try
+          pp_custom t bppf op f;
+          Format.pp_print_flush bppf ();
+          Fmt.string ppf (Buffer.contents buf)
+        with Fallback -> emit_generic level op)
+    | None -> emit_generic level op
+  in
+  let emit_region level (r : Graph.region) =
+    let inner = level + 2 in
+    Fmt.string ppf "{";
+    let nblocks = Graph.Region.num_blocks r in
+    let jobs = ref [] in
+    let i = ref 0 in
+    Graph.Region.iter_blocks r ~f:(fun b ->
+        (* The entry block's label is implicit when it has no arguments and
+           is the only block, matching MLIR's convention. *)
+        let needs_label =
+          !i > 0 || Graph.Block.num_args b > 0 || nblocks > 1
+        in
+        incr i;
+        jobs := J_block_label (level, needs_label, b) :: !jobs;
+        Graph.Block.iter_ops b ~f:(fun o ->
+            jobs :=
+              J_op (inner, o) :: J_text ("\n" ^ indent_string inner) :: !jobs));
+    jobs := J_text ("\n" ^ indent_string level ^ "}") :: !jobs;
+    push_in_order (List.rev !jobs)
+  in
+  let emit_block_label level needs_label (b : Graph.block) =
+    if needs_label then begin
+      Fmt.pf ppf "\n%s%s" (indent_string level) (block_name t b);
+      (match Graph.Block.args b with
+      | [] -> ()
+      | args ->
+          Fmt.pf ppf "(%s)"
+            (String.concat ", "
+               (List.map
+                  (fun v ->
+                    Fmt.str "%s: %a" (value_name t v) Attr.pp_ty
+                      (Graph.Value.ty v))
+                  args)));
+      Fmt.string ppf ":"
+    end
+  in
+  let rec run () =
+    match !stack with
+    | [] -> ()
+    | job :: rest ->
+        stack := rest;
+        (match job with
+        | J_text s -> Fmt.string ppf s
+        | J_op (lvl, o) -> emit_op lvl o
+        | J_region (lvl, r) -> emit_region lvl r
+        | J_block_label (lvl, needs, b) -> emit_block_label lvl needs b);
+        run ()
+  in
+  run ()
 
 let op_to_string ?generic ctx op =
   let t = create ?generic ctx in

@@ -144,8 +144,8 @@ let verify_op ctx (op : Graph.op) =
   with_op_loc op
   @@
   let* () = verify_structure ctx op in
-  let* () = verify_tys ctx (List.map Graph.Value.ty op.operands) in
-  let* () = verify_tys ctx (List.map Graph.Value.ty op.results) in
+  let* () = verify_tys ctx (Graph.Op.operand_tys op) in
+  let* () = verify_tys ctx (Graph.Op.result_tys op) in
   let* () = verify_params ctx (List.map snd op.attrs) in
   match Context.lookup_op ctx op.op_name with
   | Some od -> od.od_verify op

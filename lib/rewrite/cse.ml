@@ -16,7 +16,7 @@ open Irdl_ir
 (* Conservative purity heuristic: structure first, then mnemonic blacklist
    for effects the structure cannot show. *)
 let default_is_pure (ctx : Context.t) (op : Graph.op) =
-  op.Graph.results <> []
+  Graph.Op.num_results op > 0
   && op.Graph.regions = []
   && op.Graph.successors = []
   && (not (Verifier.is_terminator ctx op))
@@ -38,11 +38,9 @@ let default_is_pure (ctx : Context.t) (op : Graph.op) =
 let op_key (op : Graph.op) : string =
   let buf = Buffer.create 64 in
   Buffer.add_string buf op.Graph.op_name;
-  List.iter
-    (fun (v : Graph.value) ->
+  Graph.Op.iter_operands op ~f:(fun (v : Graph.value) ->
       Buffer.add_char buf '%';
-      Buffer.add_string buf (string_of_int (Graph.Value.id v)))
-    op.Graph.operands;
+      Buffer.add_string buf (string_of_int (Graph.Value.id v)));
   List.iter
     (fun (k, v) ->
       Buffer.add_char buf '#';
@@ -50,11 +48,9 @@ let op_key (op : Graph.op) : string =
       Buffer.add_char buf '=';
       Buffer.add_string buf (string_of_int (Attr.id v)))
     (List.sort (fun (a, _) (b, _) -> String.compare a b) op.Graph.attrs);
-  List.iter
-    (fun (r : Graph.value) ->
+  Graph.Op.iter_results op ~f:(fun (r : Graph.value) ->
       Buffer.add_char buf ':';
-      Buffer.add_string buf (string_of_int (Attr.id_ty (Graph.Value.ty r))))
-    op.Graph.results;
+      Buffer.add_string buf (string_of_int (Attr.id_ty (Graph.Value.ty r))));
   Buffer.contents buf
 
 type stats = Stats.t
@@ -86,18 +82,18 @@ let run ?is_pure (ctx : Context.t) (scope : Graph.op) : stats =
         List.find_opt
           (fun (r : Graph.op) ->
             r.Graph.op_parent <> None
-            && List.for_all2
-                 (fun (a : Graph.value) _ -> Dominance.value_dominates dom a op)
-                 r.Graph.results op.Graph.results)
+            && Array.for_all
+                 (fun (a : Graph.value) -> Dominance.value_dominates dom a op)
+                 r.Graph.op_results)
           known
       in
       match rep with
       | Some r ->
-          List.iter2
-            (fun (from : Graph.value) to_ ->
-              Graph.replace_uses_in scope ~from ~to_)
-            op.Graph.results r.Graph.results;
-          Graph.detach op;
+          for i = 0 to Graph.Op.num_results op - 1 do
+            Graph.Value.replace_all_uses ~from:(Graph.Op.result op i)
+              ~to_:(Graph.Op.result r i)
+          done;
+          Graph.erase op;
           incr eliminated
       | None -> Hashtbl.replace table key (op :: known))
     (List.rev !candidates);

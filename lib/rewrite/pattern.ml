@@ -48,13 +48,13 @@ let rec match_value (m : matcher) (v : Graph.value) (caps : captures) : bool =
       match Graph.Value.defining_op v with
       | Some op
         when op.Graph.op_name = op_name
-             && List.length op.Graph.operands = List.length operands
-             && List.length op.Graph.results = 1 ->
+             && Graph.Op.num_operands op = List.length operands
+             && Graph.Op.num_results op = 1 ->
           (match bind with
           | Some name -> Hashtbl.replace caps name v
           | None -> ());
           List.for_all2 (fun m v -> match_value m v caps) operands
-            op.Graph.operands
+            (Graph.Op.operands op)
       | _ -> false)
 
 (** Result builder: a small op-DAG template instantiated on success. *)
@@ -102,10 +102,10 @@ let rec build_value rw ~anchor (caps : captures) (b : builder) : Graph.value =
 let dag ?(benefit = 1) ~name ~(root : matcher) ~(replacement : builder) () : t
     =
   let match_and_rewrite rw (op : Graph.op) =
-    match (root, op.Graph.results) with
+    match (root, Graph.Op.results op) with
     | M_op { op_name; operands; bind }, [ result ]
       when op_name = op.Graph.op_name
-           && List.length op.Graph.operands = List.length operands ->
+           && Graph.Op.num_operands op = List.length operands ->
         let caps : captures = Hashtbl.create 8 in
         (match bind with
         | Some n -> Hashtbl.replace caps n result
@@ -113,7 +113,7 @@ let dag ?(benefit = 1) ~name ~(root : matcher) ~(replacement : builder) () : t
         if
           List.for_all2
             (fun m v -> match_value m v caps)
-            operands op.Graph.operands
+            operands (Graph.Op.operands op)
         then begin
           let v = build_value rw ~anchor:op caps replacement in
           Rewriter.replace_op rw op ~with_:[ v ];

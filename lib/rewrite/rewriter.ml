@@ -1,8 +1,10 @@
 (** The IR mutation API handed to rewrite patterns.
 
     All mutations are scoped to a root operation (typically a function or
-    module): use-def updates walk that scope only. The rewriter records
-    whether anything changed so the greedy driver can detect fixpoints. *)
+    module). Use-def updates ride the values' intrusive use chains —
+    replacement and dead-detection touch only actual users, never the whole
+    scope. The rewriter records whether anything changed so the greedy
+    driver can detect fixpoints. *)
 
 open Irdl_ir
 
@@ -32,27 +34,27 @@ let insert_before t ~anchor ?operands ?result_tys ?attrs ?regions ?successors
 (** Replace every use of [op]'s results with [values] and erase [op].
     [values] must match the result count. *)
 let replace_op t (op : Graph.op) ~with_:(values : Graph.value list) =
-  if List.length values <> List.length op.Graph.results then
+  if List.length values <> Graph.Op.num_results op then
     invalid_arg "Rewriter.replace_op: result count mismatch";
-  List.iter2
-    (fun from to_ -> Graph.replace_uses_in t.scope ~from ~to_)
-    op.Graph.results values;
-  Graph.detach op;
+  List.iteri
+    (fun i to_ ->
+      Graph.Value.replace_all_uses ~from:(Graph.Op.result op i) ~to_)
+    values;
+  Graph.erase op;
   mark_changed t
 
 (** Erase an operation whose results are unused. *)
 let erase_op t (op : Graph.op) =
-  if
-    List.exists (fun r -> Graph.has_uses_in t.scope r) op.Graph.results
-  then invalid_arg "Rewriter.erase_op: results still in use";
-  Graph.detach op;
+  if Array.exists Graph.Value.has_uses op.Graph.op_results then
+    invalid_arg "Rewriter.erase_op: results still in use";
+  Graph.erase op;
   mark_changed t
 
 (** Create a replacement op before [op], wire its results in place of
     [op]'s, and erase [op]. Returns the new operation. *)
 let replace_op_with_new t (op : Graph.op) ?operands ?attrs ~result_tys name =
   let fresh = insert_before t ~anchor:op ?operands ?attrs ~result_tys name in
-  replace_op t op ~with_:fresh.Graph.results;
+  replace_op t op ~with_:(Graph.Op.results fresh);
   fresh
 
 (** Erase operations whose results are all unused and that have no side
@@ -71,12 +73,13 @@ let dce_pass t =
         | None -> o.successors <> []
       in
       if
-        o.op_parent <> None && o.results <> [] && o.regions = []
+        o.op_parent <> None
+        && Graph.Op.num_results o > 0
+        && o.regions = []
         && (not is_terminator)
-        && not
-             (List.exists (fun r -> Graph.has_uses_in t.scope r) o.results)
+        && not (Array.exists Graph.Value.has_uses o.op_results)
       then begin
-        Graph.detach o;
+        Graph.erase o;
         incr erased;
         t.changed <- true
       end)

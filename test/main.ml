@@ -5,6 +5,7 @@ let () =
       ("attr", Test_attr.suite);
       ("intern", Test_intern.suite);
       ("graph", Test_graph.suite);
+      ("graph-property", Test_graph_property.suite);
       ("ir-parser", Test_ir_parser.suite);
       ("verifier", Test_verifier.suite);
       ("dominance", Test_dominance.suite);

@@ -29,7 +29,7 @@ let basic_duplicates () =
   (* the mulf now squares the single remaining norm *)
   Graph.Op.walk func ~f:(fun o ->
       if Graph.Op.name o = "arith.mulf" then
-        match o.Graph.operands with
+        match Graph.Op.operands o with
         | [ a; b ] ->
             Alcotest.(check bool) "same operand" true (Graph.Value.equal a b)
         | _ -> Alcotest.fail "two operands expected")

@@ -163,7 +163,7 @@ let no_turing_feature () =
 let irdl_cpp_feature () =
   let n = Irdl_core.Native.create () in
   Irdl_core.Native.register_op_hook n "operandIsEven($_self)" (fun op ->
-      match op.Graph.operands with
+      match Graph.Op.operands op with
       | [ v ] -> (
           match Graph.Value.defining_op v with
           | Some def -> (

@@ -123,7 +123,7 @@ let replace_uses () =
   Alcotest.(check bool) "v1 unused" false (Graph.has_uses_in scope v1);
   Alcotest.(check bool) "v2 used" true (Graph.has_uses_in scope v2);
   Alcotest.(check bool) "both operands" true
-    (List.for_all (Graph.Value.equal v2) user.Graph.operands)
+    (List.for_all (Graph.Value.equal v2) (Graph.Op.operands user))
 
 let value_defining_op () =
   let def = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def" in
@@ -149,6 +149,161 @@ let detach_op () =
   (* detaching twice is a no-op *)
   Graph.detach op
 
+let use_chain_tracking () =
+  let def = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def" in
+  let other = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.other" in
+  let v = Graph.Op.result def 0 and w = Graph.Op.result other 0 in
+  Alcotest.(check bool) "fresh unused" false (Graph.Value.has_uses v);
+  let u1 = Graph.Op.create ~operands:[ v; v ] "t.u1" in
+  let u2 = Graph.Op.create ~operands:[ v ] "t.u2" in
+  Alcotest.(check int) "three uses" 3 (Graph.Value.num_uses v);
+  Alcotest.(check bool) "all owners recorded" true
+    (List.for_all
+       (fun (o, _) -> o == u1 || o == u2)
+       (Graph.Value.uses v));
+  Graph.Op.set_operand u2 0 w;
+  Alcotest.(check int) "two uses after set_operand" 2 (Graph.Value.num_uses v);
+  Alcotest.(check int) "w picked one up" 1 (Graph.Value.num_uses w);
+  Graph.Op.set_operands u1 [ w ];
+  Alcotest.(check bool) "v unused" false (Graph.Value.has_uses v);
+  Alcotest.(check int) "w has both" 2 (Graph.Value.num_uses w)
+
+let replace_all_uses () =
+  let def1 = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def1" in
+  let def2 = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def2" in
+  let v1 = Graph.Op.result def1 0 and v2 = Graph.Op.result def2 0 in
+  let users =
+    List.init 3 (fun _ -> Graph.Op.create ~operands:[ v1; v1 ] "t.use")
+  in
+  Alcotest.(check int) "six uses" 6 (Graph.Value.num_uses v1);
+  Graph.Value.replace_all_uses ~from:v1 ~to_:v2;
+  Alcotest.(check bool) "v1 dropped" false (Graph.Value.has_uses v1);
+  Alcotest.(check int) "v2 adopted" 6 (Graph.Value.num_uses v2);
+  List.iter
+    (fun u ->
+      Alcotest.(check bool) "operands rewired" true
+        (List.for_all (Graph.Value.equal v2) (Graph.Op.operands u)))
+    users;
+  (* replacing a value by itself is a no-op *)
+  Graph.Value.replace_all_uses ~from:v2 ~to_:v2;
+  Alcotest.(check int) "self-replace keeps uses" 6 (Graph.Value.num_uses v2)
+
+let erase_drops_uses () =
+  let def = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def" in
+  let v = Graph.Op.result def 0 in
+  (* A user nested one region deep, so erase must recurse. *)
+  let inner_user = Graph.Op.create ~operands:[ v ] "t.inner" in
+  let blk = Graph.Block.create () in
+  Graph.Block.append blk inner_user;
+  let wrap =
+    Graph.Op.create
+      ~regions:[ Graph.Region.create ~blocks:[ blk ] () ]
+      ~operands:[ v ] "t.wrap"
+  in
+  let top = Graph.Block.create () in
+  Graph.Block.append top def;
+  Graph.Block.append top wrap;
+  Alcotest.(check int) "two uses" 2 (Graph.Value.num_uses v);
+  Graph.erase wrap;
+  Alcotest.(check bool) "v unused after erase" false (Graph.Value.has_uses v);
+  Alcotest.(check int) "block shrunk" 1 (Graph.Block.num_ops top);
+  (* detach, by contrast, keeps the use links *)
+  let user = Graph.Op.create ~operands:[ v ] "t.user" in
+  Graph.Block.append top user;
+  Graph.detach user;
+  Alcotest.(check bool) "detach keeps uses" true (Graph.Value.has_uses v)
+
+let insert_after_and_order () =
+  let blk = Graph.Block.create () in
+  let a = Graph.Op.create "t.a" and b = Graph.Op.create "t.b" in
+  let c = Graph.Op.create "t.c" in
+  Graph.Block.append blk a;
+  Graph.Block.append blk c;
+  Graph.Block.insert_after blk ~anchor:a b;
+  Alcotest.(check (list string)) "order" [ "t.a"; "t.b"; "t.c" ]
+    (List.map Graph.Op.name (Graph.Block.ops blk));
+  Alcotest.(check bool) "a before b" true (Graph.Op.is_before_in_block a b);
+  Alcotest.(check bool) "c not before b" false
+    (Graph.Op.is_before_in_block c b);
+  Alcotest.(check int) "num_ops" 3 (Graph.Block.num_ops blk);
+  (match Graph.Block.first_op blk with
+  | Some f -> Alcotest.(check string) "first" "t.a" (Graph.Op.name f)
+  | None -> Alcotest.fail "expected first op")
+
+let order_renumbering () =
+  (* Repeated insertion at the same point exhausts midpoint gaps and forces
+     block renumbering; ordering must survive. *)
+  let blk = Graph.Block.create () in
+  let first = Graph.Op.create "t.first" and last = Graph.Op.create "t.last" in
+  Graph.Block.append blk first;
+  Graph.Block.append blk last;
+  for i = 1 to 200 do
+    Graph.Block.insert_before blk ~anchor:last
+      (Graph.Op.create (Printf.sprintf "t.n%d" i))
+  done;
+  Alcotest.(check int) "count" 202 (Graph.Block.num_ops blk);
+  let names = List.map Graph.Op.name (Graph.Block.ops blk) in
+  Alcotest.(check string) "first stays" "t.first" (List.hd names);
+  Alcotest.(check string) "last stays" "t.last"
+    (List.nth names (List.length names - 1));
+  (* Orders strictly increasing along the block. *)
+  let prev = ref min_int in
+  Graph.Block.iter_ops blk ~f:(fun o ->
+      Alcotest.(check bool) "strictly increasing" true (o.Graph.op_order > !prev);
+      prev := o.Graph.op_order)
+
+let invariants_hold () =
+  let def = Graph.Op.create ~result_tys:[ Attr.i32 ] "t.def" in
+  let user = Graph.Op.create ~operands:[ Graph.Op.result def 0 ] "t.use" in
+  let blk = Graph.Block.create ~arg_tys:[ Attr.f32 ] () in
+  Graph.Block.append blk def;
+  Graph.Block.append blk user;
+  let func =
+    Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.func"
+  in
+  (match Graph.check_invariants func with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariants violated: %s" m);
+  (* Corrupt a use chain head and expect the checker to notice. *)
+  (Graph.Op.result def 0).Graph.v_first_use <- None;
+  match Graph.check_invariants func with
+  | Ok () -> Alcotest.fail "corruption not detected"
+  | Error _ -> ()
+
+let deep_nesting_stack_safe () =
+  (* ~50k nested regions: walk, invariant checking, verification and
+     printing must all stay iterative (no stack overflow). *)
+  let depth = 50_000 in
+  let op = ref (Graph.Op.create "t.leaf") in
+  for _ = 1 to depth do
+    let blk = Graph.Block.create () in
+    Graph.Block.append blk !op;
+    op := Graph.Op.create ~regions:[ Graph.Region.create ~blocks:[ blk ] () ] "t.nest"
+  done;
+  let root = !op in
+  let count = ref 0 in
+  Graph.Op.walk root ~f:(fun _ -> incr count);
+  Alcotest.(check int) "walk count" (depth + 1) !count;
+  (match Graph.check_invariants root with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invariants: %s" m);
+  let ctx = Context.create () in
+  (match Verifier.verify ctx root with
+  | Ok () -> ()
+  | Error d ->
+      Alcotest.failf "verify: %s" (Irdl_support.Diag.to_string d));
+  let printed = Printer.op_to_string ctx root in
+  Alcotest.(check bool) "printed" true (String.length printed > depth)
+
+let atomic_ids_across_domains () =
+  let per_domain = 20_000 in
+  let gen () = Array.init per_domain (fun _ -> Graph.next_id ()) in
+  let domains = List.init 4 (fun _ -> Domain.spawn gen) in
+  let ids = List.concat_map (fun d -> Array.to_list (Domain.join d)) domains in
+  let tbl = Hashtbl.create (4 * per_domain) in
+  List.iter (fun id -> Hashtbl.replace tbl id ()) ids;
+  Alcotest.(check int) "all distinct" (4 * per_domain) (Hashtbl.length tbl)
+
 let suite =
   [
     tc "op creation wires results" create_op;
@@ -163,4 +318,12 @@ let suite =
     tc "value defining op" value_defining_op;
     tc "ids are unique" unique_ids;
     tc "detach" detach_op;
+    tc "use chains track operand mutation" use_chain_tracking;
+    tc "replace_all_uses is exhaustive" replace_all_uses;
+    tc "erase drops nested operand uses" erase_drops_uses;
+    tc "insert_after and O(1) ordering" insert_after_and_order;
+    tc "order survives renumbering" order_renumbering;
+    tc "invariant checker accepts and detects" invariants_hold;
+    tc "50k nested regions stay stack-safe" deep_nesting_stack_safe;
+    tc "atomic ids across domains" atomic_ids_across_domains;
   ]

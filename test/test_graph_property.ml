@@ -1,0 +1,157 @@
+(** Randomized structural property suite for the intrusive IR core.
+
+    Each test case interprets a random program of mutations — append,
+    splice (insert_before/insert_after), move across blocks, RAUW,
+    set_operand, erase — against a two-block function, then asserts that
+
+    - {!Graph.check_invariants} holds (intrusive links, counts, order
+      indices, result/argument back-pointers, operand ↔ use-chain
+      agreement), and
+    - the result survives a print → parse → print round trip with
+      byte-identical output. *)
+
+open Irdl_ir
+
+(* One mutation step, driven by four random ints. *)
+type step = int * int * int * int
+
+let step_gen =
+  QCheck2.Gen.(quad (int_bound 1000) (int_bound 1000) (int_bound 1000) (int_bound 1000))
+
+let program_gen = QCheck2.Gen.(list_size (int_range 0 60) step_gen)
+
+(* Mutable interpreter state: the scope plus pools of attached ops and live
+   values to pick mutation targets from. *)
+type state = {
+  blocks : Graph.block array;
+  mutable ops : Graph.op list;  (** attached, in no particular order *)
+  mutable values : Graph.value list;  (** block args + live op results *)
+  mutable counter : int;
+}
+
+let pick lst n = List.nth lst (n mod List.length lst)
+
+let build_scope () =
+  let blocks =
+    Array.init 2 (fun _ -> Graph.Block.create ~arg_tys:[ Attr.i32 ] ())
+  in
+  let region = Graph.Region.create ~blocks:(Array.to_list blocks) () in
+  let scope = Graph.Op.create ~regions:[ region ] "t.func" in
+  let st =
+    {
+      blocks;
+      ops = [];
+      values = Array.to_list blocks |> List.concat_map Graph.Block.args;
+      counter = 0;
+    }
+  in
+  (scope, st)
+
+let fresh_op st x y =
+  st.counter <- st.counter + 1;
+  let operands =
+    if st.values = [] then []
+    else if x mod 3 = 0 then [ pick st.values y ]
+    else [ pick st.values y; pick st.values (y / 7) ]
+  in
+  let attrs =
+    if x mod 4 = 0 then [ ("k", Attr.int (Int64.of_int (x mod 16))) ] else []
+  in
+  Graph.Op.create ~operands ~result_tys:[ Attr.i32 ] ~attrs
+    (Printf.sprintf "t.op%d" st.counter)
+
+let register st op =
+  st.ops <- op :: st.ops;
+  st.values <- Graph.Op.results op @ st.values
+
+let apply_step (st : state) ((c, x, y, z) : step) =
+  match c mod 6 with
+  | 0 ->
+      (* append to a random block *)
+      let op = fresh_op st x y in
+      Graph.Block.append st.blocks.(z mod Array.length st.blocks) op;
+      register st op
+  | 1 ->
+      (* splice next to a random existing op *)
+      let op = fresh_op st x y in
+      (match st.ops with
+      | [] -> Graph.Block.append st.blocks.(0) op
+      | _ -> (
+          let anchor = pick st.ops z in
+          match anchor.Graph.op_parent with
+          | Some blk ->
+              if z mod 2 = 0 then Graph.Block.insert_before blk ~anchor op
+              else Graph.Block.insert_after blk ~anchor op
+          | None -> Graph.Block.append st.blocks.(0) op));
+      register st op
+  | 2 ->
+      (* replace-all-uses between two pooled values *)
+      if st.values <> [] then
+        Graph.Value.replace_all_uses ~from:(pick st.values x)
+          ~to_:(pick st.values y)
+  | 3 ->
+      (* move an op to the end of another block *)
+      if st.ops <> [] then begin
+        let op = pick st.ops x in
+        Graph.detach op;
+        Graph.Block.append st.blocks.(y mod Array.length st.blocks) op
+      end
+  | 4 ->
+      (* erase an op whose results are unused *)
+      if st.ops <> [] then begin
+        let op = pick st.ops x in
+        if not (Array.exists Graph.Value.has_uses op.Graph.op_results) then begin
+          Graph.erase op;
+          st.ops <- List.filter (fun o -> o != op) st.ops;
+          st.values <-
+            List.filter
+              (fun (v : Graph.value) ->
+                match v.Graph.v_def with
+                | Graph.Op_result { op = owner; _ } -> owner != op
+                | _ -> true)
+              st.values
+        end
+      end
+  | _ ->
+      (* set a random operand slot *)
+      if st.ops <> [] && st.values <> [] then begin
+        let op = pick st.ops x in
+        let n = Graph.Op.num_operands op in
+        if n > 0 then Graph.Op.set_operand op (y mod n) (pick st.values z)
+      end
+
+let run_program steps =
+  let scope, st = build_scope () in
+  List.iter (apply_step st) steps;
+  scope
+
+let invariants_after_mutations =
+  QCheck2.Test.make ~name:"invariants survive random mutation sequences"
+    ~count:300 program_gen (fun steps ->
+      match Graph.check_invariants (run_program steps) with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
+let roundtrip_after_mutations =
+  QCheck2.Test.make ~name:"mutated IR round-trips through print/parse"
+    ~count:300 program_gen (fun steps ->
+      let scope = run_program steps in
+      let ctx = Context.create () in
+      let printed = Printer.op_to_string ctx scope in
+      match Parser.parse_op_string ctx printed with
+      | Error d ->
+          QCheck2.Test.fail_report
+            ("reparse failed: " ^ Irdl_support.Diag.to_string d)
+      | Ok reparsed -> (
+          (* The reparsed module must satisfy the same invariants and print
+             identically (names are assigned in emission order, so equal
+             output means equal structure). *)
+          match Graph.check_invariants reparsed with
+          | Error msg ->
+              QCheck2.Test.fail_report ("reparsed invariants: " ^ msg)
+          | Ok () ->
+              String.equal printed (Printer.op_to_string ctx reparsed)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ invariants_after_mutations; roundtrip_after_mutations ]

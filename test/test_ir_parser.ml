@@ -131,7 +131,7 @@ let operands_resolve () =
   | [ def; use ] ->
       let v = Graph.Op.result def 0 in
       Alcotest.(check bool) "same value" true
-        (List.for_all (Graph.Value.equal v) use.Graph.operands)
+        (List.for_all (Graph.Value.equal v) (Graph.Op.operands use))
   | _ -> Alcotest.fail "expected two ops"
 
 let regions_and_blocks () =
@@ -194,7 +194,7 @@ let forward_value_reference () =
   let uses = ref 0 in
   Graph.Op.walk op ~f:(fun o ->
       if Graph.Op.name o = "t.use" then
-        match o.Graph.operands with
+        match Graph.Op.operands o with
         | [ v ] ->
             incr uses;
             Alcotest.(check bool) "type patched" true

@@ -116,7 +116,7 @@ let program_gen =
              (Printf.sprintf "t.op%d" (i mod 5))
          in
          Graph.Block.append blk op;
-         available := !available @ op.Graph.results)
+         available := !available @ Graph.Op.results op)
        seeds;
      Graph.Op.create
        ~regions:[ Graph.Region.create ~blocks:[ blk ] () ]
@@ -125,12 +125,12 @@ let program_gen =
 (* Structural equality of two op trees up to value identity. *)
 let rec same_structure (a : Graph.op) (b : Graph.op) =
   Graph.Op.name a = Graph.Op.name b
-  && List.length a.Graph.operands = List.length b.Graph.operands
+  && Graph.Op.num_operands a = Graph.Op.num_operands b
   && List.for_all2
        (fun (x : Graph.value) (y : Graph.value) ->
          Attr.equal_ty (Graph.Value.ty x) (Graph.Value.ty y))
-       a.Graph.operands b.Graph.operands
-  && List.length a.Graph.results = List.length b.Graph.results
+       (Graph.Op.operands a) (Graph.Op.operands b)
+  && Graph.Op.num_results a = Graph.Op.num_results b
   && List.length a.Graph.attrs = List.length b.Graph.attrs
   && List.for_all2
        (fun (k1, v1) (k2, v2) -> k1 = k2 && Attr.equal v1 v2)
@@ -138,14 +138,14 @@ let rec same_structure (a : Graph.op) (b : Graph.op) =
   && List.length a.Graph.regions = List.length b.Graph.regions
   && List.for_all2
        (fun (ra : Graph.region) (rb : Graph.region) ->
-         List.length ra.Graph.blocks = List.length rb.Graph.blocks
+         Graph.Region.num_blocks ra = Graph.Region.num_blocks rb
          && List.for_all2
               (fun (ba : Graph.block) (bb : Graph.block) ->
-                List.length ba.Graph.blk_args = List.length bb.Graph.blk_args
-                && List.length ba.Graph.blk_ops = List.length bb.Graph.blk_ops
-                && List.for_all2 same_structure ba.Graph.blk_ops
-                     bb.Graph.blk_ops)
-              ra.Graph.blocks rb.Graph.blocks)
+                Graph.Block.num_args ba = Graph.Block.num_args bb
+                && Graph.Block.num_ops ba = Graph.Block.num_ops bb
+                && List.for_all2 same_structure (Graph.Block.ops ba)
+                     (Graph.Block.ops bb))
+              (Graph.Region.blocks ra) (Graph.Region.blocks rb))
        a.Graph.regions b.Graph.regions
 
 let program_roundtrip =
@@ -168,9 +168,8 @@ let use_def_consistency =
       let count_distinct op =
         let ids = Hashtbl.create 16 in
         Graph.Op.walk op ~f:(fun o ->
-            List.iter
-              (fun (v : Graph.value) -> Hashtbl.replace ids (Graph.Value.id v) ())
-              o.Graph.operands);
+            Graph.Op.iter_operands o ~f:(fun (v : Graph.value) ->
+                Hashtbl.replace ids (Graph.Value.id v) ()));
         Hashtbl.length ids
       in
       match Parser.parse_op_string ctx (Printer.op_to_string ctx prog) with

@@ -52,7 +52,7 @@ let replace_op_basics () =
       if Graph.Op.name o = "arith.mulf" then mulf := Some o);
   let mulf = Option.get !mulf in
   let fresh =
-    Rewriter.replace_op_with_new rw mulf ~operands:mulf.Graph.operands
+    Rewriter.replace_op_with_new rw mulf ~operands:(Graph.Op.operands mulf)
       ~result_tys:[ Attr.f32 ] "arith.addf"
   in
   Alcotest.(check int) "mulf gone" 0 (count_ops func "arith.mulf");
@@ -208,9 +208,9 @@ let cascading_patterns () =
     Pattern.make ~name:(from_ ^ "->" ^ to_) (fun rw op ->
         if Graph.Op.name op = from_ then begin
           ignore
-            (Rewriter.replace_op_with_new rw op ~operands:op.Graph.operands
-               ~result_tys:(List.map Graph.Value.ty op.Graph.results)
-               to_);
+            (Rewriter.replace_op_with_new rw op
+               ~operands:(Graph.Op.operands op)
+               ~result_tys:(Graph.Op.result_tys op) to_);
           true
         end
         else false)

@@ -14,6 +14,16 @@
    `--verify-diagnostics` checks produced diagnostics against
    `expected-error {{...}}` annotations, MLIR-style.
 
+   `--jobs N` verifies independent chunks on N domains over the one
+   resident (frozen) dialect registry; `--batch` feeds many IR files into
+   a single run. Workers collect diagnostics in a local engine, pre-render
+   them against their own source registrations, and the main domain
+   replays everything in input order — so a parallel run is byte-identical
+   to `--jobs 1` (same stderr, same stdout, same exit code, same
+   --diag-json). Flags whose output is inherently cross-chunk —
+   --max-errors, --pass-timing[-json], the IR print-around-pass dumps —
+   force the sequential path.
+
    Exit codes: 0 success; 1 parse-class failure (IRDL/pattern/pipeline/IR
    parsing); 2 verify-class failure (verifier or pass failures on IR that
    parsed); 3 `--verify-diagnostics` mismatch or malformed annotation.
@@ -31,6 +41,7 @@
 open Cmdliner
 module Diag = Irdl_support.Diag
 module Harness = Irdl_support.Diag_harness
+module Domain_pool = Irdl_support.Domain_pool
 
 let read_file path =
   let ic = open_in_bin path in
@@ -74,11 +85,23 @@ let effective_pipeline ~pipeline ~have_patterns ~dce ~cse ~dominance =
   in
   if entries = [] then None else Some (String.concat "," entries)
 
+(* --batch PATH: a directory (every *.mlir in it, sorted) or a text file
+   listing one IR path per line ('#' comments and blank lines skipped). *)
+let batch_inputs path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+    |> List.sort String.compare
+    |> List.map (Filename.concat path)
+  else
+    read_file path |> String.split_on_char '\n' |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
 let run dialect_files pattern_files with_corpus with_cmath input generic
     verify_only split_input_file verify_diagnostics max_errors diag_json
     pipeline dce cse dominance verify_each print_ir_before print_ir_after
     print_ir_before_all print_ir_after_all pass_timing pass_timing_json strict
-    verify_stats verbose =
+    verify_stats jobs batch verbose =
   setup_logs verbose;
   let engine = Diag.Engine.create ~max_errors () in
   (* Under --verify-diagnostics the produced diagnostics are consumed by
@@ -149,11 +172,12 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
   (* Resolve the pipeline before touching the input so a malformed pipeline
      fails fast. Pipeline text carries no annotations to expect diagnostics
      against, so this is fatal even under --verify-diagnostics. *)
+  let pipeline_src =
+    effective_pipeline ~pipeline ~have_patterns:(patterns <> []) ~dce ~cse
+      ~dominance
+  in
   let passes =
-    match
-      effective_pipeline ~pipeline ~have_patterns:(patterns <> []) ~dce ~cse
-        ~dominance
-    with
+    match pipeline_src with
     | None -> []
     | Some src -> (
         match
@@ -178,7 +202,10 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
      operation' errors, so stop here — except under --verify-diagnostics,
      where those errors may be exactly what the run expects. *)
   if !parse_failed && not verify_diagnostics then finish 1;
-  let run_passes ops =
+  (* Run a pipeline over [ops], reporting to [engine]. [timing] carries the
+     --pass-timing[-json] sinks on the sequential path; parallel workers
+     pass [None] (those flags force sequential execution). *)
+  let run_passes ~engine ~verify_failed ~timing passes ops =
     (* Run the pipeline (even over an empty module: the timing report is
        still produced, with every pass at zero ops). *)
     let mgr =
@@ -189,83 +216,210 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     | Error d ->
         Diag.Engine.emit engine d;
         verify_failed := true
-    | Ok report ->
+    | Ok report -> (
         (* Whatever ran — CSE and DCE included — the transformed IR must
            still verify, pipeline instrumentation or not. *)
         let post = Irdl_ir.Verifier.verify_ops_all ctx ops in
         List.iter (Diag.Engine.emit engine) post;
         if post <> [] then verify_failed := true;
-        Option.iter
-          (fun path ->
-            with_out_channel path (fun ppf ->
-                Irdl_pass.Pass_manager.pp_report ppf report))
-          pass_timing;
-        Option.iter
-          (fun path ->
-            let json = Irdl_pass.Pass_manager.report_to_json report in
-            if path = "-" then print_string json
-            else
-              let oc = open_out path in
-              output_string oc json;
-              close_out oc)
-          pass_timing_json
+        match timing with
+        | None -> ()
+        | Some (pass_timing, pass_timing_json) ->
+            Option.iter
+              (fun path ->
+                with_out_channel path (fun ppf ->
+                    Irdl_pass.Pass_manager.pp_report ppf report))
+              pass_timing;
+            Option.iter
+              (fun path ->
+                let json = Irdl_pass.Pass_manager.report_to_json report in
+                if path = "-" then print_string json
+                else
+                  let oc = open_out path in
+                  output_string oc json;
+                  close_out oc)
+              pass_timing_json)
   in
-  (* The IR itself, chunk by chunk under --split-input-file: a chunk that
-     fails to parse or verify never blocks the chunks after it. *)
-  let input_src =
-    match input with
-    | None -> None
-    | Some path ->
-        Some
-          ( path,
-            if path = "-" then In_channel.input_all stdin else read_file path )
+  (* One input chunk, against an arbitrary engine: the sequential driver
+     passes the main engine, parallel workers a local one (replayed in
+     input order afterwards). Returns (parse_failed, verify_failed,
+     printed output). A chunk that fails to parse or verify never blocks
+     the chunks after it. *)
+  let process_chunk ~engine ~timing passes ~path chunk =
+    let e0 = Diag.Engine.error_count engine in
+    let parse_failed = ref false and verify_failed = ref false in
+    let output = ref None in
+    let ops = Irdl_ir.Parser.parse_ops_collect ~file:path ~engine ctx chunk in
+    if Diag.Engine.error_count engine > e0 then parse_failed := true
+    else begin
+      let vdiags = Irdl_ir.Verifier.verify_ops_all ctx ops in
+      List.iter (Diag.Engine.emit engine) vdiags;
+      if vdiags <> [] then verify_failed := true
+      else begin
+        if passes <> [] then run_passes ~engine ~verify_failed ~timing passes ops;
+        if
+          (not (verify_only || verify_diagnostics))
+          && Diag.Engine.error_count engine = e0
+        then output := Some (Irdl_ir.Printer.ops_to_string ~generic ctx ops)
+      end
+    end;
+    (!parse_failed, !verify_failed, !output)
   in
-  (match input_src with
-  | None ->
-      if passes <> [] then run_passes []
+  if Option.is_some batch && Option.is_some input then begin
+    Fmt.epr "irdl-opt: --batch cannot be combined with a positional INPUT@.";
+    finish 1
+  end;
+  let docs =
+    try
+      match batch with
+      | Some bpath -> List.map (fun p -> (p, read_file p)) (batch_inputs bpath)
+      | None -> (
+          match input with
+          | None -> []
+          | Some path ->
+              [
+                ( path,
+                  if path = "-" then In_channel.input_all stdin
+                  else read_file path );
+              ])
+    with Sys_error msg ->
+      Fmt.epr "irdl-opt: %s@." msg;
+      finish 1
+  in
+  (match docs with
+  | [] when batch = None ->
+      if passes <> [] then
+        run_passes ~engine ~verify_failed
+          ~timing:(Some (pass_timing, pass_timing_json))
+          passes []
       else if not verify_diagnostics then
         Fmt.pr "registered dialects: %s@."
           (String.concat ", "
              (List.map
                 (fun (d : Irdl_ir.Context.dialect) -> d.d_name)
                 (Irdl_ir.Context.dialects ctx)))
-  | Some _ when !parse_failed -> ()
-  | Some (path, src) ->
-      let chunks =
-        if split_input_file then Harness.split_input src else [ src ]
+  | [] -> () (* --batch expanded to no files *)
+  | _ when !parse_failed -> ()
+  | docs ->
+      (* The unit of work is one chunk of one document: --split-input-file
+         cuts documents at '// -----' lines, --batch contributes one
+         document per file; both compose. *)
+      let tasks =
+        List.concat
+          (List.mapi
+             (fun di (path, src) ->
+               let chunks =
+                 if split_input_file then Harness.split_input src
+                 else [ src ]
+               in
+               List.map (fun chunk -> (di, path, chunk)) chunks)
+             docs)
+        |> Array.of_list
       in
-      let outputs = ref [] in
-      List.iter
-        (fun chunk ->
-          let e0 = Diag.Engine.error_count engine in
-          let ops =
-            Irdl_ir.Parser.parse_ops_collect ~file:path ~engine ctx chunk
-          in
-          if Diag.Engine.error_count engine > e0 then parse_failed := true
-          else begin
-            let vdiags = Irdl_ir.Verifier.verify_ops_all ctx ops in
-            List.iter (Diag.Engine.emit engine) vdiags;
-            if vdiags <> [] then verify_failed := true
-            else begin
-              if passes <> [] then run_passes ops;
-              if
-                (not (verify_only || verify_diagnostics))
-                && Diag.Engine.error_count engine = e0
-              then
-                outputs :=
-                  Irdl_ir.Printer.ops_to_string ~generic ctx ops :: !outputs
-            end
-          end)
-        chunks;
-      (match List.rev !outputs with
-      | [] -> ()
-      | outs -> Fmt.pr "%s@." (String.concat "\n// -----\n" outs)));
+      let doc_outs = Array.make (List.length docs) [] in
+      let n_jobs =
+        if jobs <= 0 then Domain.recommended_domain_count () else jobs
+      in
+      let parallel =
+        n_jobs > 1
+        && Array.length tasks > 1
+        (* --max-errors couples chunks (the cap is global); the pass
+           instrumentation sinks interleave per-chunk output. Both are
+           inherently sequential, so fall back silently. *)
+        && max_errors = 0
+        && pass_timing = None
+        && pass_timing_json = None
+        && print_ir_before = [] && print_ir_after = []
+        && (not print_ir_before_all)
+        && not print_ir_after_all
+      in
+      if not parallel then
+        Array.iter
+          (fun (di, path, chunk) ->
+            let pf, vf, out =
+              process_chunk ~engine
+                ~timing:(Some (pass_timing, pass_timing_json))
+                passes ~path chunk
+            in
+            if pf then parse_failed := true;
+            if vf then verify_failed := true;
+            Option.iter (fun o -> doc_outs.(di) <- o :: doc_outs.(di)) out)
+          tasks
+      else begin
+        (* Registration is over: freeze the context so every domain can
+           look definitions up (and verify against its own cache shard)
+           without synchronization. *)
+        Irdl_ir.Context.freeze ctx;
+        let sources = Diag.Sources.snapshot () in
+        let thunks =
+          Array.map
+            (fun (_, path, chunk) () ->
+              (* Dialect-file sources from the main domain, so worker-side
+                 rendering has the same snippets; the chunk itself is
+                 registered by the parse below. *)
+              Diag.Sources.preload sources;
+              let worker_engine = Diag.Engine.create () in
+              let rendered = ref [] in
+              Diag.Engine.add_handler worker_engine (fun d ->
+                  rendered := (d, Fmt.str "%a" Diag.pp_rendered d) :: !rendered);
+              (* Pass instances are cheap per-chunk values; re-deriving
+                 them here keeps workers from sharing any pass state. The
+                 string parsed fine on the main domain, so it parses
+                 fine here. *)
+              let wpasses =
+                match pipeline_src with
+                | None -> []
+                | Some src ->
+                    Diag.get_ok
+                      (Irdl_pass.Pipeline.parse
+                         ~available:(Irdl_pass.Passes.builtin ~patterns ())
+                         src)
+              in
+              let pf, vf, out =
+                process_chunk ~engine:worker_engine ~timing:None wpasses
+                  ~path chunk
+              in
+              (List.rev !rendered, pf, vf, out))
+            tasks
+        in
+        let results =
+          Domain_pool.with_pool ~domains:n_jobs (fun pool ->
+              Domain_pool.run pool thunks)
+        in
+        (* Replay in input order: counts and --diag-json through the main
+           engine, pre-rendered text straight to stderr — byte-identical
+           to the sequential printer handler. *)
+        Array.iteri
+          (fun i (diags, pf, vf, out) ->
+            let di, _, _ = tasks.(i) in
+            List.iter
+              (fun (d, rendered) ->
+                Diag.Engine.record engine d;
+                if not verify_diagnostics then Fmt.epr "%s@." rendered)
+              diags;
+            if pf then parse_failed := true;
+            if vf then verify_failed := true;
+            Option.iter (fun o -> doc_outs.(di) <- o :: doc_outs.(di)) out)
+          results
+      end;
+      (match batch with
+      | None -> (
+          match List.rev doc_outs.(0) with
+          | [] -> ()
+          | outs -> Fmt.pr "%s@." (String.concat "\n// -----\n" outs))
+      | Some _ ->
+          List.iteri
+            (fun di (path, _) ->
+              match List.rev doc_outs.(di) with
+              | [] -> ()
+              | outs ->
+                  Fmt.pr "// ===== %s =====@.%s@." path
+                    (String.concat "\n// -----\n" outs))
+            docs));
   if verify_diagnostics then begin
-    (* Expectations come from the input file and every -d dialect file. *)
-    let sources =
-      List.map (fun p -> (p, read_file p)) dialect_files
-      @ Option.to_list input_src
-    in
+    (* Expectations come from every input document and every -d dialect
+       file. *)
+    let sources = List.map (fun p -> (p, read_file p)) dialect_files @ docs in
     let expectations, scan_errors =
       List.fold_left
         (fun (es, errs) (file, src) ->
@@ -464,6 +618,31 @@ let verify_stats =
           "Report verification-cache statistics (entries, hit rate, \
            invalidations) on stderr after the run.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Verify $(b,--split-input-file) chunks and $(b,--batch) files on \
+           $(docv) domains in parallel over the frozen dialect registry \
+           (default 1; 0 picks the machine's recommended domain count). \
+           Output, exit code and $(b,--diag-json) are byte-identical to a \
+           sequential run. Falls back to sequential execution when \
+           combined with $(b,--max-errors), $(b,--pass-timing[-json]) or \
+           $(b,--print-ir-*), whose output is inherently cross-chunk.")
+
+let batch =
+  Arg.(
+    value & opt (some string) None
+    & info [ "batch" ] ~docv:"PATH"
+        ~doc:
+          "Process many IR files in one run over one resident dialect \
+           registry: $(docv) is a directory (every *.mlir file in it, \
+           sorted) or a text file listing one IR path per line ('#' \
+           comments allowed). Each file's re-printed output is preceded \
+           by a '// ===== <path> =====' header. Cannot be combined with a \
+           positional $(b,INPUT).")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -477,6 +656,6 @@ let cmd =
       $ max_errors $ diag_json $ pipeline $ dce $ cse $ dominance
       $ verify_each $ print_ir_before $ print_ir_after $ print_ir_before_all
       $ print_ir_after_all $ pass_timing $ pass_timing_json $ strict
-      $ verify_stats $ verbose)
+      $ verify_stats $ jobs $ batch $ verbose)
 
 let () = exit (Cmd.eval cmd)

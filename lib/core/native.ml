@@ -31,9 +31,11 @@ type t = {
   op_hooks : (string, Graph.op -> bool) Hashtbl.t;
   codecs : (string, codec) Hashtbl.t;  (** keyed by TypeOrAttrParam name *)
   mutable strict : bool;
-  mutable unresolved : string list;
+  unresolved : string list Atomic.t;
       (** Snippets looked up without a registered hook, most recent first;
-          introspectable for tooling and tests. *)
+          introspectable for tooling and tests. Atomic because the verifier
+          notes unresolved snippets and verification may run on several
+          domains against one shared registry. *)
 }
 
 let create ?(strict = false) () =
@@ -43,7 +45,7 @@ let create ?(strict = false) () =
     op_hooks = Hashtbl.create 16;
     codecs = Hashtbl.create 16;
     strict;
-    unresolved = [];
+    unresolved = Atomic.make [];
   }
 
 (** A shared default registry for convenience entry points. *)
@@ -62,7 +64,13 @@ let find_codec t name = Hashtbl.find_opt t.codecs name
 
 let note_unresolved t snippet =
   Log.debug (fun m -> m "no native hook registered for %S" snippet);
-  t.unresolved <- snippet :: t.unresolved
+  (* CAS push: verification may note snippets from several domains at once. *)
+  let rec push () =
+    let cur = Atomic.get t.unresolved in
+    if not (Atomic.compare_and_set t.unresolved cur (snippet :: cur)) then
+      push ()
+  in
+  push ()
 
 (* Hooks are arbitrary user closures; one that raises must not crash the
    verifier, so a raising hook counts as a failed constraint (with a
@@ -106,5 +114,5 @@ let check_op t snippet op =
         note_unresolved t snippet;
         Ok true)
 
-let unresolved t = List.rev t.unresolved
-let clear_unresolved t = t.unresolved <- []
+let unresolved t = List.rev (Atomic.get t.unresolved)
+let clear_unresolved t = Atomic.set t.unresolved []

@@ -20,7 +20,9 @@ type t = {
   op_hooks : (string, Graph.op -> bool) Hashtbl.t;
   codecs : (string, codec) Hashtbl.t;
   mutable strict : bool;
-  mutable unresolved : string list;
+  unresolved : string list Atomic.t;
+      (** Lock-free: verification may note unresolved snippets from several
+          domains against one shared registry. *)
 }
 
 val create : ?strict:bool -> unit -> t

@@ -488,6 +488,14 @@ let make_params_verifier ~native ~what ~qual_name (slots : Resolve.slot list)
     verifiers — lowers every constraint to its closure form once, here. *)
 let register_collect ?(native = Native.default) ?(compile = true)
     (ctx : Context.t) (dl : Resolve.dialect) : Diag.t list =
+  if Context.is_frozen ctx then
+    (* One clean rejection up front instead of a per-definition error for
+       every op/type/attr in the dialect. *)
+    [
+      Diag.error "cannot register dialect '%s': the context is frozen"
+        dl.dl_name;
+    ]
+  else begin
   let errors = ref [] in
   (* Run one definition's registration; errors without a location get the
      definition's own. *)
@@ -575,6 +583,7 @@ let register_collect ?(native = Native.default) ?(compile = true)
             }))
     dl.dl_ops;
   List.rev !errors
+  end
 
 (** Like {!register_collect}, reporting only the first error. Definitions
     after a failed one are still registered. *)

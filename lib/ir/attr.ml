@@ -11,8 +11,9 @@
     {!Dyn_attr} attribute introduced at runtime by dialect registration.
 
     {b Uniquing.} Like MLIR's [MLIRContext], every node built through the
-    constructors below is hash-consed into a process-wide uniquer
-    ({!Intern}): structurally equal attributes are physically equal, so
+    constructors below is hash-consed into a uniquer ({!Intern}) — one
+    shard per domain, so parallel workers never share a table: within a
+    domain structurally equal attributes are physically equal, and
     {!equal}/{!equal_ty} decide interned operands with a pointer comparison.
     The variant constructors remain exposed for pattern matching, but values
     must never be built from them directly outside this module — always go
@@ -205,12 +206,38 @@ module Attr_uniquer = Intern.Make (struct
   let hash = hash
 end)
 
-(* One process-wide uniquer pair, owned conceptually by {!Context} (which
+(* One uniquer pair per domain, owned conceptually by {!Context} (which
    reports its statistics): attribute construction must work before any
    context exists — dialect corpus helpers, constant pools — exactly as
-   MLIR's builtin attribute storage outlives dialect registration. *)
-let ty_uniquer : Ty_uniquer.table = Ty_uniquer.create ()
-let attr_uniquer : Attr_uniquer.table = Attr_uniquer.create ()
+   MLIR's builtin attribute storage outlives dialect registration.
+
+   The pair is domain-local (Domain.DLS) rather than process-wide so that
+   parallel verification workers never contend on — or race inside — the
+   hash tables: each domain uniques into its own shard, physical equality
+   and dense ids hold within a domain (which is where [==] fast paths and
+   id-keyed caches are consulted), and cross-domain comparisons fall back
+   to the structural walk that every equality in this module keeps anyway.
+   A registry of all shards backs the merged statistics. *)
+type uniquer_shard = {
+  sh_tys : Ty_uniquer.table;
+  sh_attrs : Attr_uniquer.table;
+}
+
+let shard_registry : uniquer_shard list ref = ref []
+let shard_registry_lock = Mutex.create ()
+
+let uniquer_key : uniquer_shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let sh =
+        { sh_tys = Ty_uniquer.create (); sh_attrs = Attr_uniquer.create () }
+      in
+      Mutex.lock shard_registry_lock;
+      shard_registry := sh :: !shard_registry;
+      Mutex.unlock shard_registry_lock;
+      sh)
+
+let ty_uniquer () = (Domain.DLS.get uniquer_key).sh_tys
+let attr_uniquer () = (Domain.DLS.get uniquer_key).sh_attrs
 
 (** Canonicalize a dictionary's entries: stable-sort by key so equality and
     hashing are key-order-insensitive, and reject duplicate keys. *)
@@ -233,6 +260,7 @@ let canonicalize_dict kvs =
     canonical, so the [find] fast path stops the walk at the first
     already-interned level. *)
 let rec intern_ty (ty0 : ty) : ty =
+  let ty_uniquer = ty_uniquer () in
   match Ty_uniquer.find ty_uniquer ty0 with
   | Some canonical -> canonical
   | None ->
@@ -252,6 +280,7 @@ let rec intern_ty (ty0 : ty) : ty =
       Ty_uniquer.intern ty_uniquer rebuilt
 
 and intern (a0 : t) : t =
+  let attr_uniquer = attr_uniquer () in
   match Attr_uniquer.find attr_uniquer a0 with
   | Some canonical -> canonical
   | None ->
@@ -272,11 +301,27 @@ and intern (a0 : t) : t =
       in
       Attr_uniquer.intern attr_uniquer rebuilt
 
-let id a = Attr_uniquer.id attr_uniquer (intern a)
-let id_ty ty = Ty_uniquer.id ty_uniquer (intern_ty ty)
+let id a = Attr_uniquer.id (attr_uniquer ()) (intern a)
+let id_ty ty = Ty_uniquer.id (ty_uniquer ()) (intern_ty ty)
 
+(** The calling domain's shard counters. Single-domain programs see exactly
+    the historical process-wide numbers (there is only one shard). *)
 let uniquer_stats () =
-  (Ty_uniquer.stats ty_uniquer, Attr_uniquer.stats attr_uniquer)
+  (Ty_uniquer.stats (ty_uniquer ()), Attr_uniquer.stats (attr_uniquer ()))
+
+(** Counters summed over every domain's shard. [nodes] counts canonical
+    copies per shard, not globally distinct structures. *)
+let uniquer_stats_merged () =
+  Mutex.lock shard_registry_lock;
+  let shards = !shard_registry in
+  Mutex.unlock shard_registry_lock;
+  List.fold_left
+    (fun (tys, attrs) sh ->
+      ( Intern.add_stats tys (Ty_uniquer.stats sh.sh_tys),
+        Intern.add_stats attrs (Attr_uniquer.stats sh.sh_attrs) ))
+    ( { Intern.nodes = 0; hits = 0; misses = 0 },
+      { Intern.nodes = 0; hits = 0; misses = 0 } )
+    shards
 
 (* ------------------------------------------------------------------ *)
 (* Smart constructors (every node they build is interned)              *)

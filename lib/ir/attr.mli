@@ -7,13 +7,14 @@
     attributes.
 
     {b Uniquing discipline.} Every value built through the smart
-    constructors below is hash-consed ({!Intern}) into a process-wide
-    uniquer, as MLIR's [MLIRContext] uniques its types and attributes:
-    structurally equal nodes are physically equal and {!equal}/{!equal_ty}
-    decide them with a pointer comparison. The variant constructors stay
-    exposed for pattern matching only — never build attribute values from
-    them directly; route hand-assembled values through {!intern} /
-    {!intern_ty}. *)
+    constructors below is hash-consed ({!Intern}) into a domain-local
+    uniquer shard, as MLIR's [MLIRContext] uniques its types and
+    attributes: within one domain structurally equal nodes are physically
+    equal and {!equal}/{!equal_ty} decide them with a pointer comparison
+    (values crossing domains fall back to the structural walk). The
+    variant constructors stay exposed for pattern matching only — never
+    build attribute values from them directly; route hand-assembled
+    values through {!intern} / {!intern_ty}. *)
 
 type signedness = Signless | Signed | Unsigned
 type float_kind = BF16 | F16 | F32 | F64
@@ -111,14 +112,22 @@ val intern_ty : ty -> ty
 
 val id : t -> int
 (** The unique integer id of the canonical node (interning first if
-    needed): [id a = id b] iff [equal a b]. Ids are dense and stable for
-    the process lifetime; attribute and type ids are separate spaces. *)
+    needed): [id a = id b] iff [equal a b], evaluated on one domain. Ids
+    are dense, stable for the process lifetime and domain-local — the
+    uniquer tables are per-domain shards, so ids must never be compared
+    across domains (per-domain caches key on them instead). Attribute and
+    type ids are separate spaces. *)
 
 val id_ty : ty -> int
 
 val uniquer_stats : unit -> Intern.stats * Intern.stats
-(** Uniquer counters as [(types, attributes)]; reported via
-    {!Context.uniquing_stats}. *)
+(** The calling domain's uniquer shard counters as [(types, attributes)];
+    reported via {!Context.uniquing_stats}. Identical to the historical
+    process-wide numbers in single-domain programs. *)
+
+val uniquer_stats_merged : unit -> Intern.stats * Intern.stats
+(** Counters summed over every domain's shard. [nodes] counts canonical
+    copies per shard, not globally distinct structures. *)
 
 (** {2 Equality, hashing and printing} *)
 

@@ -3,7 +3,17 @@
 
     Everything here is runtime data — registering an IRDL dialect populates a
     context without any code generation, which is the paper's "instantiate
-    all necessary data structures at runtime (without recompilation)". *)
+    all necessary data structures at runtime (without recompilation)".
+
+    {b Concurrency model.} A context lives in two phases. While {e open},
+    registration mutates the dialect maps under [reg_lock] (and flushes the
+    verification cache); reads are only safe from the registering domain.
+    {!freeze} transitions the context — under the same lock, so a racing
+    registration either completes before the freeze or is cleanly rejected
+    after it — and from then on the dialect maps are immutable: any number
+    of domains may look definitions up and verify concurrently. The
+    verification cache is sharded per domain (each shard touched only by
+    its owning domain), so post-freeze it is append-only and lock-free. *)
 
 open Irdl_support
 
@@ -42,21 +52,34 @@ type dialect = {
   mutable d_attrs : attr_def SMap.t;
 }
 
+(* One domain's slice of the verification cache. Only the owning domain
+   ever reads or writes the tables and counters, so no synchronization is
+   needed on them; cross-domain visibility of the whole shard record is
+   established by the [reg_lock]-protected cons onto [vc_shards]. *)
+type vc_shard = {
+  sh_domain : int;  (** the owning [Domain.id] *)
+  sh_ty : (int, (unit, Diag.t) result) Hashtbl.t;
+  sh_attr : (int, (unit, Diag.t) result) Hashtbl.t;
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+}
+
 type t = {
   mutable dialects : dialect SMap.t;
   mutable allow_unregistered : bool;
       (** When true (the default, as in [mlir-opt
           --allow-unregistered-dialect]), operations of unknown dialects
           parse and verify structurally only. *)
-  vc_ty : (int, (unit, Diag.t) result) Hashtbl.t;
-      (** Memoized type-verification results, keyed by the dense {!Attr.id_ty}
-          of the (hash-consed) type. Valid because types are immutable and
-          the result depends only on this context's registrations; cleared
-          whenever a definition is registered. *)
-  vc_attr : (int, (unit, Diag.t) result) Hashtbl.t;
+  reg_lock : Mutex.t;
+      (** Serializes registration, the freeze transition, and shard-list /
+          cache-configuration updates. *)
+  mutable frozen : bool;
+      (** Written only under [reg_lock]; monotone false → true. *)
+  mutable vc_shards : vc_shard list;
+      (** Per-domain cache shards; consed under [reg_lock]. The unlocked
+          read in [shard] is safe: list cells are immutable, a stale read
+          at worst misses the newest shard and retries under the lock. *)
   mutable vc_enabled : bool;
-  mutable vc_hits : int;
-  mutable vc_misses : int;
   mutable vc_invalidations : int;
 }
 
@@ -64,60 +87,121 @@ let create ?(allow_unregistered = true) () =
   {
     dialects = SMap.empty;
     allow_unregistered;
-    vc_ty = Hashtbl.create 256;
-    vc_attr = Hashtbl.create 256;
+    reg_lock = Mutex.create ();
+    frozen = false;
+    vc_shards = [];
     vc_enabled = true;
-    vc_hits = 0;
-    vc_misses = 0;
     vc_invalidations = 0;
   }
+
+let locked t f =
+  Mutex.lock t.reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reg_lock) f
+
+(* ---------------------------------------------------------------- *)
+(* Freeze lifecycle                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let freeze t = locked t (fun () -> t.frozen <- true)
+let is_frozen t = t.frozen
+
+(* Registration entry points call this under [reg_lock], so a register
+   racing a freeze is either fully applied before the flag flips or
+   rejected here — the dialect maps and the uniquer are never left
+   half-updated. *)
+let check_open t ~what ~name =
+  if t.frozen then
+    Diag.raise_error "cannot register %s '%s': the context is frozen" what
+      name
 
 (* ---------------------------------------------------------------- *)
 (* Verification cache                                                *)
 (* ---------------------------------------------------------------- *)
 
+let rec find_shard did = function
+  | [] -> None
+  | (s : vc_shard) :: rest ->
+      if s.sh_domain = did then Some s else find_shard did rest
+
+(* The calling domain's shard, created on first use. Domain ids are never
+   reused within a process, so a shard belongs to exactly one domain for
+   the lifetime of the context. *)
+let shard t =
+  let did = (Domain.self () :> int) in
+  match find_shard did t.vc_shards with
+  | Some s -> s
+  | None ->
+      locked t (fun () ->
+          match find_shard did t.vc_shards with
+          | Some s -> s
+          | None ->
+              let s =
+                {
+                  sh_domain = did;
+                  sh_ty = Hashtbl.create 256;
+                  sh_attr = Hashtbl.create 256;
+                  sh_hits = 0;
+                  sh_misses = 0;
+                }
+              in
+              t.vc_shards <- s :: t.vc_shards;
+              s)
+
 (* Counts only flushes that actually dropped entries, so corpus-sized
-   registration bursts into a fresh context don't inflate the number. *)
-let invalidate_verify_cache t =
-  if Hashtbl.length t.vc_ty > 0 || Hashtbl.length t.vc_attr > 0 then begin
-    Hashtbl.reset t.vc_ty;
-    Hashtbl.reset t.vc_attr;
-    t.vc_invalidations <- t.vc_invalidations + 1
-  end
+   registration bursts into a fresh context don't inflate the number.
+   Callers hold [reg_lock]; pre-freeze there are no concurrent readers. *)
+let invalidate_locked t =
+  let dropped =
+    List.exists
+      (fun s -> Hashtbl.length s.sh_ty > 0 || Hashtbl.length s.sh_attr > 0)
+      t.vc_shards
+  in
+  List.iter
+    (fun s ->
+      Hashtbl.reset s.sh_ty;
+      Hashtbl.reset s.sh_attr)
+    t.vc_shards;
+  if dropped then t.vc_invalidations <- t.vc_invalidations + 1
+
+let invalidate_verify_cache t = locked t (fun () -> invalidate_locked t)
 
 let cached_verify_ty t id compute =
   if not t.vc_enabled then compute ()
   else
-    match Hashtbl.find_opt t.vc_ty id with
+    let s = shard t in
+    match Hashtbl.find_opt s.sh_ty id with
     | Some r ->
-        t.vc_hits <- t.vc_hits + 1;
+        s.sh_hits <- s.sh_hits + 1;
         r
     | None ->
-        t.vc_misses <- t.vc_misses + 1;
+        s.sh_misses <- s.sh_misses + 1;
         let r = compute () in
-        Hashtbl.replace t.vc_ty id r;
+        Hashtbl.replace s.sh_ty id r;
         r
 
 let cached_verify_attr t id compute =
   if not t.vc_enabled then compute ()
   else
-    match Hashtbl.find_opt t.vc_attr id with
+    let s = shard t in
+    match Hashtbl.find_opt s.sh_attr id with
     | Some r ->
-        t.vc_hits <- t.vc_hits + 1;
+        s.sh_hits <- s.sh_hits + 1;
         r
     | None ->
-        t.vc_misses <- t.vc_misses + 1;
+        s.sh_misses <- s.sh_misses + 1;
         let r = compute () in
-        Hashtbl.replace t.vc_attr id r;
+        Hashtbl.replace s.sh_attr id r;
         r
 
 (* [set_verify_cache t false] restores the pre-memoization behaviour (every
    node re-verified on every visit) — the baseline configuration for
-   benchmarks and differential tests. Disabling flushes so a later re-enable
-   starts from a clean slate. *)
+   benchmarks and differential tests. Disabling flushes every shard so a
+   later re-enable starts from a clean slate. Not safe to race with active
+   verification on other domains; flip it before fanning out. *)
 let set_verify_cache t enabled =
-  if (not enabled) && t.vc_enabled then invalidate_verify_cache t;
-  t.vc_enabled <- enabled
+  locked t (fun () ->
+      if (not enabled) && t.vc_enabled then invalidate_locked t;
+      t.vc_enabled <- enabled)
 
 let verify_cache_enabled t = t.vc_enabled
 
@@ -129,14 +213,47 @@ type verify_stats = {
   vs_invalidations : int;
 }
 
-let verify_stats t =
+let empty_verify_stats =
   {
-    vs_ty_entries = Hashtbl.length t.vc_ty;
-    vs_attr_entries = Hashtbl.length t.vc_attr;
-    vs_hits = t.vc_hits;
-    vs_misses = t.vc_misses;
-    vs_invalidations = t.vc_invalidations;
+    vs_ty_entries = 0;
+    vs_attr_entries = 0;
+    vs_hits = 0;
+    vs_misses = 0;
+    vs_invalidations = 0;
   }
+
+let shard_stats (s : vc_shard) =
+  {
+    vs_ty_entries = Hashtbl.length s.sh_ty;
+    vs_attr_entries = Hashtbl.length s.sh_attr;
+    vs_hits = s.sh_hits;
+    vs_misses = s.sh_misses;
+    vs_invalidations = 0;
+  }
+
+let add_verify_stats a b =
+  {
+    vs_ty_entries = a.vs_ty_entries + b.vs_ty_entries;
+    vs_attr_entries = a.vs_attr_entries + b.vs_attr_entries;
+    vs_hits = a.vs_hits + b.vs_hits;
+    vs_misses = a.vs_misses + b.vs_misses;
+    vs_invalidations = a.vs_invalidations + b.vs_invalidations;
+  }
+
+(* Per-shard counters, newest shard first. Meaningful once the domains
+   that own the shards are quiescent (e.g. after a pool join). *)
+let verify_shard_stats t =
+  locked t (fun () -> List.map shard_stats t.vc_shards)
+
+(* Merged across shards: the single-domain numbers are unchanged (one
+   shard), and after a parallel run this is the whole-process view. *)
+let verify_stats t =
+  let merged =
+    List.fold_left
+      (fun acc s -> add_verify_stats acc (shard_stats s))
+      empty_verify_stats (locked t (fun () -> t.vc_shards))
+  in
+  { merged with vs_invalidations = t.vc_invalidations }
 
 let verify_hit_rate { vs_hits; vs_misses; _ } =
   let total = vs_hits + vs_misses in
@@ -156,10 +273,11 @@ let get_dialect t name = SMap.find_opt name t.dialects
 
 let dialects t = SMap.bindings t.dialects |> List.map snd
 
-let register_dialect t name =
+let register_dialect_locked t name =
   match SMap.find_opt name t.dialects with
   | Some d -> d
   | None ->
+      check_open t ~what:"dialect" ~name;
       let d =
         { d_name = name; d_ops = SMap.empty; d_types = SMap.empty;
           d_attrs = SMap.empty }
@@ -167,29 +285,40 @@ let register_dialect t name =
       t.dialects <- SMap.add name d t.dialects;
       d
 
+let register_dialect t name = locked t (fun () -> register_dialect_locked t name)
+
 let register_op t (od : op_def) =
-  let d = register_dialect t od.od_dialect in
-  if SMap.mem od.od_name d.d_ops then
-    Diag.raise_error "operation '%s.%s' is already registered" od.od_dialect
-      od.od_name;
-  d.d_ops <- SMap.add od.od_name od d.d_ops;
-  invalidate_verify_cache t
+  locked t (fun () ->
+      check_open t ~what:"operation"
+        ~name:(qualified ~dialect:od.od_dialect ~name:od.od_name);
+      let d = register_dialect_locked t od.od_dialect in
+      if SMap.mem od.od_name d.d_ops then
+        Diag.raise_error "operation '%s.%s' is already registered"
+          od.od_dialect od.od_name;
+      d.d_ops <- SMap.add od.od_name od d.d_ops;
+      invalidate_locked t)
 
 let register_type t (td : type_def) =
-  let d = register_dialect t td.td_dialect in
-  if SMap.mem td.td_name d.d_types then
-    Diag.raise_error "type '%s.%s' is already registered" td.td_dialect
-      td.td_name;
-  d.d_types <- SMap.add td.td_name td d.d_types;
-  invalidate_verify_cache t
+  locked t (fun () ->
+      check_open t ~what:"type"
+        ~name:(qualified ~dialect:td.td_dialect ~name:td.td_name);
+      let d = register_dialect_locked t td.td_dialect in
+      if SMap.mem td.td_name d.d_types then
+        Diag.raise_error "type '%s.%s' is already registered" td.td_dialect
+          td.td_name;
+      d.d_types <- SMap.add td.td_name td d.d_types;
+      invalidate_locked t)
 
 let register_attr t (ad : attr_def) =
-  let d = register_dialect t ad.ad_dialect in
-  if SMap.mem ad.ad_name d.d_attrs then
-    Diag.raise_error "attribute '%s.%s' is already registered" ad.ad_dialect
-      ad.ad_name;
-  d.d_attrs <- SMap.add ad.ad_name ad d.d_attrs;
-  invalidate_verify_cache t
+  locked t (fun () ->
+      check_open t ~what:"attribute"
+        ~name:(qualified ~dialect:ad.ad_dialect ~name:ad.ad_name);
+      let d = register_dialect_locked t ad.ad_dialect in
+      if SMap.mem ad.ad_name d.d_attrs then
+        Diag.raise_error "attribute '%s.%s' is already registered"
+          ad.ad_dialect ad.ad_name;
+      d.d_attrs <- SMap.add ad.ad_name ad d.d_attrs;
+      invalidate_locked t)
 
 (** Look up the definition for a fully-qualified op name like ["cmath.mul"]. *)
 let lookup_op t qualified_name =
@@ -219,12 +348,18 @@ let op_stats t =
 
 type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
 
-(* The uniquer itself is process-wide (attributes are built before any
-   context exists, e.g. by dialect corpus helpers), so every context reports
-   the same tables — the same shape as MLIR, where builtin attribute storage
-   outlives dialect registration in the context. *)
+(* The uniquer is domain-local (attributes are built before any context
+   exists, e.g. by dialect corpus helpers — the same shape as MLIR, where
+   builtin attribute storage outlives dialect registration in the context),
+   so every context reports the same shard: the calling domain's. *)
 let uniquing_stats (_ : t) =
   let us_types, us_attrs = Attr.uniquer_stats () in
+  { us_types; us_attrs }
+
+(* Summed over every domain's shard; the whole-process view after a
+   parallel run. *)
+let uniquing_stats_merged (_ : t) =
+  let us_types, us_attrs = Attr.uniquer_stats_merged () in
   { us_types; us_attrs }
 
 let pp_uniquing_stats ppf { us_types; us_attrs } =

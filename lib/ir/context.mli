@@ -1,6 +1,16 @@
 (** The IR context: the registry of dialects and their operation, type and
     attribute definitions. Registering an IRDL dialect populates a context
-    at runtime, without code generation (paper §3). *)
+    at runtime, without code generation (paper §3).
+
+    {b Concurrency model.} A context lives in two phases. While {e open},
+    the [register_*] functions mutate the dialect maps under an internal
+    registration lock; reads are only safe from the registering domain.
+    {!freeze} transitions the context under the same lock — a registration
+    racing a freeze either completes before it or is cleanly rejected after
+    it — and from then on the dialect maps are immutable, so any number of
+    domains may run lookups and verification concurrently. The verification
+    cache is sharded per domain (each shard only ever touched by its owning
+    domain) and post-freeze is append-only and lock-free. *)
 
 open Irdl_support
 
@@ -41,34 +51,51 @@ type dialect = {
   mutable d_attrs : attr_def SMap.t;
 }
 
-type t = {
+type t = private {
   mutable dialects : dialect SMap.t;
   mutable allow_unregistered : bool;
       (** When true (the default), operations/types of unknown dialects
           parse and verify structurally only. *)
-  vc_ty : (int, (unit, Diag.t) result) Hashtbl.t;
-      (** Memoized type-verification results keyed by dense {!Attr.id_ty}
-          ids; managed by {!cached_verify_ty} and flushed on registration. *)
-  vc_attr : (int, (unit, Diag.t) result) Hashtbl.t;
+  reg_lock : Mutex.t;
+  mutable frozen : bool;
+  mutable vc_shards : vc_shard list;
   mutable vc_enabled : bool;
-  mutable vc_hits : int;
-  mutable vc_misses : int;
   mutable vc_invalidations : int;
 }
+
+and vc_shard
+(** One domain's slice of the verification cache; see {!verify_stats}. *)
 
 val create : ?allow_unregistered:bool -> unit -> t
 val qualified : dialect:string -> name:string -> string
 
 val get_dialect : t -> string -> dialect option
 val dialects : t -> dialect list
+
 val register_dialect : t -> string -> dialect
-(** Get or create the named dialect. *)
+(** Get or create the named dialect.
+    @raise Irdl_support.Diag.Error_exn when the context is frozen and the
+    dialect does not already exist. *)
 
 val register_op : t -> op_def -> unit
-(** @raise Irdl_support.Diag.Error_exn on duplicate registration. *)
+(** @raise Irdl_support.Diag.Error_exn on duplicate registration or a
+    frozen context. *)
 
 val register_type : t -> type_def -> unit
 val register_attr : t -> attr_def -> unit
+
+(** {2 Freeze lifecycle}
+
+    Freezing declares registration finished and unlocks concurrent use:
+    after {!freeze}, the dialect maps never change, so lookups and
+    verification are safe from any domain without synchronization. The
+    transition itself is serialized with registration — a [register_*]
+    call racing a freeze on another domain either completes before the
+    flag flips or raises the frozen-context error; it can never leave a
+    definition half-registered. Freezing is idempotent and one-way. *)
+
+val freeze : t -> unit
+val is_frozen : t -> bool
 
 val lookup_op : t -> string -> op_def option
 (** Look up a fully-qualified name like ["cmath.mul"]. *)
@@ -83,32 +110,40 @@ val op_stats : t -> int * int * int
 
     Hash-consing (PR 1) gives every type and attribute a dense integer id;
     the context memoizes the result of verifying each one against the
-    registered definitions, so repeat visits are O(1). Registering any
-    operation, type or attribute definition flushes the cache (the new
-    definition may change what verifies). The cache must also be flushed
-    manually — {!invalidate_verify_cache} — if verification behaviour is
-    changed behind the context's back: flipping [allow_unregistered], or
-    registering new native hooks after verification started. *)
+    registered definitions, so repeat visits are O(1). Ids are domain-local
+    (the uniquer is sharded per domain), so the memo table is sharded the
+    same way: each domain reads and writes only its own shard, which keeps
+    id-keyed lookups sound and post-freeze operation lock-free.
+
+    Registering any operation, type or attribute definition flushes all
+    shards (the new definition may change what verifies). The cache must
+    also be flushed manually — {!invalidate_verify_cache} — if verification
+    behaviour is changed behind the context's back: flipping
+    [allow_unregistered], or registering new native hooks after
+    verification started. *)
 
 val cached_verify_ty :
   t -> int -> (unit -> (unit, Diag.t) result) -> (unit, Diag.t) result
 (** [cached_verify_ty t id compute] returns the memoized verification
-    result for the type with dense id [id], running (and recording)
-    [compute] on the first visit. *)
+    result for the type with dense id [id] in the calling domain's shard,
+    running (and recording) [compute] on the first visit. [id] must come
+    from {!Attr.id_ty} evaluated on the calling domain. *)
 
 val cached_verify_attr :
   t -> int -> (unit -> (unit, Diag.t) result) -> (unit, Diag.t) result
 
 val invalidate_verify_cache : t -> unit
-(** Drop all memoized verification results. Called automatically by the
-    [register_*] functions; the invalidation counter increments only when
-    entries were actually dropped. *)
+(** Drop all memoized verification results, in every shard. Called
+    automatically by the [register_*] functions; the invalidation counter
+    increments only when entries were actually dropped. Not safe to race
+    with active verification on other domains. *)
 
 val set_verify_cache : t -> bool -> unit
-(** Enable/disable memoization (enabled by default). Disabling flushes the
-    cache and restores the pre-memoization behaviour — every node
+(** Enable/disable memoization (enabled by default). Disabling flushes
+    every shard and restores the pre-memoization behaviour — every node
     re-verified on every visit — which is the baseline configuration for
-    benchmarks and differential tests. *)
+    benchmarks and differential tests. Flip it before fanning out to
+    multiple domains, not during. *)
 
 val verify_cache_enabled : t -> bool
 
@@ -121,14 +156,29 @@ type verify_stats = {
 }
 
 val verify_stats : t -> verify_stats
+(** Summed over every domain's shard (invalidations are context-global).
+    In a single-domain program this is exactly the historical per-process
+    view; after a parallel run, call it once the worker domains have
+    joined. *)
+
+val verify_shard_stats : t -> verify_stats list
+(** Per-shard counters, newest shard first, each with
+    [vs_invalidations = 0]. [verify_stats] is their sum plus the global
+    invalidation counter. *)
+
 val verify_hit_rate : verify_stats -> float
 val pp_verify_stats : Format.formatter -> verify_stats -> unit
 
 type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
 
 val uniquing_stats : t -> uniquing_stats
-(** Counters of the attribute/type uniquer ({!Intern}) reachable from this
-    context: canonical node counts and hit rates. The uniquer is
-    process-wide, so all contexts report the same tables. *)
+(** Counters of the calling domain's attribute/type uniquer shard
+    ({!Intern}): canonical node counts and hit rates. The uniquer is
+    domain-local and shared by all contexts, so every context reports the
+    same numbers. *)
+
+val uniquing_stats_merged : t -> uniquing_stats
+(** Counters summed over every domain's uniquer shard; the whole-process
+    view after a parallel run. *)
 
 val pp_uniquing_stats : Format.formatter -> uniquing_stats -> unit

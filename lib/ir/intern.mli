@@ -14,6 +14,10 @@ type stats = {
 val hit_rate : stats -> float
 (** Fraction of lookups answered from the table, in [0..1]; 0 when empty. *)
 
+val add_stats : stats -> stats -> stats
+(** Pointwise sum, for merging per-domain shard counters. Summed [nodes]
+    counts canonical copies per shard, not distinct structures. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 
 (** The structural identity of the interned domain. [equal]/[hash] must

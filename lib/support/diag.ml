@@ -89,12 +89,28 @@ module Sources = struct
   (* Keyed by file name; {!Sbuf.of_string} registers every buffer it wraps,
      so by the time a diagnostic is rendered the text it points into is
      available here. Re-registration overwrites (the common "<string>"
-     scratch name), making rendering best-effort by design. *)
-  let table : (string, string) Hashtbl.t = Hashtbl.create 16
+     scratch name), making rendering best-effort by design.
 
-  let register ~file src = if file <> "" then Hashtbl.replace table file src
-  let lookup file = Hashtbl.find_opt table file
-  let clear () = Hashtbl.reset table
+     The registry is domain-local: parallel workers (--jobs) each parse and
+     render their own chunk of a --split-input-file run, and the chunks of
+     one file deliberately shadow each other under the same file name — a
+     shared table would race and would render chunk A's diagnostics
+     against chunk B's padding. A worker that needs the main domain's
+     registrations (dialect files loaded before the fan-out) seeds itself
+     with {!snapshot}/{!preload}. *)
+  let key : (string, string) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+  let table () = Domain.DLS.get key
+
+  let register ~file src = if file <> "" then Hashtbl.replace (table ()) file src
+  let lookup file = Hashtbl.find_opt (table ()) file
+  let clear () = Hashtbl.reset (table ())
+
+  let snapshot () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) (table ()) []
+
+  let preload entries =
+    List.iter (fun (file, src) -> register ~file src) entries
 end
 
 (* ------------------------------------------------------------------ *)
@@ -258,6 +274,20 @@ module Engine = struct
       | Warning -> e.n_warnings <- e.n_warnings + 1
       | Note -> e.n_notes <- e.n_notes + 1);
       List.iter (fun h -> h d) e.handlers
+    end
+
+  (* Like {!emit} with the handlers skipped: used to replay diagnostics a
+     parallel worker already collected (and rendered with its own sources)
+     into the main engine, keeping counts/JSON without double-printing. *)
+  let record e (d : diag) =
+    if d.severity = Error && limit_reached e then
+      e.n_suppressed <- e.n_suppressed + 1
+    else begin
+      e.diags_rev <- d :: e.diags_rev;
+      match d.severity with
+      | Error -> e.n_errors <- e.n_errors + 1
+      | Warning -> e.n_warnings <- e.n_warnings + 1
+      | Note -> e.n_notes <- e.n_notes + 1
     end
 
   let diagnostics e = List.rev e.diags_rev

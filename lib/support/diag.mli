@@ -61,11 +61,23 @@ val get_ok : ('a, t) result -> 'a
 (** Registry of source-buffer contents, keyed by file name. {!Sbuf.of_string}
     registers every buffer it wraps; {!pp_snippet} reads it back at render
     time. Re-registration overwrites, so rendering is best-effort for
-    scratch names like ["<string>"]. *)
+    scratch names like ["<string>"].
+
+    The registry is domain-local: each domain sees only the buffers it
+    registered itself, so parallel chunk workers never race on (or shadow)
+    each other's sources. {!Sources.snapshot}/{!Sources.preload} carry the
+    spawning domain's registrations into a worker. *)
 module Sources : sig
   val register : file:string -> string -> unit
   val lookup : string -> string option
   val clear : unit -> unit
+
+  val snapshot : unit -> (string * string) list
+  (** Every registration of the calling domain, for {!preload} in another. *)
+
+  val preload : (string * string) list -> unit
+  (** Add [snapshot]ted entries to the calling domain's registry (existing
+      keys are overwritten, nothing is removed). *)
 end
 
 val pp_snippet : Format.formatter -> Loc.t -> unit
@@ -111,6 +123,11 @@ module Engine : sig
   val emit : t -> diag -> unit
   (** Record a diagnostic and forward it to the handlers. Errors past the
       cap are counted as suppressed instead. *)
+
+  val record : t -> diag -> unit
+  (** Like {!emit} but without notifying the handlers: counts and records
+      only. Used to replay pre-rendered diagnostics collected by parallel
+      workers into the main engine. *)
 
   val limit_reached : t -> bool
   (** Whether the error cap has been hit (recovering parsers stop). *)

@@ -32,6 +32,7 @@ let () =
       ("xref", Test_xref.suite);
       ("feature-matrix", Test_feature_matrix.suite);
       ("diag-engine", Test_diag_engine.suite);
+      ("parallel", Test_parallel.suite);
       ("recovery", Test_recovery.suite);
       ("robustness", Test_robustness.suite);
     ]

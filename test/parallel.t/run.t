@@ -1,0 +1,138 @@
+Parallel verification must be byte-identical to sequential: same stdout,
+same stderr (diagnostic order included), same exit code, same --diag-json.
+
+A 5-chunk input mixing valid chunks, a verify error, and a parse error:
+
+  $ cat > input.mlir <<'EOF'
+  > %c = "cmath.constant"() {value = 2.0 : f32} : () -> !cmath.complex<f32>
+  > %m = "cmath.mul"(%c, %c) : (!cmath.complex<f32>, !cmath.complex<f32>) -> !cmath.complex<f32>
+  > 
+  > // -----
+  > 
+  > %bad = "cmath.norm"() : () -> f32
+  > 
+  > // -----
+  > 
+  > %p = "cmath.mul"(%x, : (i32) -> i32
+  > 
+  > // -----
+  > 
+  > %n = "cmath.norm"(%c2) : (!cmath.complex<f64>) -> f64
+  > %c2 = "cmath.constant"() {value = 1.0 : f64} : () -> !cmath.complex<f64>
+  > 
+  > // -----
+  > 
+  > %ok = "cmath.constant"() {value = 0.5 : f32} : () -> !cmath.complex<f32>
+  > EOF
+
+  $ irdl-opt --cmath --split-input-file --diag-json d1.json input.mlir \
+  >   >out1.txt 2>err1.txt; echo "exit: $?"
+  exit: 1
+  $ irdl-opt --cmath --split-input-file --jobs 4 --diag-json d4.json input.mlir \
+  >   >out4.txt 2>err4.txt; echo "exit: $?"
+  exit: 1
+
+  $ cmp out1.txt out4.txt && echo "stdout identical"
+  stdout identical
+  $ cmp err1.txt err4.txt && echo "stderr identical"
+  stderr identical
+  $ cmp d1.json d4.json && echo "diag-json identical"
+  diag-json identical
+
+The shared reference output (diagnostics in chunk order, then the
+surviving chunks re-printed):
+
+  $ cat err1.txt
+  input.mlir:6:1-5: error: 'cmath.norm' expects 1 operands, got 0
+    6 | %bad = "cmath.norm"() : () -> f32
+      | ^~~~
+  input.mlir:10:22-23: error: at ':': expected SSA value name
+    10 | %p = "cmath.mul"(%x, : (i32) -> i32
+       |                      ^
+  input.mlir:10:18-20: error: use of undefined value %x
+    10 | %p = "cmath.mul"(%x, : (i32) -> i32
+       |                  ^~
+  $ cat out1.txt
+  %0 = "cmath.constant"() {value = 2.0 : f32} : () -> (!cmath.complex<f32>)
+  %1 = cmath.mul %0, %0 : f32
+  // -----
+  %0 = cmath.norm %1 : f64
+  %1 = "cmath.constant"() {value = 1.0 : f64} : () -> (!cmath.complex<f64>)
+  // -----
+  %0 = "cmath.constant"() {value = 0.5 : f32} : () -> (!cmath.complex<f32>)
+
+--jobs 0 picks the machine's domain count; still identical:
+
+  $ irdl-opt --cmath --split-input-file --jobs 0 input.mlir \
+  >   >out0.txt 2>err0.txt; echo "exit: $?"
+  exit: 1
+  $ cmp out1.txt out0.txt && cmp err1.txt err0.txt && echo "identical"
+  identical
+
+--batch processes many files over one resident registry, with a header per
+file; parallel and sequential agree byte-for-byte there too:
+
+  $ mkdir corpus
+  $ cat > corpus/a.mlir <<'EOF'
+  > %c = "cmath.constant"() {value = 3.0 : f32} : () -> !cmath.complex<f32>
+  > EOF
+  $ cat > corpus/b.mlir <<'EOF'
+  > %x = "cmath.norm"() : () -> f32
+  > EOF
+  $ cat > corpus/c.mlir <<'EOF'
+  > %c = "cmath.constant"() {value = 1.0 : f64} : () -> !cmath.complex<f64>
+  > %n = "cmath.norm"(%c) : (!cmath.complex<f64>) -> f64
+  > EOF
+  $ irdl-opt --cmath --batch corpus >bout1.txt 2>berr1.txt; echo "exit: $?"
+  exit: 2
+  $ irdl-opt --cmath --batch corpus --jobs 4 >bout4.txt 2>berr4.txt; echo "exit: $?"
+  exit: 2
+  $ cmp bout1.txt bout4.txt && cmp berr1.txt berr4.txt && echo "batch identical"
+  batch identical
+  $ cat bout1.txt
+  // ===== corpus/a.mlir =====
+  %0 = "cmath.constant"() {value = 3.0 : f32} : () -> (!cmath.complex<f32>)
+  // ===== corpus/c.mlir =====
+  %0 = "cmath.constant"() {value = 1.0 : f64} : () -> (!cmath.complex<f64>)
+  %1 = cmath.norm %0 : f64
+  $ cat berr1.txt
+  corpus/b.mlir:1:1-3: error: 'cmath.norm' expects 1 operands, got 0
+    1 | %x = "cmath.norm"() : () -> f32
+      | ^~
+
+A batch list file may name its inputs explicitly ('#' comments allowed):
+
+  $ cat > list.txt <<'EOF'
+  > # the good ones only
+  > corpus/a.mlir
+  > corpus/c.mlir
+  > EOF
+  $ irdl-opt --cmath --batch list.txt --jobs 2; echo "exit: $?"
+  // ===== corpus/a.mlir =====
+  %0 = "cmath.constant"() {value = 3.0 : f32} : () -> (!cmath.complex<f32>)
+  // ===== corpus/c.mlir =====
+  %0 = "cmath.constant"() {value = 1.0 : f64} : () -> (!cmath.complex<f64>)
+  %1 = cmath.norm %0 : f64
+  exit: 0
+
+--batch and a positional input are mutually exclusive:
+
+  $ irdl-opt --cmath --batch corpus input.mlir
+  irdl-opt: --batch cannot be combined with a positional INPUT
+  [1]
+
+--verify-diagnostics composes with --jobs (the matcher sees the replayed
+diagnostics in the same order):
+
+  $ cat > annotated.mlir <<'EOF'
+  > // expected-error@below {{expects 1 operands}}
+  > %bad = "cmath.norm"() : () -> f32
+  > 
+  > // -----
+  > 
+  > %ok = "cmath.constant"() {value = 2.0 : f32} : () -> !cmath.complex<f32>
+  > EOF
+  $ irdl-opt --cmath --split-input-file --verify-diagnostics annotated.mlir; echo "exit: $?"
+  exit: 0
+  $ irdl-opt --cmath --split-input-file --verify-diagnostics --jobs 4 annotated.mlir; echo "exit: $?"
+  exit: 0

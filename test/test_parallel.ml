@@ -1,0 +1,347 @@
+(* The concurrency harness: Domain_pool scheduling semantics, and N domains
+   hammering one frozen context — interned attribute/type construction,
+   cached verification — against single-domain results. *)
+
+open Util
+module Domain_pool = Irdl_support.Domain_pool
+module Diag = Irdl_support.Diag
+module Context = Irdl_ir.Context
+module Attr = Irdl_ir.Attr
+module Parser = Irdl_ir.Parser
+module Verifier = Irdl_ir.Verifier
+
+(* ---------------------------------------------------------------- *)
+(* Domain_pool unit suite                                            *)
+(* ---------------------------------------------------------------- *)
+
+let test_pool_empty () =
+  Domain_pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "no results" 0 (Array.length (Domain_pool.run pool [||]));
+      Alcotest.(check int) "nothing executed" 0 (Domain_pool.executed pool))
+
+let test_pool_positional () =
+  Domain_pool.with_pool ~domains:4 (fun pool ->
+      let tasks = Array.init 100 (fun i () -> i * i) in
+      let results = Domain_pool.run pool tasks in
+      Alcotest.(check (array int))
+        "slot i holds task i's result"
+        (Array.init 100 (fun i -> i * i))
+        results;
+      Alcotest.(check int) "all executed" 100 (Domain_pool.executed pool))
+
+(* Skewed durations: the heavy tasks all land on one queue, so finishing
+   the batch at all exercises the stealing path; correctness of the
+   results is the assertion (steal counters are timing-dependent). *)
+let test_pool_unbalanced () =
+  Domain_pool.with_pool ~domains:4 (fun pool ->
+      let spin n =
+        let acc = ref 0 in
+        for i = 1 to n do
+          acc := (!acc * 7) + i
+        done;
+        !acc
+      in
+      let tasks =
+        Array.init 64 (fun i () ->
+            if i mod 4 = 0 then spin 2_000_000 else spin 10)
+      in
+      let expected =
+        Array.init 64 (fun i -> if i mod 4 = 0 then 2_000_000 else 10)
+        |> Array.map (fun n ->
+               let acc = ref 0 in
+               for i = 1 to n do
+                 acc := (!acc * 7) + i
+               done;
+               !acc)
+      in
+      let results = Domain_pool.run pool tasks in
+      Alcotest.(check (array int)) "skewed batch correct" expected results;
+      Alcotest.(check bool)
+        "steal counter non-negative" true
+        (Domain_pool.steals pool >= 0))
+
+let test_pool_reuse () =
+  Domain_pool.with_pool ~domains:3 (fun pool ->
+      for round = 1 to 5 do
+        let tasks = Array.init 20 (fun i () -> (round * 100) + i) in
+        let results = Domain_pool.run pool tasks in
+        Alcotest.(check (array int))
+          (Printf.sprintf "round %d" round)
+          (Array.init 20 (fun i -> (round * 100) + i))
+          results
+      done;
+      Alcotest.(check int) "5 rounds of 20" 100 (Domain_pool.executed pool))
+
+exception Boom of int
+
+let test_pool_exception () =
+  Domain_pool.with_pool ~domains:4 (fun pool ->
+      let tasks =
+        Array.init 30 (fun i () -> if i mod 10 = 3 then raise (Boom i) else i)
+      in
+      (match Domain_pool.run pool tasks with
+      | _ -> Alcotest.fail "expected the batch to raise"
+      | exception Boom i ->
+          Alcotest.(check int) "lowest-indexed failure wins" 3 i);
+      (* The failure did not kill the pool. *)
+      let results = Domain_pool.run pool (Array.init 8 (fun i () -> -i)) in
+      Alcotest.(check (array int))
+        "pool survives a failed batch"
+        (Array.init 8 (fun i -> -i))
+        results)
+
+let test_pool_sequential_degenerate () =
+  Domain_pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "one participant" 1 (Domain_pool.size pool);
+      let order = ref [] in
+      let tasks =
+        Array.init 10 (fun i () ->
+            order := i :: !order;
+            i)
+      in
+      let results = Domain_pool.run pool tasks in
+      Alcotest.(check (array int))
+        "results" (Array.init 10 Fun.id) results;
+      Alcotest.(check (list int))
+        "a 1-domain pool runs tasks in order on the caller"
+        [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+        (List.rev !order);
+      Alcotest.(check int) "no steals possible" 0 (Domain_pool.steals pool))
+
+let test_pool_shutdown () =
+  let pool = Domain_pool.create ~domains:3 () in
+  ignore (Domain_pool.run pool (Array.init 4 (fun i () -> i)));
+  Domain_pool.shutdown pool;
+  Domain_pool.shutdown pool;
+  (* idempotent *)
+  match Domain_pool.run pool [| (fun () -> 0) |] with
+  | _ -> Alcotest.fail "run after shutdown must raise"
+  | exception Domain_pool.Stopped -> ()
+
+let test_pool_reentrant () =
+  Domain_pool.with_pool ~domains:2 (fun pool ->
+      match
+        Domain_pool.run pool
+          [| (fun () -> Domain_pool.run pool [| (fun () -> 0) |]) |]
+      with
+      | _ -> Alcotest.fail "re-entrant run must raise"
+      | exception Invalid_argument _ -> ())
+
+let test_pool_bad_size () =
+  match Domain_pool.create ~domains:0 () with
+  | _ -> Alcotest.fail "0-domain pool must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Freeze lifecycle                                                  *)
+(* ---------------------------------------------------------------- *)
+
+let dummy_type_def name =
+  {
+    Context.td_dialect = "x";
+    td_name = name;
+    td_summary = "";
+    td_num_params = 0;
+    td_verify = (fun _ -> Ok ());
+  }
+
+let test_freeze_rejects () =
+  let ctx = cmath_ctx () in
+  Alcotest.(check bool) "starts open" false (Context.is_frozen ctx);
+  Context.freeze ctx;
+  Context.freeze ctx;
+  (* idempotent *)
+  Alcotest.(check bool) "frozen" true (Context.is_frozen ctx);
+  (match Context.register_type ctx (dummy_type_def "t") with
+  | () -> Alcotest.fail "post-freeze register_type must raise"
+  | exception Diag.Error_exn d ->
+      check_err_containing "frozen register" "frozen"
+        (Error d : (unit, _) result));
+  (* Lookups still work after the rejection. *)
+  Alcotest.(check bool)
+    "cmath.complex still registered" true
+    (Option.is_some (Context.lookup_type ctx ~dialect:"cmath" ~name:"complex"))
+
+let test_freeze_rejects_dialect_load () =
+  let ctx = cmath_ctx () in
+  Context.freeze ctx;
+  let r = Irdl_core.Irdl.load_one ctx "Dialect fresh {}" in
+  check_err_containing "load into frozen context" "frozen"
+    (match r with Ok _ -> Ok () | Error d -> Error d)
+
+(* A registration racing the freeze must either complete before it or be
+   cleanly rejected after it — never corrupt the context. *)
+let test_freeze_register_race () =
+  for _round = 1 to 50 do
+    let ctx = Context.create () in
+    let registrar =
+      Domain.spawn (fun () ->
+          match Context.register_type ctx (dummy_type_def "t") with
+          | () -> `Registered
+          | exception Diag.Error_exn d -> `Rejected (Diag.to_string d))
+    in
+    Context.freeze ctx;
+    (match Domain.join registrar with
+    | `Registered ->
+        Alcotest.(check bool)
+          "completed registration is visible" true
+          (Option.is_some (Context.lookup_type ctx ~dialect:"x" ~name:"t"))
+    | `Rejected msg ->
+        Alcotest.(check bool)
+          "rejection names the frozen context" true
+          (let lower = String.lowercase_ascii msg in
+           let needle = "frozen" in
+           let rec go i =
+             i + String.length needle <= String.length lower
+             && (String.sub lower i (String.length needle) = needle
+                || go (i + 1))
+           in
+           go 0);
+        Alcotest.(check bool)
+          "rejected registration left nothing behind" true
+          (Option.is_none (Context.lookup_type ctx ~dialect:"x" ~name:"t")));
+    (* Either way the context stays usable. *)
+    Alcotest.(check bool) "frozen afterwards" true (Context.is_frozen ctx)
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Hammering a frozen context from N domains                         *)
+(* ---------------------------------------------------------------- *)
+
+let valid_module =
+  String.concat "\n"
+    [
+      {|%a = "cmath.constant"() {value = 1.0 : f32} : () -> !cmath.complex<f32>|};
+      {|%b = "cmath.mul"(%a, %a) : (!cmath.complex<f32>, !cmath.complex<f32>) -> !cmath.complex<f32>|};
+      {|%n = "cmath.norm"(%b) : (!cmath.complex<f32>) -> f32|};
+    ]
+
+let invalid_module = {|%x = "cmath.norm"() : () -> f32|}
+
+(* Parse + verify both modules [iters] times against [ctx]; the result
+   fingerprint must be identical on every domain. *)
+let hammer ctx iters () =
+  let ok = ref 0 and errs = ref 0 in
+  for _ = 1 to iters do
+    (match Parser.parse_ops ctx valid_module with
+    | Error d -> Alcotest.failf "valid module: %s" (Diag.to_string d)
+    | Ok ops -> (
+        match Verifier.verify_ops_all ctx ops with
+        | [] -> incr ok
+        | ds -> Alcotest.failf "valid module: %d diags" (List.length ds)));
+    match Parser.parse_ops ctx invalid_module with
+    | Error d -> Alcotest.failf "invalid module: %s" (Diag.to_string d)
+    | Ok ops -> errs := !errs + List.length (Verifier.verify_ops_all ctx ops)
+  done;
+  (!ok, !errs)
+
+let test_hammer_frozen_context () =
+  let ctx = cmath_ctx () in
+  Context.freeze ctx;
+  let baseline = hammer ctx 50 () in
+  let results =
+    Domain_pool.with_pool ~domains:4 (fun pool ->
+        Domain_pool.run pool (Array.init 8 (fun _ -> hammer ctx 50)))
+  in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "domain task %d agrees with single-domain run" i)
+        baseline r)
+    results
+
+(* Interned construction across domains: every domain builds the same
+   attribute; physical identity is per-domain, structural equality and
+   re-interned ids agree everywhere. *)
+let test_cross_domain_interning () =
+  let local = complex_f32 in
+  let remote =
+    Domain_pool.with_pool ~domains:4 (fun pool ->
+        Domain_pool.run pool
+          (Array.init 6 (fun _ () ->
+               Attr.dynamic ~dialect:"cmath" ~name:"complex"
+                 [ Attr.typ Attr.f32 ])))
+  in
+  Array.iter
+    (fun ty ->
+      Alcotest.(check bool)
+        "structurally equal across domains" true
+        (Attr.equal_ty local ty);
+      Alcotest.(check int)
+        "re-interning a foreign value converges on the local id"
+        (Attr.id_ty local) (Attr.id_ty ty))
+    remote
+
+(* ---------------------------------------------------------------- *)
+(* Verify-cache shards                                               *)
+(* ---------------------------------------------------------------- *)
+
+let test_shard_stats_merge () =
+  let ctx = cmath_ctx () in
+  Context.freeze ctx;
+  ignore (hammer ctx 10 ());
+  (* Spawn domains directly (rather than through a pool): work stealing
+     could let a fast caller drain the whole batch, and this test needs a
+     guarantee that several domains actually verified. *)
+  Array.init 2 (fun _ -> Domain.spawn (hammer ctx 10))
+  |> Array.iter (fun d -> ignore (Domain.join d));
+  let shards = Context.verify_shard_stats ctx in
+  Alcotest.(check bool)
+    "several shards after a parallel run" true
+    (List.length shards >= 2);
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+  let merged = Context.verify_stats ctx in
+  Alcotest.(check int)
+    "merged hits = sum of shard hits"
+    (sum (fun (s : Context.verify_stats) -> s.vs_hits))
+    merged.vs_hits;
+  Alcotest.(check int)
+    "merged misses = sum of shard misses"
+    (sum (fun (s : Context.verify_stats) -> s.vs_misses))
+    merged.vs_misses;
+  Alcotest.(check int)
+    "merged entries = sum of shard entries"
+    (sum (fun (s : Context.verify_stats) ->
+         s.vs_ty_entries + s.vs_attr_entries))
+    (merged.vs_ty_entries + merged.vs_attr_entries);
+  List.iter
+    (fun (s : Context.verify_stats) ->
+      Alcotest.(check int) "per-shard invalidations are 0" 0 s.vs_invalidations)
+    shards;
+  (* Each hammering domain resolved the same types, so every shard that
+     did work has misses and (with 10 iterations each) hits. *)
+  Alcotest.(check bool) "merged cache hit" true (merged.vs_hits > 0)
+
+let test_cache_disabled_bypasses_shards () =
+  let ctx = cmath_ctx () in
+  Context.set_verify_cache ctx false;
+  Context.freeze ctx;
+  ignore (hammer ctx 5 ());
+  Array.init 2 (fun _ -> Domain.spawn (hammer ctx 5))
+  |> Array.iter (fun d -> ignore (Domain.join d));
+  let merged = Context.verify_stats ctx in
+  Alcotest.(check int) "no entries in any shard" 0
+    (merged.vs_ty_entries + merged.vs_attr_entries);
+  Alcotest.(check int) "no hits counted" 0 merged.vs_hits;
+  Alcotest.(check int) "no misses counted" 0 merged.vs_misses
+
+let suite =
+  [
+    tc "pool: empty batch" test_pool_empty;
+    tc "pool: positional results" test_pool_positional;
+    tc "pool: unbalanced batch (stealing)" test_pool_unbalanced;
+    tc "pool: reusable across batches" test_pool_reuse;
+    tc "pool: lowest-index exception, pool survives" test_pool_exception;
+    tc "pool: 1 domain degrades to sequential" test_pool_sequential_degenerate;
+    tc "pool: shutdown is final and idempotent" test_pool_shutdown;
+    tc "pool: re-entrant run rejected" test_pool_reentrant;
+    tc "pool: size < 1 rejected" test_pool_bad_size;
+    tc "freeze: post-freeze registration rejected" test_freeze_rejects;
+    tc "freeze: dialect load rejected" test_freeze_rejects_dialect_load;
+    tc "freeze: register-vs-freeze race is clean" test_freeze_register_race;
+    tc "frozen context: N domains agree with 1" test_hammer_frozen_context;
+    tc "interning: cross-domain construction" test_cross_domain_interning;
+    tc "verify cache: merged stats = sum of shards" test_shard_stats_merge;
+    tc "verify cache: disabled bypasses all shards"
+      test_cache_disabled_bypasses_shards;
+  ]

@@ -116,9 +116,93 @@ let cache_toggle () =
   Alcotest.(check bool) "re-enabled cache repopulates" true
     ((stats ctx).vs_ty_entries > 0)
 
+(* In a single-domain program the shard list has exactly one entry, and the
+   merged view is that shard plus the context-global invalidation count —
+   i.e. sharding is invisible until a second domain shows up. *)
+let single_domain_shard_is_the_merged_view () =
+  let ctx = cmath_ctx () in
+  ignore (Verifier.verify_all ctx (bad_complex_op ()));
+  match Context.verify_shard_stats ctx with
+  | [ s ] ->
+      let merged = stats ctx in
+      Alcotest.(check int) "ty entries" merged.vs_ty_entries s.vs_ty_entries;
+      Alcotest.(check int) "attr entries" merged.vs_attr_entries
+        s.vs_attr_entries;
+      Alcotest.(check int) "hits" merged.vs_hits s.vs_hits;
+      Alcotest.(check int) "misses" merged.vs_misses s.vs_misses;
+      Alcotest.(check int) "shard invalidations are unset" 0 s.vs_invalidations
+  | shards ->
+      Alcotest.failf "expected exactly one shard, got %d" (List.length shards)
+
+(* After freeze, no registration can flush: shards only ever gain entries. *)
+let post_freeze_append_only () =
+  let ctx = cmath_ctx () in
+  Context.freeze ctx;
+  ignore (Verifier.verify_all ctx (bad_complex_op ()));
+  let s1 = stats ctx in
+  Alcotest.(check bool) "warmed up" true (s1.vs_ty_entries > 0);
+  (* A different type only adds entries; a repeat only adds hits. *)
+  ignore
+    (Verifier.verify_all ctx
+       (Graph.Op.create ~result_tys:[ complex_f64 ] "t.v"));
+  ignore (Verifier.verify_all ctx (bad_complex_op ()));
+  let s2 = stats ctx in
+  Alcotest.(check bool) "entries grew" true
+    (s2.vs_ty_entries >= s1.vs_ty_entries);
+  Alcotest.(check bool) "hits grew" true (s2.vs_hits > s1.vs_hits);
+  Alcotest.(check int) "no invalidation happened" s1.vs_invalidations
+    s2.vs_invalidations;
+  (match Context.register_type ctx
+           {
+             Context.td_dialect = "late";
+             td_name = "t";
+             td_summary = "";
+             td_num_params = 0;
+             td_verify = (fun _ -> Ok ());
+           }
+  with
+  | () -> Alcotest.fail "post-freeze registration must be rejected"
+  | exception Irdl_support.Diag.Error_exn _ -> ());
+  let s3 = stats ctx in
+  Alcotest.(check int) "rejected registration flushed nothing"
+    s2.vs_ty_entries s3.vs_ty_entries;
+  Alcotest.(check int) "rejected registration did not invalidate"
+    s2.vs_invalidations s3.vs_invalidations
+
+(* Registration (pre-freeze) must flush every domain's shard, not just the
+   registering domain's. *)
+let invalidation_reaches_all_shards () =
+  let ctx = cmath_ctx () in
+  let populate () = ignore (Verifier.verify_all ctx (bad_complex_op ())) in
+  populate ();
+  Domain.join (Domain.spawn populate);
+  let shards_before = Context.verify_shard_stats ctx in
+  Alcotest.(check int) "two shards populated" 2 (List.length shards_before);
+  List.iter
+    (fun (s : Context.verify_stats) ->
+      Alcotest.(check bool) "each shard has entries" true
+        (s.vs_ty_entries > 0))
+    shards_before;
+  let before = stats ctx in
+  let _ =
+    check_ok "load d2"
+      (Irdl_core.Irdl.load_one ctx {|Dialect d2 { Type box {} }|})
+  in
+  List.iter
+    (fun (s : Context.verify_stats) ->
+      Alcotest.(check int) "shard flushed: ty" 0 s.vs_ty_entries;
+      Alcotest.(check int) "shard flushed: attr" 0 s.vs_attr_entries)
+    (Context.verify_shard_stats ctx);
+  Alcotest.(check bool) "invalidation counted once" true
+    ((stats ctx).vs_invalidations > before.vs_invalidations)
+
 let suite =
   [
     tc "repeat verification: identical diagnostics" repeat_verify_same_diagnostics;
+    tc "single-domain shard equals merged view"
+      single_domain_shard_is_the_merged_view;
+    tc "post-freeze shards are append-only" post_freeze_append_only;
+    tc "registration invalidates every shard" invalidation_reaches_all_shards;
     tc "registration invalidates a cached failure"
       registration_invalidates_cached_failure;
     tc "hit counters grow across corpus verify_all"

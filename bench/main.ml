@@ -602,7 +602,7 @@ let emit_verify_json rows =
     else baseline /. memoized
   in
   let s =
-    Irdl_ir.Context.verify_stats (Lazy.force verify_compiled_ctx)
+    (Irdl_ir.Context.stats (Lazy.force verify_compiled_ctx)).st_verify
   in
   let num f = if Float.is_nan f then "null" else Fmt.str "%.2f" f in
   let json =

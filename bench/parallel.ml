@@ -109,7 +109,7 @@ let () =
     List.find_map (fun (d, _, s) -> if d = 4 then Some s else None) curve
     |> Option.get
   in
-  let stats = Irdl_ir.Context.verify_stats ctx in
+  let stats = (Irdl_ir.Context.stats ctx).st_verify in
   let oc = open_out "BENCH_parallel.json" in
   Printf.fprintf oc
     {|{
@@ -135,7 +135,7 @@ let () =
               d t s)
           curve))
     speedup_at_4 stats.vs_hits stats.vs_misses
-    (List.length (Irdl_ir.Context.verify_shard_stats ctx));
+    (List.length ((Irdl_ir.Context.stats ~scope:`Per_domain ctx).st_verify_shards));
   close_out oc;
   Fmt.pr "wrote BENCH_parallel.json (speedup at 4 domains: %.2fx on %d \
           core(s))@."

@@ -90,6 +90,126 @@ let run_rauw func =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Flat modules: the streaming frontend's target shape                 *)
+(* ------------------------------------------------------------------ *)
+
+(* n top-level ops in a straight-line dependency chain. The streaming
+   session yields (and the driver releases) one top-level op at a time, so
+   this is the shape where parse-vs-stream peak memory diverges; the
+   nested [build_chain] shape is one giant op and streams as a unit. *)
+let flat_text n =
+  let buf = Buffer.create (n * 48) in
+  Buffer.add_string buf "%v0 = \"t.const\"() : () -> i32\n";
+  for i = 1 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "%%v%d = \"t.%s\"(%%v%d) : (i32) -> i32\n" i
+         (if i land 1 = 0 then "add" else "mul")
+         (i - 1))
+  done;
+  Buffer.contents buf
+
+(* Materializing frontend: whole module parsed, then verified. The ops are
+   kept alive across verification, as irdl-opt's materializing path does. *)
+let run_flat_parse ctx text =
+  match Parser.parse_ops ctx text with
+  | Ok ops ->
+      (match Verifier.verify_ops_all ctx ops with
+      | [] -> ()
+      | d :: _ -> failwith (Irdl_support.Diag.to_string d));
+      ignore (Sys.opaque_identity ops)
+  | Error d -> failwith (Irdl_support.Diag.to_string d)
+
+(* Streaming frontend: parse, verify and release one op at a time. *)
+let run_flat_stream ctx text =
+  let session = Parser.Stream.create ctx text in
+  let rec go () =
+    match Parser.Stream.next session with
+    | Ok None -> ()
+    | Ok (Some op) ->
+        (match Verifier.verify_all ctx op with
+        | [] -> ()
+        | d :: _ -> failwith (Irdl_support.Diag.to_string d));
+        Parser.Stream.release op;
+        go ()
+    | Error d -> failwith (Irdl_support.Diag.to_string d)
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Peak-RSS measurement                                                *)
+(* ------------------------------------------------------------------ *)
+
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let rec go () =
+        match input_line ic with
+        | line when String.length line > 6 && String.sub line 0 6 = "VmHWM:"
+          -> (
+            close_in ic;
+            try
+              Scanf.sscanf
+                (String.sub line 6 (String.length line - 6))
+                " %d" (fun kb -> Some kb)
+            with Scanf.Scan_failure _ | Failure _ -> None)
+        | _ -> go ()
+        | exception End_of_file ->
+            close_in ic;
+            None
+      in
+      go ()
+
+(* Writing "5" to clear_refs resets the process's VmHWM to its current
+   RSS, so the subsequent high-water mark is the workload's own. *)
+let reset_vmhwm () =
+  try
+    let oc = open_out "/proc/self/clear_refs" in
+    output_string oc "5";
+    close_out oc
+  with Sys_error _ -> ()
+
+(* The peak RSS growth (kB) attributable to [f], measured in a forked
+   child, or None when /proc is unavailable. Forking isolates each
+   measurement: OCaml 5's compactor is not reliable enough to return heap
+   pages between in-process measurements, so running both workloads in one
+   process would let the first poison the second's high-water mark. The
+   input text is allocated before the fork, so it is already resident
+   (shared, copy-on-write) in the post-reset floor, which is subtracted:
+   only the workload's own allocations count. *)
+let peak_rss_kb f =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let result =
+        try
+          reset_vmhwm ();
+          let floor_kb = vmhwm_kb () in
+          f ();
+          match (floor_kb, vmhwm_kb ()) with
+          | Some floor_kb, Some peak -> Some (max 0 (peak - floor_kb))
+          | _ -> None
+        with _ -> None
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      (match result with
+      | Some kb -> Printf.fprintf oc "%d\n%!" kb
+      | None -> Printf.fprintf oc "none\n%!");
+      Unix._exit 0
+  | pid ->
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let res =
+        match input_line ic with
+        | s -> int_of_string_opt (String.trim s)
+        | exception End_of_file -> None
+      in
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      res
+
+(* ------------------------------------------------------------------ *)
 (* The list-based baseline (the pre-refactor object graph)             *)
 (* ------------------------------------------------------------------ *)
 
@@ -162,6 +282,10 @@ type row = {
   verify_s : float;
   canonicalize_s : float;
   rauw_s : float;
+  flat_parse_s : float;  (** materializing parse+verify, flat module *)
+  flat_stream_s : float;  (** streaming parse+verify+release, same module *)
+  flat_parse_rss_kb : int option;
+  flat_stream_rss_kb : int option;
   baseline_build_s : float option;
   baseline_rauw_s : float option;
 }
@@ -197,6 +321,19 @@ let measure n : row =
         ())
   in
   let rauw_s, () = time (fun () -> run_rauw func) in
+  (* Parse-vs-stream over a flat module of the same op count: wall-clock in
+     this process, peak RSS in forked children (one per path). *)
+  let ftext = flat_text n in
+  let flat_parse_s, () =
+    timed ~repeats (fun () -> run_flat_parse ctx ftext)
+  in
+  let flat_stream_s, () =
+    timed ~repeats (fun () -> run_flat_stream ctx ftext)
+  in
+  let flat_parse_rss_kb = peak_rss_kb (fun () -> run_flat_parse ctx ftext) in
+  let flat_stream_rss_kb =
+    peak_rss_kb (fun () -> run_flat_stream ctx ftext)
+  in
   let baseline_build_s, baseline_rauw_s =
     if n <= baseline_cap then begin
       let bb, base = time (fun () -> Baseline.build n) in
@@ -212,6 +349,10 @@ let measure n : row =
     verify_s;
     canonicalize_s;
     rauw_s;
+    flat_parse_s;
+    flat_stream_s;
+    flat_parse_rss_kb;
+    flat_stream_rss_kb;
     baseline_build_s;
     baseline_rauw_s;
   }
@@ -224,15 +365,43 @@ let fnum v = Printf.sprintf "%.6f" v
 
 let opt_num = function None -> "null" | Some v -> fnum v
 
+let opt_int = function None -> "null" | Some v -> string_of_int v
+
 let row_json r =
   Printf.sprintf
-    {|    { "n": %d, "build_s": %s, "parse_s": %s, "verify_s": %s, "canonicalize_s": %s, "rauw_s": %s, "baseline_build_s": %s, "baseline_rauw_s": %s }|}
+    {|    { "n": %d, "build_s": %s, "parse_s": %s, "verify_s": %s, "canonicalize_s": %s, "rauw_s": %s, "flat_parse_s": %s, "flat_stream_s": %s, "flat_parse_rss_kb": %s, "flat_stream_rss_kb": %s, "baseline_build_s": %s, "baseline_rauw_s": %s }|}
     r.n (fnum r.build_s) (fnum r.parse_s) (fnum r.verify_s)
-    (fnum r.canonicalize_s) (fnum r.rauw_s)
+    (fnum r.canonicalize_s) (fnum r.rauw_s) (fnum r.flat_parse_s)
+    (fnum r.flat_stream_s)
+    (opt_int r.flat_parse_rss_kb)
+    (opt_int r.flat_stream_rss_kb)
     (opt_num r.baseline_build_s)
     (opt_num r.baseline_rauw_s)
 
 let emit_json rows =
+  (* Streaming-vs-materializing peak RSS at the largest size both were
+     measured at: the headline number of the streaming frontend. *)
+  let stream_rss_ratio =
+    let rec last acc = function
+      | [] -> acc
+      | r :: rest ->
+          last
+            (match (r.flat_parse_rss_kb, r.flat_stream_rss_kb) with
+            | Some _, Some _ -> Some r
+            | _ -> acc)
+            rest
+    in
+    match last None rows with
+    | Some r ->
+        Printf.sprintf
+          {|{ "n": %d, "parse_rss_kb": %d, "stream_rss_kb": %d, "ratio": %.3f }|}
+          r.n
+          (Option.get r.flat_parse_rss_kb)
+          (Option.get r.flat_stream_rss_kb)
+          (float_of_int (Option.get r.flat_stream_rss_kb)
+          /. float_of_int (Option.get r.flat_parse_rss_kb))
+    | None -> "null"
+  in
   (* Speedups vs the baseline at the largest size it was run at. *)
   let speedup =
     let rec last acc = function
@@ -253,17 +422,18 @@ let emit_json rows =
     Printf.sprintf
       {|{
   "bench": "scale",
-  "description": "intrusive-list IR core vs list-based baseline; times in seconds",
+  "description": "intrusive-list IR core vs list-based baseline; times in seconds; flat_* columns compare the materializing and streaming frontends on an n-op flat module (peak RSS growth in kB, measured in forked children)",
   "rauw_replacements": %d,
   "rows": [
 %s
   ],
-  "speedup_vs_baseline": %s
+  "speedup_vs_baseline": %s,
+  "stream_rss_vs_parse": %s
 }
 |}
       rauw_replacements
       (String.concat ",\n" (List.map row_json rows))
-      speedup
+      speedup stream_rss_ratio
   in
   let oc = open_out "BENCH_scale.json" in
   output_string oc json;
@@ -287,6 +457,13 @@ let () =
           (match (r.baseline_build_s, r.baseline_rauw_s) with
           | Some bb, Some br ->
               Printf.sprintf "  [baseline: build %.4fs rauw %.4fs]" bb br
+          | _ -> "");
+        Fmt.pr "  flat: parse %.4fs  stream %.4fs%s@." r.flat_parse_s
+          r.flat_stream_s
+          (match (r.flat_parse_rss_kb, r.flat_stream_rss_kb) with
+          | Some p, Some s ->
+              Printf.sprintf "  [rss: parse %d kB, stream %d kB, %.1f%%]" p s
+                (100. *. float_of_int s /. float_of_int p)
           | _ -> "");
         r)
       sizes

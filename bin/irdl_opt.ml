@@ -101,7 +101,7 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     verify_only split_input_file verify_diagnostics max_errors diag_json
     pipeline dce cse dominance verify_each print_ir_before print_ir_after
     print_ir_before_all print_ir_after_all pass_timing pass_timing_json strict
-    verify_stats jobs batch verbose =
+    verify_stats jobs batch streaming no_streaming verbose =
   setup_logs verbose;
   let engine = Diag.Engine.create ~max_errors () in
   (* Under --verify-diagnostics the produced diagnostics are consumed by
@@ -124,7 +124,7 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
       diag_json;
     if verify_stats then
       Fmt.epr "verification cache: %a@." Irdl_ir.Context.pp_verify_stats
-        (Irdl_ir.Context.verify_stats ctx);
+        ((Irdl_ir.Context.stats ctx).st_verify);
     exit code
   in
   (* Dialect definitions: bundled corpus, cmath, then user files. The
@@ -202,6 +202,30 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
      operation' errors, so stop here — except under --verify-diagnostics,
      where those errors may be exactly what the run expects. *)
   if !parse_failed && not verify_diagnostics then finish 1;
+  if streaming && no_streaming then begin
+    Fmt.epr "irdl-opt: --streaming and --no-streaming are mutually exclusive@.";
+    finish 1
+  end;
+  (* Materialize-vs-stream decision: a pass pipeline transforms the module
+     as a whole, so it needs every op resident; --verify-stats reports
+     cache counters of exactly the work the materializing semantics define
+     (streaming eagerly verifies ops of chunks that later parse-fail, so
+     its counters would differ); everything else (verify, re-print,
+     --verify-diagnostics) is per-op and streams by default. *)
+  let use_streaming =
+    if no_streaming then false
+    else if passes = [] && not verify_stats then true
+    else begin
+      if streaming then
+        Logs.warn (fun m ->
+            m
+              "--streaming ignored: %s; using the materializing parser"
+              (if passes <> [] then
+                 "a pass pipeline needs the whole module resident"
+               else "--verify-stats counts materializing-semantics work"));
+      false
+    end
+  in
   (* Run a pipeline over [ops], reporting to [engine]. [timing] carries the
      --pass-timing[-json] sinks on the sequential path; parallel workers
      pass [None] (those flags force sequential execution). *)
@@ -240,48 +264,114 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
                   close_out oc)
               pass_timing_json)
   in
+  (* One input chunk through the streaming frontend: parse, verify, print
+     and release one top-level op at a time, so peak memory is bounded by
+     the largest op rather than the chunk. Byte-identical to the
+     materializing path below: parse diagnostics flow through the shared
+     engine in parse order; per-op verification results are held back and
+     merged into [Verifier.verify_ops_all]'s stable order at end-of-stream
+     (and discarded on a parse failure, which skips verification there
+     too); printing reuses one printer session joined exactly like
+     [Printer.ops_to_string]. *)
+  let process_chunk_stream ~engine ~path chunk =
+    let e0 = Diag.Engine.error_count engine in
+    let parse_failed = ref false and verify_failed = ref false in
+    let output = ref None in
+    let want_output = not (verify_only || verify_diagnostics) in
+    let session = Irdl_ir.Parser.Stream.create ~file:path ~engine ctx chunk in
+    let printer = Irdl_ir.Printer.create ~generic ctx in
+    let buf = Buffer.create (if want_output then String.length chunk else 16) in
+    let first = ref true in
+    let vdiags = ref [] in
+    let rec drain () =
+      match Irdl_ir.Parser.Stream.next session with
+      | Ok None | Error _ -> ()
+      | Ok (Some op) ->
+          vdiags := Irdl_ir.Verifier.verify_all ctx op :: !vdiags;
+          if want_output then begin
+            if !first then first := false else Buffer.add_char buf '\n';
+            Buffer.add_string buf
+              (Fmt.str "%a" (Irdl_ir.Printer.pp_op printer) op)
+          end;
+          Irdl_ir.Parser.Stream.release op;
+          drain ()
+    in
+    drain ();
+    if Diag.Engine.error_count engine > e0 then parse_failed := true
+    else begin
+      let diags =
+        Irdl_ir.Verifier.merge_diags (List.concat (List.rev !vdiags))
+      in
+      List.iter (Diag.Engine.emit engine) diags;
+      if diags <> [] then verify_failed := true
+      else if want_output && Diag.Engine.error_count engine = e0 then
+        output := Some (Buffer.contents buf)
+    end;
+    (!parse_failed, !verify_failed, !output)
+  in
   (* One input chunk, against an arbitrary engine: the sequential driver
      passes the main engine, parallel workers a local one (replayed in
      input order afterwards). Returns (parse_failed, verify_failed,
      printed output). A chunk that fails to parse or verify never blocks
      the chunks after it. *)
-  let process_chunk ~engine ~timing passes ~path chunk =
-    let e0 = Diag.Engine.error_count engine in
-    let parse_failed = ref false and verify_failed = ref false in
-    let output = ref None in
-    let ops = Irdl_ir.Parser.parse_ops_collect ~file:path ~engine ctx chunk in
-    if Diag.Engine.error_count engine > e0 then parse_failed := true
+  let process_chunk ~engine ~streaming ~timing passes ~path chunk =
+    if streaming && passes = [] then process_chunk_stream ~engine ~path chunk
     else begin
-      let vdiags = Irdl_ir.Verifier.verify_ops_all ctx ops in
-      List.iter (Diag.Engine.emit engine) vdiags;
-      if vdiags <> [] then verify_failed := true
+      let e0 = Diag.Engine.error_count engine in
+      let parse_failed = ref false and verify_failed = ref false in
+      let output = ref None in
+      let ops =
+        Irdl_ir.Parser.parse_ops ~file:path ~engine ctx chunk
+        |> Result.value ~default:[]
+      in
+      if Diag.Engine.error_count engine > e0 then parse_failed := true
       else begin
-        if passes <> [] then run_passes ~engine ~verify_failed ~timing passes ops;
-        if
-          (not (verify_only || verify_diagnostics))
-          && Diag.Engine.error_count engine = e0
-        then output := Some (Irdl_ir.Printer.ops_to_string ~generic ctx ops)
-      end
-    end;
-    (!parse_failed, !verify_failed, !output)
+        let vdiags = Irdl_ir.Verifier.verify_ops_all ctx ops in
+        List.iter (Diag.Engine.emit engine) vdiags;
+        if vdiags <> [] then verify_failed := true
+        else begin
+          if passes <> [] then
+            run_passes ~engine ~verify_failed ~timing passes ops;
+          if
+            (not (verify_only || verify_diagnostics))
+            && Diag.Engine.error_count engine = e0
+          then output := Some (Irdl_ir.Printer.ops_to_string ~generic ctx ops)
+        end
+      end;
+      (!parse_failed, !verify_failed, !output)
+    end
   in
   if Option.is_some batch && Option.is_some input then begin
     Fmt.epr "irdl-opt: --batch cannot be combined with a positional INPUT@.";
     finish 1
   end;
+  (* Documents are (path, fetch) pairs: --batch files are fetched lazily so
+     the sequential driver keeps at most one source resident (and can drop
+     it once processed), instead of materializing a whole corpus up
+     front. A positional input is read eagerly as before (stdin cannot be
+     re-read). *)
   let docs =
     try
       match batch with
-      | Some bpath -> List.map (fun p -> (p, read_file p)) (batch_inputs bpath)
+      | Some bpath ->
+          List.map
+            (fun p -> (p, fun () -> read_file p))
+            (batch_inputs bpath)
       | None -> (
           match input with
           | None -> []
           | Some path ->
-              [
-                ( path,
-                  if path = "-" then In_channel.input_all stdin
-                  else read_file path );
-              ])
+              let src =
+                if path = "-" then In_channel.input_all stdin
+                else read_file path
+              in
+              [ (path, fun () -> src) ])
+    with Sys_error msg ->
+      Fmt.epr "irdl-opt: %s@." msg;
+      finish 1
+  in
+  let fetch_doc fetch =
+    try fetch ()
     with Sys_error msg ->
       Fmt.epr "irdl-opt: %s@." msg;
       finish 1
@@ -304,47 +394,60 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
       (* The unit of work is one chunk of one document: --split-input-file
          cuts documents at '// -----' lines, --batch contributes one
          document per file; both compose. *)
-      let tasks =
-        List.concat
-          (List.mapi
-             (fun di (path, src) ->
-               let chunks =
-                 if split_input_file then Harness.split_input src
-                 else [ src ]
-               in
-               List.map (fun chunk -> (di, path, chunk)) chunks)
-             docs)
-        |> Array.of_list
+      let chunks_of src =
+        if split_input_file then Harness.split_input src else [ src ]
       in
       let doc_outs = Array.make (List.length docs) [] in
       let n_jobs =
         if jobs <= 0 then Domain.recommended_domain_count () else jobs
       in
-      let parallel =
-        n_jobs > 1
-        && Array.length tasks > 1
-        (* --max-errors couples chunks (the cap is global); the pass
-           instrumentation sinks interleave per-chunk output. Both are
-           inherently sequential, so fall back silently. *)
-        && max_errors = 0
+      (* --max-errors couples chunks (the cap is global); the pass
+         instrumentation sinks interleave per-chunk output. Both are
+         inherently sequential, so fall back silently. *)
+      let flags_allow_parallel =
+        max_errors = 0
         && pass_timing = None
         && pass_timing_json = None
         && print_ir_before = [] && print_ir_after = []
         && (not print_ir_before_all)
         && not print_ir_after_all
       in
-      if not parallel then
-        Array.iter
-          (fun (di, path, chunk) ->
-            let pf, vf, out =
-              process_chunk ~engine
-                ~timing:(Some (pass_timing, pass_timing_json))
-                passes ~path chunk
-            in
-            if pf then parse_failed := true;
-            if vf then verify_failed := true;
-            Option.iter (fun o -> doc_outs.(di) <- o :: doc_outs.(di)) out)
-          tasks
+      (* Parallel execution needs every chunk materialized up front (the
+         workers share the task array); the sequential driver below keeps
+         one document resident at a time instead. *)
+      let tasks =
+        if n_jobs > 1 && flags_allow_parallel then
+          List.concat
+            (List.mapi
+               (fun di (path, fetch) ->
+                 List.map
+                   (fun chunk -> (di, path, chunk))
+                   (chunks_of (fetch_doc fetch)))
+               docs)
+          |> Array.of_list
+        else [||]
+      in
+      if Array.length tasks <= 1 then
+        List.iteri
+          (fun di (path, fetch) ->
+            let src = fetch_doc fetch in
+            List.iter
+              (fun chunk ->
+                let pf, vf, out =
+                  process_chunk ~engine ~streaming:use_streaming
+                    ~timing:(Some (pass_timing, pass_timing_json))
+                    passes ~path chunk
+                in
+                if pf then parse_failed := true;
+                if vf then verify_failed := true;
+                Option.iter (fun o -> doc_outs.(di) <- o :: doc_outs.(di)) out)
+              (chunks_of src);
+            (* This document's diagnostics are flushed (handlers render at
+               emit time): drop its buffer so a long --batch run does not
+               retain every processed source. *)
+            if Option.is_some batch && not verify_diagnostics then
+              Diag.Sources.drop path)
+          docs
       else begin
         (* Registration is over: freeze the context so every domain can
            look definitions up (and verify against its own cache shard)
@@ -376,8 +479,8 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
                          src)
               in
               let pf, vf, out =
-                process_chunk ~engine:worker_engine ~timing:None wpasses
-                  ~path chunk
+                process_chunk ~engine:worker_engine ~streaming:use_streaming
+                  ~timing:None wpasses ~path chunk
               in
               (List.rev !rendered, pf, vf, out))
             tasks
@@ -419,7 +522,10 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
   if verify_diagnostics then begin
     (* Expectations come from every input document and every -d dialect
        file. *)
-    let sources = List.map (fun p -> (p, read_file p)) dialect_files @ docs in
+    let sources =
+      List.map (fun p -> (p, read_file p)) dialect_files
+      @ List.map (fun (p, fetch) -> (p, fetch_doc fetch)) docs
+    in
     let expectations, scan_errors =
       List.fold_left
         (fun (es, errs) (file, src) ->
@@ -643,6 +749,28 @@ let batch =
            by a '// ===== <path> =====' header. Cannot be combined with a \
            positional $(b,INPUT).")
 
+let streaming =
+  Arg.(
+    value & flag
+    & info [ "streaming" ]
+        ~doc:
+          "Force the streaming frontend: parse, verify, re-print and \
+           release one top-level operation at a time, bounding peak memory \
+           by the largest single operation instead of the whole module. \
+           This is already the default whenever no pass pipeline runs; \
+           with passes (which transform the module as a whole) the flag \
+           warns and falls back to the materializing parser. Output, exit \
+           code and $(b,--diag-json) are byte-identical either way.")
+
+let no_streaming =
+  Arg.(
+    value & flag
+    & info [ "no-streaming" ]
+        ~doc:
+          "Force the materializing parser even on runs where the streaming \
+           frontend would apply. Exists for differential testing and \
+           debugging; output is byte-identical either way.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -656,6 +784,6 @@ let cmd =
       $ max_errors $ diag_json $ pipeline $ dce $ cse $ dominance
       $ verify_each $ print_ir_before $ print_ir_after $ print_ir_before_all
       $ print_ir_after_all $ pass_timing $ pass_timing_json $ strict
-      $ verify_stats $ jobs $ batch $ verbose)
+      $ verify_stats $ jobs $ batch $ streaming $ no_streaming $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -45,7 +45,9 @@ let load ?native ?compile ?file (ctx : Irdl_ir.Context.t) src :
     three in one run, and its good definitions still work. *)
 let load_collect ?native ?compile ?file ~engine (ctx : Irdl_ir.Context.t) src
     : Resolve.dialect list =
-  let asts = Parser.parse_file_collect ?file ~engine src in
+  let asts =
+    Parser.parse_file ?file ~engine src |> Result.value ~default:[]
+  in
   let resolved =
     List.filter_map (Resolve.resolve_dialect_collect ~engine) asts
   in

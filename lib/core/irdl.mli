@@ -9,8 +9,14 @@
 
 open Irdl_support
 
-val parse : ?file:string -> string -> (Ast.dialect list, Diag.t) result
-(** Parse IRDL source into ASTs (no resolution or registration). *)
+val parse :
+  ?file:string ->
+  ?engine:Diag.Engine.t ->
+  string ->
+  (Ast.dialect list, Diag.t) result
+(** Parse IRDL source into ASTs (no resolution or registration). Alias of
+    {!Parser.parse_file}: with [engine] the parse is fail-soft and always
+    returns [Ok]; without it the first error is returned as [Error]. *)
 
 val load :
   ?native:Native.t -> ?compile:bool -> ?file:string -> Irdl_ir.Context.t ->

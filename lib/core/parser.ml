@@ -504,17 +504,6 @@ let parse_dialect p : Ast.dialect =
   if accept_keyword p "Dialect" then parse_dialect_body p ~start
   else fail p "expected 'Dialect'"
 
-(** Parse a whole IRDL file: a sequence of dialect definitions. *)
-let parse_file ?file src : (Ast.dialect list, Diag.t) result =
-  Diag.protect_any (fun () ->
-      let p = create ?file src in
-      let rec go acc =
-        match peek p with
-        | Lexer.Eof -> List.rev acc
-        | _ -> go (parse_dialect p :: acc)
-      in
-      go [])
-
 (* Skip to the next top-level [Dialect] keyword (or end of file) after a
    failed dialect, tracking braces so nested occurrences don't count. *)
 let resync_dialect p =
@@ -534,35 +523,61 @@ let resync_dialect p =
   in
   go 0
 
-(** Fail-soft variant of {!parse_file}: parse as many dialects as possible,
-    emitting every error to [engine] and resynchronizing at item and
-    dialect boundaries. Dialects whose header parsed are kept with the
-    items that survived. *)
+(** Parse a whole IRDL file: a sequence of dialect definitions.
+
+    Without [engine] the parse is fail-fast: the first error aborts and is
+    returned as [Error]. With [engine] it is fail-soft: every error is
+    emitted to the engine with resynchronization at item and dialect
+    boundaries, and the result is always [Ok] with the dialects whose
+    headers parsed (keeping the items that survived). *)
+let parse_file ?file ?engine src : (Ast.dialect list, Diag.t) result =
+  match engine with
+  | None ->
+      Diag.protect_any (fun () ->
+          let p = create ?file src in
+          let rec go acc =
+            match peek p with
+            | Lexer.Eof -> List.rev acc
+            | _ -> go (parse_dialect p :: acc)
+          in
+          go [])
+  | Some engine ->
+      Ok
+        (match
+           Diag.protect_any (fun () ->
+               let p = create ?file ~engine src in
+               let dialects = ref [] in
+               let continue = ref true in
+               while !continue do
+                 match peek p with
+                 | Lexer.Eof -> continue := false
+                 | _ when Diag.Engine.limit_reached engine -> continue := false
+                 | _ -> (
+                     let before = (loc p).start_pos.offset in
+                     match Diag.protect (fun () -> parse_dialect p) with
+                     | Ok d -> dialects := d :: !dialects
+                     | Error d ->
+                         Diag.Engine.emit engine d;
+                         resync_dialect p;
+                         (* Belt and braces: never loop without consuming. *)
+                         if
+                           (loc p).start_pos.offset = before
+                           && peek p <> Lexer.Eof
+                         then ignore (advance p))
+               done;
+               List.rev !dialects)
+         with
+        | Ok ds -> ds
+        | Error d ->
+            Diag.Engine.emit engine d;
+            [])
+
+(** Deprecated wrapper around {!parse_file}[ ~engine]. *)
 let parse_file_collect ?file ~engine src : Ast.dialect list =
-  match
-    Diag.protect_any (fun () ->
-        let p = create ?file ~engine src in
-        let dialects = ref [] in
-        let continue = ref true in
-        while !continue do
-          match peek p with
-          | Lexer.Eof -> continue := false
-          | _ when Diag.Engine.limit_reached engine -> continue := false
-          | _ -> (
-              let before = (loc p).start_pos.offset in
-              match Diag.protect (fun () -> parse_dialect p) with
-              | Ok d -> dialects := d :: !dialects
-              | Error d ->
-                  Diag.Engine.emit engine d;
-                  resync_dialect p;
-                  (* Belt and braces: never loop without consuming. *)
-                  if (loc p).start_pos.offset = before && peek p <> Lexer.Eof
-                  then ignore (advance p))
-        done;
-        List.rev !dialects)
-  with
+  match parse_file ?file ~engine src with
   | Ok ds -> ds
   | Error d ->
+      (* Unreachable: with an engine, [parse_file] never returns [Error]. *)
       Diag.Engine.emit engine d;
       []
 

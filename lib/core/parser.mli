@@ -3,16 +3,24 @@
 
 open Irdl_support
 
-val parse_file : ?file:string -> string -> (Ast.dialect list, Diag.t) result
-(** Parse a whole IRDL file: a sequence of [Dialect name { ... }]. Stops at
-    the first error. *)
+val parse_file :
+  ?file:string ->
+  ?engine:Diag.Engine.t ->
+  string ->
+  (Ast.dialect list, Diag.t) result
+(** Parse a whole IRDL file: a sequence of [Dialect name { ... }].
+
+    Without [engine] the parse is fail-fast: it stops at the first error,
+    returned as [Error]. With [engine] it is fail-soft: every
+    lexing/parsing error is emitted to the engine and parsing resumes at
+    the next item or dialect boundary, so one run reports all errors; the
+    result is always [Ok] with the dialects (and the items within them)
+    that parsed. *)
 
 val parse_file_collect :
   ?file:string -> engine:Diag.Engine.t -> string -> Ast.dialect list
-(** Fail-soft variant of {!parse_file}: every lexing/parsing error is
-    emitted to [engine] and parsing resumes at the next item or dialect
-    boundary, so one run reports all errors. Returns the dialects (and the
-    items within them) that parsed. *)
+[@@deprecated "use parse_file ~engine"]
+(** @deprecated Use {!parse_file}[ ~engine]. *)
 
 val parse_one : ?file:string -> string -> (Ast.dialect, Diag.t) result
 (** Parse a source expected to contain exactly one dialect. *)

@@ -365,3 +365,27 @@ let uniquing_stats_merged (_ : t) =
 let pp_uniquing_stats ppf { us_types; us_attrs } =
   Fmt.pf ppf "types: %a@ attrs: %a" Intern.pp_stats us_types Intern.pp_stats
     us_attrs
+
+(* ------------------------------------------------------------------ *)
+(* Unified stats surface                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  st_uniquing : uniquing_stats;
+  st_verify : verify_stats;
+  st_verify_shards : verify_stats list;
+}
+
+let stats ?(scope = `Merged) t =
+  let st_uniquing =
+    let us_types, us_attrs =
+      match scope with
+      | `Merged -> Attr.uniquer_stats_merged ()
+      | `Per_domain -> Attr.uniquer_stats ()
+    in
+    { us_types; us_attrs }
+  in
+  let st_verify_shards =
+    match scope with `Merged -> [] | `Per_domain -> verify_shard_stats t
+  in
+  { st_uniquing; st_verify = verify_stats t; st_verify_shards }

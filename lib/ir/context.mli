@@ -155,30 +155,50 @@ type verify_stats = {
   vs_invalidations : int;
 }
 
-val verify_stats : t -> verify_stats
-(** Summed over every domain's shard (invalidations are context-global).
-    In a single-domain program this is exactly the historical per-process
-    view; after a parallel run, call it once the worker domains have
-    joined. *)
+type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
 
-val verify_shard_stats : t -> verify_stats list
-(** Per-shard counters, newest shard first, each with
-    [vs_invalidations = 0]. [verify_stats] is their sum plus the global
-    invalidation counter. *)
+type stats = {
+  st_uniquing : uniquing_stats;
+      (** Attribute/type uniquer ({!Intern}) counters: canonical node
+          counts and hit rates. [`Merged]: summed over every domain's
+          shard (the whole-process view after a parallel run).
+          [`Per_domain]: the calling domain's shard only. The uniquer is
+          domain-local and shared by all contexts, so every context
+          reports the same numbers. *)
+  st_verify : verify_stats;
+      (** Verification-cache counters summed over every domain's shard,
+          plus the context-global invalidation counter, at either scope
+          (invalidations cannot be attributed to a shard). After a
+          parallel run, read them once the worker domains have joined. *)
+  st_verify_shards : verify_stats list;
+      (** [`Per_domain]: per-shard verify-cache counters, newest shard
+          first, each with [vs_invalidations = 0]; [st_verify] is their
+          sum plus the global invalidation counter. [`Merged]: empty. *)
+}
+
+val stats : ?scope:[ `Merged | `Per_domain ] -> t -> stats
+(** The context's counters in one record. [?scope] (default [`Merged])
+    selects whole-process merged numbers or the per-domain breakdown; see
+    the field docs for what each scope changes. *)
 
 val verify_hit_rate : verify_stats -> float
 val pp_verify_stats : Format.formatter -> verify_stats -> unit
+val pp_uniquing_stats : Format.formatter -> uniquing_stats -> unit
 
-type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
+val verify_stats : t -> verify_stats
+[@@deprecated "use (stats t).st_verify"]
+(** @deprecated Use {!stats}: [(stats t).st_verify]. *)
+
+val verify_shard_stats : t -> verify_stats list
+[@@deprecated "use (stats ~scope:`Per_domain t).st_verify_shards"]
+(** @deprecated Use {!stats}:
+    [(stats ~scope:`Per_domain t).st_verify_shards]. *)
 
 val uniquing_stats : t -> uniquing_stats
-(** Counters of the calling domain's attribute/type uniquer shard
-    ({!Intern}): canonical node counts and hit rates. The uniquer is
-    domain-local and shared by all contexts, so every context reports the
-    same numbers. *)
+[@@deprecated "use (stats ~scope:`Per_domain t).st_uniquing"]
+(** @deprecated Use {!stats}:
+    [(stats ~scope:`Per_domain t).st_uniquing]. *)
 
 val uniquing_stats_merged : t -> uniquing_stats
-(** Counters summed over every domain's uniquer shard; the whole-process
-    view after a parallel run. *)
-
-val pp_uniquing_stats : Format.formatter -> uniquing_stats -> unit
+[@@deprecated "use (stats t).st_uniquing"]
+(** @deprecated Use {!stats}: [(stats t).st_uniquing]. *)

@@ -145,7 +145,7 @@ let info_for t (region : Graph.region) =
 let def_point (value : Graph.value) :
     (Graph.region * Graph.block * int) option =
   match value.Graph.v_def with
-  | Graph.Forward_ref _ -> None
+  | Graph.Forward_ref _ | Graph.Released -> None
   | Graph.Block_arg { block; _ } ->
       Option.map (fun r -> (r, block, min_int)) block.Graph.blk_parent
   | Graph.Op_result { op = def_op; _ } -> (

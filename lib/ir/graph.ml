@@ -44,6 +44,12 @@ and value_def =
       (** A use seen before its definition while parsing; patched to a real
           definition when the defining operation is parsed, and an error if
           still unresolved at end of parse. *)
+  | Released
+      (** The defining operation was handed back by a streaming parse
+          session and {!release}d: the value keeps its identity and type so
+          later operations can still use (and type-check against) it, but
+          it no longer retains the defining subtree, which lets the GC
+          reclaim the operation. *)
 
 and use = {
   u_owner : op;  (** The operation owning the operand slot. *)
@@ -141,13 +147,13 @@ module Value = struct
   let defining_op v =
     match v.v_def with
     | Op_result { op; _ } -> Some op
-    | Block_arg _ | Forward_ref _ -> None
+    | Block_arg _ | Forward_ref _ | Released -> None
 
   let owner_block v =
     match v.v_def with
     | Op_result { op; _ } -> op.op_parent
     | Block_arg { block; _ } -> Some block
-    | Forward_ref _ -> None
+    | Forward_ref _ | Released -> None
 
   let has_uses v = v.v_first_use <> None
 
@@ -587,6 +593,25 @@ let detach op =
 let erase op =
   detach op;
   Op.walk op ~f:Op.drop_operand_uses
+
+(** Release [op] after a streaming consumer is done with it: detach it,
+    unlink every operand slot of its subtree from the use chains (so values
+    defined earlier no longer retain it as a user), and mark every value the
+    subtree defines — results and block arguments, at every nesting level —
+    as {!Released}. Released values keep their identity and type, so later
+    operations can still take them as operands, but they no longer point
+    back at the defining subtree: once the caller drops its own reference,
+    the whole operation tree is garbage. *)
+let release op =
+  detach op;
+  Op.walk op ~f:(fun o ->
+      Op.drop_operand_uses o;
+      Array.iter (fun (v : value) -> v.v_def <- Released) o.op_results;
+      List.iter
+        (fun r ->
+          Region.iter_blocks r ~f:(fun b ->
+              Array.iter (fun (v : value) -> v.v_def <- Released) b.blk_args))
+        o.regions)
 
 (** Replace every use of [from] by [to_] in operations nested inside [scope]
     (inclusive). With the intrusive use chains this touches only [from]'s

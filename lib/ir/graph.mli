@@ -29,6 +29,10 @@ and value_def =
   | Forward_ref of string
       (** A use seen before its definition while parsing; patched to a real
           definition when the defining operation is parsed. *)
+  | Released
+      (** The defining operation was {!release}d by a streaming consumer:
+          the value keeps its identity and type for later uses but no
+          longer retains the defining subtree. *)
 
 and use = {
   u_owner : op;  (** The operation owning the operand slot. *)
@@ -216,6 +220,16 @@ val erase : op -> unit
 (** Detach [op] and unlink every operand slot of [op] and of all operations
     nested inside it from the use chains. Callers must have rewired (or
     checked) uses of [op]'s own results first. *)
+
+val release : op -> unit
+(** Like {!erase}, but for a streaming consumer that is done with [op] and
+    wants its memory back while later operations may still name its
+    results: every value defined in the subtree (results and block
+    arguments at every nesting level) is marked {!Released} — keeping its
+    identity and type for later uses and type checks — and stops retaining
+    the defining subtree, so the operation tree becomes garbage as soon as
+    the caller drops its reference. The workhorse of
+    {!Parser.Stream}-driven pipelines. *)
 
 val replace_uses_in : op -> from:value -> to_:value -> unit
 (** Replace every use of [from] by [to_] in operations nested inside the

@@ -833,59 +833,223 @@ let finish_collect p engine =
         (Diag.error ~loc:use_loc "use of undefined value %%%s" name))
     (List.rev p.forwards)
 
-(** Parse a sequence of top-level operations. *)
-let parse_ops ?file ctx src =
-  Diag.protect_any (fun () ->
-      let p = create ?file ctx src in
-      let rec go acc =
-        match peek p with
-        | Eof -> List.rev acc
-        | _ -> go (parse_op p ~scope:None :: acc)
-      in
-      let ops = go [] in
-      finish p;
-      ops)
+(** Parse a sequence of top-level operations.
 
-(** Fail-soft variant of {!parse_ops}: every error is emitted to [engine]
-    and parsing resumes at the next operation boundary, so one run reports
-    all errors. Returns the operations that parsed. *)
-let parse_ops_collect ?file ~engine ctx src : Graph.op list =
-  match
-    Diag.protect_any (fun () ->
-        let p = create ?file ~engine ctx src in
-        let ops = ref [] in
-        let continue = ref true in
-        while !continue do
-          if Diag.Engine.limit_reached engine then continue := false
-          else
+    Without [engine] the parse is fail-fast: the first error aborts and is
+    returned as [Error]. With [engine] the parse is fail-soft: every
+    lexing/parsing error (and every use of an undefined value) is emitted
+    to the engine, parsing resumes at the next operation boundary, and the
+    result is always [Ok] with the operations that parsed. *)
+let parse_ops ?file ?engine ctx src : (Graph.op list, Diag.t) result =
+  match engine with
+  | None ->
+      Diag.protect_any (fun () ->
+          let p = create ?file ctx src in
+          let rec go acc =
             match peek p with
-            | Eof -> continue := false
-            | Punct "}" ->
-                (* Fallout of an earlier abandoned op — or a genuinely stray
-                   brace. Consume it either way so it cannot poison the ops
-                   after it. *)
-                let brace_loc = loc p in
-                ignore (advance p);
-                if not (Diag.Engine.has_errors engine) then
-                  Diag.Engine.emit engine
-                    (Diag.error ~loc:brace_loc "unexpected '}'")
-            | _ -> (
-                let before = (loc p).start_pos.offset in
-                match Diag.protect (fun () -> parse_op p ~scope:None) with
-                | Ok op -> ops := op :: !ops
-                | Error d ->
-                    Diag.Engine.emit engine d;
-                    resync_op p;
-                    if (loc p).start_pos.offset = before && peek p <> Eof then
-                      ignore (advance p))
-        done;
-        finish_collect p engine;
-        List.rev !ops)
-  with
+            | Eof -> List.rev acc
+            | _ -> go (parse_op p ~scope:None :: acc)
+          in
+          let ops = go [] in
+          finish p;
+          ops)
+  | Some engine ->
+      Ok
+        (match
+           Diag.protect_any (fun () ->
+               let p = create ?file ~engine ctx src in
+               let ops = ref [] in
+               let continue = ref true in
+               while !continue do
+                 if Diag.Engine.limit_reached engine then continue := false
+                 else
+                   match peek p with
+                   | Eof -> continue := false
+                   | Punct "}" ->
+                       (* Fallout of an earlier abandoned op — or a genuinely
+                          stray brace. Consume it either way so it cannot
+                          poison the ops after it. *)
+                       let brace_loc = loc p in
+                       ignore (advance p);
+                       if not (Diag.Engine.has_errors engine) then
+                         Diag.Engine.emit engine
+                           (Diag.error ~loc:brace_loc "unexpected '}'")
+                   | _ -> (
+                       let before = (loc p).start_pos.offset in
+                       match
+                         Diag.protect (fun () -> parse_op p ~scope:None)
+                       with
+                       | Ok op -> ops := op :: !ops
+                       | Error d ->
+                           Diag.Engine.emit engine d;
+                           resync_op p;
+                           if
+                             (loc p).start_pos.offset = before && peek p <> Eof
+                           then ignore (advance p))
+               done;
+               finish_collect p engine;
+               List.rev !ops)
+         with
+        | Ok ops -> ops
+        | Error d ->
+            Diag.Engine.emit engine d;
+            [])
+
+(** Deprecated wrapper around {!parse_ops}[ ~engine]. *)
+let parse_ops_collect ?file ~engine ctx src : Graph.op list =
+  match parse_ops ?file ~engine ctx src with
   | Ok ops -> ops
   | Error d ->
+      (* Unreachable: with an engine, [parse_ops] never returns [Error]. *)
       Diag.Engine.emit engine d;
       []
+
+(* ------------------------------------------------------------------ *)
+(* Streaming sessions                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The pull-based counterpart of [parse_ops]: one fully-parsed top-level
+   operation at a time, so a driver can parse → verify → print → release
+   each op without the whole module ever being resident. The materializing
+   entry points above are kept untouched as the differential oracle; the
+   per-op machinery (lexer, [parse_op], panic-mode recovery) is shared, so
+   the two paths can only diverge in the top-level driver loop. *)
+module Stream = struct
+  (* A parsed op is only handed out once every forward reference that was
+     pending when its parse finished has been resolved: a consumer
+     verifying (or printing) the op immediately must see the same patched
+     values the materializing parser would have produced by the end of the
+     module. Ops are queued FIFO, each with a snapshot of the then-pending
+     forward values; the head is yielded as soon as its snapshot has
+     drained. Well-formed modules with no top-level forward references
+     (the overwhelmingly common case) keep the queue at length one. *)
+  type pending = {
+    pd_op : Graph.op;
+    pd_forwards : Graph.value list;
+        (** Forward placeholders unresolved when [pd_op] finished parsing. *)
+  }
+
+  type session = {
+    sp : t;
+    s_engine : Diag.Engine.t option;
+    s_queue : pending Queue.t;
+    mutable s_eof : bool;  (** No more input will be consumed. *)
+    mutable s_finished : bool;  (** End-of-parse bookkeeping done. *)
+    mutable s_failed : Diag.t option;
+        (** Fail-fast mode only: the error that ended the session. *)
+  }
+
+  let create ?file ?engine ctx src =
+    {
+      sp = create ?file ?engine ctx src;
+      s_engine = engine;
+      s_queue = Queue.create ();
+      s_eof = false;
+      s_finished = false;
+      s_failed = None;
+    }
+
+  let resolved (v : Graph.value) =
+    match v.Graph.v_def with Graph.Forward_ref _ -> false | _ -> true
+
+  let ready pd = List.for_all resolved pd.pd_forwards
+
+  let head_ready s =
+    match Queue.peek_opt s.s_queue with
+    | Some pd -> ready pd
+    | None -> false
+
+  let snapshot_forwards p = List.map (fun (_, _, v) -> v) p.forwards
+
+  (* Consume one top-level item in fail-soft mode; mirrors the loop body of
+     [parse_ops ~engine] exactly (same sync points, same stray-brace
+     handling, same never-loop-without-consuming guard) so the diagnostic
+     stream is byte-identical. *)
+  let step_collect s engine =
+    let p = s.sp in
+    if Diag.Engine.limit_reached engine then s.s_eof <- true
+    else
+      match peek p with
+      | Eof -> s.s_eof <- true
+      | Punct "}" ->
+          let brace_loc = loc p in
+          ignore (advance p);
+          if not (Diag.Engine.has_errors engine) then
+            Diag.Engine.emit engine
+              (Diag.error ~loc:brace_loc "unexpected '}'")
+      | _ -> (
+          let before = (loc p).start_pos.offset in
+          match Diag.protect (fun () -> parse_op p ~scope:None) with
+          | Ok op ->
+              Queue.add
+                { pd_op = op; pd_forwards = snapshot_forwards p }
+                s.s_queue
+          | Error d ->
+              Diag.Engine.emit engine d;
+              resync_op p;
+              if (loc p).start_pos.offset = before && peek p <> Eof then
+                ignore (advance p))
+
+  (* Consume one top-level op in fail-fast mode; raises on error. *)
+  let step_failfast s =
+    let p = s.sp in
+    match peek p with
+    | Eof -> s.s_eof <- true
+    | _ ->
+        let op = parse_op p ~scope:None in
+        Queue.add
+          { pd_op = op; pd_forwards = snapshot_forwards p }
+          s.s_queue
+
+  (* End-of-input bookkeeping, once: the undefined-value check of [finish]
+     (fail-fast) or [finish_collect] (fail-soft). After it runs, any still-
+     pending ops are handed out as they are — exactly the values the
+     materializing parser would have returned. *)
+  let finish_stream s =
+    if not s.s_finished then begin
+      s.s_finished <- true;
+      match s.s_engine with
+      | Some engine -> finish_collect s.sp engine
+      | None -> finish s.sp
+    end
+
+  let next s : (Graph.op option, Diag.t) result =
+    match s.s_failed with
+    | Some d -> Error d
+    | None ->
+        Diag.protect_any (fun () ->
+            let rec go () =
+              if head_ready s then Some (Queue.pop s.s_queue).pd_op
+              else if s.s_eof then begin
+                finish_stream s;
+                match Queue.take_opt s.s_queue with
+                | Some pd -> Some pd.pd_op
+                | None -> None
+              end
+              else begin
+                (match s.s_engine with
+                | Some engine -> step_collect s engine
+                | None -> step_failfast s);
+                go ()
+              end
+            in
+            go ())
+        |> function
+        | Ok _ as ok -> ok
+        | Error d ->
+            (* Fail-fast sessions die on their first error; fail-soft
+               sessions only land here on an internal error escaping
+               [protect], which the collect loop would also have aborted
+               on. *)
+            (match s.s_engine with
+            | Some engine -> Diag.Engine.emit engine d
+            | None -> ());
+            s.s_eof <- true;
+            s.s_failed <- Some d;
+            Error d
+
+  let release = Graph.release
+end
 
 (** Parse exactly one operation. *)
 let parse_op_string ?file ctx src =

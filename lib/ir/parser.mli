@@ -12,14 +12,53 @@ val builtin_ty_of_ident : string -> Attr.ty option
 val int_ty_of_ident : string -> Attr.ty option
 
 val parse_ops :
-  ?file:string -> Context.t -> string -> (Graph.op list, Diag.t) result
-(** Parse a sequence of top-level operations. Stops at the first error. *)
+  ?file:string ->
+  ?engine:Diag.Engine.t ->
+  Context.t ->
+  string ->
+  (Graph.op list, Diag.t) result
+(** Parse a sequence of top-level operations.
+
+    Without [engine] the parse is fail-fast: it stops at the first error,
+    returned as [Error]. With [engine] it is fail-soft: every
+    lexing/parsing error (and every undefined value) is emitted to the
+    engine, parsing resumes at the next operation boundary, and the result
+    is always [Ok] with the operations that parsed. *)
 
 val parse_ops_collect :
   ?file:string -> engine:Diag.Engine.t -> Context.t -> string -> Graph.op list
-(** Fail-soft variant of {!parse_ops}: every lexing/parsing error (and every
-    undefined value) is emitted to [engine] and parsing resumes at the next
-    operation boundary. Returns the operations that parsed. *)
+[@@deprecated "use parse_ops ~engine"]
+(** @deprecated Use {!parse_ops}[ ~engine]. *)
+
+(** Pull-based parse sessions: one fully-parsed top-level operation at a
+    time (regions materialized per-op), so a driver can parse → verify →
+    print → {!release} each op without the whole module ever being
+    resident. Shares the per-op machinery with {!parse_ops}; the sequence
+    of yielded ops and emitted diagnostics is identical. *)
+module Stream : sig
+  type session
+  (** An in-progress streaming parse over one source buffer. *)
+
+  val create :
+    ?file:string -> ?engine:Diag.Engine.t -> Context.t -> string -> session
+  (** Open a session. As with {!parse_ops}, [engine] selects fail-soft
+      collect-and-recover parsing; without it the first error ends the
+      session. *)
+
+  val next : session -> (Graph.op option, Diag.t) result
+  (** The next top-level operation, [Ok None] at end of input, or — in
+      fail-fast mode — the error that ended the session (returned again on
+      every subsequent call). An op is yielded only once every top-level
+      forward reference pending at its parse has been resolved, so its
+      operands are exactly the values the materializing parser would have
+      produced; modules with no top-level forward references are parsed
+      strictly one op ahead. *)
+
+  val release : Graph.op -> unit
+  (** Alias of {!Graph.release}: call when done with a yielded op to let
+      the GC reclaim its subtree while later ops may still name its
+      results. *)
+end
 
 val parse_op_string :
   ?file:string -> Context.t -> string -> (Graph.op, Diag.t) result

@@ -195,7 +195,12 @@ let verify_ops ctx ops =
     (fun acc op -> match acc with Error _ -> acc | Ok () -> verify ctx op)
     (Ok ()) ops
 
+(** Put already-collected diagnostics into the stable, de-duplicated
+    {!diag_order}. A streaming driver concatenates per-op {!verify_all}
+    results and merges once at end-of-stream; by construction the result
+    is exactly what {!verify_ops_all} would have produced. *)
+let merge_diags diags = List.sort_uniq diag_order diags
+
 (** Collect every verification failure across a whole parsed module, in the
     same stable, de-duplicated order as {!verify_all}. *)
-let verify_ops_all ctx ops =
-  List.concat_map (verify_all ctx) ops |> List.sort_uniq diag_order
+let verify_ops_all ctx ops = merge_diags (List.concat_map (verify_all ctx) ops)

@@ -33,3 +33,9 @@ val verify_ops : Context.t -> Graph.op list -> (unit, Diag.t) result
 val verify_ops_all : Context.t -> Graph.op list -> Diag.t list
 (** {!verify_all} over a whole parsed module, in one stable, de-duplicated
     location order. *)
+
+val merge_diags : Diag.t list -> Diag.t list
+(** Sort and de-duplicate already-collected diagnostics into the order of
+    {!verify_ops_all}: drivers that verify op-by-op (the streaming path)
+    concatenate per-op {!verify_all} results and merge once at
+    end-of-stream to produce byte-identical multi-error output. *)

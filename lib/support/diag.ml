@@ -105,6 +105,7 @@ module Sources = struct
 
   let register ~file src = if file <> "" then Hashtbl.replace (table ()) file src
   let lookup file = Hashtbl.find_opt (table ()) file
+  let drop file = Hashtbl.remove (table ()) file
   let clear () = Hashtbl.reset (table ())
 
   let snapshot () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) (table ()) []

@@ -70,6 +70,14 @@ val get_ok : ('a, t) result -> 'a
 module Sources : sig
   val register : file:string -> string -> unit
   val lookup : string -> string option
+
+  val drop : string -> unit
+  (** Remove one file's buffer from the calling domain's registry (no-op
+      when absent). Streaming/batch drivers call this once a source's
+      diagnostics have been flushed, so a long [--batch] run does not
+      retain every processed buffer for the process lifetime; diagnostics
+      rendered later against the dropped file simply lose their snippet. *)
+
   val clear : unit -> unit
 
   val snapshot : unit -> (string * string) list

@@ -1,0 +1,133 @@
+The streaming frontend must be byte-identical to the materializing parser:
+same stdout, same stderr (diagnostic order included), same exit code, same
+--diag-json. Streaming is the default whenever no pass pipeline runs;
+--no-streaming forces the materializing oracle for comparison.
+
+A 5-chunk input mixing valid chunks, a verify error, a parse error, and a
+top-level forward reference (which the session must hold back and resolve):
+
+  $ cat > input.mlir <<'EOF'
+  > %c = "cmath.constant"() {value = 2.0 : f32} : () -> !cmath.complex<f32>
+  > %m = "cmath.mul"(%c, %c) : (!cmath.complex<f32>, !cmath.complex<f32>) -> !cmath.complex<f32>
+  > 
+  > // -----
+  > 
+  > %bad = "cmath.norm"() : () -> f32
+  > 
+  > // -----
+  > 
+  > %p = "cmath.mul"(%x, : (i32) -> i32
+  > 
+  > // -----
+  > 
+  > %n = "cmath.norm"(%c2) : (!cmath.complex<f64>) -> f64
+  > %c2 = "cmath.constant"() {value = 1.0 : f64} : () -> !cmath.complex<f64>
+  > 
+  > // -----
+  > 
+  > %ok = "cmath.constant"() {value = 0.5 : f32} : () -> !cmath.complex<f32>
+  > EOF
+
+  $ irdl-opt --cmath --split-input-file --streaming --diag-json ds.json input.mlir \
+  >   >outs.txt 2>errs.txt; echo "exit: $?"
+  exit: 1
+  $ irdl-opt --cmath --split-input-file --no-streaming --diag-json dm.json input.mlir \
+  >   >outm.txt 2>errm.txt; echo "exit: $?"
+  exit: 1
+
+  $ cmp outs.txt outm.txt && echo "stdout identical"
+  stdout identical
+  $ cmp errs.txt errm.txt && echo "stderr identical"
+  stderr identical
+  $ cmp ds.json dm.json && echo "diag-json identical"
+  diag-json identical
+
+The shared reference output (parse diagnostics in parse order, verify
+diagnostics merged after them, surviving chunks re-printed):
+
+  $ cat errs.txt
+  input.mlir:6:1-5: error: 'cmath.norm' expects 1 operands, got 0
+    6 | %bad = "cmath.norm"() : () -> f32
+      | ^~~~
+  input.mlir:10:22-23: error: at ':': expected SSA value name
+    10 | %p = "cmath.mul"(%x, : (i32) -> i32
+       |                      ^
+  input.mlir:10:18-20: error: use of undefined value %x
+    10 | %p = "cmath.mul"(%x, : (i32) -> i32
+       |                  ^~
+  $ cat outs.txt
+  %0 = "cmath.constant"() {value = 2.0 : f32} : () -> (!cmath.complex<f32>)
+  %1 = cmath.mul %0, %0 : f32
+  // -----
+  %0 = cmath.norm %1 : f64
+  %1 = "cmath.constant"() {value = 1.0 : f64} : () -> (!cmath.complex<f64>)
+  // -----
+  %0 = "cmath.constant"() {value = 0.5 : f32} : () -> (!cmath.complex<f32>)
+
+Streaming composes with --jobs; still byte-identical:
+
+  $ irdl-opt --cmath --split-input-file --streaming --jobs 4 input.mlir \
+  >   >outj.txt 2>errj.txt; echo "exit: $?"
+  exit: 1
+  $ cmp outs.txt outj.txt && cmp errs.txt errj.txt && echo "identical"
+  identical
+
+And with --batch (one resident source at a time on the sequential path):
+
+  $ mkdir corpus
+  $ cat > corpus/a.mlir <<'EOF'
+  > %c = "cmath.constant"() {value = 3.0 : f32} : () -> !cmath.complex<f32>
+  > EOF
+  $ cat > corpus/b.mlir <<'EOF'
+  > %x = "cmath.norm"() : () -> f32
+  > EOF
+  $ irdl-opt --cmath --batch corpus --streaming >bs.txt 2>bse.txt; echo "exit: $?"
+  exit: 2
+  $ irdl-opt --cmath --batch corpus --no-streaming >bm.txt 2>bme.txt; echo "exit: $?"
+  exit: 2
+  $ cmp bs.txt bm.txt && cmp bse.txt bme.txt && echo "batch identical"
+  batch identical
+
+--verify-diagnostics runs through the streaming path too:
+
+  $ cat > annotated.mlir <<'EOF'
+  > // expected-error@below {{expects 1 operands}}
+  > %bad = "cmath.norm"() : () -> f32
+  > EOF
+  $ irdl-opt --cmath --verify-diagnostics --streaming annotated.mlir; echo "exit: $?"
+  exit: 0
+  $ irdl-opt --cmath --verify-diagnostics --no-streaming annotated.mlir; echo "exit: $?"
+  exit: 0
+
+--verify-stats reports the cache counters of materializing-semantics work
+(streaming would eagerly verify ops of chunks that later parse-fail), so it
+forces the materializing path; output identical either way:
+
+  $ irdl-opt --cmath --split-input-file --verify-stats input.mlir \
+  >   >vss.txt 2>vsse.txt; echo "exit: $?"
+  exit: 1
+  $ irdl-opt --cmath --split-input-file --verify-stats --no-streaming input.mlir \
+  >   >vsm.txt 2>vsme.txt; echo "exit: $?"
+  exit: 1
+  $ cmp vss.txt vsm.txt && cmp vsse.txt vsme.txt && echo "verify-stats identical"
+  verify-stats identical
+  $ grep -c "verification cache" vsse.txt
+  1
+
+A pass pipeline needs the whole module resident: --streaming warns (debug
+log) and falls back, producing the same result as the materializing path:
+
+  $ irdl-opt --cmath --pass-pipeline cse --streaming input.mlir --split-input-file \
+  >   >ps.txt 2>/dev/null; echo "exit: $?"
+  exit: 1
+  $ irdl-opt --cmath --pass-pipeline cse --no-streaming input.mlir --split-input-file \
+  >   >pm.txt 2>/dev/null; echo "exit: $?"
+  exit: 1
+  $ cmp ps.txt pm.txt && echo "pipeline fallback identical"
+  pipeline fallback identical
+
+The two force flags are mutually exclusive:
+
+  $ irdl-opt --cmath --streaming --no-streaming input.mlir
+  irdl-opt: --streaming and --no-streaming are mutually exclusive
+  [1]

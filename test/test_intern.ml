@@ -76,11 +76,11 @@ let ids_stable () =
 
 let stats_exposed () =
   let ctx = Context.create () in
-  let before = Context.uniquing_stats ctx in
+  let before = (Context.stats ~scope:`Per_domain ctx).st_uniquing in
   (* A fresh value is a miss; rebuilding it is a hit. *)
   let _ = Attr.string "stats-probe-fresh" in
   let _ = Attr.string "stats-probe-fresh" in
-  let after = Context.uniquing_stats ctx in
+  let after = (Context.stats ~scope:`Per_domain ctx).st_uniquing in
   Alcotest.(check bool) "node count grew" true
     (after.Context.us_attrs.Intern.nodes > before.Context.us_attrs.Intern.nodes);
   Alcotest.(check bool) "hits grew" true

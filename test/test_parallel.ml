@@ -285,12 +285,12 @@ let test_shard_stats_merge () =
      guarantee that several domains actually verified. *)
   Array.init 2 (fun _ -> Domain.spawn (hammer ctx 10))
   |> Array.iter (fun d -> ignore (Domain.join d));
-  let shards = Context.verify_shard_stats ctx in
+  let shards = (Context.stats ~scope:`Per_domain ctx).st_verify_shards in
   Alcotest.(check bool)
     "several shards after a parallel run" true
     (List.length shards >= 2);
   let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
-  let merged = Context.verify_stats ctx in
+  let merged = (Context.stats ctx).st_verify in
   Alcotest.(check int)
     "merged hits = sum of shard hits"
     (sum (fun (s : Context.verify_stats) -> s.vs_hits))
@@ -319,7 +319,7 @@ let test_cache_disabled_bypasses_shards () =
   ignore (hammer ctx 5 ());
   Array.init 2 (fun _ -> Domain.spawn (hammer ctx 5))
   |> Array.iter (fun d -> ignore (Domain.join d));
-  let merged = Context.verify_stats ctx in
+  let merged = (Context.stats ctx).st_verify in
   Alcotest.(check int) "no entries in any shard" 0
     (merged.vs_ty_entries + merged.vs_attr_entries);
   Alcotest.(check int) "no hits counted" 0 merged.vs_hits;

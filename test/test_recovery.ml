@@ -27,7 +27,7 @@ let irdl_multi_error () =
      }\n"
   in
   let e = engine () in
-  let dialects = Irdl_core.Parser.parse_file_collect ~engine:e src in
+  let dialects = Result.get_ok (Irdl_core.Parser.parse_file ~engine:e src) in
   Alcotest.(check int) "both errors reported" 2
     (Diag.Engine.error_count e);
   Alcotest.(check bool) "all located" true (located e);
@@ -53,7 +53,7 @@ let irdl_two_dialects () =
      }\n"
   in
   let e = engine () in
-  let dialects = Irdl_core.Parser.parse_file_collect ~engine:e src in
+  let dialects = Result.get_ok (Irdl_core.Parser.parse_file ~engine:e src) in
   Alcotest.(check bool) "errors reported" true (Diag.Engine.has_errors e);
   Alcotest.(check (list string)) "second dialect recovered" [ "second" ]
     (List.filter (fun n -> n = "second")
@@ -64,7 +64,7 @@ let irdl_max_errors () =
     "Dialect d {\n  Type a { Bogus }\n  Type b { Bogus }\n  Type c { Bogus }\n}\n"
   in
   let e = Diag.Engine.create ~max_errors:2 () in
-  let _ = Irdl_core.Parser.parse_file_collect ~engine:e src in
+  let _ = Result.get_ok (Irdl_core.Parser.parse_file ~engine:e src) in
   Alcotest.(check int) "capped" 2 (Diag.Engine.error_count e)
 
 let load_collect_partial () =
@@ -98,7 +98,7 @@ let ir_multi_error () =
   in
   let e = engine () in
   let ctx = Irdl_ir.Context.create () in
-  let ops = Irdl_ir.Parser.parse_ops_collect ~engine:e ctx src in
+  let ops = Result.get_ok (Irdl_ir.Parser.parse_ops ~engine:e ctx src) in
   Alcotest.(check int) "both undefined uses reported" 2
     (Diag.Engine.error_count e);
   Alcotest.(check bool) "all located" true (located e);
@@ -117,7 +117,7 @@ let ir_syntax_recovery () =
   in
   let e = engine () in
   let ctx = Irdl_ir.Context.create () in
-  let ops = Irdl_ir.Parser.parse_ops_collect ~engine:e ctx src in
+  let ops = Result.get_ok (Irdl_ir.Parser.parse_ops ~engine:e ctx src) in
   Alcotest.(check bool) "error reported" true (Diag.Engine.has_errors e);
   Alcotest.(check bool) "later op recovered" true
     (List.exists (fun (o : Irdl_ir.Graph.op) -> o.op_name = "t.three") ops)
@@ -133,7 +133,7 @@ let ir_region_recovery () =
   in
   let e = engine () in
   let ctx = Irdl_ir.Context.create () in
-  let ops = Irdl_ir.Parser.parse_ops_collect ~engine:e ctx src in
+  let ops = Result.get_ok (Irdl_ir.Parser.parse_ops ~engine:e ctx src) in
   Alcotest.(check int) "one error" 1 (Diag.Engine.error_count e);
   match ops with
   | [ wrap ] ->
@@ -152,7 +152,7 @@ let first_error_agrees () =
     | Ok _ -> Alcotest.fail "expected an error"
   in
   let e = engine () in
-  let _ = Irdl_core.Parser.parse_file_collect ~engine:e src in
+  let _ = Result.get_ok (Irdl_core.Parser.parse_file ~engine:e src) in
   match messages e with
   | first :: _ -> Alcotest.(check string) "same first message" fail_fast first
   | [] -> Alcotest.fail "collect reported nothing"

@@ -87,13 +87,13 @@ let collect_never_raises name f gen =
 
 let irdl_collect_total g name =
   collect_never_raises name
-    (fun ~engine src -> Irdl_core.Parser.parse_file_collect ~engine src)
+    (fun ~engine src -> Irdl_core.Parser.parse_file ~engine src)
     g
 
 let ir_collect_total g name =
   collect_never_raises name
     (fun ~engine src ->
-      Irdl_ir.Parser.parse_ops_collect ~engine (Irdl_ir.Context.create ()) src)
+      Irdl_ir.Parser.parse_ops ~engine (Irdl_ir.Context.create ()) src)
     g
 
 let load_collect_total g name =

@@ -6,7 +6,7 @@
 open Irdl_ir
 open Util
 
-let stats ctx = Context.verify_stats ctx
+let stats ctx = (Context.stats ctx).st_verify
 
 (* An op whose result type is malformed at the *type* level (wrong parameter
    arity), so the failure itself is what gets memoized. *)
@@ -122,7 +122,7 @@ let cache_toggle () =
 let single_domain_shard_is_the_merged_view () =
   let ctx = cmath_ctx () in
   ignore (Verifier.verify_all ctx (bad_complex_op ()));
-  match Context.verify_shard_stats ctx with
+  match (Context.stats ~scope:`Per_domain ctx).st_verify_shards with
   | [ s ] ->
       let merged = stats ctx in
       Alcotest.(check int) "ty entries" merged.vs_ty_entries s.vs_ty_entries;
@@ -176,7 +176,7 @@ let invalidation_reaches_all_shards () =
   let populate () = ignore (Verifier.verify_all ctx (bad_complex_op ())) in
   populate ();
   Domain.join (Domain.spawn populate);
-  let shards_before = Context.verify_shard_stats ctx in
+  let shards_before = (Context.stats ~scope:`Per_domain ctx).st_verify_shards in
   Alcotest.(check int) "two shards populated" 2 (List.length shards_before);
   List.iter
     (fun (s : Context.verify_stats) ->
@@ -192,7 +192,7 @@ let invalidation_reaches_all_shards () =
     (fun (s : Context.verify_stats) ->
       Alcotest.(check int) "shard flushed: ty" 0 s.vs_ty_entries;
       Alcotest.(check int) "shard flushed: attr" 0 s.vs_attr_entries)
-    (Context.verify_shard_stats ctx);
+    ((Context.stats ~scope:`Per_domain ctx).st_verify_shards);
   Alcotest.(check bool) "invalidation counted once" true
     ((stats ctx).vs_invalidations > before.vs_invalidations)
 

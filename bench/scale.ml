@@ -440,8 +440,192 @@ let emit_json rows =
   close_out oc;
   Fmt.pr "wrote BENCH_scale.json (speedup vs baseline: %s)@." speedup
 
+(* ------------------------------------------------------------------ *)
+(* Bytecode: parse-vs-load (BENCH_bytecode.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Text parse vs bytecode load over the same flat n-op module, plus the
+   emit cost and the size of both encodings. Loading skips lexing, name
+   resolution and attribute/type parsing — the tables intern directly — so
+   this is the warm-start headline of the bytecode subsystem. *)
+type bytecode_row = {
+  bc_n : int;
+  text_bytes : int;
+  bytecode_bytes : int;
+  text_parse_s : float;
+  bc_emit_s : float;
+  bc_load_s : float;
+}
+
+(* One-shot wall clock of [f], run in a freshly forked child. In-process
+   repetition is useless here: a materialized million-op module leaves the
+   major heap grown and dirty, and whichever workload runs on that heap
+   pays the previous one's GC marking — in-process orderings swing the
+   parse/load ratio by 2x. A fork gives every measurement the same pristine
+   heap, and matches how the numbers are consumed (irdl-opt parses or loads
+   a file once per process). *)
+let forked_seconds f =
+  let rd, wr = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close rd;
+      let line =
+        match time (fun () -> ignore (Sys.opaque_identity (f ()))) with
+        | t, () -> Printf.sprintf "%.6f" t
+        | exception e -> "err " ^ Printexc.to_string e
+      in
+      let oc = Unix.out_channel_of_descr wr in
+      Printf.fprintf oc "%s\n%!" line;
+      Unix._exit 0
+  | pid -> (
+      Unix.close wr;
+      let ic = Unix.in_channel_of_descr rd in
+      let line = try input_line ic with End_of_file -> "err child died" in
+      close_in ic;
+      ignore (Unix.waitpid [] pid);
+      match float_of_string_opt (String.trim line) with
+      | Some t -> t
+      | None -> failwith ("bytecode bench child failed: " ^ line))
+
+let best_forked ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t = forked_seconds f in
+    if t < !best then best := t
+  done;
+  !best
+
+let measure_bytecode n : bytecode_row =
+  let ctx = Context.create () in
+  let text = flat_text n in
+  let repeats = 3 in
+  let parse () =
+    match Parser.parse_ops ctx text with
+    | Ok ops -> ops
+    | Error d -> failwith (Irdl_support.Diag.to_string d)
+  in
+  let load blob =
+    match Irdl_bytecode.Bytecode.read_module ctx blob with
+    | Ok ops -> ops
+    | Error d -> failwith (Irdl_support.Diag.to_string d)
+  in
+  (* The blob is produced (and the round trip checked) in a throwaway child
+     that writes it to a temp file: the emitting parse grows a heap the
+     measurement children must not inherit across fork. Emit time is best
+     of k in that child, measured while its module is resident — the only
+     state emit needs. *)
+  let tmp = Filename.temp_file "irdl_bench" ".irdlbc" in
+  let bc_emit_s =
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close rd;
+        let line =
+          try
+            let ops = parse () in
+            let emit () =
+              match Irdl_bytecode.Bytecode.Write.module_to_string ops with
+              | Ok blob -> blob
+              | Error d -> failwith (Irdl_support.Diag.to_string d)
+            in
+            let t, blob = timed ~repeats emit in
+            if
+              not (Irdl_bytecode.Bytecode.Equal.module_eq ops (load blob))
+            then failwith "bytecode round-trip mismatch in benchmark";
+            let oc = open_out_bin tmp in
+            output_string oc blob;
+            close_out oc;
+            Printf.sprintf "%.6f" t
+          with e -> "err " ^ Printexc.to_string e
+        in
+        let oc = Unix.out_channel_of_descr wr in
+        Printf.fprintf oc "%s\n%!" line;
+        Unix._exit 0
+    | pid -> (
+        Unix.close wr;
+        let ic = Unix.in_channel_of_descr rd in
+        let line = try input_line ic with End_of_file -> "err child died" in
+        close_in ic;
+        ignore (Unix.waitpid [] pid);
+        match float_of_string_opt (String.trim line) with
+        | Some t -> t
+        | None -> failwith ("bytecode bench child failed: " ^ line))
+  in
+  let blob =
+    let ic = open_in_bin tmp in
+    let b = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove tmp;
+    b
+  in
+  let text_parse_s = best_forked ~repeats parse in
+  let bc_load_s = best_forked ~repeats (fun () -> load blob) in
+  {
+    bc_n = n;
+    text_bytes = String.length text;
+    bytecode_bytes = String.length blob;
+    text_parse_s;
+    bc_emit_s;
+    bc_load_s;
+  }
+
+let bytecode_row_json r =
+  Printf.sprintf
+    {|    { "n": %d, "text_bytes": %d, "bytecode_bytes": %d, "text_parse_s": %s, "emit_s": %s, "load_s": %s, "load_speedup": %.2f }|}
+    r.bc_n r.text_bytes r.bytecode_bytes (fnum r.text_parse_s)
+    (fnum r.bc_emit_s) (fnum r.bc_load_s)
+    (r.text_parse_s /. r.bc_load_s)
+
+let emit_bytecode_json rows =
+  let headline =
+    match List.rev rows with
+    | [] -> "null"
+    | r :: _ ->
+        Printf.sprintf
+          {|{ "n": %d, "text_parse_s": %s, "load_s": %s, "speedup": %.2f }|}
+          r.bc_n (fnum r.text_parse_s) (fnum r.bc_load_s)
+          (r.text_parse_s /. r.bc_load_s)
+  in
+  let json =
+    Printf.sprintf
+      {|{
+  "bench": "bytecode",
+  "description": "text parse vs bytecode load of the same flat n-op module; times in seconds, each measurement one-shot in a freshly forked child (best of k forks) so no workload inherits another's grown heap; emit_s is the serialization cost; load_speedup = text_parse_s / load_s",
+  "rows": [
+%s
+  ],
+  "load_speedup_at_largest": %s
+}
+|}
+      (String.concat ",\n" (List.map bytecode_row_json rows))
+      headline
+  in
+  let oc = open_out "BENCH_bytecode.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "wrote BENCH_bytecode.json (load speedup: %s)@." headline
+
 let () =
   let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv in
+  let bytecode_only =
+    Array.exists (fun a -> a = "--bytecode-only") Sys.argv
+  in
+  let bc_sizes = if smoke then [ 10_000 ] else [ 100_000; 1_000_000 ] in
+  let bc_rows =
+    List.map
+      (fun n ->
+        Fmt.pr "bytecode: n = %d...@." n;
+        let r = measure_bytecode n in
+        Fmt.pr
+          "  parse %.4fs  emit %.4fs  load %.4fs  (%.2fx; %d -> %d bytes)@."
+          r.text_parse_s r.bc_emit_s r.bc_load_s
+          (r.text_parse_s /. r.bc_load_s)
+          r.text_bytes r.bytecode_bytes;
+        r)
+      bc_sizes
+  in
+  emit_bytecode_json bc_rows;
+  if bytecode_only then exit 0;
   let sizes =
     if smoke then [ 10_000 ] else [ 1_000; 10_000; 100_000; 1_000_000 ]
   in

@@ -42,6 +42,20 @@ open Cmdliner
 module Diag = Irdl_support.Diag
 module Harness = Irdl_support.Diag_harness
 module Domain_pool = Irdl_support.Domain_pool
+module Bytecode = Irdl_bytecode.Bytecode
+module Frontend = Irdl_bytecode.Frontend
+module Source = Frontend.Source
+
+let write_binary path data =
+  if path = "-" then begin
+    Out_channel.set_binary_mode stdout true;
+    print_string data
+  end
+  else begin
+    let oc = open_out_bin path in
+    output_string oc data;
+    close_out oc
+  end
 
 let read_file path =
   let ic = open_in_bin path in
@@ -85,12 +99,14 @@ let effective_pipeline ~pipeline ~have_patterns ~dce ~cse ~dominance =
   in
   if entries = [] then None else Some (String.concat "," entries)
 
-(* --batch PATH: a directory (every *.mlir in it, sorted) or a text file
-   listing one IR path per line ('#' comments and blank lines skipped). *)
+(* --batch PATH: a directory (every *.mlir / *.irdlbc in it, sorted) or a
+   text file listing one IR path per line ('#' comments and blank lines
+   skipped). *)
 let batch_inputs path =
   if Sys.file_exists path && Sys.is_directory path then
     Sys.readdir path |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+    |> List.filter (fun f ->
+           Filename.check_suffix f ".mlir" || Filename.check_suffix f ".irdlbc")
     |> List.sort String.compare
     |> List.map (Filename.concat path)
   else
@@ -101,7 +117,8 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     verify_only split_input_file verify_diagnostics max_errors diag_json
     pipeline dce cse dominance verify_each print_ir_before print_ir_after
     print_ir_before_all print_ir_after_all pass_timing pass_timing_json strict
-    verify_stats jobs batch streaming no_streaming verbose =
+    verify_stats jobs batch streaming no_streaming emit_bytecode load_bytecode
+    emit_dialect_bytecode verbose =
   setup_logs verbose;
   let engine = Diag.Engine.create ~max_errors () in
   (* Under --verify-diagnostics the produced diagnostics are consumed by
@@ -128,28 +145,47 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     exit code
   in
   (* Dialect definitions: bundled corpus, cmath, then user files. The
-     bundled sources are not user input; a failure there is a build bug. *)
+     bundled sources are not user input; a failure there is a build bug.
+     Every resolved dialect is remembered in registration order so
+     --emit-dialect-bytecode can serialize the whole registry. *)
+  let resolved_dialects = ref [] in
+  let note_dialects dls =
+    resolved_dialects := List.rev_append dls !resolved_dialects
+  in
   if with_corpus then (
     match Irdl_dialects.Corpus.load_all ~native ctx with
-    | Ok _ -> ()
+    | Ok dls -> note_dialects dls
     | Error d -> fail_diag d);
   if with_cmath then (
     match Irdl_core.Irdl.load_one ~native ctx Irdl_dialects.Cmath.source with
-    | Ok _ -> ()
+    | Ok dl -> note_dialects [ dl ]
     | Error d -> fail_diag d);
-  (* User dialect files: fail-soft. Every error in every file is reported;
+  (* User dialect files: fail-soft, format-sniffed. IRDL text goes through
+     parse+resolve; a bytecode dialect pack (--emit-dialect-bytecode of an
+     earlier run) skips both. Every error in every file is reported;
      definitions that survive are registered so later stages still have
      something to check against. *)
   let errors_before_frontend = Diag.Engine.error_count engine in
   List.iter
     (fun path ->
-      let dls =
-        Irdl_core.Irdl.load_collect ~native ~file:path ~engine ctx
-          (read_file path)
-      in
-      Logs.info (fun m ->
-          m "loaded %d dialect(s) from %s" (List.length dls) path))
+      match
+        Frontend.load_dialects ~native ~file:path ~engine ctx
+          (Source.classify (read_file path))
+      with
+      | Ok dls ->
+          note_dialects dls;
+          Logs.info (fun m ->
+              m "loaded %d dialect(s) from %s" (List.length dls) path)
+      | Error d -> Diag.Engine.emit engine d)
     dialect_files;
+  Option.iter
+    (fun out ->
+      match
+        Bytecode.Write.dialects_to_string (List.rev !resolved_dialects)
+      with
+      | Ok blob -> write_binary out blob
+      | Error d -> fail_diag d)
+    emit_dialect_bytecode;
   (* Textual rewrite patterns (fully dynamic pattern-based flow, paper §3);
      they parameterize the 'canonicalize' pass. *)
   let patterns =
@@ -264,36 +300,38 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
                   close_out oc)
               pass_timing_json)
   in
-  (* One input chunk through the streaming frontend: parse, verify, print
-     and release one top-level op at a time, so peak memory is bounded by
-     the largest op rather than the chunk. Byte-identical to the
-     materializing path below: parse diagnostics flow through the shared
-     engine in parse order; per-op verification results are held back and
-     merged into [Verifier.verify_ops_all]'s stable order at end-of-stream
-     (and discarded on a parse failure, which skips verification there
-     too); printing reuses one printer session joined exactly like
+  (* --emit-bytecode switches every output sink from the textual printer
+     to the bytecode emitter; everything else (chunking, verification,
+     parallelism, exit codes) is format-independent. *)
+  let emit_binary = Option.is_some emit_bytecode in
+  (* One input chunk through the streaming frontend: parse (or decode),
+     verify, emit and release one top-level op at a time, so peak memory
+     is bounded by the largest op rather than the chunk. Byte-identical to
+     the materializing path below: parse diagnostics flow through the
+     shared engine in parse order; per-op verification results are held
+     back and merged into [Verifier.verify_ops_all]'s stable order at
+     end-of-stream (and discarded on a parse failure, which skips
+     verification there too); output flows through one [Frontend.Sink]
+     session — the textual sink joins exactly like
      [Printer.ops_to_string]. *)
-  let process_chunk_stream ~engine ~path chunk =
+  let process_chunk_stream ~engine ~path payload =
     let e0 = Diag.Engine.error_count engine in
     let parse_failed = ref false and verify_failed = ref false in
     let output = ref None in
     let want_output = not (verify_only || verify_diagnostics) in
-    let session = Irdl_ir.Parser.Stream.create ~file:path ~engine ctx chunk in
-    let printer = Irdl_ir.Printer.create ~generic ctx in
-    let buf = Buffer.create (if want_output then String.length chunk else 16) in
-    let first = ref true in
+    let session = Frontend.Stream.create ~file:path ~engine ctx payload in
+    let sink =
+      if emit_binary then Frontend.Sink.bytecode ()
+      else Frontend.Sink.text ~generic ctx
+    in
     let vdiags = ref [] in
     let rec drain () =
-      match Irdl_ir.Parser.Stream.next session with
+      match Frontend.Stream.next session with
       | Ok None | Error _ -> ()
       | Ok (Some op) ->
           vdiags := Irdl_ir.Verifier.verify_all ctx op :: !vdiags;
-          if want_output then begin
-            if !first then first := false else Buffer.add_char buf '\n';
-            Buffer.add_string buf
-              (Fmt.str "%a" (Irdl_ir.Printer.pp_op printer) op)
-          end;
-          Irdl_ir.Parser.Stream.release op;
+          if want_output then Frontend.Sink.push sink op;
+          Frontend.Stream.release op;
           drain ()
     in
     drain ();
@@ -305,7 +343,11 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
       List.iter (Diag.Engine.emit engine) diags;
       if diags <> [] then verify_failed := true
       else if want_output && Diag.Engine.error_count engine = e0 then
-        output := Some (Buffer.contents buf)
+        match Frontend.Sink.close sink with
+        | Ok out -> output := Some out
+        | Error d ->
+            Diag.Engine.emit engine d;
+            verify_failed := true
     end;
     (!parse_failed, !verify_failed, !output)
   in
@@ -314,14 +356,22 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
      input order afterwards). Returns (parse_failed, verify_failed,
      printed output). A chunk that fails to parse or verify never blocks
      the chunks after it. *)
-  let process_chunk ~engine ~streaming ~timing passes ~path chunk =
-    if streaming && passes = [] then process_chunk_stream ~engine ~path chunk
+  let process_chunk ~engine ~streaming ~timing passes ~path payload =
+    if load_bytecode && not (Source.is_binary payload) then begin
+      Diag.Engine.emit engine
+        (Diag.error
+           ~loc:(Irdl_support.Loc.point (Irdl_support.Loc.start_of_file path))
+           "--load-bytecode: input is not IRDL bytecode (bad magic)");
+      (true, false, None)
+    end
+    else if streaming && passes = [] then
+      process_chunk_stream ~engine ~path payload
     else begin
       let e0 = Diag.Engine.error_count engine in
       let parse_failed = ref false and verify_failed = ref false in
       let output = ref None in
       let ops =
-        Irdl_ir.Parser.parse_ops ~file:path ~engine ctx chunk
+        Frontend.parse_module ~file:path ~engine ctx payload
         |> Result.value ~default:[]
       in
       if Diag.Engine.error_count engine > e0 then parse_failed := true
@@ -335,7 +385,18 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
           if
             (not (verify_only || verify_diagnostics))
             && Diag.Engine.error_count engine = e0
-          then output := Some (Irdl_ir.Printer.ops_to_string ~generic ctx ops)
+          then begin
+            let sink =
+              if emit_binary then Frontend.Sink.bytecode ()
+              else Frontend.Sink.text ~generic ctx
+            in
+            List.iter (Frontend.Sink.push sink) ops;
+            match Frontend.Sink.close sink with
+            | Ok out -> output := Some out
+            | Error d ->
+                Diag.Engine.emit engine d;
+                verify_failed := true
+          end
         end
       end;
       (!parse_failed, !verify_failed, !output)
@@ -345,27 +406,25 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     Fmt.epr "irdl-opt: --batch cannot be combined with a positional INPUT@.";
     finish 1
   end;
-  (* Documents are (path, fetch) pairs: --batch files are fetched lazily so
-     the sequential driver keeps at most one source resident (and can drop
-     it once processed), instead of materializing a whole corpus up
-     front. A positional input is read eagerly as before (stdin cannot be
-     re-read). *)
+  (* Documents are (path, fetch) pairs producing classified payloads
+     (text or bytecode, sniffed by magic): --batch files are fetched
+     lazily so the sequential driver keeps at most one source resident
+     (and can drop it once processed), instead of materializing a whole
+     corpus up front. A positional input is read eagerly ([Source.read]
+     peeks stdin without seeking; stdin cannot be re-read). *)
   let docs =
     try
       match batch with
       | Some bpath ->
           List.map
-            (fun p -> (p, fun () -> read_file p))
+            (fun p -> (p, fun () -> Source.classify (read_file p)))
             (batch_inputs bpath)
       | None -> (
           match input with
           | None -> []
           | Some path ->
-              let src =
-                if path = "-" then In_channel.input_all stdin
-                else read_file path
-              in
-              [ (path, fun () -> src) ])
+              let payload = Source.read path in
+              [ (path, fun () -> payload) ])
     with Sys_error msg ->
       Fmt.epr "irdl-opt: %s@." msg;
       finish 1
@@ -392,11 +451,10 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
   | _ when !parse_failed -> ()
   | docs ->
       (* The unit of work is one chunk of one document: --split-input-file
-         cuts documents at '// -----' lines, --batch contributes one
-         document per file; both compose. *)
-      let chunks_of src =
-        if split_input_file then Harness.split_input src else [ src ]
-      in
+         cuts text at '// -----' lines and bytecode at document
+         boundaries, --batch contributes one document per file; both
+         compose. *)
+      let chunks_of payload = Source.chunks ~split:split_input_file payload in
       let doc_outs = Array.make (List.length docs) [] in
       let n_jobs =
         if jobs <= 0 then Domain.recommended_domain_count () else jobs
@@ -505,26 +563,47 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
             Option.iter (fun o -> doc_outs.(di) <- o :: doc_outs.(di)) out)
           results
       end;
-      (match batch with
+      (match emit_bytecode with
+      | Some out ->
+          (* Bytecode documents are self-delimiting and concatenate, so
+             the assembled output is the plain concatenation in input
+             order — headers or separators would corrupt the stream. *)
+          let blobs =
+            List.concat (List.mapi (fun di _ -> List.rev doc_outs.(di)) docs)
+          in
+          if blobs <> [] then write_binary out (String.concat "" blobs)
       | None -> (
-          match List.rev doc_outs.(0) with
-          | [] -> ()
-          | outs -> Fmt.pr "%s@." (String.concat "\n// -----\n" outs))
-      | Some _ ->
-          List.iteri
-            (fun di (path, _) ->
-              match List.rev doc_outs.(di) with
+          match batch with
+          | None -> (
+              match List.rev doc_outs.(0) with
               | [] -> ()
-              | outs ->
-                  Fmt.pr "// ===== %s =====@.%s@." path
-                    (String.concat "\n// -----\n" outs))
-            docs));
+              | outs -> Fmt.pr "%s@." (String.concat "\n// -----\n" outs))
+          | Some _ ->
+              List.iteri
+                (fun di (path, _) ->
+                  match List.rev doc_outs.(di) with
+                  | [] -> ()
+                  | outs ->
+                      Fmt.pr "// ===== %s =====@.%s@." path
+                        (String.concat "\n// -----\n" outs))
+                docs)));
   if verify_diagnostics then begin
     (* Expectations come from every input document and every -d dialect
-       file. *)
+       file. Bytecode carries no comments to annotate, so binary payloads
+       contribute none. *)
     let sources =
-      List.map (fun p -> (p, read_file p)) dialect_files
-      @ List.map (fun (p, fetch) -> (p, fetch_doc fetch)) docs
+      List.filter_map
+        (fun p ->
+          match Source.classify (read_file p) with
+          | Source.Text src -> Some (p, src)
+          | Source.Binary _ -> None)
+        dialect_files
+      @ List.filter_map
+          (fun (p, fetch) ->
+            match fetch_doc fetch with
+            | Source.Text src -> Some (p, src)
+            | Source.Binary _ -> None)
+          docs
     in
     let expectations, scan_errors =
       List.fold_left
@@ -771,6 +850,41 @@ let no_streaming =
            frontend would apply. Exists for differential testing and \
            debugging; output is byte-identical either way.")
 
+let emit_bytecode =
+  Arg.(
+    value & opt (some string) None
+    & info [ "emit-bytecode" ] ~docv:"FILE"
+        ~doc:
+          "Write the processed IR as versioned binary bytecode to $(docv) \
+           ('-' for stdout) instead of re-printing it as text. Each \
+           processed chunk becomes one self-delimiting bytecode document; \
+           under $(b,--batch) the documents of every file are concatenated \
+           in input order (bytecode needs no headers or separators). \
+           Composes with $(b,--split-input-file), $(b,--jobs) and the \
+           streaming frontend.")
+
+let load_bytecode =
+  Arg.(
+    value & flag
+    & info [ "load-bytecode" ]
+        ~doc:
+          "Require bytecode input: inputs that do not start with the \
+           bytecode magic are rejected. The input format is always \
+           detected automatically (magic sniffing, stdin included); this \
+           flag only turns a silent fall-back to the text parser into an \
+           error, for pipelines that expect pre-compiled bytecode.")
+
+let emit_dialect_bytecode =
+  Arg.(
+    value & opt (some string) None
+    & info [ "emit-dialect-bytecode" ] ~docv:"FILE"
+        ~doc:
+          "Write every dialect registered in this run ($(b,--corpus), \
+           $(b,--cmath) and $(b,-d) files, in registration order) as a \
+           bytecode dialect pack to $(docv) ('-' for stdout). A later run \
+           warm-starts by passing the pack to $(b,-d), skipping IRDL \
+           parsing and resolution entirely.")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -784,6 +898,7 @@ let cmd =
       $ max_errors $ diag_json $ pipeline $ dce $ cse $ dominance
       $ verify_each $ print_ir_before $ print_ir_after $ print_ir_before_all
       $ print_ir_after_all $ pass_timing $ pass_timing_json $ strict
-      $ verify_stats $ jobs $ batch $ streaming $ no_streaming $ verbose)
+      $ verify_stats $ jobs $ batch $ streaming $ no_streaming $ emit_bytecode
+      $ load_bytecode $ emit_dialect_bytecode $ verbose)
 
 let () = exit (Cmd.eval cmd)

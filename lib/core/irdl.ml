@@ -49,7 +49,9 @@ let load_collect ?native ?compile ?file ~engine (ctx : Irdl_ir.Context.t) src
     Parser.parse_file ?file ~engine src |> Result.value ~default:[]
   in
   let resolved =
-    List.filter_map (Resolve.resolve_dialect_collect ~engine) asts
+    List.filter_map
+      (fun ast -> Result.to_option (Resolve.resolve_dialect ~engine ast))
+      asts
   in
   List.iter
     (fun dl ->

@@ -572,15 +572,6 @@ let parse_file ?file ?engine src : (Ast.dialect list, Diag.t) result =
             Diag.Engine.emit engine d;
             [])
 
-(** Deprecated wrapper around {!parse_file}[ ~engine]. *)
-let parse_file_collect ?file ~engine src : Ast.dialect list =
-  match parse_file ?file ~engine src with
-  | Ok ds -> ds
-  | Error d ->
-      (* Unreachable: with an engine, [parse_file] never returns [Error]. *)
-      Diag.Engine.emit engine d;
-      []
-
 (** Parse a source expected to contain exactly one dialect. *)
 let parse_one ?file src : (Ast.dialect, Diag.t) result =
   match parse_file ?file src with

@@ -17,11 +17,6 @@ val parse_file :
     result is always [Ok] with the dialects (and the items within them)
     that parsed. *)
 
-val parse_file_collect :
-  ?file:string -> engine:Diag.Engine.t -> string -> Ast.dialect list
-[@@deprecated "use parse_file ~engine"]
-(** @deprecated Use {!parse_file}[ ~engine]. *)
-
 val parse_one : ?file:string -> string -> (Ast.dialect, Diag.t) result
 (** Parse a source expected to contain exactly one dialect. *)
 

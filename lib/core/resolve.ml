@@ -491,61 +491,29 @@ let resolve_op sc (o : Ast.op_def) : op =
     op_loc = o.o_loc;
   }
 
-(** Resolve a whole dialect definition. *)
-let resolve_dialect (d : Ast.dialect) : (dialect, Diag.t) result =
-  Diag.protect_any ~loc:d.d_loc (fun () ->
-      let sc = scope_of_dialect d in
-      let dl_types =
-        List.map
-          (fun (t : Ast.type_def) ->
-            let sc = { sc with vars = SMap.empty } in
-            resolve_typedef sc ~what:"type" ~name:t.t_name ~params:t.t_params
-              ~summary:t.t_summary ~cpp:t.t_cpp_constraints ~loc:t.t_loc)
-          (Ast.types d)
-      in
-      let dl_attrs =
-        List.map
-          (fun (a : Ast.attr_def) ->
-            resolve_typedef sc ~what:"attribute" ~name:a.a_name
-              ~params:a.a_params ~summary:a.a_summary ~cpp:a.a_cpp_constraints
-              ~loc:a.a_loc)
-          (Ast.attrs d)
-      in
-      let seen_ops = Hashtbl.create 16 in
-      let dl_ops =
-        List.map
-          (fun (o : Ast.op_def) ->
-            if Hashtbl.mem seen_ops o.o_name then
-              Diag.raise_error ~loc:o.o_loc
-                "duplicate operation '%s' in dialect %s" o.o_name d.d_name;
-            Hashtbl.add seen_ops o.o_name ();
-            resolve_op sc o)
-          (Ast.ops d)
-      in
-      {
-        dl_name = d.d_name;
-        dl_types;
-        dl_attrs;
-        dl_ops;
-        dl_enums = Ast.enums d;
-        dl_ast = d;
-      })
-
-(** Fail-soft variant of {!resolve_dialect}: every error — duplicate
-    definitions, unresolvable references, misplaced variadics — is emitted
-    to [engine] and resolution continues with the next definition. Returns
-    the dialect built from the definitions that resolved; [None] only when
-    the scope itself could not be built. *)
-let resolve_dialect_collect ~engine (d : Ast.dialect) : dialect option =
-  match
+(** Resolve a whole dialect definition. Fail-fast without [engine] (first
+    error returned as [Error]); fail-soft with it — every error (duplicate
+    definitions, unresolvable references, misplaced variadics) is emitted
+    and resolution continues with the next definition, so one run reports
+    all errors. In fail-soft mode definitions that fail to resolve are
+    dropped; the result is [Error] (already emitted) only when the dialect
+    scope itself could not be built. *)
+let resolve_dialect ?engine (d : Ast.dialect) : (dialect, Diag.t) result =
+  let result =
     Diag.protect_any ~loc:d.d_loc (fun () ->
-        let sc = scope_of_dialect ~on_dup:(Diag.Engine.emit engine) d in
+        let on_dup = Option.map (fun e -> Diag.Engine.emit e) engine in
+        let sc = scope_of_dialect ?on_dup d in
+        (* Fail-fast: let the exception propagate to [protect_any].
+           Fail-soft: emit and drop just this definition. *)
         let keep ~loc f x =
-          match Diag.protect_any ~loc (fun () -> f x) with
-          | Ok v -> Some v
-          | Error diag ->
-              Diag.Engine.emit engine diag;
-              None
+          match engine with
+          | None -> Some (f x)
+          | Some engine -> (
+              match Diag.protect_any ~loc (fun () -> f x) with
+              | Ok v -> Some v
+              | Error diag ->
+                  Diag.Engine.emit engine diag;
+                  None)
         in
         let dl_types =
           List.filter_map
@@ -593,8 +561,8 @@ let resolve_dialect_collect ~engine (d : Ast.dialect) : dialect option =
           dl_enums = Ast.enums d;
           dl_ast = d;
         })
-  with
-  | Ok dl -> Some dl
-  | Error diag ->
-      Diag.Engine.emit engine diag;
-      None
+  in
+  (match (result, engine) with
+  | Error diag, Some engine -> Diag.Engine.emit engine diag
+  | _ -> ());
+  result

@@ -51,13 +51,13 @@ type dialect = {
   dl_ast : Ast.dialect;  (** kept for introspection tooling and analysis *)
 }
 
-val resolve_dialect : Ast.dialect -> (dialect, Diag.t) result
-(** Resolve a whole dialect definition. Stops at the first error. *)
+val resolve_dialect :
+  ?engine:Diag.Engine.t -> Ast.dialect -> (dialect, Diag.t) result
+(** Resolve a whole dialect definition.
 
-val resolve_dialect_collect :
-  engine:Diag.Engine.t -> Ast.dialect -> dialect option
-(** Fail-soft variant of {!resolve_dialect}: every error is emitted to
-    [engine] and resolution continues with the next definition, so one run
-    reports all errors. Definitions that fail to resolve are dropped from
-    the returned dialect; [None] only when the dialect scope itself could
-    not be built. *)
+    Without [engine] the resolve is fail-fast: it stops at the first
+    error, returned as [Error]. With [engine] it is fail-soft: every error
+    is emitted and resolution continues with the next definition, so one
+    run reports all errors; definitions that fail to resolve are dropped
+    from the returned dialect, and the result is [Error] (also emitted)
+    only when the dialect scope itself could not be built. *)

@@ -122,8 +122,8 @@ val id_ty : ty -> int
 
 val uniquer_stats : unit -> Intern.stats * Intern.stats
 (** The calling domain's uniquer shard counters as [(types, attributes)];
-    reported via {!Context.uniquing_stats}. Identical to the historical
-    process-wide numbers in single-domain programs. *)
+    reported via [Context.stats ~scope:`Per_domain]. Identical to the
+    historical process-wide numbers in single-domain programs. *)
 
 val uniquer_stats_merged : unit -> Intern.stats * Intern.stats
 (** Counters summed over every domain's shard. [nodes] counts canonical

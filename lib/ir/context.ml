@@ -348,20 +348,6 @@ let op_stats t =
 
 type uniquing_stats = { us_types : Intern.stats; us_attrs : Intern.stats }
 
-(* The uniquer is domain-local (attributes are built before any context
-   exists, e.g. by dialect corpus helpers — the same shape as MLIR, where
-   builtin attribute storage outlives dialect registration in the context),
-   so every context reports the same shard: the calling domain's. *)
-let uniquing_stats (_ : t) =
-  let us_types, us_attrs = Attr.uniquer_stats () in
-  { us_types; us_attrs }
-
-(* Summed over every domain's shard; the whole-process view after a
-   parallel run. *)
-let uniquing_stats_merged (_ : t) =
-  let us_types, us_attrs = Attr.uniquer_stats_merged () in
-  { us_types; us_attrs }
-
 let pp_uniquing_stats ppf { us_types; us_attrs } =
   Fmt.pf ppf "types: %a@ attrs: %a" Intern.pp_stats us_types Intern.pp_stats
     us_attrs

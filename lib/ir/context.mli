@@ -184,21 +184,3 @@ val stats : ?scope:[ `Merged | `Per_domain ] -> t -> stats
 val verify_hit_rate : verify_stats -> float
 val pp_verify_stats : Format.formatter -> verify_stats -> unit
 val pp_uniquing_stats : Format.formatter -> uniquing_stats -> unit
-
-val verify_stats : t -> verify_stats
-[@@deprecated "use (stats t).st_verify"]
-(** @deprecated Use {!stats}: [(stats t).st_verify]. *)
-
-val verify_shard_stats : t -> verify_stats list
-[@@deprecated "use (stats ~scope:`Per_domain t).st_verify_shards"]
-(** @deprecated Use {!stats}:
-    [(stats ~scope:`Per_domain t).st_verify_shards]. *)
-
-val uniquing_stats : t -> uniquing_stats
-[@@deprecated "use (stats ~scope:`Per_domain t).st_uniquing"]
-(** @deprecated Use {!stats}:
-    [(stats ~scope:`Per_domain t).st_uniquing]. *)
-
-val uniquing_stats_merged : t -> uniquing_stats
-[@@deprecated "use (stats t).st_uniquing"]
-(** @deprecated Use {!stats}: [(stats t).st_uniquing]. *)

@@ -895,15 +895,6 @@ let parse_ops ?file ?engine ctx src : (Graph.op list, Diag.t) result =
             Diag.Engine.emit engine d;
             [])
 
-(** Deprecated wrapper around {!parse_ops}[ ~engine]. *)
-let parse_ops_collect ?file ~engine ctx src : Graph.op list =
-  match parse_ops ?file ~engine ctx src with
-  | Ok ops -> ops
-  | Error d ->
-      (* Unreachable: with an engine, [parse_ops] never returns [Error]. *)
-      Diag.Engine.emit engine d;
-      []
-
 (* ------------------------------------------------------------------ *)
 (* Streaming sessions                                                  *)
 (* ------------------------------------------------------------------ *)

@@ -25,11 +25,6 @@ val parse_ops :
     engine, parsing resumes at the next operation boundary, and the result
     is always [Ok] with the operations that parsed. *)
 
-val parse_ops_collect :
-  ?file:string -> engine:Diag.Engine.t -> Context.t -> string -> Graph.op list
-[@@deprecated "use parse_ops ~engine"]
-(** @deprecated Use {!parse_ops}[ ~engine]. *)
-
 (** Pull-based parse sessions: one fully-parsed top-level operation at a
     time (regions materialized per-op), so a driver can parse → verify →
     print → {!release} each op without the whole module ever being

@@ -1,0 +1,8 @@
+%c = "cmath.constant"() {value = 2.0 : f32} : () -> !cmath.complex<f32>
+%m = "cmath.mul"(%c, %c) : (!cmath.complex<f32>, !cmath.complex<f32>) -> !cmath.complex<f32>
+%n = "cmath.norm"(%m) : (!cmath.complex<f32>) -> f32
+
+// -----
+
+%d = "cmath.constant"() {value = 1.5 : f64} : () -> !cmath.complex<f64>
+%s = "cmath.mul"(%d, %d) : (!cmath.complex<f64>, !cmath.complex<f64>) -> !cmath.complex<f64>

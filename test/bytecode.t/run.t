@@ -1,0 +1,80 @@
+Golden-fixture gate and frontend uniformity for the bytecode subsystem.
+
+The committed golden.irdlbc was produced by the writer at format version 1.
+Re-emitting golden.mlir must reproduce it byte for byte: a mismatch means
+the wire format changed without a version bump, or the writer lost its
+emit determinism — either is a format break to fix, not an expectation to
+update. (Bump the version, regenerate the fixture, and keep a reader for
+the old version when the format does change intentionally.)
+
+  $ irdl-opt --cmath --split-input-file --emit-bytecode out.irdlbc golden.mlir
+  $ cmp out.irdlbc golden.irdlbc && echo byte-identical
+  byte-identical
+
+Load + re-emit is also byte-exact — the reader materializes exactly what
+the writer serialized, and value numbering is deterministic:
+
+  $ irdl-opt --cmath --split-input-file --emit-bytecode reemit.irdlbc golden.irdlbc
+  $ cmp reemit.irdlbc golden.irdlbc && echo byte-identical
+  byte-identical
+
+Loading bytecode prints the same text as processing the source directly
+(the format is sniffed by magic, no flag needed):
+
+  $ irdl-opt --cmath --split-input-file golden.mlir > from_text.txt
+  $ irdl-opt --cmath --split-input-file golden.irdlbc > from_bc.txt
+  $ cmp from_text.txt from_bc.txt && echo identical
+  identical
+  $ cat from_bc.txt
+  %0 = "cmath.constant"() {value = 2.0 : f32} : () -> (!cmath.complex<f32>)
+  %1 = cmath.mul %0, %0 : f32
+  %2 = cmath.norm %1 : f32
+  // -----
+  %0 = "cmath.constant"() {value = 1.5 : f64} : () -> (!cmath.complex<f64>)
+  %1 = cmath.mul %0, %0 : f64
+
+Bytecode on stdin: the Source peeks the magic-sized prefix and pushes it
+back, so sniffing never needs a seekable stream:
+
+  $ cat golden.irdlbc | irdl-opt --cmath --split-input-file - | cmp - from_bc.txt && echo identical
+  identical
+
+The parallel and materializing frontends consume bytecode through the same
+Source, byte-identically:
+
+  $ irdl-opt --cmath --split-input-file -j 2 golden.irdlbc | cmp - from_bc.txt && echo identical
+  identical
+  $ irdl-opt --cmath --split-input-file --no-streaming golden.irdlbc | cmp - from_bc.txt && echo identical
+  identical
+
+--load-bytecode turns the silent fall-back to the text parser into an
+error for pipelines that expect pre-compiled input:
+
+  $ irdl-opt --cmath --load-bytecode golden.mlir
+  golden.mlir:1:1: error: --load-bytecode: input is not IRDL bytecode (bad magic)
+  [1]
+
+Dialect packs: --emit-dialect-bytecode serializes the resolved registry,
+and -d warm-starts from the pack (no IRDL parsing or resolution) with
+identical verification behavior:
+
+  $ irdl-opt --cmath --emit-dialect-bytecode pack.irdlbc - < /dev/null > /dev/null
+  $ irdl-opt -d pack.irdlbc --split-input-file golden.mlir | cmp - from_text.txt && echo identical
+  identical
+
+Corrupted inputs produce located diagnostics, never a crash. Truncation:
+
+  $ head -c 40 golden.irdlbc > trunc.irdlbc
+  $ irdl-opt --cmath trunc.irdlbc
+  trunc.irdlbc:1:1: error: malformed bytecode: truncated document (payload of 134 bytes, 28 remain) at byte 12
+  [1]
+
+Version skew (version byte patched to 99) is rejected up front with the
+supported range, the compatibility contract of the format header:
+
+  $ head -c 8 golden.irdlbc > skew.irdlbc
+  $ printf '\143' >> skew.irdlbc
+  $ tail -c +10 golden.irdlbc >> skew.irdlbc
+  $ irdl-opt --cmath skew.irdlbc
+  skew.irdlbc:1:1: error: unsupported bytecode version 99 (this reader supports versions 1..1)
+  [1]

@@ -14,10 +14,12 @@
    `--smoke` (used by CI) shrinks the fleet so the artifact stays cheap to
    produce on every push. *)
 
+module Server = Irdl_server.Server
+
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Irdl_support.Monotonic.now_ns () in
   let r = f () in
-  (Unix.gettimeofday () -. t0, r)
+  (Irdl_support.Monotonic.elapsed_s t0, r)
 
 (* Best-of-k: one-shot wall-clock timings of sub-second batches are noise. *)
 let timed ~repeats f =
@@ -91,6 +93,47 @@ let () =
         ignore (Irdl_support.Domain_pool.run pool tasks);
         timed ~repeats (fun () -> Irdl_support.Domain_pool.run pool tasks))
   in
+  (* Resident-service throughput: the same chunks as verify requests
+     through [Server.handle] on the pool — the full per-request path
+     (fresh engine, budget accounting, diagnostics rendering, source
+     hygiene), so the requests/sec column prices what a --serve client
+     actually pays. *)
+  let server_run_at domains =
+    let config = { Server.default_config with Server.domains } in
+    let sources = Irdl_support.Diag.Sources.snapshot () in
+    let reqs =
+      Array.mapi
+        (fun i t ->
+          {
+            Server.rq_id = string_of_int i;
+            rq_kind = Server.Verify;
+            rq_file = Printf.sprintf "bench%d.mlir" i;
+            rq_limits = Irdl_support.Limits.unlimited;
+            rq_payload = t;
+          })
+        texts
+    in
+    Irdl_support.Domain_pool.with_pool ~domains (fun pool ->
+        let tasks =
+          Array.map
+            (fun rq () ->
+              Irdl_support.Diag.Sources.preload sources;
+              (Server.handle ctx config rq).Server.rs_status)
+            reqs
+        in
+        ignore (Irdl_support.Domain_pool.run pool tasks);
+        let t, statuses =
+          timed ~repeats (fun () -> Irdl_support.Domain_pool.run pool tasks)
+        in
+        Array.iter
+          (fun s ->
+            if s <> Server.Ok_ then
+              failwith
+                (Printf.sprintf "server request failed: %s"
+                   (Server.status_to_string s)))
+          statuses;
+        t)
+  in
   let results = List.map (fun d -> (d, run_at d)) domain_counts in
   let baseline_t, baseline_v = List.assoc 1 results in
   List.iter
@@ -102,9 +145,21 @@ let () =
   let curve =
     List.map (fun (d, (t, _)) -> (d, t, baseline_t /. t)) results
   in
+  let server_curve =
+    List.map
+      (fun d ->
+        let t = server_run_at d in
+        (d, t, float_of_int chunks /. t))
+      domain_counts
+  in
   List.iter
     (fun (d, t, s) -> Fmt.pr "  %d domain(s): %.4fs  (%.2fx)@." d t s)
     curve;
+  Fmt.pr "resident service (verify requests through Server.handle):@.";
+  List.iter
+    (fun (d, t, rps) ->
+      Fmt.pr "  %d domain(s): %.4fs  (%.0f requests/sec)@." d t rps)
+    server_curve;
   let speedup_at_4 =
     List.find_map (fun (d, _, s) -> if d = 4 then Some s else None) curve
     |> Option.get
@@ -123,6 +178,10 @@ let () =
 %s
   ],
   "speedup_at_4": %.3f,
+  "server_curve": [
+%s
+  ],
+  "requests_per_sec_at_4": %.1f,
   "verify_cache": { "hits": %d, "misses": %d, "shards": %d }
 }
 |}
@@ -134,7 +193,20 @@ let () =
               "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": %.3f }"
               d t s)
           curve))
-    speedup_at_4 stats.vs_hits stats.vs_misses
+    speedup_at_4
+    (String.concat ",\n"
+       (List.map
+          (fun (d, t, rps) ->
+            Printf.sprintf
+              "    { \"domains\": %d, \"seconds\": %.6f, \
+               \"requests_per_sec\": %.1f }"
+              d t rps)
+          server_curve))
+    (List.find_map
+       (fun (d, _, rps) -> if d = 4 then Some rps else None)
+       server_curve
+    |> Option.get)
+    stats.vs_hits stats.vs_misses
     (List.length ((Irdl_ir.Context.stats ~scope:`Per_domain ctx).st_verify_shards));
   close_out oc;
   Fmt.pr "wrote BENCH_parallel.json (speedup at 4 domains: %.2fx on %d \

@@ -42,9 +42,12 @@ open Cmdliner
 module Diag = Irdl_support.Diag
 module Harness = Irdl_support.Diag_harness
 module Domain_pool = Irdl_support.Domain_pool
+module Limits = Irdl_support.Limits
+module Failpoints = Irdl_support.Failpoints
 module Bytecode = Irdl_bytecode.Bytecode
 module Frontend = Irdl_bytecode.Frontend
 module Source = Frontend.Source
+module Server = Irdl_server.Server
 
 let write_binary path data =
   if path = "-" then begin
@@ -118,8 +121,66 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     pipeline dce cse dominance verify_each print_ir_before print_ir_after
     print_ir_before_all print_ir_after_all pass_timing pass_timing_json strict
     verify_stats jobs batch streaming no_streaming emit_bytecode load_bytecode
-    emit_dialect_bytecode verbose =
+    emit_dialect_bytecode serve listen connect failpoints_spec max_queue
+    max_ops max_region_depth max_payload_bytes deadline_ms verbose =
   setup_logs verbose;
+  (* Fault-injection seams, armed before anything parses. *)
+  (match failpoints_spec with
+  | None -> ()
+  | Some spec -> (
+      match Failpoints.configure spec with
+      | Ok () -> ()
+      | Error msg ->
+          Fmt.epr "irdl-opt: --failpoints: %s@." msg;
+          exit 1));
+  (* Resource budgets: applied to one-shot parsing below, to every request
+     of a server ([--serve]/[--listen], as the server-wide ceiling), and
+     sent along with a [--connect] request. *)
+  let base_limits =
+    Limits.create ~max_payload_bytes ~max_ops ~max_depth:max_region_depth ()
+  in
+  let mode_conflict msg =
+    Fmt.epr "irdl-opt: %s@." msg;
+    exit 1
+  in
+  if serve && Option.is_some listen then
+    mode_conflict "--serve and --listen are mutually exclusive";
+  if Option.is_some connect && (serve || Option.is_some listen) then
+    mode_conflict "--connect cannot be combined with --serve/--listen";
+  (* Client mode: one framed request against a resident server; the
+     response's diagnostics (pre-rendered, byte-identical to a one-shot
+     run) go to stderr, the output to stdout, and the exit code mirrors
+     the one-shot convention. No dialects are loaded here — the server
+     holds the registry. *)
+  (match connect with
+  | None -> ()
+  | Some path ->
+      let file = Option.value input ~default:"-" in
+      let payload =
+        try Source.contents (Source.read file)
+        with Sys_error msg ->
+          Fmt.epr "irdl-opt: %s@." msg;
+          exit 1
+      in
+      let kind =
+        if Option.is_some emit_bytecode then Server.Emit_bytecode
+        else if verify_only then Server.Verify
+        else Server.Print
+      in
+      (match
+         Server.roundtrip ~path ~kind ~file ~deadline_ms ~limits:base_limits
+           payload
+       with
+      | Error msg ->
+          Fmt.epr "irdl-opt: --connect: %s@." msg;
+          exit 4
+      | Ok rs ->
+          prerr_string rs.Server.rs_diags;
+          (match emit_bytecode with
+          | Some out when rs.Server.rs_output <> "" ->
+              write_binary out rs.Server.rs_output
+          | _ -> print_string rs.Server.rs_output);
+          exit (Server.status_exit_code rs.Server.rs_status)));
   let engine = Diag.Engine.create ~max_errors () in
   (* Under --verify-diagnostics the produced diagnostics are consumed by
      the matcher instead of printed; only harness failures reach stderr. *)
@@ -238,6 +299,31 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
      operation' errors, so stop here — except under --verify-diagnostics,
      where those errors may be exactly what the run expects. *)
   if !parse_failed && not verify_diagnostics then finish 1;
+  (* Server modes: the registry loaded above becomes the resident corpus;
+     requests are served until EOF (--serve) or shutdown. The exit is
+     clean even on SIGTERM/SIGINT — in-flight requests drain first. *)
+  if serve || Option.is_some listen then begin
+    if Option.is_some input || Option.is_some batch then
+      mode_conflict "--serve/--listen take no input (requests carry it)";
+    let config =
+      {
+        Server.default_config with
+        limits = base_limits;
+        max_queue;
+        domains = (if jobs > 0 then jobs else 0);
+        generic;
+      }
+    in
+    Server.install_signal_handlers ();
+    let answered =
+      match listen with
+      | Some path -> Server.serve_unix ~config ctx ~path ()
+      | None ->
+          Server.serve_fd ~config ctx ~in_fd:Unix.stdin ~out_fd:Unix.stdout ()
+    in
+    Logs.info (fun m -> m "served %d request(s)" answered);
+    finish 0
+  end;
   if streaming && no_streaming then begin
     Fmt.epr "irdl-opt: --streaming and --no-streaming are mutually exclusive@.";
     finish 1
@@ -304,6 +390,12 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
      to the bytecode emitter; everything else (chunking, verification,
      parallelism, exit codes) is format-independent. *)
   let emit_binary = Option.is_some emit_bytecode in
+  (* The one-shot budget. The deadline clock starts here — dialect loading
+     is setup, not input processing. *)
+  let run_limits =
+    if deadline_ms > 0 then Limits.with_deadline_ms base_limits deadline_ms
+    else base_limits
+  in
   (* One input chunk through the streaming frontend: parse (or decode),
      verify, emit and release one top-level op at a time, so peak memory
      is bounded by the largest op rather than the chunk. Byte-identical to
@@ -319,7 +411,9 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
     let parse_failed = ref false and verify_failed = ref false in
     let output = ref None in
     let want_output = not (verify_only || verify_diagnostics) in
-    let session = Frontend.Stream.create ~file:path ~engine ctx payload in
+    let session =
+      Frontend.Stream.create ~file:path ~engine ~limits:run_limits ctx payload
+    in
     let sink =
       if emit_binary then Frontend.Sink.bytecode ()
       else Frontend.Sink.text ~generic ctx
@@ -371,7 +465,7 @@ let run dialect_files pattern_files with_corpus with_cmath input generic
       let parse_failed = ref false and verify_failed = ref false in
       let output = ref None in
       let ops =
-        Frontend.parse_module ~file:path ~engine ctx payload
+        Frontend.parse_module ~file:path ~engine ~limits:run_limits ctx payload
         |> Result.value ~default:[]
       in
       if Diag.Engine.error_count engine > e0 then parse_failed := true
@@ -885,6 +979,98 @@ let emit_dialect_bytecode =
            warm-starts by passing the pack to $(b,-d), skipping IRDL \
            parsing and resolution entirely.")
 
+let serve =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Run as a resident service over stdin/stdout: the dialect \
+           registry is loaded once, then length-framed requests (parse, \
+           verify, print, emit-bytecode, ping, stats, shutdown) are \
+           answered until end of input. Responses preserve request order; \
+           diagnostics are byte-identical to a one-shot run over the same \
+           input. $(b,--jobs) sets the worker-domain count, the \
+           $(b,--max-*)/$(b,--deadline-ms) budgets become the server-wide \
+           ceiling, and $(b,--max-queue) bounds the accepted burst.")
+
+let listen =
+  Arg.(
+    value & opt (some string) None
+    & info [ "listen" ] ~docv:"SOCKET"
+        ~doc:
+          "Like $(b,--serve), but listen on a Unix-domain socket at \
+           $(docv), serving any number of concurrent connections until \
+           SIGTERM/SIGINT (in-flight requests drain first; the socket \
+           file is removed on exit).")
+
+let connect =
+  Arg.(
+    value & opt (some string) None
+    & info [ "connect" ] ~docv:"SOCKET"
+        ~doc:
+          "Client mode: send the input (positional $(b,INPUT) or stdin) \
+           as one request to the server at $(docv) and print its \
+           response — diagnostics to stderr, output to stdout, one-shot \
+           exit codes. $(b,--verify-only) requests verification only, \
+           $(b,--emit-bytecode) a bytecode response; the \
+           $(b,--max-*)/$(b,--deadline-ms) budgets ride along with the \
+           request.")
+
+let failpoints =
+  Arg.(
+    value & opt (some string) None
+    & info [ "failpoints" ] ~docv:"SPEC"
+        ~doc:
+          "Arm fault-injection seams: a comma-separated list of \
+           $(i,seam[:K]) entries (inject at every K-th hit; default every \
+           hit). Seams: parse, verify, bytecode.decode, pool.task. Also \
+           settable via $(b,IRDL_FAILPOINTS). Injected faults surface as \
+           structured internal-error diagnostics; a server answers the \
+           poisoned request and keeps running.")
+
+let max_queue =
+  Arg.(
+    value & opt int 0
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Bound the request burst a server accepts at once: requests \
+           beyond $(docv) are shed with a retry_later response carrying a \
+           retry-after-ms hint (0, the default, accepts everything).")
+
+let max_ops =
+  Arg.(
+    value & opt int 0
+    & info [ "max-ops" ] ~docv:"N"
+        ~doc:
+          "Abort parsing/decoding after $(docv) operations with a \
+           resource_exhausted diagnostic (0 = unlimited).")
+
+let max_region_depth =
+  Arg.(
+    value & opt int 0
+    & info [ "max-region-depth" ] ~docv:"N"
+        ~doc:
+          "Cap region nesting at $(docv) levels; deeper input is rejected \
+           with a resource_exhausted diagnostic (0 = unlimited).")
+
+let max_payload_bytes =
+  Arg.(
+    value & opt int 0
+    & info [ "max-payload-bytes" ] ~docv:"N"
+        ~doc:
+          "Reject inputs larger than $(docv) bytes with a \
+           resource_exhausted diagnostic; a server discards oversized \
+           request payloads without buffering them (0 = unlimited).")
+
+let deadline_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Give up after $(docv) milliseconds (monotonic clock, checked \
+           at operation boundaries) with a deadline_exceeded diagnostic \
+           (0 = no deadline).")
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
 
@@ -899,6 +1085,34 @@ let cmd =
       $ verify_each $ print_ir_before $ print_ir_after $ print_ir_before_all
       $ print_ir_after_all $ pass_timing $ pass_timing_json $ strict
       $ verify_stats $ jobs $ batch $ streaming $ no_streaming $ emit_bytecode
-      $ load_bytecode $ emit_dialect_bytecode $ verbose)
+      $ load_bytecode $ emit_dialect_bytecode $ serve $ listen $ connect
+      $ failpoints $ max_queue $ max_ops $ max_region_depth
+      $ max_payload_bytes $ deadline_ms $ verbose)
 
-let () = exit (Cmd.eval cmd)
+(* With SIGPIPE ignored, a downstream reader that stops early (irdl-opt
+   ... | head) surfaces as EPIPE on write instead of killing the process;
+   treat it as a clean early exit, like every well-behaved filter. *)
+let is_broken_pipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      (* OCaml channels wrap the errno text; match it rather than losing
+         the case. *)
+      let needle = "Broken pipe" in
+      let rec find i =
+        i + String.length needle <= String.length msg
+        && (String.sub msg i (String.length needle) = needle || find (i + 1))
+      in
+      find 0
+  | _ -> false
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match Cmd.eval ~catch:false cmd with
+  | code -> exit code
+  | exception e when is_broken_pipe e ->
+      (* The at_exit flushes would hit the same dead pipe and turn the
+         clean exit into an uncaught exception; give the buffered bytes
+         nowhere to fail. *)
+      (try Unix.dup2 (Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0) Unix.stdout
+       with Unix.Unix_error _ -> ());
+      exit 0

@@ -875,6 +875,9 @@ type mstate = {
   ms_vals : Graph.value option array;
   mutable ms_forwards : (int * Graph.value) list;
   mutable ms_skipped : bool;
+  ms_budget : Limits.budget;
+      (** session-wide (spans documents in a multi-doc buffer); blown
+          budgets raise {!Diag.Fatal_exn} and end the whole session *)
 }
 
 let ms_use c st idx =
@@ -962,6 +965,9 @@ let rec read_successors c blocks n =
 let rec decode_op c strs ((ty_at, attr_at) as pool) st ~blocks : Graph.op =
   let name = str_at c strs (read_uv c) in
   let loc = read_loc c strs in
+  Limits.tick_op st.ms_budget
+    ~loc:(if Loc.is_unknown loc then Loc.point (Loc.start_of_file c.c_file)
+          else loc);
   let operands = read_operands c st (read_count c "operand") in
   let n_results = read_count c "result" in
   let result_tys, res_idx = read_results c ty_at n_results in
@@ -984,6 +990,10 @@ and decode_regions c strs pool st n =
     r :: decode_regions c strs pool st (n - 1)
 
 and decode_region c strs pool st : Graph.region =
+  Limits.enter_region st.ms_budget
+    ~loc:(Loc.point (Loc.start_of_file c.c_file));
+  Fun.protect ~finally:(fun () -> Limits.leave_region st.ms_budget)
+  @@ fun () ->
   let ty_at = fst pool in
   let rlen = read_uv c in
   if rlen > remaining c then cfail c "truncated region (%d bytes)" rlen c.c_pos;
@@ -1040,26 +1050,51 @@ module Stream = struct
     s_cur : cursor;  (* spans the whole (possibly multi-document) buffer *)
     s_engine : Diag.Engine.t option;
     s_queue : pending Queue.t;
+    s_budget : Limits.budget;  (* shared by every document of the buffer *)
     mutable s_doc : docstate option;
     mutable s_failed : Diag.t option;
     mutable s_eof : bool;
   }
 
-  let create ?(file = "<bytecode>") ?engine (_ctx : Context.t) s =
-    {
-      s_cur = cursor ~file s;
-      s_engine = engine;
-      s_queue = Queue.create ();
-      s_doc = None;
-      s_failed = None;
-      s_eof = false;
-    }
+  let create ?(file = "<bytecode>") ?engine ?(limits = Limits.unlimited)
+      (_ctx : Context.t) s =
+    let budget = Limits.budget limits in
+    let sp =
+      {
+        s_cur = cursor ~file s;
+        s_engine = engine;
+        s_queue = Queue.create ();
+        s_budget = budget;
+        s_doc = None;
+        s_failed = None;
+        s_eof = false;
+      }
+    in
+    (* An over-budget payload fails like everything else in a session — a
+       sticky [Error] from [next], never an exception out of [create]. *)
+    (match
+       Diag.protect_any (fun () ->
+           Limits.check_payload budget ~file (String.length s))
+     with
+    | Ok () -> ()
+    | Error d ->
+        (match engine with Some e -> Diag.Engine.emit e d | None -> ());
+        sp.s_failed <- Some d;
+        sp.s_eof <- true);
+    sp
 
+  (* Fail-soft sessions recover at the next document — except from budget
+     violations, which must stay sticky: resuming after "too many ops"
+     would keep consuming the very resource that ran out. *)
   let fail sp d =
     match sp.s_engine with
-    | Some e ->
+    | Some e when not (Limits.is_budget_code d.Diag.code) ->
         Diag.Engine.emit e d;
         Ok ()
+    | Some e ->
+        Diag.Engine.emit e d;
+        sp.s_failed <- Some d;
+        Error d
     | None ->
         sp.s_failed <- Some d;
         Error d
@@ -1126,6 +1161,7 @@ module Stream = struct
         in
         match
           Diag.protect_any (fun () ->
+              Failpoints.hit "bytecode.decode";
               let strs = read_strtab doc_cur in
               let pool = read_pool doc_cur strs in
               let total_vals = read_uv doc_cur in
@@ -1143,6 +1179,7 @@ module Stream = struct
                     ms_vals = Array.make total_vals None;
                     ms_forwards = [];
                     ms_skipped = false;
+                    ms_budget = sp.s_budget;
                   };
                 d_lens = lens;
                 d_i = 0;
@@ -1274,8 +1311,8 @@ module Stream = struct
   let release = Graph.release
 end
 
-let read_module ?file ?engine ctx s =
-  let sp = Stream.create ?file ?engine ctx s in
+let read_module ?file ?engine ?limits ctx s =
+  let sp = Stream.create ?file ?engine ?limits ctx s in
   let rec drain acc =
     match Stream.next sp with
     | Ok None -> Ok (List.rev acc)

@@ -72,6 +72,7 @@ end
 val read_module :
   ?file:string ->
   ?engine:Diag.Engine.t ->
+  ?limits:Irdl_support.Limits.t ->
   Context.t ->
   string ->
   (Graph.op list, Diag.t) result
@@ -79,7 +80,9 @@ val read_module :
     [engine] (first error, as [Error]); fail-soft with it (errors emitted,
     decoding resumes at the next document boundary, always [Ok] with the
     ops that decoded). Drains {!Stream} internally, so diagnostics are
-    identical to the streaming path. *)
+    identical to the streaming path. [limits] caps payload size, decoded
+    ops, region depth and wall time across the whole buffer; budget
+    violations abort the session even in fail-soft mode. *)
 
 val read_dialects :
   ?file:string ->
@@ -96,14 +99,21 @@ module Stream : sig
   type session
 
   val create :
-    ?file:string -> ?engine:Diag.Engine.t -> Context.t -> string -> session
+    ?file:string ->
+    ?engine:Diag.Engine.t ->
+    ?limits:Irdl_support.Limits.t ->
+    Context.t ->
+    string ->
+    session
 
   val next : session -> (Graph.op option, Diag.t) result
   (** The next top-level op, [Ok None] at end of input. As with the
       textual stream, an op is yielded only once every forward value
       reference pending at its decode has resolved. In fail-fast mode the
       first error is sticky; with an engine, errors are emitted and the
-      session resumes at the next document. *)
+      session resumes at the next document — except budget violations
+      (diagnostic code [resource_exhausted]/[deadline_exceeded]), which
+      are sticky in both modes. *)
 
   val skip : session -> (bool, Diag.t) result
   (** Skip the next top-level op {e without decoding it} — one hop through

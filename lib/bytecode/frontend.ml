@@ -110,11 +110,12 @@ module Stream = struct
     | Text_stream of Ir_parser.Stream.session
     | Binary_stream of Bytecode.Stream.session
 
-  let create ?file ?engine ctx payload =
+  let create ?file ?engine ?limits ctx payload =
     match payload with
-    | Source.Text s -> Text_stream (Ir_parser.Stream.create ?file ?engine ctx s)
+    | Source.Text s ->
+        Text_stream (Ir_parser.Stream.create ?file ?engine ?limits ctx s)
     | Source.Binary b ->
-        Binary_stream (Bytecode.Stream.create ?file ?engine ctx b)
+        Binary_stream (Bytecode.Stream.create ?file ?engine ?limits ctx b)
 
   let next = function
     | Text_stream s -> Ir_parser.Stream.next s
@@ -123,10 +124,10 @@ module Stream = struct
   let release = Graph.release
 end
 
-let parse_module ?file ?engine ctx payload =
+let parse_module ?file ?engine ?limits ctx payload =
   match payload with
-  | Source.Text s -> Ir_parser.parse_ops ?file ?engine ctx s
-  | Source.Binary b -> Bytecode.read_module ?file ?engine ctx b
+  | Source.Text s -> Ir_parser.parse_ops ?file ?engine ?limits ctx s
+  | Source.Binary b -> Bytecode.read_module ?file ?engine ?limits ctx b
 
 let load_dialects ?native ?compile ?file ?engine ctx payload =
   match (payload, engine) with

@@ -55,7 +55,12 @@ module Stream : sig
   type t
 
   val create :
-    ?file:string -> ?engine:Diag.Engine.t -> Context.t -> Source.payload -> t
+    ?file:string ->
+    ?engine:Diag.Engine.t ->
+    ?limits:Limits.t ->
+    Context.t ->
+    Source.payload ->
+    t
 
   val next : t -> (Graph.op option, Diag.t) result
   val release : Graph.op -> unit
@@ -64,12 +69,15 @@ end
 val parse_module :
   ?file:string ->
   ?engine:Diag.Engine.t ->
+  ?limits:Limits.t ->
   Context.t ->
   Source.payload ->
   (Graph.op list, Diag.t) result
 (** Materialize a whole payload: [Parser.parse_ops] for text,
     [Bytecode.read_module] for bytecode; same fail-fast/fail-soft
-    [?engine] discipline as both. *)
+    [?engine] discipline as both. [limits] caps payload size, op count,
+    region depth and wall time (see {!Limits}); budget violations abort
+    the session even in fail-soft mode. *)
 
 val load_dialects :
   ?native:Irdl_core.Native.t ->

@@ -175,6 +175,9 @@ type t = {
   buf : Sbuf.t;
   engine : Diag.Engine.t option;
       (** when set, lexing and op sequences recover instead of aborting *)
+  budget : Limits.budget;
+      (** resource accounting; blown budgets raise {!Diag.Fatal_exn}, which
+          deliberately escapes the fail-soft recovery below *)
   mutable lookahead : lexed;
   values : (string, Graph.value) Hashtbl.t;
   mutable forwards : (string * Loc.t * Graph.value) list;
@@ -196,10 +199,13 @@ let next_token_safe p =
       in
       go ()
 
-let create ?(file = "<string>") ?engine ctx src =
+let create ?(file = "<string>") ?engine ?(limits = Limits.unlimited) ctx src =
+  let budget = Limits.budget limits in
+  Limits.check_payload budget ~file (String.length src);
+  Failpoints.hit "parse";
   let buf = Sbuf.of_string ~file src in
   let p =
-    { ctx; buf; engine; lookahead = { tok = Eof; tloc = Loc.unknown };
+    { ctx; buf; engine; budget; lookahead = { tok = Eof; tloc = Loc.unknown };
       values = Hashtbl.create 64; forwards = [] }
   in
   p.lookahead <- next_token_safe p;
@@ -523,6 +529,9 @@ let scope_block (scope : block_scope) name =
 
 let rec parse_op p ~(scope : block_scope option) : Graph.op =
   let op_loc = loc p in
+  (* Budget accounting happens before anything is consumed; a blown budget
+     raises [Fatal_exn], which skips op-boundary recovery entirely. *)
+  Limits.tick_op p.budget ~loc:op_loc;
   (* Optional result list: %a, %b = ... *)
   let result_names =
     match peek p with
@@ -645,6 +654,8 @@ and parse_generic_body p ~scope ~name ~op_loc : Graph.op =
 
 and parse_region p : Graph.region =
   let region_start = loc p in
+  Limits.enter_region p.budget ~loc:region_start;
+  Fun.protect ~finally:(fun () -> Limits.leave_region p.budget) @@ fun () ->
   expect_punct p "{";
   let scope : block_scope = Hashtbl.create 4 in
   let region = Graph.Region.create () in
@@ -840,11 +851,11 @@ let finish_collect p engine =
     lexing/parsing error (and every use of an undefined value) is emitted
     to the engine, parsing resumes at the next operation boundary, and the
     result is always [Ok] with the operations that parsed. *)
-let parse_ops ?file ?engine ctx src : (Graph.op list, Diag.t) result =
+let parse_ops ?file ?engine ?limits ctx src : (Graph.op list, Diag.t) result =
   match engine with
   | None ->
       Diag.protect_any (fun () ->
-          let p = create ?file ctx src in
+          let p = create ?file ?limits ctx src in
           let rec go acc =
             match peek p with
             | Eof -> List.rev acc
@@ -857,7 +868,7 @@ let parse_ops ?file ?engine ctx src : (Graph.op list, Diag.t) result =
       Ok
         (match
            Diag.protect_any (fun () ->
-               let p = create ?file ~engine ctx src in
+               let p = create ?file ~engine ?limits ctx src in
                let ops = ref [] in
                let continue = ref true in
                while !continue do
@@ -930,15 +941,34 @@ module Stream = struct
         (** Fail-fast mode only: the error that ended the session. *)
   }
 
-  let create ?file ?engine ctx src =
-    {
-      sp = create ?file ?engine ctx src;
-      s_engine = engine;
-      s_queue = Queue.create ();
-      s_eof = false;
-      s_finished = false;
-      s_failed = None;
-    }
+  let create ?file ?engine ?limits ctx src =
+    (* Session open can itself fail — payload over budget, injected fault —
+       and must fail like everything else in a session: a sticky [Error]
+       from [next], not an exception out of [create]. *)
+    match
+      Diag.protect_any (fun () -> create ?file ?engine ?limits ctx src)
+    with
+    | Ok sp ->
+        {
+          sp;
+          s_engine = engine;
+          s_queue = Queue.create ();
+          s_eof = false;
+          s_finished = false;
+          s_failed = None;
+        }
+    | Error d ->
+        (match engine with
+        | Some e -> Diag.Engine.emit e d
+        | None -> ());
+        {
+          sp = create ?file ?engine ctx "";
+          s_engine = engine;
+          s_queue = Queue.create ();
+          s_eof = true;
+          s_finished = true;
+          s_failed = Some d;
+        }
 
   let resolved (v : Graph.value) =
     match v.Graph.v_def with Graph.Forward_ref _ -> false | _ -> true

@@ -14,6 +14,7 @@ val int_ty_of_ident : string -> Attr.ty option
 val parse_ops :
   ?file:string ->
   ?engine:Diag.Engine.t ->
+  ?limits:Limits.t ->
   Context.t ->
   string ->
   (Graph.op list, Diag.t) result
@@ -23,7 +24,13 @@ val parse_ops :
     returned as [Error]. With [engine] it is fail-soft: every
     lexing/parsing error (and every undefined value) is emitted to the
     engine, parsing resumes at the next operation boundary, and the result
-    is always [Ok] with the operations that parsed. *)
+    is always [Ok] with the operations that parsed.
+
+    [limits] (default {!Limits.unlimited}) caps payload size, op count,
+    region depth and wall time. A blown budget aborts the whole parse even
+    in fail-soft mode — the budget diagnostic (code
+    [resource_exhausted]/[deadline_exceeded]) is emitted/returned and in
+    fail-soft mode the result is [Ok []]. *)
 
 (** Pull-based parse sessions: one fully-parsed top-level operation at a
     time (regions materialized per-op), so a driver can parse → verify →
@@ -35,10 +42,17 @@ module Stream : sig
   (** An in-progress streaming parse over one source buffer. *)
 
   val create :
-    ?file:string -> ?engine:Diag.Engine.t -> Context.t -> string -> session
+    ?file:string ->
+    ?engine:Diag.Engine.t ->
+    ?limits:Limits.t ->
+    Context.t ->
+    string ->
+    session
   (** Open a session. As with {!parse_ops}, [engine] selects fail-soft
       collect-and-recover parsing; without it the first error ends the
-      session. *)
+      session. [limits] caps the session's resources; a blown budget never
+      raises out of [create] or {!next} — it ends the session with a
+      sticky [Error] whose diagnostic carries the budget code. *)
 
   val next : session -> (Graph.op option, Diag.t) result
   (** The next top-level operation, [Ok None] at end of input, or — in

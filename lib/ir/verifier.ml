@@ -180,6 +180,7 @@ let diag_order (a : Diag.t) (b : Diag.t) =
     The result is sorted by location and de-duplicated, so multi-error
     output is diffable. *)
 let verify_all ctx (op : Graph.op) =
+  Failpoints.hit "verify";
   let diags = ref [] in
   Graph.Op.walk op ~f:(fun o ->
       match verify_op ctx o with

@@ -49,7 +49,9 @@ type pass_report = {
 
 type report = { rp_passes : pass_report list; rp_total_s : float }
 
-let now = Unix.gettimeofday
+(* Monotonic, not wall-clock: pass timings must not go negative or jump
+   when NTP steps the system clock mid-pipeline. *)
+let now = Monotonic.now_s
 
 (* A failing pass keeps its own diagnostic (message and location); the
    pass name rides along as a note so tooling scraping messages still sees

@@ -19,22 +19,34 @@ type t = {
   loc : Loc.t;
   message : string;
   notes : (Loc.t * string) list;
+  code : string option;
+      (** Machine-readable classification ([resource_exhausted],
+          [deadline_exceeded], [injected_fault], ...). [None] for ordinary
+          parse/verify diagnostics, whose rendering must stay byte-stable. *)
 }
 
 exception Error_exn of t
 
-let make ?(severity = Error) ?(loc = Loc.unknown) ?(notes = []) message =
-  { severity; loc; message; notes }
+exception Fatal_exn of t
+(** A diagnostic that must abort the whole session, not just the current
+    op: budget violations (see {!Limits}) raise this so that fail-soft
+    recovery — which catches {!Error_exn} at op boundaries and resumes —
+    cannot swallow them and keep consuming the very resource that ran out.
+    Only {!protect_any} (the outermost guard of public entry points)
+    converts it to [Error]. *)
 
-let error ?loc ?notes fmt =
-  Fmt.kstr (fun message -> make ~severity:Error ?loc ?notes message) fmt
+let make ?(severity = Error) ?(loc = Loc.unknown) ?(notes = []) ?code message =
+  { severity; loc; message; notes; code }
+
+let error ?loc ?notes ?code fmt =
+  Fmt.kstr (fun message -> make ~severity:Error ?loc ?notes ?code message) fmt
 
 let warning ?loc ?notes fmt =
   Fmt.kstr (fun message -> make ~severity:Warning ?loc ?notes message) fmt
 
-let errorf ?loc ?notes fmt =
+let errorf ?loc ?notes ?code fmt =
   Fmt.kstr
-    (fun message -> Result.Error (make ~severity:Error ?loc ?notes message))
+    (fun message -> Result.Error (make ~severity:Error ?loc ?notes ?code message))
     fmt
 
 (** Raise the diagnostic as an exception; callers at API boundaries catch
@@ -42,6 +54,12 @@ let errorf ?loc ?notes fmt =
 let raise_error ?loc ?notes fmt =
   Fmt.kstr
     (fun message -> raise (Error_exn (make ~severity:Error ?loc ?notes message)))
+    fmt
+
+let raise_fatal ?loc ?notes ?code fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Fatal_exn (make ~severity:Error ?loc ?notes ?code message)))
     fmt
 
 let pp_severity ppf = function
@@ -71,7 +89,11 @@ let protect f = try Ok (f ()) with Error_exn d -> Error d
     caller. *)
 let protect_any ?(loc = Loc.unknown) f =
   try Ok (f ()) with
-  | Error_exn d -> Error d
+  | Error_exn d | Fatal_exn d -> Error d
+  | Failpoints.Injected name ->
+      Error
+        (make ~loc ~code:"injected_fault"
+           ("internal error: injected fault at failpoint '" ^ name ^ "'"))
   | Out_of_memory -> raise Out_of_memory
   | Stack_overflow ->
       Error (make ~loc "internal error: stack overflow (input nested too deeply)")
@@ -223,10 +245,17 @@ let to_json t =
              (json_escape note))
     |> String.concat ", "
   in
+  (* [code] is emitted only when present, so the serialization of every
+     pre-existing diagnostic stays byte-identical. *)
+  let code =
+    match t.code with
+    | None -> ""
+    | Some c -> Printf.sprintf {| "code": "%s",|} (json_escape c)
+  in
   Printf.sprintf
-    {|{ "severity": "%s", %s, "message": "%s", "notes": [%s] }|}
+    {|{ "severity": "%s",%s %s, "message": "%s", "notes": [%s] }|}
     (Fmt.str "%a" pp_severity t.severity)
-    (loc_json t.loc) (json_escape t.message) notes
+    code (loc_json t.loc) (json_escape t.message) notes
 
 (* ------------------------------------------------------------------ *)
 (* Diagnostic engine                                                   *)

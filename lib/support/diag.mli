@@ -13,17 +13,29 @@ type t = {
   loc : Loc.t;
   message : string;
   notes : (Loc.t * string) list;
+  code : string option;
+      (** Machine-readable classification ([resource_exhausted],
+          [deadline_exceeded], [injected_fault], ...). [None] for ordinary
+          diagnostics; serialized to JSON only when present so existing
+          outputs stay byte-identical. *)
 }
 
 exception Error_exn of t
 (** Raised by {!raise_error}; caught at API boundaries by {!protect}. *)
 
+exception Fatal_exn of t
+(** A session-aborting diagnostic (budget violation, deadline). Deliberately
+    NOT caught by {!protect}: fail-soft recovery catches {!Error_exn} at op
+    boundaries and resumes parsing, which must not happen once a resource
+    budget is blown. {!protect_any} — the outermost guard — converts it to
+    [Error] like any other failure. *)
+
 val make :
   ?severity:severity -> ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
-  string -> t
+  ?code:string -> string -> t
 
 val error :
-  ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list -> ?code:string ->
   ('a, Format.formatter, unit, t) format4 -> 'a
 (** [error fmt ...] builds an error diagnostic from a format string. *)
 
@@ -32,7 +44,7 @@ val warning :
   ('a, Format.formatter, unit, t) format4 -> 'a
 
 val errorf :
-  ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list -> ?code:string ->
   ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
 (** Like {!error} but already wrapped in [Result.Error]. *)
 
@@ -40,6 +52,11 @@ val raise_error :
   ?loc:Loc.t -> ?notes:(Loc.t * string) list ->
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise the diagnostic as {!Error_exn}. *)
+
+val raise_fatal :
+  ?loc:Loc.t -> ?notes:(Loc.t * string) list -> ?code:string ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise the diagnostic as {!Fatal_exn}. *)
 
 val pp_severity : Format.formatter -> severity -> unit
 val pp : Format.formatter -> t -> unit
@@ -51,9 +68,10 @@ val protect : (unit -> 'a) -> ('a, t) result
 val protect_any : ?loc:Loc.t -> (unit -> 'a) -> ('a, t) result
 (** Like {!protect}, but additionally converts any other exception (stray
     [Failure], [Invalid_argument], [Not_found], assertion failure, stack
-    overflow) into an "internal error" diagnostic at [loc]. Out-of-memory
-    is re-raised. Public entry points use this so no input can crash a
-    caller. *)
+    overflow) into an "internal error" diagnostic at [loc]; {!Fatal_exn}
+    carries its own diagnostic through, and {!Failpoints.Injected} becomes
+    a diagnostic with code ["injected_fault"]. Out-of-memory is re-raised.
+    Public entry points use this so no input can crash a caller. *)
 
 val get_ok : ('a, t) result -> 'a
 (** Unwrap, re-raising {!Error_exn} on [Error]. *)

@@ -1,0 +1,5 @@
+external now_ns : unit -> int64 = "irdl_monotonic_now_ns"
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9
+let add_ms t ms = Int64.add t (Int64.mul (Int64.of_int ms) 1_000_000L)

@@ -1,0 +1,25 @@
+(** A monotonic clock.
+
+    Wall-clock time ([Unix.gettimeofday]) can step backwards or jump
+    forwards when NTP corrects the system clock; anything computing a
+    duration from two wall-clock samples can observe negative or garbage
+    intervals. Every in-repo timing (per-pass reports, benchmarks' internal
+    checks) and every deadline (the resident server's per-request budget)
+    goes through this module instead: [CLOCK_MONOTONIC] via a tiny C stub,
+    no dependency beyond libc.
+
+    The absolute value of {!now_ns} is meaningless (typically time since
+    boot); only differences are. *)
+
+val now_ns : unit -> int64
+(** The current monotonic time in nanoseconds. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds, for timing code that subtracts two samples. *)
+
+val elapsed_s : int64 -> float
+(** [elapsed_s t0] is the seconds elapsed since the {!now_ns} sample [t0]. *)
+
+val add_ms : int64 -> int -> int64
+(** [add_ms t ms] is [t] advanced by [ms] milliseconds — deadline
+    arithmetic for {!Limits}. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for timings and deadlines.
+
+   CLOCK_MONOTONIC is immune to NTP steps and settimeofday, which is the
+   whole point: per-pass timings and per-request deadlines must never go
+   negative or jump because the wall clock was corrected under us. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value irdl_monotonic_now_ns(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000LL + (int64_t) ts.tv_nsec);
+}

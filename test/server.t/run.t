@@ -1,0 +1,77 @@
+The resident service must be indistinguishable from one-shot runs: same
+diagnostics bytes, same output bytes, same exit codes — the determinism
+gate CI enforces with cmp. The listener drains in-flight requests and
+removes its socket on SIGTERM.
+
+  $ cat > good.mlir <<'EOF'
+  > %c = "t.cast"() : () -> (!cmath.complex<f32>)
+  > %n = "cmath.norm"(%c) : (!cmath.complex<f32>) -> (f32)
+  > EOF
+  $ cat > badverify.mlir <<'EOF'
+  > %c = "t.cast"() : () -> (!cmath.complex<f32>)
+  > %n = "cmath.norm"(%c) : (!cmath.complex<f32>) -> (i32)
+  > EOF
+  $ cat > badparse.mlir <<'EOF'
+  > %x = "t.oops"( : () -> (i32)
+  > EOF
+
+Start a listener with two worker domains, wait for the socket to bind:
+
+  $ irdl-opt --cmath --listen srv.sock -j 2 &
+  $ SRV=$!
+  $ n=0; while [ ! -S srv.sock ] && [ $n -lt 200 ]; do sleep 0.05; n=$((n+1)); done
+  $ [ -S srv.sock ] && echo socket up
+  socket up
+
+A clean module: the client's stdout/stderr/exit must match one-shot's
+byte for byte:
+
+  $ irdl-opt --cmath good.mlir > oneshot.out 2> oneshot.err; echo "exit: $?"
+  exit: 0
+  $ irdl-opt --connect srv.sock good.mlir > client.out 2> client.err; echo "exit: $?"
+  exit: 0
+  $ cmp oneshot.out client.out && cmp oneshot.err client.err && echo identical
+  identical
+
+A verify failure — same diagnostics (caret snippets included), same
+verify-class exit code:
+
+  $ irdl-opt --cmath badverify.mlir > oneshot.out 2> oneshot.err; echo "exit: $?"
+  exit: 2
+  $ irdl-opt --connect srv.sock badverify.mlir > client.out 2> client.err; echo "exit: $?"
+  exit: 2
+  $ cmp oneshot.out client.out && cmp oneshot.err client.err && echo identical
+  identical
+
+A parse failure likewise:
+
+  $ irdl-opt --cmath badparse.mlir > oneshot.out 2> oneshot.err; echo "exit: $?"
+  exit: 1
+  $ irdl-opt --connect srv.sock badparse.mlir > client.out 2> client.err; echo "exit: $?"
+  exit: 1
+  $ cmp oneshot.out client.out && cmp oneshot.err client.err && echo identical
+  identical
+
+Request-side budgets ride along with --connect; a blown budget is a
+structured parse-class failure, not a hang or a crash:
+
+  $ irdl-opt --connect srv.sock --max-ops 1 good.mlir > /dev/null 2> budget.err; echo "exit: $?"
+  exit: 1
+  $ grep -c "operation limit of 1 exceeded" budget.err
+  1
+
+SIGTERM: the server drains and exits cleanly, removing the socket:
+
+  $ kill -TERM $SRV
+  $ wait $SRV; echo "server exit: $?"
+  server exit: 0
+  $ [ ! -e srv.sock ] && echo socket removed
+  socket removed
+
+After shutdown the client reports a transport error (exit 4), it does
+not hang:
+
+  $ irdl-opt --connect srv.sock good.mlir > /dev/null 2> gone.err; echo "exit: $?"
+  exit: 4
+  $ grep -c "irdl-opt: --connect:" gone.err
+  1

@@ -1,0 +1,20 @@
+A downstream reader that stops early (| head) must not kill irdl-opt
+with SIGPIPE or leave a broken-pipe backtrace: the write failure is a
+clean early exit.
+
+Enough output to overflow the pipe buffer after head stops reading:
+
+  $ i=0; while [ $i -lt 5000 ]; do echo "%v$i = \"t.op\"() : () -> (i32)"; i=$((i+1)); done > big.mlir
+
+  $ (irdl-opt --cmath big.mlir 2> pipe.err; echo $? > code) | head -n 1 > /dev/null
+  $ cat code
+  0
+  $ cat pipe.err
+
+The same through the streaming path, where writes interleave with
+parsing:
+
+  $ (irdl-opt --cmath --streaming --split-input-file big.mlir 2> pipe2.err; echo $? > code2) | head -n 1 > /dev/null
+  $ cat code2
+  0
+  $ cat pipe2.err

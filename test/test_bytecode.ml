@@ -281,6 +281,41 @@ let version_skew () =
   check_err_containing "text as bytecode" "bad magic"
     (Bytecode.read_module (ctx ()) "%a = \"t.x\"() : () -> i32\n")
 
+(* The compatibility window. The writer's header version is frozen at 1 —
+   the contract the committed golden fixture (test/bytecode.t) gates — and
+   the reader accepts exactly versions 1..[Bytecode.version]: anything
+   outside the window is rejected up front with a diagnostic located at
+   the input file, never decoded on a guess. *)
+let compat_window () =
+  let blob =
+    emit_ok "emit"
+      [ Graph.Op.create ~result_tys:[ Attr.i32 ] "t.window" ]
+  in
+  let voff = String.length Bytecode.magic in
+  Alcotest.(check int) "header version byte is frozen at 1" 1
+    (Char.code blob.[voff]);
+  ignore (load_ok "v1 document loads" (cmath_ctx ()) blob);
+  let patched v =
+    let b = Bytes.of_string blob in
+    Bytes.set b voff (Char.chr v);
+    Bytes.to_string b
+  in
+  check_err_containing "version 0 (below the window)" "version"
+    (Bytecode.read_module ~file:"skew.irdlbc" (ctx ()) (patched 0));
+  (match
+     Bytecode.read_module ~file:"skew.irdlbc" (ctx ())
+       (patched (Bytecode.version + 1))
+   with
+  | Ok _ -> Alcotest.fail "future version must be rejected"
+  | Error d ->
+      check_err_containing "future version" "version" (Error d);
+      Alcotest.(check bool)
+        "diagnostic is located" false
+        (Irdl_support.Loc.is_unknown d.Diag.loc);
+      Alcotest.(check string)
+        "diagnostic names the input file" "skew.irdlbc"
+        d.Diag.loc.start_pos.file)
+
 (* ---------------- dialect round-trips ---------------- *)
 
 let dialects_of_source what src =
@@ -608,6 +643,7 @@ let suite =
     tc "writer: undefined value" writer_undefined_value;
     tc "writer: top-level successor" writer_toplevel_successor;
     tc "version and kind skew" version_skew;
+    tc "compatibility window (v1 frozen, skew located)" compat_window;
     tc "dialect pack registers (warm start)" dialect_pack_registers;
     tc "fuzz: truncations" fuzz_truncations;
     tc "fuzz: bit flips" fuzz_bitflips;

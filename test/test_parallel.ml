@@ -90,6 +90,51 @@ let test_pool_exception () =
         (Array.init 8 (fun i -> -i))
         results)
 
+(* The caller is a pool participant: with one domain every task — the
+   failing one included — runs on the caller's own stack, and the failure
+   contract (raise after the batch drains, pool survives) must hold there
+   too, not only for stolen tasks. *)
+let test_pool_caller_exception () =
+  Domain_pool.with_pool ~domains:1 (fun pool ->
+      let ran = ref 0 in
+      let tasks =
+        Array.init 6 (fun i () ->
+            incr ran;
+            if i = 2 then raise (Boom i) else i)
+      in
+      (match Domain_pool.run pool tasks with
+      | _ -> Alcotest.fail "expected the batch to raise"
+      | exception Boom i -> Alcotest.(check int) "caller-task failure" 2 i);
+      Alcotest.(check int) "every task still ran" 6 !ran;
+      let results = Domain_pool.run pool (Array.init 4 (fun i () -> i + 1)) in
+      Alcotest.(check (array int))
+        "pool survives a caller-side failure"
+        [| 1; 2; 3; 4 |] results)
+
+(* However the failures land across domains and rounds, the re-raised one
+   is always the lowest-indexed — the property that makes a parallel
+   irdl-opt run's exit deterministic. *)
+let test_pool_multi_failure_determinism () =
+  Domain_pool.with_pool ~domains:4 (fun pool ->
+      for round = 1 to 10 do
+        let tasks =
+          Array.init 40 (fun i () ->
+              if i mod 7 = 2 then raise (Boom i) else i)
+        in
+        match Domain_pool.run pool tasks with
+        | _ -> Alcotest.fail "expected the batch to raise"
+        | exception Boom i ->
+            Alcotest.(check int)
+              (Printf.sprintf "round %d: lowest failure index" round)
+              2 i
+      done;
+      (* Ten failed batches later the pool still computes. *)
+      let results = Domain_pool.run pool (Array.init 16 (fun i () -> i * 3)) in
+      Alcotest.(check (array int))
+        "pool survives ten failed batches"
+        (Array.init 16 (fun i -> i * 3))
+        results)
+
 let test_pool_sequential_degenerate () =
   Domain_pool.with_pool ~domains:1 (fun pool ->
       Alcotest.(check int) "one participant" 1 (Domain_pool.size pool);
@@ -332,6 +377,9 @@ let suite =
     tc "pool: unbalanced batch (stealing)" test_pool_unbalanced;
     tc "pool: reusable across batches" test_pool_reuse;
     tc "pool: lowest-index exception, pool survives" test_pool_exception;
+    tc "pool: caller-task exception" test_pool_caller_exception;
+    tc "pool: multi-failure determinism across rounds"
+      test_pool_multi_failure_determinism;
     tc "pool: 1 domain degrades to sequential" test_pool_sequential_degenerate;
     tc "pool: shutdown is final and idempotent" test_pool_shutdown;
     tc "pool: re-entrant run rejected" test_pool_reentrant;

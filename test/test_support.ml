@@ -92,9 +92,164 @@ let sbuf_classifiers () =
   Alcotest.(check bool) "ident char $" true (Sbuf.is_ident_char '$');
   Alcotest.(check bool) "space tab" true (Sbuf.is_space '\t')
 
+(* ---------------- monotonic clock ---------------- *)
+
+let monotonic_basics () =
+  let t0 = Monotonic.now_ns () in
+  let t1 = Monotonic.now_ns () in
+  Alcotest.(check bool) "never goes backwards" true (Int64.compare t1 t0 >= 0);
+  Alcotest.(check bool) "nonzero epoch" true (Int64.compare t0 0L > 0);
+  Alcotest.(check int64) "add_ms is nanoseconds" (Int64.add t0 5_000_000L)
+    (Monotonic.add_ms t0 5);
+  Alcotest.(check bool) "elapsed_s non-negative" true
+    (Monotonic.elapsed_s t0 >= 0.)
+
+(* ---------------- resource budgets ---------------- *)
+
+let limits_meet () =
+  let a = Limits.create ~max_ops:100 ~max_depth:4 () in
+  let b = Limits.create ~max_ops:10 ~max_payload_bytes:1000 () in
+  let m = Limits.meet a b in
+  Alcotest.(check int) "strictest ops" 10 m.Limits.max_ops;
+  Alcotest.(check int) "unlimited side yields" 4 m.Limits.max_depth;
+  Alcotest.(check int) "bytes from b" 1000 m.Limits.max_payload_bytes;
+  let u = Limits.meet Limits.unlimited Limits.unlimited in
+  Alcotest.(check bool) "unlimited meets to unlimited" true
+    (u = Limits.unlimited);
+  (* Negative inputs clamp to "unlimited", never to a negative cap. *)
+  let c = Limits.create ~max_ops:(-5) () in
+  Alcotest.(check int) "negative clamps to 0" 0 c.Limits.max_ops
+
+let budget_code = function
+  | Diag.Fatal_exn d -> d.Diag.code
+  | e -> Alcotest.failf "expected Fatal_exn, got %s" (Printexc.to_string e)
+
+let limits_ops_budget () =
+  let b = Limits.budget (Limits.create ~max_ops:2 ()) in
+  let loc = Loc.point (Loc.start_of_file "f") in
+  Limits.tick_op b ~loc;
+  Limits.tick_op b ~loc;
+  (match Limits.tick_op b ~loc with
+  | () -> Alcotest.fail "third op must blow the budget"
+  | exception e ->
+      Alcotest.(check (option string))
+        "resource_exhausted code"
+        (Some Limits.resource_exhausted) (budget_code e));
+  Alcotest.(check int) "ops counted" 3 (Limits.ops_used b)
+
+let limits_depth_budget () =
+  let b = Limits.budget (Limits.create ~max_depth:2 ()) in
+  let loc = Loc.point (Loc.start_of_file "f") in
+  Limits.enter_region b ~loc;
+  Limits.enter_region b ~loc;
+  (match Limits.enter_region b ~loc with
+  | () -> Alcotest.fail "third level must blow the budget"
+  | exception e ->
+      Alcotest.(check (option string))
+        "resource_exhausted code"
+        (Some Limits.resource_exhausted) (budget_code e));
+  (* Leaving restores headroom: the budget tracks depth, not a count. *)
+  Limits.leave_region b;
+  Limits.enter_region b ~loc
+
+let limits_deadline () =
+  let expired = { Limits.unlimited with Limits.deadline_ns = 1L } in
+  let b = Limits.budget expired in
+  (match Limits.tick_op b ~loc:(Loc.point (Loc.start_of_file "f")) with
+  | () -> Alcotest.fail "expired deadline must abort"
+  | exception e ->
+      Alcotest.(check (option string))
+        "deadline_exceeded code"
+        (Some Limits.deadline_exceeded) (budget_code e));
+  (* A generous deadline does not fire. *)
+  let later = Limits.with_deadline_ms Limits.unlimited 60_000 in
+  let b = Limits.budget later in
+  Limits.tick_op b ~loc:(Loc.point (Loc.start_of_file "f"));
+  Alcotest.(check bool) "budget codes recognized" true
+    (Limits.is_budget_code (Some Limits.resource_exhausted)
+    && Limits.is_budget_code (Some Limits.deadline_exceeded)
+    && (not (Limits.is_budget_code (Some "other")))
+    && not (Limits.is_budget_code None))
+
+(* Fatal diagnostics escape [protect] (fail-soft recovery must not swallow
+   a blown budget) but are converted by [protect_any] (the outermost
+   guard), keeping their structured code. *)
+let diag_fatal_protection () =
+  (match Diag.protect (fun () -> Diag.raise_fatal ~code:"c" "boom") with
+  | _ -> Alcotest.fail "protect must not catch Fatal_exn"
+  | exception Diag.Fatal_exn d ->
+      Alcotest.(check (option string)) "code survives" (Some "c") d.Diag.code);
+  match Diag.protect_any (fun () -> Diag.raise_fatal ~code:"c" "boom") with
+  | Error d ->
+      Alcotest.(check (option string)) "protect_any converts" (Some "c")
+        d.Diag.code
+  | Ok _ -> Alcotest.fail "protect_any must return the error"
+
+(* ---------------- fault injection ---------------- *)
+
+let failpoints_cadence () =
+  Fun.protect ~finally:Failpoints.clear @@ fun () ->
+  Alcotest.(check bool) "arm" true (Result.is_ok (Failpoints.configure "x:3"));
+  Alcotest.(check bool) "active" true (Failpoints.active ());
+  let fired = ref 0 in
+  for _ = 1 to 9 do
+    match Failpoints.hit "x" with
+    | () -> ()
+    | exception Failpoints.Injected "x" -> incr fired
+    | exception Failpoints.Injected other ->
+        Alcotest.failf "wrong seam: %s" other
+  done;
+  Alcotest.(check int) "every 3rd hit fires" 3 !fired;
+  Alcotest.(check int) "injections observable" 3
+    (Failpoints.injected_count "x");
+  (* Unarmed seams pass through; clearing disarms. *)
+  Failpoints.hit "y";
+  Failpoints.clear ();
+  Failpoints.hit "x";
+  Alcotest.(check bool) "inactive after clear" false (Failpoints.active ())
+
+let failpoints_configure_errors () =
+  Fun.protect ~finally:Failpoints.clear @@ fun () ->
+  Alcotest.(check bool) "ok spec" true
+    (Result.is_ok (Failpoints.configure "parse,verify:2"));
+  let armed_before = Failpoints.seams () in
+  Alcotest.(check bool) "bad cadence rejected" true
+    (Result.is_error (Failpoints.configure "parse:0"));
+  Alcotest.(check bool) "bad entry rejected" true
+    (Result.is_error (Failpoints.configure "a:b:c"));
+  (* A rejected spec keeps the previous configuration. *)
+  Alcotest.(check int) "previous config kept"
+    (List.length armed_before)
+    (List.length (Failpoints.seams ()));
+  Alcotest.(check bool) "empty spec disarms" true
+    (Result.is_ok (Failpoints.configure ""));
+  Alcotest.(check bool) "disarmed" false (Failpoints.active ())
+
+(* The seams are live: an armed parse seam poisons parsing with a
+   structured injected_fault diagnostic instead of crashing. *)
+let failpoints_parse_seam () =
+  Fun.protect ~finally:Failpoints.clear @@ fun () ->
+  Alcotest.(check bool) "arm parse" true
+    (Result.is_ok (Failpoints.configure "parse"));
+  let ctx = Irdl_ir.Context.create () in
+  match Irdl_ir.Parser.parse_ops ctx "%a = \"t.x\"() : () -> (i32)\n" with
+  | Ok _ -> Alcotest.fail "armed parse seam must fail the parse"
+  | Error d ->
+      Alcotest.(check (option string))
+        "structured code" (Some "injected_fault") d.Diag.code
+
 let suite =
   [
     tc "loc: advance tracks lines and columns" loc_advance;
+    tc "monotonic: clock basics" monotonic_basics;
+    tc "limits: meet is pointwise strictest" limits_meet;
+    tc "limits: op budget aborts with code" limits_ops_budget;
+    tc "limits: region depth budget" limits_depth_budget;
+    tc "limits: deadlines" limits_deadline;
+    tc "diag: fatal escapes protect, not protect_any" diag_fatal_protection;
+    tc "failpoints: cadence and counters" failpoints_cadence;
+    tc "failpoints: malformed specs rejected" failpoints_configure_errors;
+    tc "failpoints: parse seam is live" failpoints_parse_seam;
     tc "loc: merge covers both spans" loc_merge;
     tc "loc: printing" loc_pp;
     tc "diag: formatted message" diag_format;
